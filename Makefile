@@ -1,0 +1,39 @@
+# climate-eflows — build/test/experiment targets
+
+GO ?= go
+
+.PHONY: all build vet test race bench examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# one benchmark per reproduced figure/claim (see EXPERIMENTS.md)
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# runnable demonstrations of the public API
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heatwaves
+	$(GO) run ./examples/cyclonetracking
+	$(GO) run ./examples/hpcwaas
+	$(GO) run ./examples/ensemble
+
+# experiment drivers printing the paper-shape series
+experiments:
+	$(GO) run ./cmd/wfbench -exp all
+	$(GO) run ./cmd/tcexperiment
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,512 @@
+// Package repro's root benchmark harness regenerates every figure and
+// performance claim of the paper (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for measured results):
+//
+//	BenchmarkFig3TaskGraph            Figure 3 — executed task graph
+//	BenchmarkFig4Pipeline             Figure 4 — heat-wave index pipeline
+//	BenchmarkE2EConcurrentVsSequential C1 — overlap vs two-stage baseline
+//	BenchmarkBaselineReuse            C2 — in-memory baseline reuse
+//	BenchmarkCubeScaling              C3 — I/O-server scaling
+//	BenchmarkRuntimeThroughput        C4 — task-graph parallelism
+//	BenchmarkSchedulerOverhead        C4 — per-task runtime overhead
+//	BenchmarkCNNInference             C5 — ML localizer inference cost
+//	BenchmarkCheckpointOverhead       C6 — checkpointing cost
+//	BenchmarkStreamDetectLatency      C7 — year-completion detection
+//	BenchmarkLocalityPlacement        ablation — locality-aware placement
+//
+// Run with: go test -bench=. -benchmem .
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compss"
+	"repro/internal/core"
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/indices"
+	"repro/internal/ml"
+	"repro/internal/stream"
+	"repro/internal/tctrack"
+)
+
+// benchEvents keeps every branch of the workflow active.
+var benchEvents = &esm.EventConfig{
+	HeatWavesPerYear: 2, ColdSpellsPerYear: 1, CyclonesPerYear: 1,
+	WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 7,
+}
+
+func benchConfig(b *testing.B, years int) core.Config {
+	b.Helper()
+	return core.Config{
+		Grid:        grid.Grid{NLat: 24, NLon: 48},
+		Years:       years,
+		DaysPerYear: 12,
+		Seed:        7,
+		OutputDir:   b.TempDir(),
+		Workers:     4,
+		CubeServers: 2,
+		Events:      benchEvents,
+	}
+}
+
+// BenchmarkFig3TaskGraph executes the one-year workflow and reports the
+// size of the reproduced Figure 3 task graph.
+func BenchmarkFig3TaskGraph(b *testing.B) {
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b, 1)
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = res.RuntimeStats.Invoked
+	}
+	b.ReportMetric(float64(nodes), "graph-nodes")
+}
+
+// BenchmarkFig4Pipeline measures the heat-wave index pipeline that
+// produces Figure 4's map, on one pre-generated year.
+func BenchmarkFig4Pipeline(b *testing.B) {
+	g := grid.Grid{NLat: 32, NLon: 64}
+	const days = 20
+	dir := b.TempDir()
+	model := esm.NewModel(esm.Config{Grid: g, Years: 1, DaysPerYear: days, Seed: 7, Events: benchEvents})
+	files, err := model.Run(esm.RunOptions{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := datacube.NewEngine(datacube.Config{Servers: 2})
+	defer engine.Close()
+	baseline, err := indices.BuildBaseline(engine, g, days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := indices.Params{DaysPerYear: days}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := indices.HeatWaves(engine, files, baseline, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Duration.Delete()
+		_ = res.Number.Delete()
+		_ = res.Frequency.Delete()
+	}
+}
+
+// BenchmarkE2EConcurrentVsSequential is experiment C1: the integrated
+// workflow overlaps analysis with the (latency-dominated) simulation.
+func BenchmarkE2EConcurrentVsSequential(b *testing.B) {
+	mk := func(years int) core.Config {
+		cfg := benchConfig(b, years)
+		cfg.ESMDayDelay = 10 * time.Millisecond
+		cfg.FragmentLatency = 3 * time.Millisecond
+		return cfg
+	}
+	for _, years := range []int{1, 2} {
+		b.Run(fmt.Sprintf("sequential/years=%d", years), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunSequential(mk(years)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("concurrent/years=%d", years), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(mk(years)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineReuse is experiment C2: index pipelines with the
+// climatology baseline resident in memory vs re-imported each time.
+func BenchmarkBaselineReuse(b *testing.B) {
+	g := grid.Grid{NLat: 32, NLon: 64}
+	const days = 20
+	model := esm.NewModel(esm.Config{Grid: g, Years: 1, DaysPerYear: days, Seed: 7, Events: benchEvents})
+	files, err := model.Run(esm.RunOptions{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseDir := b.TempDir()
+	prep := datacube.NewEngine(datacube.Config{Servers: 2})
+	bl, err := indices.BuildBaseline(prep, g, days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bl.TMax.ExportFile(filepath.Join(baseDir, "tmax.nc")); err != nil {
+		b.Fatal(err)
+	}
+	if err := bl.TMin.ExportFile(filepath.Join(baseDir, "tmin.nc")); err != nil {
+		b.Fatal(err)
+	}
+	prep.Close()
+	params := indices.Params{DaysPerYear: days}
+
+	load := func(engine *datacube.Engine) *indices.Baseline {
+		tmax, err := engine.ImportFile(filepath.Join(baseDir, "tmax.nc"), "TMAX_CLIM", "dayofyear")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tmin, err := engine.ImportFile(filepath.Join(baseDir, "tmin.nc"), "TMIN_CLIM", "dayofyear")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return &indices.Baseline{TMax: tmax, TMin: tmin, Grid: g, DaysPerYear: days}
+	}
+	free := func(r *indices.Result) {
+		_ = r.Duration.Delete()
+		_ = r.Number.Delete()
+		_ = r.Frequency.Delete()
+	}
+
+	b.Run("reuse", func(b *testing.B) {
+		engine := datacube.NewEngine(datacube.Config{Servers: 2})
+		defer engine.Close()
+		bl := load(engine)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := indices.HeatWaves(engine, files, bl, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			free(r)
+		}
+		b.ReportMetric(float64(engine.Stats().FileReads)/float64(b.N), "file-reads/op")
+	})
+	b.Run("reimport", func(b *testing.B) {
+		engine := datacube.NewEngine(datacube.Config{Servers: 2})
+		defer engine.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bl := load(engine)
+			r, err := indices.HeatWaves(engine, files, bl, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			free(r)
+			_ = bl.TMax.Delete()
+			_ = bl.TMin.Delete()
+		}
+		b.ReportMetric(float64(engine.Stats().FileReads)/float64(b.N), "file-reads/op")
+	})
+}
+
+// BenchmarkCubeScaling is experiment C3: operator latency vs the number
+// of I/O servers, with per-fragment storage latency as on a
+// distributed deployment.
+func BenchmarkCubeScaling(b *testing.B) {
+	for _, servers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			engine := datacube.NewEngine(datacube.Config{
+				Servers: servers, FragmentsPerCube: 32,
+				FragmentLatency: time.Millisecond,
+			})
+			defer engine.Close()
+			cube, err := engine.NewCubeFromFunc("m",
+				[]datacube.Dimension{{Name: "cell", Size: 4096}},
+				datacube.Dimension{Name: "time", Size: 64},
+				func(row, t int) float32 { return float32(row + t) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := cube.Reduce("max")
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out.Delete()
+			}
+		})
+	}
+}
+
+// BenchmarkFragmentSweep is the DESIGN.md fragment-count ablation.
+// Finding: with a fixed per-fragment access latency, total operator
+// latency grows linearly with fragments beyond the server count —
+// over-fragmentation pays pure per-access overhead, so the sweet spot
+// is a small multiple of the server count (exactly the fragmentation
+// guidance Ophidia documents).
+func BenchmarkFragmentSweep(b *testing.B) {
+	for _, frags := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("frags=%d", frags), func(b *testing.B) {
+			engine := datacube.NewEngine(datacube.Config{
+				Servers: 4, FragmentsPerCube: frags,
+				FragmentLatency: time.Millisecond,
+			})
+			defer engine.Close()
+			cube, err := engine.NewCubeFromFunc("m",
+				[]datacube.Dimension{{Name: "cell", Size: 4096}},
+				datacube.Dimension{Name: "time", Size: 64},
+				func(row, t int) float32 { return float32(row + t) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := cube.Reduce("max")
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out.Delete()
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeThroughput is experiment C4: independent
+// latency-bound tasks complete faster as workers are added.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := compss.NewRuntime(compss.Config{Workers: workers})
+				task, err := rt.Register(compss.TaskDef{
+					Name:    "remote",
+					Outputs: 0,
+					Fn: func([]any) ([]any, error) {
+						time.Sleep(time.Millisecond)
+						return nil, nil
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 64; j++ {
+					if _, err := rt.Invoke(task); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := rt.Shutdown(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerOverhead measures the runtime's per-task cost with
+// empty task bodies (pure dependency bookkeeping + dispatch).
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	rt := compss.NewRuntime(compss.Config{Workers: 4})
+	nop, err := rt.Register(compss.TaskDef{
+		Name:    "nop",
+		Outputs: 0,
+		Fn:      func([]any) ([]any, error) { return nil, nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Invoke(nop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rt.Shutdown(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCNNInference is the C5 cost figure: one patch prediction
+// through the TC localizer CNN.
+func BenchmarkCNNInference(b *testing.B) {
+	loc, err := ml.NewLocalizer(12, 12, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := ml.NewTensor(len(ml.Channels), 12, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = loc.Predict(x)
+	}
+}
+
+// BenchmarkCheckpointOverhead is experiment C6: the task runtime with
+// and without checkpoint recording.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	run := func(b *testing.B, cp compss.Checkpointer) {
+		for i := 0; i < b.N; i++ {
+			rt := compss.NewRuntime(compss.Config{Workers: 2, Checkpointer: cp})
+			task, err := rt.Register(compss.TaskDef{
+				Name:    fmt.Sprintf("step%d", i),
+				Outputs: 1,
+				Fn:      func(args []any) ([]any, error) { return []any{args[0]}, nil },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 50; j++ {
+				if _, err := rt.Invoke(task, compss.In(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Shutdown(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("no-checkpoint", func(b *testing.B) { run(b, nil) })
+	b.Run("file-checkpoint", func(b *testing.B) {
+		cp, err := compss.OpenFileCheckpointer(filepath.Join(b.TempDir(), "b.ckpt"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cp.Close()
+		run(b, cp)
+	})
+}
+
+// BenchmarkStreamDetectLatency is experiment C7: time from the last
+// daily file of a year landing on disk to the year batch being emitted.
+func BenchmarkStreamDetectLatency(b *testing.B) {
+	const days = 5
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		w, err := stream.NewDirWatcher(dir, `\.nc$`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Interval = time.Millisecond
+		w.Start()
+		batcher := stream.NewYearBatcher(days, esm.YearOf)
+		for d := 0; d < days; d++ {
+			if err := os.WriteFile(filepath.Join(dir, esm.FileName(2040, d)), []byte("x"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		t0 := time.Now()
+		done := false
+		for !done {
+			path, ok := w.Stream().Next()
+			if !ok {
+				b.Fatal("stream closed early")
+			}
+			if len(batcher.Add(path)) > 0 {
+				done = true
+			}
+		}
+		total += time.Since(t0)
+		w.Stop()
+	}
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N), "detect-µs")
+}
+
+// BenchmarkLocalityPlacement is the DESIGN.md ablation: scheduling
+// consumers on the node already holding their input data vs random
+// placement, measured as bytes moved on the simulated cluster.
+func BenchmarkLocalityPlacement(b *testing.B) {
+	const items = 64
+	run := func(b *testing.B, locality bool) {
+		var moved int64
+		for i := 0; i < b.N; i++ {
+			c := cluster.New(4, 8, 16384)
+			rng := rand.New(rand.NewSource(int64(i)))
+			names := c.NodeNames()
+			for k := 0; k < items; k++ {
+				key := fmt.Sprintf("cube%d", k)
+				owner := names[rng.Intn(len(names))]
+				if err := c.Place(key, owner, 1<<20); err != nil {
+					b.Fatal(err)
+				}
+				var target string
+				if locality {
+					target = c.BestNodeFor([]string{key})
+				} else {
+					target = names[rng.Intn(len(names))]
+				}
+				if _, _, err := c.Fetch(key, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+			moved += c.Stats().BytesMoved
+		}
+		b.ReportMetric(float64(moved)/float64(b.N)/(1<<20), "MB-moved/op")
+	}
+	b.Run("locality-aware", func(b *testing.B) { run(b, true) })
+	b.Run("random", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkBackfillAblation compares batch-scheduler makespans with
+// and without LSF-style backfill on a mixed wide/narrow job stream
+// (virtual time; the cluster simulation advances event to event).
+func BenchmarkBackfillAblation(b *testing.B) {
+	workload := func(c *cluster.Cluster, rng *rand.Rand) {
+		for k := 0; k < 200; k++ {
+			if rng.Intn(6) == 0 {
+				// full-node jobs block the FIFO head while cores sit idle
+				_, _ = c.Submit("wide", cluster.Resources{Cores: 8}, 10)
+			} else {
+				_, _ = c.Submit("narrow", cluster.Resources{Cores: 1}, 1+rng.Float64())
+			}
+		}
+	}
+	for _, backfill := range []bool{true, false} {
+		name := "backfill"
+		if !backfill {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan, wait float64
+			for i := 0; i < b.N; i++ {
+				c := cluster.New(4, 8, 65536)
+				c.Backfill = backfill
+				workload(c, rand.New(rand.NewSource(42)))
+				makespan = c.Drain()
+				wait = c.Stats().TotalWait
+			}
+			b.ReportMetric(makespan, "virt-makespan")
+			b.ReportMetric(wait, "virt-totalwait")
+			b.ReportMetric(0, "ns/op") // virtual-time study; wall time is noise
+		})
+	}
+}
+
+// BenchmarkESMDay measures one simulated day of the coupled model
+// (reduced grid), the producer side of the whole pipeline.
+func BenchmarkESMDay(b *testing.B) {
+	model := esm.NewModel(esm.Config{Grid: grid.Reduced, Years: 1000, DaysPerYear: 365, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := model.StepDay(); d == nil {
+			b.Fatal("model exhausted")
+		}
+	}
+}
+
+// BenchmarkTrackerDetect measures the deterministic TC detector on one
+// instantaneous field set.
+func BenchmarkTrackerDetect(b *testing.B) {
+	model := esm.NewModel(esm.Config{
+		Grid: grid.Grid{NLat: 48, NLon: 96}, Years: 1, DaysPerYear: 10, Seed: 3,
+		Events: &esm.EventConfig{CyclonesPerYear: 2, WaveAmplitudeK: 8, WaveMinDays: 6, WaveMaxDays: 6},
+	})
+	var day *esm.DayOutput
+	for i := 0; i < 5; i++ {
+		day = model.StepDay()
+	}
+	crit := tctrack.DefaultCriteria()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tctrack.DetectStep(day, 0, crit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

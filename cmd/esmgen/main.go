@@ -1,0 +1,124 @@
+// Command esmgen runs the synthetic CMCC-CM3-like Earth System Model
+// and writes its daily output files, optionally dumping the seeded
+// ground-truth events as JSON for downstream skill evaluation.
+//
+// Usage:
+//
+//	esmgen -out ./model_output -years 1 -days 30 -truth truth.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out      = flag.String("out", "", "output directory (required)")
+		years    = flag.Int("years", 1, "simulated years")
+		start    = flag.Int("start", 2040, "first year")
+		days     = flag.Int("days", 30, "days per year")
+		seed     = flag.Int64("seed", 42, "seed")
+		nlat     = flag.Int("nlat", 48, "latitude cells")
+		nlon     = flag.Int("nlon", 96, "longitude cells")
+		scenario = flag.String("scenario", "historical", "historical | ssp245 | ssp585")
+		truth    = flag.String("truth", "", "write seeded ground-truth events to this JSON file")
+		delay    = flag.Duration("delay", 0, "inter-day delay (simulates slow model production for streaming demos)")
+		quiet    = flag.Bool("q", false, "suppress per-day progress")
+		diag     = flag.Bool("diag", false, "compute and validate online diagnostics per day")
+		restart  = flag.String("restart", "", "restart file: resume from it when present, save to it at exit")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	sc := map[string]esm.Scenario{"historical": esm.Historical, "ssp245": esm.SSP245, "ssp585": esm.SSP585}[*scenario]
+
+	var model *esm.Model
+	if *restart != "" {
+		if m, err := esm.LoadRestart(*restart); err == nil {
+			fmt.Printf("resuming from %s (day %d of %d)\n", *restart, m.DaysCompleted(), m.TotalDays())
+			model = m
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("restart: %v", err)
+		}
+	}
+	if model == nil {
+		model = esm.NewModel(esm.Config{
+			Grid:        grid.Grid{NLat: *nlat, NLon: *nlon},
+			StartYear:   *start,
+			Years:       *years,
+			DaysPerYear: *days,
+			Seed:        *seed,
+			Scenario:    sc,
+		})
+	}
+
+	t0 := time.Now()
+	n := 0
+	var diagErr error
+	paths, err := model.Run(esm.RunOptions{
+		Dir:           *out,
+		InterDayDelay: *delay,
+		OnDay: func(p string, d *esm.DayOutput) {
+			n++
+			if *diag && diagErr == nil {
+				dd, err := esm.Diagnose(d)
+				if err == nil {
+					err = esm.CheckDiagnostics(dd)
+				}
+				if err != nil {
+					diagErr = err
+					return
+				}
+				if !*quiet && n%10 == 0 {
+					fmt.Printf("  diag y%d d%03d: T=%.2fK ice=%.3f TOA=%+.1fW/m2 minPSL=%.0fPa\n",
+						dd.Year, dd.DayOfYear, dd.GlobalMeanT, dd.IceArea, dd.TOANet, dd.MinPSL)
+				}
+				return
+			}
+			if !*quiet && n%10 == 0 {
+				fmt.Printf("  %s (year %d day %d)\n", p, d.Year, d.DayOfYear)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diagErr != nil {
+		log.Fatalf("online diagnostics failed: %v", diagErr)
+	}
+	gt := model.GroundTruth()
+	fmt.Printf("wrote %d files to %s in %v\n", len(paths), *out, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("seeded ground truth: %d heat waves, %d cold spells, %d cyclones\n",
+		len(gt.HeatWaves()), len(gt.ColdSpells()), len(gt.Cyclones))
+
+	if *restart != "" {
+		if err := model.SaveRestart(*restart); err != nil {
+			log.Fatalf("save restart: %v", err)
+		}
+		fmt.Printf("restart state saved to %s\n", *restart)
+	}
+	if *truth != "" {
+		data, err := json.MarshalIndent(gt, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*truth, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ground truth written to %s\n", *truth)
+	}
+}

@@ -1,0 +1,149 @@
+// Command nctool inspects GNC1 (NetCDF-like) files: header dump,
+// per-variable statistics, and quick-look ASCII rendering of 2-D
+// slices — the ncdump/ncview analogue for this repository's format.
+//
+// Usage:
+//
+//	nctool header file.nc
+//	nctool stats file.nc [-var TREFHT]
+//	nctool render file.nc -var TREFHT [-step 0] [-cols 72]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/ncdf"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd := os.Args[1]
+	path := os.Args[2]
+	rest := os.Args[3:]
+	switch cmd {
+	case "header":
+		header(path)
+	case "stats":
+		stats(path, rest)
+	case "render":
+		render(path, rest)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nctool {header|stats|render} <file.nc> [flags]")
+	os.Exit(2)
+}
+
+func header(path string) {
+	ds, err := ncdf.ReadHeaderFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file %s (GNC1)\n", path)
+	fmt.Println("dimensions:")
+	for _, d := range ds.Dims {
+		fmt.Printf("  %-12s = %d\n", d.Name, d.Len)
+	}
+	if len(ds.Attrs) > 0 {
+		fmt.Println("global attributes:")
+		printAttrs(ds.Attrs, "  ")
+	}
+	fmt.Println("variables:")
+	for _, v := range ds.Vars {
+		fmt.Printf("  float %s%v\n", v.Name, v.Dims)
+		printAttrs(v.Attrs, "    ")
+	}
+}
+
+func printAttrs(attrs map[string]ncdf.AttrValue, indent string) {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := attrs[k]
+		switch a.Kind {
+		case 's':
+			fmt.Printf("%s%s = %q\n", indent, k, a.S)
+		case 'i':
+			fmt.Printf("%s%s = %d\n", indent, k, a.I)
+		case 'f':
+			fmt.Printf("%s%s = %g\n", indent, k, a.F)
+		}
+	}
+}
+
+func stats(path string, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	varName := fs.String("var", "", "limit to one variable")
+	fs.Parse(args)
+	ds, err := ncdf.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "variable", "min", "max", "mean", "std")
+	for _, v := range ds.Vars {
+		if *varName != "" && v.Name != *varName {
+			continue
+		}
+		f := grid.Field{Grid: grid.Grid{NLat: 1, NLon: len(v.Data)}, Data: v.Data}
+		s := f.Statistics()
+		fmt.Printf("%-12s %12.4g %12.4g %12.4g %12.4g\n", v.Name, s.Min, s.Max, s.Mean, s.Std)
+	}
+}
+
+func render(path string, args []string) {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	varName := fs.String("var", "", "variable to render (required)")
+	step := fs.Int("step", 0, "leading-dimension slice (e.g. time step)")
+	cols := fs.Int("cols", 72, "terminal columns")
+	pngPath := fs.String("png", "", "also write a PNG to this path")
+	fs.Parse(args)
+	if *varName == "" {
+		log.Fatal("render: -var required")
+	}
+	ds, v, err := ncdf.ReadVariableFile(path, *varName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shape, err := ds.Shape(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var nlat, nlon, offset int
+	switch len(shape) {
+	case 2:
+		nlat, nlon = shape[0], shape[1]
+	case 3:
+		if *step < 0 || *step >= shape[0] {
+			log.Fatalf("render: step %d out of range [0,%d)", *step, shape[0])
+		}
+		nlat, nlon = shape[1], shape[2]
+		offset = *step * nlat * nlon
+	default:
+		log.Fatalf("render: variable %s has rank %d, want 2 or 3", *varName, len(shape))
+	}
+	f := grid.NewField(grid.Grid{NLat: nlat, NLon: nlon})
+	copy(f.Data, v.Data[offset:offset+nlat*nlon])
+	fmt.Printf("%s[%s] step %d (%dx%d):\n", path, *varName, *step, nlat, nlon)
+	fmt.Println(viz.ASCIIMap(f, *cols))
+	if *pngPath != "" {
+		if err := viz.WritePNG(*pngPath, f, 0, 0, viz.Heat, 4); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pngPath)
+	}
+}

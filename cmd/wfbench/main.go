@@ -1,0 +1,385 @@
+// Command wfbench drives the quantitative experiments C1–C4 of
+// DESIGN.md and prints their series, reproducing the *shape* of the
+// paper's performance claims on the simulated substrate:
+//
+//	c1  concurrent end-to-end workflow vs the traditional two-stage
+//	    run-then-analyze baseline (§5.1: "their integration ... can
+//	    help in reducing the overall execution time")
+//	c2  in-memory climatology baseline reuse vs re-importing it per
+//	    pipeline (§5.3: "loaded only once ... reducing the number of
+//	    read operations from storage")
+//	c3  datacube operator scaling with the number of I/O servers
+//	    (§4.2.2: "computing components can be scaled up")
+//	c4  task-runtime parallelism and scheduling overhead (§4.2.1)
+//
+//	ens  initial-condition ensemble: concurrent member execution and
+//	     cross-member index statistics (§3's ensemble workloads)
+//	dist distributed multi-site execution with DLS data movement (§7
+//	     future work): result equivalence + transfer accounting
+//
+// Usage: wfbench -exp c1|c2|c3|c4|ens|dist|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/compss"
+	"repro/internal/core"
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/indices"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|all")
+	flag.Parse()
+	switch *exp {
+	case "c1":
+		c1()
+	case "c2":
+		c2()
+	case "c3":
+		c3()
+	case "c4":
+		c4()
+	case "ens":
+		ens()
+	case "dist":
+		dist()
+	case "all":
+		c1()
+		c2()
+		c3()
+		c4()
+		ens()
+		dist()
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func tmpDir(prefix string) string {
+	dir, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}
+
+// c1: concurrent workflow vs sequential two-stage baseline. The ESM
+// day delay models the coupled model computing on its own HPC
+// allocation; the workflow host analyzes completed years while the
+// model produces the next ones. The gain grows with the number of
+// years whose analysis hides under the simulation (paper §5.1).
+func c1() {
+	fmt.Println("=== C1: end-to-end time, concurrent workflow vs two-stage baseline ===")
+	fmt.Println("(ESM: 15ms per simulated day on its dedicated allocation;")
+	fmt.Println(" datacube: 5ms storage latency per fragment access, 2 I/O servers)")
+	fmt.Printf("%-7s %14s %14s %10s\n", "years", "sequential", "concurrent", "speedup")
+	for _, years := range []int{1, 2, 4} {
+		mk := func() core.Config {
+			return core.Config{
+				Grid:            grid.Grid{NLat: 32, NLon: 64},
+				Years:           years,
+				DaysPerYear:     20,
+				Seed:            7,
+				OutputDir:       tmpDir("c1-"),
+				Workers:         6,
+				CubeServers:     2,
+				ESMDayDelay:     15 * time.Millisecond,
+				FragmentLatency: 5 * time.Millisecond,
+				Events: &esm.EventConfig{
+					HeatWavesPerYear: 2, ColdSpellsPerYear: 1, CyclonesPerYear: 2,
+					WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 8,
+				},
+			}
+		}
+		t0 := time.Now()
+		if _, err := core.RunSequential(mk()); err != nil {
+			log.Fatal(err)
+		}
+		seq := time.Since(t0)
+		t0 = time.Now()
+		if _, err := core.Run(mk()); err != nil {
+			log.Fatal(err)
+		}
+		conc := time.Since(t0)
+		fmt.Printf("%-7d %14v %14v %9.2fx\n", years, seq.Round(time.Millisecond), conc.Round(time.Millisecond), seq.Seconds()/conc.Seconds())
+	}
+	fmt.Println()
+}
+
+// c2: baseline reuse vs per-pipeline re-import.
+func c2() {
+	fmt.Println("=== C2: in-memory baseline reuse vs re-import per pipeline ===")
+	g := grid.Grid{NLat: 32, NLon: 64}
+	const days = 20
+	modelDir := tmpDir("c2-model-")
+	model := esm.NewModel(esm.Config{
+		Grid: g, Years: 4, DaysPerYear: days, Seed: 7,
+		Events: &esm.EventConfig{HeatWavesPerYear: 1, ColdSpellsPerYear: 1, WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 7},
+	})
+	paths, err := model.Run(esm.RunOptions{Dir: modelDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	years := splitYears(paths, days)
+
+	// materialize the baseline to disk once, so "re-import" has a real
+	// storage cost
+	prepEngine := datacube.NewEngine(datacube.Config{Servers: 4})
+	b, err := indices.BuildBaseline(prepEngine, g, days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseDir := tmpDir("c2-base-")
+	if err := b.TMax.ExportFile(baseDir + "/tmax_clim.nc"); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.TMin.ExportFile(baseDir + "/tmin_clim.nc"); err != nil {
+		log.Fatal(err)
+	}
+	prepEngine.Close()
+
+	// Three data-management regimes:
+	//   integrated — the end-to-end workflow: baseline and each year's
+	//                temperature cube imported once, shared in memory by
+	//                all six index pipelines (§5.3);
+	//   partial    — baseline reloaded every year, year cube shared;
+	//   scripts    — the pre-integration practice: six stand-alone index
+	//                scripts per year, each loading the year files and
+	//                the baseline from storage.
+	params := indices.Params{DaysPerYear: days}
+	loadBaseline := func(engine *datacube.Engine) *indices.Baseline {
+		tmax, err := engine.ImportFile(baseDir+"/tmax_clim.nc", "TMAX_CLIM", "dayofyear")
+		if err != nil {
+			log.Fatal(err)
+		}
+		tmin, err := engine.ImportFile(baseDir+"/tmin_clim.nc", "TMIN_CLIM", "dayofyear")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &indices.Baseline{TMax: tmax, TMin: tmin, Grid: g, DaysPerYear: days}
+	}
+	freeResult := func(r *indices.Result) {
+		_ = r.Duration.Delete()
+		_ = r.Number.Delete()
+		_ = r.Frequency.Delete()
+	}
+	freeBaseline := func(b *indices.Baseline) {
+		_ = b.TMax.Delete()
+		_ = b.TMin.Delete()
+	}
+
+	run := func(mode string) (int64, time.Duration) {
+		engine := datacube.NewEngine(datacube.Config{Servers: 4})
+		defer engine.Close()
+		t0 := time.Now()
+		switch mode {
+		case "integrated":
+			bl := loadBaseline(engine)
+			for _, files := range years {
+				temp, err := engine.ImportFiles(files, "TREFHT", "time")
+				if err != nil {
+					log.Fatal(err)
+				}
+				hw, err := indices.HeatWavesFromCube(temp, bl, params)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cw, err := indices.ColdWavesFromCube(temp, bl, params)
+				if err != nil {
+					log.Fatal(err)
+				}
+				freeResult(hw)
+				freeResult(cw)
+				_ = temp.Delete()
+			}
+		case "partial":
+			for _, files := range years {
+				bl := loadBaseline(engine)
+				temp, err := engine.ImportFiles(files, "TREFHT", "time")
+				if err != nil {
+					log.Fatal(err)
+				}
+				hw, err := indices.HeatWavesFromCube(temp, bl, params)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cw, err := indices.ColdWavesFromCube(temp, bl, params)
+				if err != nil {
+					log.Fatal(err)
+				}
+				freeResult(hw)
+				freeResult(cw)
+				_ = temp.Delete()
+				freeBaseline(bl)
+			}
+		case "scripts":
+			for _, files := range years {
+				// six independent scripts: each re-imports everything
+				for script := 0; script < 6; script++ {
+					bl := loadBaseline(engine)
+					var r *indices.Result
+					var err error
+					if script < 3 {
+						r, err = indices.HeatWaves(engine, files, bl, params)
+					} else {
+						r, err = indices.ColdWaves(engine, files, bl, params)
+					}
+					if err != nil {
+						log.Fatal(err)
+					}
+					freeResult(r)
+					freeBaseline(bl)
+				}
+			}
+		}
+		return engine.Stats().FileReads, time.Since(t0)
+	}
+	fmt.Printf("%-32s %12s %12s\n", "mode", "file reads", "time")
+	var scriptReads, integratedReads int64
+	for _, mode := range []string{"integrated", "partial", "scripts"} {
+		reads, dt := run(mode)
+		fmt.Printf("%-32s %12d %12v\n", label(mode), reads, dt.Round(time.Millisecond))
+		if mode == "scripts" {
+			scriptReads = reads
+		}
+		if mode == "integrated" {
+			integratedReads = reads
+		}
+	}
+	fmt.Printf("storage reads saved by integration: %d (%.0f%%)\n\n",
+		scriptReads-integratedReads, 100*float64(scriptReads-integratedReads)/float64(scriptReads))
+}
+
+func label(mode string) string {
+	switch mode {
+	case "integrated":
+		return "integrated workflow (reuse all)"
+	case "partial":
+		return "baseline reloaded per year"
+	default:
+		return "stand-alone scripts (no reuse)"
+	}
+}
+
+func splitYears(paths []string, days int) [][]string {
+	var out [][]string
+	for i := 0; i+days <= len(paths); i += days {
+		out = append(out, paths[i:i+days])
+	}
+	return out
+}
+
+// c3: datacube scaling with I/O servers. Each fragment access carries
+// a 2 ms storage/network latency as on a real distributed deployment;
+// latencies on distinct servers overlap, so operator time drops as
+// servers are added (§4.2.2).
+func c3() {
+	fmt.Println("=== C3: datacube operator scaling with I/O servers ===")
+	fmt.Println("(2ms simulated storage latency per fragment access, 32 fragments)")
+	fmt.Printf("%-9s %-11s %14s %10s\n", "servers", "fragments", "pipeline time", "speedup")
+	var base time.Duration
+	for _, servers := range []int{1, 2, 4, 8} {
+		const frags = 32
+		engine := datacube.NewEngine(datacube.Config{
+			Servers: servers, FragmentsPerCube: frags,
+			FragmentLatency: 2 * time.Millisecond,
+		})
+		cube, err := engine.NewCubeFromFunc("m",
+			[]datacube.Dimension{{Name: "cell", Size: 8192}},
+			datacube.Dimension{Name: "time", Size: 128},
+			func(row, t int) float32 { return float32(row%97) + float32(t%13) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < 3; i++ {
+			masked, err := cube.Apply("x>50 ? x : 0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			red, err := masked.Reduce("sum")
+			if err != nil {
+				log.Fatal(err)
+			}
+			_ = masked.Delete()
+			_ = red.Delete()
+		}
+		dt := time.Since(t0)
+		if servers == 1 {
+			base = dt
+		}
+		fmt.Printf("%-9d %-11d %14v %9.2fx\n", servers, frags, dt.Round(time.Millisecond), base.Seconds()/dt.Seconds())
+		engine.Close()
+	}
+	fmt.Println()
+}
+
+// c4: task-runtime parallelism and overhead. Tasks here model remote
+// work (an HPC job, a datacube operator on other nodes): the local
+// worker slot waits 2 ms per task, so independent tasks overlap across
+// workers — the task-graph parallelism PyCOMPSs exploits (§4.2.1).
+func c4() {
+	fmt.Println("=== C4: task runtime parallelism (500 remote tasks, 2ms each) ===")
+	fmt.Printf("%-9s %12s %10s\n", "workers", "makespan", "speedup")
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt := compss.NewRuntime(compss.Config{Workers: workers})
+		busy, err := rt.Register(compss.TaskDef{
+			Name:    "remote",
+			Outputs: 1,
+			Fn: func(args []any) ([]any, error) {
+				time.Sleep(2 * time.Millisecond)
+				return []any{args[0]}, nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < 500; i++ {
+			if _, err := rt.Invoke(busy, compss.In(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := rt.Shutdown(); err != nil {
+			log.Fatal(err)
+		}
+		dt := time.Since(t0)
+		if workers == 1 {
+			base = dt
+		}
+		fmt.Printf("%-9d %12v %9.2fx\n", workers, dt.Round(time.Millisecond), base.Seconds()/dt.Seconds())
+	}
+
+	fmt.Println("\nscheduler overhead (10000 empty tasks):")
+	rt := compss.NewRuntime(compss.Config{Workers: 4})
+	nop, err := rt.Register(compss.TaskDef{
+		Name:    "nop",
+		Outputs: 0,
+		Fn:      func([]any) ([]any, error) { return nil, nil },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, err := rt.Invoke(nop); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rt.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	dt := time.Since(t0)
+	fmt.Printf("  total %v, %.1f µs/task\n\n", dt.Round(time.Millisecond), float64(dt.Microseconds())/n)
+}

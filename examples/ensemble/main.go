@@ -1,0 +1,141 @@
+// Ensemble runs an initial-condition ensemble of the synthetic ESM —
+// the workload class the paper's §3 singles out ("group of runs of the
+// same ESM with different initial conditions") — computing heat-wave
+// indices per member concurrently on the task runtime, aggregating
+// them into ensemble mean/spread/agreement maps on the datacube
+// engine, and contrasting the fixed-threshold indices with the ETCCDI
+// percentile indices (TX90p/WSDI) on one member.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/datacube"
+	"repro/internal/ensemble"
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/indices"
+	"repro/internal/stream"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "ensemble-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("working directory: %s\n\n", dir)
+
+	g := grid.Grid{NLat: 24, NLon: 48}
+	const days = 20
+	base := esm.Config{
+		Grid: g, StartYear: 2040, Years: 1, DaysPerYear: days, Seed: 500,
+		Events: &esm.EventConfig{
+			HeatWavesPerYear: 2, ColdSpellsPerYear: 0, CyclonesPerYear: 0,
+			WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 9,
+		},
+	}
+
+	engine := datacube.NewEngine(datacube.Config{Servers: 4})
+	defer engine.Close()
+
+	// --- ensemble of 4 members, run concurrently -------------------------
+	fmt.Println("running a 4-member initial-condition ensemble...")
+	res, err := ensemble.Run(engine, ensemble.Config{Base: base, Members: 4, Workers: 4, Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Stats.Delete()
+	fmt.Printf("%-8s %10s %14s\n", "member", "seed", "hw mean/cell")
+	for _, m := range res.Members {
+		fmt.Printf("%-8d %10d %14.4f\n", m.Member, m.Seed, m.MeanNumber)
+	}
+
+	meanField, err := indices.CubeToField(res.Stats.Mean, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nensemble-mean Heat Wave Number map:")
+	fmt.Println(viz.ASCIIMap(meanField, 64))
+	agreeField, err := indices.CubeToField(res.Stats.Agreement, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pngPath := dir + "/ensemble_agreement.png"
+	if err := viz.WritePNG(pngPath, agreeField, 0, 1, viz.Heat, 6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agreement map written to %s\n\n", pngPath)
+
+	// --- ETCCDI percentile indices on member 0 ---------------------------
+	fmt.Println("ETCCDI percentile indices (member 0):")
+	pb, err := indices.BuildPercentileBaseline(engine, g, days, 10, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	memberDir := dir + "/member00"
+	entries, err := os.ReadDir(memberDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, memberDir+"/"+e.Name())
+	}
+	batches := stream.NewYearBatcher(days, esm.YearOf).Add(files...)
+	temp, err := engine.ImportFiles(batches[0].Files, "TREFHT", "time")
+	if err != nil {
+		log.Fatal(err)
+	}
+	et, err := indices.ETCCDI(temp, pb, indices.Params{DaysPerYear: days})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer et.Delete()
+	printMean := func(name string, c *datacube.Cube) {
+		agg, err := c.AggregateRows("avg")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agg.Delete()
+		red, err := agg.Reduce("avg")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer red.Delete()
+		v, err := red.Scalar()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s mean = %.4f\n", name, v)
+	}
+	printMean("TX90p", et.TX90p)
+	printMean("TN10p", et.TN10p)
+	printMean("WSDI", et.WSDI)
+	printMean("CSDI", et.CSDI)
+
+	// --- precipitation extremes on member 0 ------------------------------
+	fmt.Println("\nprecipitation extremes (member 0):")
+	daily, err := indices.DailyPrecipFromFiles(engine, batches[0].Files, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer daily.Delete()
+	p95, err := indices.BuildPrecipBaseline(engine, base, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p95.Delete()
+	pr, err := indices.PrecipIndices(daily, p95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pr.Delete()
+	printMean("PRCPTOT", pr.PRCPTOT)
+	printMean("Rx1day", pr.Rx1day)
+	printMean("CDD", pr.CDD)
+	printMean("R95pTOT", pr.R95pTOT)
+}

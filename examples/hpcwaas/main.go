@@ -1,0 +1,190 @@
+// Hpcwaas walks the full HPC-Workflows-as-a-Service lifecycle of the
+// paper's Figure 1 against a live REST service: the developer registers
+// the climate-extremes workflow with its TOSCA topology; the deployer
+// (Yorc role) builds container images through the Image Creation
+// service and stages data through the Data Logistics Service; the final
+// user then deploys and runs the workflow with plain HTTP calls, never
+// touching the cluster directly — "climate scientists can focus more on
+// the results of the simulations ... rather than handling complex
+// workflows and setting up the software environment."
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dls"
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/hpcwaas"
+	"repro/internal/imagebuilder"
+	"repro/internal/tosca"
+)
+
+func main() {
+	log.SetFlags(0)
+	workDir, err := os.MkdirTemp("", "hpcwaas-")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- developer side: register the workflow --------------------------
+	registry := hpcwaas.NewRegistry()
+	entry := hpcwaas.Entry{
+		Name:        "climate-extremes",
+		Version:     "1.0",
+		Description: "extreme events analysis on ESM projection data",
+		Topology:    tosca.ClimateTopology("zeus"),
+		App:         climateApp(workDir),
+	}
+	if err := registry.Register(entry); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registered workflow 'climate-extremes' (TOSCA topology attached)")
+
+	// --- site services: image builder + data logistics ------------------
+	deployer := hpcwaas.NewDeployer(nil, nil, imagebuilder.Platform{Arch: "x86_64", MPI: "openmpi4"})
+	climSrc := filepath.Join(workDir, "catalog")
+	os.MkdirAll(climSrc, 0o755)
+	os.WriteFile(filepath.Join(climSrc, "climatology.nc"), []byte("20y baseline"), 0o644)
+	deployer.DLS.Catalog.Register(dls.Dataset{Name: "climatology", Root: climSrc, Files: []string{"climatology.nc"}})
+	deployer.Pipelines["stage-in-climatology"] = dls.Pipeline{
+		Name:  "stage-in-climatology",
+		Steps: []dls.Step{{Kind: "stage_in", Dataset: "climatology", Dir: filepath.Join(workDir, "staged")}},
+	}
+
+	svc := hpcwaas.NewService(registry, deployer)
+	server := httptest.NewServer(svc.Handler())
+	defer server.Close()
+	fmt.Printf("HPCWaaS execution API listening at %s\n\n", server.URL)
+
+	// --- user side: pure REST from here on -------------------------------
+	var workflows []map[string]any
+	getJSON(server.URL+"/api/workflows", &workflows)
+	fmt.Printf("GET /api/workflows -> %d workflow(s): %v\n", len(workflows), workflows[0]["name"])
+
+	var dep map[string]any
+	postJSON(server.URL+"/api/workflows/climate-extremes/deploy",
+		map[string]any{"target": "zeus"}, &dep)
+	fmt.Printf("POST .../deploy -> %s on %s (%s)\n", dep["ID"], dep["Target"], dep["Status"])
+	fmt.Println("deployment log:")
+	for _, line := range dep["Log"].([]any) {
+		fmt.Printf("  %s\n", line)
+	}
+
+	var ex map[string]any
+	postJSON(server.URL+"/api/executions", map[string]any{
+		"workflow": "climate-extremes",
+		"params":   map[string]string{"years": "1", "days_per_year": "12", "seed": "42"},
+	}, &ex)
+	execID := ex["id"].(string)
+	fmt.Printf("\nPOST /api/executions -> %s (%s)\n", execID, ex["status"])
+
+	for {
+		getJSON(server.URL+"/api/executions/"+execID, &ex)
+		if ex["status"] != "RUNNING" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("GET /api/executions/%s -> %s\n", execID, ex["status"])
+	if ex["status"] != "DONE" {
+		log.Fatalf("execution failed: %v", ex["error"])
+	}
+	results := ex["results"].(map[string]any)
+	fmt.Println("results:")
+	for k, v := range results {
+		fmt.Printf("  %-22s %v\n", k, v)
+	}
+
+	var un map[string]any
+	postJSON(server.URL+"/api/deployments/"+dep["ID"].(string)+"/undeploy", map[string]any{}, &un)
+	fmt.Printf("\nPOST .../undeploy -> %s\n", un["Status"])
+}
+
+// climateApp adapts the core workflow as an HPCWaaS application: input
+// parameters arrive as strings from the REST call.
+func climateApp(workDir string) hpcwaas.AppFunc {
+	return func(params map[string]string) (map[string]string, error) {
+		years := atoiDefault(params["years"], 1)
+		days := atoiDefault(params["days_per_year"], 12)
+		seed := int64(atoiDefault(params["seed"], 1))
+		outDir, err := os.MkdirTemp(workDir, "run-")
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(core.Config{
+			Grid:        grid.Grid{NLat: 24, NLon: 48},
+			Years:       years,
+			DaysPerYear: days,
+			Seed:        seed,
+			OutputDir:   outDir,
+			Events: &esm.EventConfig{
+				HeatWavesPerYear: 1, ColdSpellsPerYear: 1, CyclonesPerYear: 1,
+				WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 7,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{
+			"years_processed":  strconv.Itoa(len(res.Years)),
+			"files_produced":   strconv.Itoa(res.FilesProduced),
+			"final_map":        res.FinalMapPath,
+			"hw_mean_year_1":   fmt.Sprintf("%.4f", res.Years[0].HWNumberMean),
+			"tracker_tracks":   strconv.Itoa(res.Years[0].TrackerTracks),
+			"output_directory": outDir,
+		}, nil
+	}
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postJSON(url string, body, v any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e map[string]any
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s -> %d: %v", url, resp.StatusCode, e)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package cluster simulates an HPC system in the mold of the CMCC Zeus
+// machine the paper ran on: a set of nodes with cores and memory, an
+// LSF-like batch scheduler with a FIFO queue plus backfill, and a simple
+// inter-node data-transfer cost model.
+//
+// The simulation is discrete-event: jobs carry a duration in virtual
+// time, and the scheduler advances a virtual clock from event to event.
+// Nothing sleeps, so large scheduling experiments run in microseconds of
+// wall time while still exposing queueing, placement and locality
+// effects to the workflow layer above.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node describes one compute node.
+type Node struct {
+	// Name is a unique identifier, e.g. "n001".
+	Name string
+	// Cores is the node's total core count.
+	Cores int
+	// MemoryMB is the node's total main memory in MiB.
+	MemoryMB int
+
+	freeCores int
+	freeMemMB int
+}
+
+// FreeCores reports currently unallocated cores.
+func (n *Node) FreeCores() int { return n.freeCores }
+
+// FreeMemoryMB reports currently unallocated memory.
+func (n *Node) FreeMemoryMB() int { return n.freeMemMB }
+
+// Resources describes what a job needs to start.
+type Resources struct {
+	// Cores requested; zero means 1.
+	Cores int
+	// MemoryMB requested; zero means no memory constraint.
+	MemoryMB int
+	// Node pins the job to a named node; empty lets the scheduler place it.
+	Node string
+}
+
+func (r Resources) normalized() Resources {
+	if r.Cores <= 0 {
+		r.Cores = 1
+	}
+	if r.MemoryMB < 0 {
+		r.MemoryMB = 0
+	}
+	return r
+}
+
+// JobState enumerates the lifecycle of a submitted job.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobPending JobState = iota
+	JobRunning
+	JobDone
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "PEND"
+	case JobRunning:
+		return "RUN"
+	case JobDone:
+		return "DONE"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Job is one batch submission.
+type Job struct {
+	ID       int
+	Name     string
+	Req      Resources
+	Duration float64 // virtual seconds of execution
+	State    JobState
+	Node     string  // assigned node once running
+	Submit   float64 // virtual submit time
+	Start    float64 // virtual start time
+	End      float64 // virtual end time
+}
+
+// WaitTime returns the virtual time the job spent queued. It is only
+// meaningful once the job has started.
+func (j *Job) WaitTime() float64 { return j.Start - j.Submit }
+
+// Cluster is the simulated machine plus its batch scheduler.
+type Cluster struct {
+	mu      sync.Mutex
+	nodes   []*Node
+	byName  map[string]*Node
+	pending []*Job
+	running []*Job
+	done    []*Job
+	nextID  int
+	clock   float64
+	// Backfill enables LSF-style backfill: a short job further back in
+	// the queue may start before the queue head if resources allow.
+	Backfill bool
+
+	// data placement: key → set of node names holding a replica, and size
+	dataLoc  map[string]map[string]struct{}
+	dataSize map[string]int64
+
+	// transfer accounting
+	bytesMoved int64
+	transfers  int
+
+	// LinkMBps is the simulated interconnect bandwidth used to convert
+	// transferred bytes into virtual seconds. Zero disables time cost.
+	LinkMBps float64
+}
+
+// New builds a cluster of n identical nodes.
+func New(n, coresPerNode, memMBPerNode int) *Cluster {
+	c := &Cluster{
+		byName:   make(map[string]*Node),
+		dataLoc:  make(map[string]map[string]struct{}),
+		dataSize: make(map[string]int64),
+		Backfill: true,
+		nextID:   1,
+	}
+	for i := 0; i < n; i++ {
+		node := &Node{
+			Name:      fmt.Sprintf("n%03d", i+1),
+			Cores:     coresPerNode,
+			MemoryMB:  memMBPerNode,
+			freeCores: coresPerNode,
+			freeMemMB: memMBPerNode,
+		}
+		c.nodes = append(c.nodes, node)
+		c.byName[node.Name] = node
+	}
+	return c
+}
+
+// Nodes returns the node list (shared, do not mutate).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// NodeNames returns the sorted node names.
+func (c *Cluster) NodeNames() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clock returns the current virtual time.
+func (c *Cluster) Clock() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock
+}
+
+// TotalCores reports the aggregate core count.
+func (c *Cluster) TotalCores() int {
+	t := 0
+	for _, n := range c.nodes {
+		t += n.Cores
+	}
+	return t
+}
+
+// ErrNoSuchNode is returned when a job pins a node that does not exist.
+var ErrNoSuchNode = errors.New("cluster: no such node")
+
+// ErrImpossible is returned when a request exceeds every node's total
+// capacity and could never run.
+var ErrImpossible = errors.New("cluster: request exceeds any node capacity")
+
+// Submit queues a job. Scheduling happens lazily as the clock advances.
+func (c *Cluster) Submit(name string, req Resources, duration float64) (*Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req = req.normalized()
+	if req.Node != "" {
+		if _, ok := c.byName[req.Node]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, req.Node)
+		}
+	}
+	feasible := false
+	for _, n := range c.nodes {
+		if (req.Node == "" || req.Node == n.Name) && req.Cores <= n.Cores && req.MemoryMB <= n.MemoryMB {
+			feasible = true
+			break
+		}
+	}
+	if !feasible {
+		return nil, fmt.Errorf("%w: %d cores / %d MB", ErrImpossible, req.Cores, req.MemoryMB)
+	}
+	j := &Job{ID: c.nextID, Name: name, Req: req, Duration: duration, State: JobPending, Submit: c.clock}
+	c.nextID++
+	c.pending = append(c.pending, j)
+	c.schedule()
+	return j, nil
+}
+
+// schedule starts every queued job that fits, honoring FIFO order with
+// optional backfill. Caller holds c.mu.
+func (c *Cluster) schedule() {
+	var still []*Job
+	blockedHead := false
+	for _, j := range c.pending {
+		if blockedHead && !c.Backfill {
+			still = append(still, j)
+			continue
+		}
+		node := c.pick(j.Req)
+		if node == nil {
+			blockedHead = true
+			still = append(still, j)
+			continue
+		}
+		node.freeCores -= j.Req.Cores
+		node.freeMemMB -= j.Req.MemoryMB
+		j.State = JobRunning
+		j.Node = node.Name
+		j.Start = c.clock
+		j.End = c.clock + j.Duration
+		c.running = append(c.running, j)
+	}
+	c.pending = still
+}
+
+// pick returns the first node satisfying the request, preferring the
+// node with the fewest free cores that still fits (best fit), which
+// packs jobs and leaves larger holes for wide jobs.
+func (c *Cluster) pick(req Resources) *Node {
+	var best *Node
+	for _, n := range c.nodes {
+		if req.Node != "" && req.Node != n.Name {
+			continue
+		}
+		if n.freeCores < req.Cores || n.freeMemMB < req.MemoryMB {
+			continue
+		}
+		if best == nil || n.freeCores < best.freeCores {
+			best = n
+		}
+	}
+	return best
+}
+
+// Step advances virtual time to the next job completion and retires
+// every job ending at that instant. It reports whether any job was
+// retired; false means the system is idle or only pending work remains
+// that can never start (which Submit prevents).
+func (c *Cluster) Step() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.running) == 0 {
+		return false
+	}
+	next := c.running[0].End
+	for _, j := range c.running[1:] {
+		if j.End < next {
+			next = j.End
+		}
+	}
+	c.clock = next
+	var still []*Job
+	for _, j := range c.running {
+		if j.End <= c.clock {
+			j.State = JobDone
+			n := c.byName[j.Node]
+			n.freeCores += j.Req.Cores
+			n.freeMemMB += j.Req.MemoryMB
+			c.done = append(c.done, j)
+		} else {
+			still = append(still, j)
+		}
+	}
+	c.running = still
+	c.schedule()
+	return true
+}
+
+// Drain advances the clock until no jobs remain running or pending, and
+// returns the final virtual time (the makespan since time zero).
+func (c *Cluster) Drain() float64 {
+	for c.Step() {
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock
+}
+
+// Stats summarizes completed work.
+type Stats struct {
+	JobsDone     int
+	Makespan     float64
+	TotalWait    float64
+	MaxWait      float64
+	BytesMoved   int64
+	Transfers    int
+	CoreSeconds  float64
+	Utilization  float64 // CoreSeconds / (TotalCores * Makespan)
+	PendingCount int
+}
+
+// Stats returns aggregate scheduling statistics at the current clock.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{JobsDone: len(c.done), Makespan: c.clock, BytesMoved: c.bytesMoved, Transfers: c.transfers, PendingCount: len(c.pending)}
+	for _, j := range c.done {
+		w := j.WaitTime()
+		s.TotalWait += w
+		if w > s.MaxWait {
+			s.MaxWait = w
+		}
+		s.CoreSeconds += j.Duration * float64(j.Req.Cores)
+	}
+	if c.clock > 0 {
+		s.Utilization = s.CoreSeconds / (float64(c.TotalCores()) * c.clock)
+	}
+	return s
+}
+
+// --- data placement and transfer model -------------------------------
+
+// Place records that a replica of data key (size bytes) lives on node.
+func (c *Cluster) Place(key, node string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[node]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchNode, node)
+	}
+	set, ok := c.dataLoc[key]
+	if !ok {
+		set = make(map[string]struct{})
+		c.dataLoc[key] = set
+	}
+	set[node] = struct{}{}
+	c.dataSize[key] = size
+	return nil
+}
+
+// Holders returns the sorted node names holding a replica of key.
+func (c *Cluster) Holders(key string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.dataLoc[key]))
+	for n := range c.dataLoc[key] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fetch ensures node holds a replica of key, accounting for the transfer
+// if it has to be moved. It returns the bytes moved (zero on a local
+// hit) and the virtual transfer time under LinkMBps.
+func (c *Cluster) Fetch(key, node string) (int64, float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[node]; !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNoSuchNode, node)
+	}
+	set, ok := c.dataLoc[key]
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: unknown data key %q", key)
+	}
+	if _, local := set[node]; local {
+		return 0, 0, nil
+	}
+	size := c.dataSize[key]
+	set[node] = struct{}{}
+	c.bytesMoved += size
+	c.transfers++
+	var t float64
+	if c.LinkMBps > 0 {
+		t = float64(size) / (c.LinkMBps * 1e6)
+	}
+	return size, t, nil
+}
+
+// LocalityScore returns the fraction of keys already resident on node,
+// weighted by size. The workflow scheduler uses it to prefer placements
+// that minimize movement ("data could be kept in memory and moved to
+// other nodes as the workflow progresses", §3).
+func (c *Cluster) LocalityScore(node string, keys []string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var local, total int64
+	for _, k := range keys {
+		sz := c.dataSize[k]
+		if sz == 0 {
+			sz = 1
+		}
+		total += sz
+		if _, ok := c.dataLoc[k][node]; ok {
+			local += sz
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(local) / float64(total)
+}
+
+// BestNodeFor returns the node with the highest locality score for keys
+// among nodes with at least one free core; ties go to the first node in
+// name order. Falls back to the emptiest node when no key is placed.
+func (c *Cluster) BestNodeFor(keys []string) string {
+	names := c.NodeNames()
+	best := ""
+	bestScore := -1.0
+	for _, name := range names {
+		n := c.byName[name]
+		c.mu.Lock()
+		free := n.freeCores
+		c.mu.Unlock()
+		if free <= 0 {
+			continue
+		}
+		s := c.LocalityScore(name, keys)
+		if s > bestScore {
+			bestScore = s
+			best = name
+		}
+	}
+	if best == "" && len(names) > 0 {
+		best = names[0]
+	}
+	return best
+}

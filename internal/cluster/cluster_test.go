@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubmitRunsImmediatelyWhenFree(t *testing.T) {
+	c := New(2, 4, 8192)
+	j, err := c.Submit("a", Resources{Cores: 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != JobRunning {
+		t.Fatalf("state = %v, want RUN", j.State)
+	}
+	if j.Node == "" {
+		t.Fatal("no node assigned")
+	}
+}
+
+func TestSubmitQueuesWhenFull(t *testing.T) {
+	c := New(1, 2, 1024)
+	j1, _ := c.Submit("a", Resources{Cores: 2}, 5)
+	j2, _ := c.Submit("b", Resources{Cores: 2}, 5)
+	if j1.State != JobRunning || j2.State != JobPending {
+		t.Fatalf("states = %v, %v", j1.State, j2.State)
+	}
+	if !c.Step() {
+		t.Fatal("Step should retire j1")
+	}
+	if j1.State != JobDone || j2.State != JobRunning {
+		t.Fatalf("after step: %v, %v", j1.State, j2.State)
+	}
+	if j2.Start != 5 {
+		t.Fatalf("j2 start = %v, want 5", j2.Start)
+	}
+}
+
+func TestSubmitRejectsImpossible(t *testing.T) {
+	c := New(2, 4, 1024)
+	if _, err := c.Submit("big", Resources{Cores: 8}, 1); !errors.Is(err, ErrImpossible) {
+		t.Fatalf("err = %v, want ErrImpossible", err)
+	}
+	if _, err := c.Submit("mem", Resources{MemoryMB: 4096}, 1); !errors.Is(err, ErrImpossible) {
+		t.Fatalf("err = %v, want ErrImpossible", err)
+	}
+}
+
+func TestSubmitRejectsUnknownPinnedNode(t *testing.T) {
+	c := New(1, 4, 1024)
+	if _, err := c.Submit("x", Resources{Node: "n999"}, 1); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestPinnedPlacement(t *testing.T) {
+	c := New(3, 4, 1024)
+	j, err := c.Submit("x", Resources{Node: "n002"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Node != "n002" {
+		t.Fatalf("node = %q, want n002", j.Node)
+	}
+}
+
+func TestBackfillLetsSmallJobJumpQueue(t *testing.T) {
+	c := New(1, 4, 4096)
+	c.Backfill = true
+	c.Submit("wide0", Resources{Cores: 3}, 10)
+	head, _ := c.Submit("wide1", Resources{Cores: 3}, 10) // blocked: only 1 core free
+	small, _ := c.Submit("small", Resources{Cores: 1}, 1)
+	if head.State != JobPending {
+		t.Fatalf("head should be pending, got %v", head.State)
+	}
+	if small.State != JobRunning {
+		t.Fatalf("backfill should start small job, got %v", small.State)
+	}
+}
+
+func TestNoBackfillKeepsFIFO(t *testing.T) {
+	c := New(1, 4, 4096)
+	c.Backfill = false
+	c.Submit("wide0", Resources{Cores: 3}, 10)
+	c.Submit("wide1", Resources{Cores: 3}, 10)
+	small, _ := c.Submit("small", Resources{Cores: 1}, 1)
+	if small.State != JobPending {
+		t.Fatalf("FIFO should queue small job behind blocked head, got %v", small.State)
+	}
+}
+
+func TestDrainMakespanChain(t *testing.T) {
+	c := New(1, 1, 1024)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit("serial", Resources{Cores: 1}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Drain(); got != 10 {
+		t.Fatalf("makespan = %v, want 10", got)
+	}
+	s := c.Stats()
+	if s.JobsDone != 5 {
+		t.Fatalf("JobsDone = %d, want 5", s.JobsDone)
+	}
+	if s.Utilization < 0.99 || s.Utilization > 1.01 {
+		t.Fatalf("utilization = %v, want ~1", s.Utilization)
+	}
+}
+
+func TestDrainParallelMakespan(t *testing.T) {
+	c := New(4, 1, 1024)
+	for i := 0; i < 4; i++ {
+		c.Submit("par", Resources{Cores: 1}, 7)
+	}
+	if got := c.Drain(); got != 7 {
+		t.Fatalf("parallel makespan = %v, want 7", got)
+	}
+}
+
+func TestPlaceAndFetchAccounting(t *testing.T) {
+	c := New(2, 2, 1024)
+	if err := c.Place("cube1", "n001", 1000); err != nil {
+		t.Fatal(err)
+	}
+	moved, _, err := c.Fetch("cube1", "n001")
+	if err != nil || moved != 0 {
+		t.Fatalf("local fetch moved %d err %v", moved, err)
+	}
+	moved, _, err = c.Fetch("cube1", "n002")
+	if err != nil || moved != 1000 {
+		t.Fatalf("remote fetch moved %d err %v", moved, err)
+	}
+	// second fetch is now local (replica recorded)
+	moved, _, _ = c.Fetch("cube1", "n002")
+	if moved != 0 {
+		t.Fatalf("replica fetch moved %d, want 0", moved)
+	}
+	s := c.Stats()
+	if s.BytesMoved != 1000 || s.Transfers != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFetchUnknownKey(t *testing.T) {
+	c := New(1, 1, 64)
+	if _, _, err := c.Fetch("nope", "n001"); err == nil {
+		t.Fatal("expected error for unknown key")
+	}
+}
+
+func TestFetchTransferTime(t *testing.T) {
+	c := New(2, 1, 64)
+	c.LinkMBps = 10 // 10 MB/s
+	c.Place("d", "n001", 20e6)
+	_, tt, err := c.Fetch("d", "n002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt < 1.99 || tt > 2.01 {
+		t.Fatalf("transfer time = %v, want 2s", tt)
+	}
+}
+
+func TestLocalityScoreAndBestNode(t *testing.T) {
+	c := New(3, 2, 1024)
+	c.Place("a", "n002", 100)
+	c.Place("b", "n002", 300)
+	c.Place("b", "n003", 300)
+	if s := c.LocalityScore("n002", []string{"a", "b"}); s != 1 {
+		t.Fatalf("score n002 = %v, want 1", s)
+	}
+	if s := c.LocalityScore("n003", []string{"a", "b"}); s != 0.75 {
+		t.Fatalf("score n003 = %v, want 0.75", s)
+	}
+	if n := c.BestNodeFor([]string{"a", "b"}); n != "n002" {
+		t.Fatalf("BestNodeFor = %q, want n002", n)
+	}
+}
+
+func TestBestNodeSkipsBusyNodes(t *testing.T) {
+	c := New(2, 1, 1024)
+	c.Place("a", "n001", 100)
+	c.Submit("hog", Resources{Cores: 1, Node: "n001"}, 100)
+	if n := c.BestNodeFor([]string{"a"}); n != "n002" {
+		t.Fatalf("BestNodeFor = %q, want n002 (n001 busy)", n)
+	}
+}
+
+func TestWaitTimeStats(t *testing.T) {
+	c := New(1, 1, 1024)
+	c.Submit("a", Resources{}, 4)
+	c.Submit("b", Resources{}, 4)
+	c.Drain()
+	s := c.Stats()
+	if s.MaxWait != 4 || s.TotalWait != 4 {
+		t.Fatalf("wait stats = %+v", s)
+	}
+}
+
+// Property: makespan never exceeds serial sum and never undercuts the
+// ideal parallel bound.
+func TestMakespanBoundsProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 40 {
+			durs = durs[:40]
+		}
+		const nodes, cores = 2, 2
+		c := New(nodes, cores, 1024)
+		var sum, max float64
+		for _, d := range durs {
+			dur := float64(d%10) + 1
+			sum += dur
+			if dur > max {
+				max = dur
+			}
+			if _, err := c.Submit("j", Resources{Cores: 1}, dur); err != nil {
+				return false
+			}
+		}
+		mk := c.Drain()
+		lower := sum / float64(nodes*cores)
+		if max > lower {
+			lower = max
+		}
+		return mk <= sum+1e-9 && mk >= lower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	if JobPending.String() != "PEND" || JobRunning.String() != "RUN" || JobDone.String() != "DONE" {
+		t.Fatal("unexpected state strings")
+	}
+	if JobState(42).String() == "" {
+		t.Fatal("unknown state should still print")
+	}
+}

@@ -1,0 +1,182 @@
+package compss
+
+import (
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFileCheckpointerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	cp, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("t", 1, []any{42, "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("t", 2, []any{3.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Entries() != 2 {
+		t.Fatalf("entries = %d, want 2", cp2.Entries())
+	}
+	outs, ok := cp2.Lookup("t", 1)
+	if !ok || outs[0].(int) != 42 || outs[1].(string) != "x" {
+		t.Fatalf("lookup = %v, %v", outs, ok)
+	}
+	if _, ok := cp2.Lookup("t", 3); ok {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestFileCheckpointerSkipsUnencodable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	cp, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	ch := make(chan int)
+	if err := cp.Record("bad", 1, []any{ch}); err != nil {
+		t.Fatalf("unencodable record should be skipped, got %v", err)
+	}
+	if _, ok := cp.Lookup("bad", 1); ok {
+		t.Fatal("unencodable value must not be recorded")
+	}
+	// further records after a poisoned stream must not crash
+	if err := cp.Record("good", 2, []any{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkflowRecoversFromCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.gob")
+	var executions int64
+	program := func(cp Checkpointer, failAt int) (int, error) {
+		rt := NewRuntime(Config{Workers: 2, Checkpointer: cp})
+		step, _ := rt.Register(TaskDef{
+			Name:    "step",
+			Outputs: 1,
+			Fn: func(args []any) ([]any, error) {
+				n := atomic.AddInt64(&executions, 1)
+				idx := args[0].(int)
+				if failAt >= 0 && idx == failAt {
+					return nil, errors.New("injected crash")
+				}
+				_ = n
+				base := 0
+				if args[1] != nil {
+					base = args[1].(int)
+				}
+				return []any{base + idx}, nil
+			},
+		})
+		var prev *Future
+		var last *Future
+		for i := 1; i <= 5; i++ {
+			var pp Param
+			if prev == nil {
+				pp = In(nil)
+			} else {
+				pp = In(prev)
+			}
+			f, err := rt.InvokeOne(step, In(i), pp)
+			if err != nil {
+				return 0, err
+			}
+			prev, last = f, f
+		}
+		if err := rt.Shutdown(); err != nil {
+			return 0, err
+		}
+		v, err := last.Get()
+		if err != nil {
+			return 0, err
+		}
+		return v.(int), nil
+	}
+
+	// First run crashes at step index 4 (steps 1..3 checkpointed).
+	cp1, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := program(cp1, 4); !errors.Is(err, ErrWorkflowFailed) {
+		t.Fatalf("first run err = %v, want failure", err)
+	}
+	cp1.Close()
+	ranFirst := atomic.LoadInt64(&executions)
+	if ranFirst < 4 { // 3 successes + >=1 failed attempt
+		t.Fatalf("first run executed %d tasks", ranFirst)
+	}
+
+	// Second run recovers: steps 1..3 replayed from checkpoint.
+	atomic.StoreInt64(&executions, 0)
+	cp2, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	got, err := program(cp2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 { // 1+2+3+4+5
+		t.Fatalf("result = %d, want 15", got)
+	}
+	if ran := atomic.LoadInt64(&executions); ran != 2 {
+		t.Fatalf("second run executed %d tasks, want 2 (steps 4 and 5 only)", ran)
+	}
+}
+
+func TestMemCheckpointer(t *testing.T) {
+	cp := NewMemCheckpointer()
+	if err := cp.Record("a", 1, []any{1}); err != nil {
+		t.Fatal(err)
+	}
+	if outs, ok := cp.Lookup("a", 1); !ok || outs[0].(int) != 1 {
+		t.Fatalf("lookup = %v %v", outs, ok)
+	}
+	if cp.Entries() != 1 {
+		t.Fatalf("entries = %d", cp.Entries())
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveredStatsCounted(t *testing.T) {
+	cp := NewMemCheckpointer()
+	run := func() Stats {
+		rt := NewRuntime(Config{Workers: 2, Checkpointer: cp})
+		one, _ := rt.Register(TaskDef{
+			Name:    "one",
+			Outputs: 1,
+			Fn:      func(args []any) ([]any, error) { return []any{1}, nil },
+		})
+		if _, err := rt.InvokeOne(one); err != nil {
+			panic(err)
+		}
+		if err := rt.Shutdown(); err != nil {
+			panic(err)
+		}
+		return rt.Stats()
+	}
+	if st := run(); st.Done != 1 || st.Recovered != 0 {
+		t.Fatalf("first run stats = %+v", st)
+	}
+	if st := run(); st.Recovered != 1 || st.Done != 0 {
+		t.Fatalf("second run stats = %+v", st)
+	}
+}

@@ -1,0 +1,64 @@
+package compss_test
+
+import (
+	"fmt"
+
+	"repro/internal/compss"
+)
+
+// Example shows the task-based programming model: register a task,
+// invoke it twice with a dataflow dependency between the calls, and
+// synchronize on the final future.
+func Example() {
+	rt := compss.NewRuntime(compss.Config{Workers: 2})
+	square, err := rt.Register(compss.TaskDef{
+		Name:    "square",
+		Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			x := args[0].(int)
+			return []any{x * x}, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	a, _ := rt.InvokeOne(square, compss.In(3)) // runs immediately
+	b, _ := rt.InvokeOne(square, compss.In(a)) // waits for a
+	v, err := b.Get()                          // synchronization
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	if err := rt.Shutdown(); err != nil {
+		panic(err)
+	}
+	// Output: 81
+}
+
+// ExampleRuntime_NewShared demonstrates INOUT chaining on shared data:
+// writers serialize automatically.
+func ExampleRuntime_NewShared() {
+	rt := compss.NewRuntime(compss.Config{Workers: 4})
+	counter := rt.NewShared("counter", 0)
+	inc, err := rt.Register(compss.TaskDef{
+		Name:    "inc",
+		Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			return []any{args[0].(int) + 1}, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := rt.Invoke(inc, compss.InOut(counter)); err != nil {
+			panic(err)
+		}
+	}
+	if err := rt.Shutdown(); err != nil {
+		panic(err)
+	}
+	fmt.Println(counter.Value())
+	// Output: 10
+}

@@ -1,0 +1,176 @@
+package compss
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dag"
+)
+
+// Provenance captures the workflow's execution lineage — which task
+// instances ran, when, where, and which dataflow edges connected them.
+// The paper's §2 lists provenance tracking among the key WMS
+// capabilities; this export makes runs auditable and FAIR-publishable
+// (a machine-readable record of how every output was derived).
+type Provenance struct {
+	// Workflow is a caller-supplied label.
+	Workflow string `json:"workflow"`
+	// CreatedAt stamps the export.
+	CreatedAt time.Time `json:"created_at"`
+	// Tasks holds one record per invocation, ordered by ID.
+	Tasks []TaskProvenance `json:"tasks"`
+	// Edges lists dataflow dependencies as [from, to] node IDs.
+	Edges [][2]int `json:"edges"`
+}
+
+// TaskProvenance is one task instance's record.
+type TaskProvenance struct {
+	ID      int       `json:"id"`
+	Name    string    `json:"name"`
+	State   string    `json:"state"`
+	Node    string    `json:"node,omitempty"`
+	Started time.Time `json:"started,omitempty"`
+	Ended   time.Time `json:"ended,omitempty"`
+	// DurationMS is the execution time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Provenance exports the current execution record. Call after Barrier
+// for a complete picture.
+func (r *Runtime) Provenance(workflow string) *Provenance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &Provenance{Workflow: workflow, CreatedAt: time.Now()}
+	ids := make([]dag.NodeID, 0, len(r.inv))
+	for id := range r.inv {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		in := r.inv[id]
+		tp := TaskProvenance{
+			ID:      int(id),
+			Name:    in.def.Name,
+			State:   in.state.String(),
+			Node:    in.node,
+			Started: in.started,
+			Ended:   in.ended,
+		}
+		if !in.started.IsZero() && !in.ended.IsZero() {
+			tp.DurationMS = float64(in.ended.Sub(in.started).Microseconds()) / 1000
+		}
+		p.Tasks = append(p.Tasks, tp)
+		for _, s := range r.graph.Successors(id) {
+			p.Edges = append(p.Edges, [2]int{int(id), int(s)})
+		}
+	}
+	return p
+}
+
+// WriteJSON streams the provenance document.
+func (p *Provenance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ParseProvenance reads a document written by WriteJSON.
+func ParseProvenance(r io.Reader) (*Provenance, error) {
+	var p Provenance
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("compss: parse provenance: %w", err)
+	}
+	return &p, nil
+}
+
+// Gantt renders an ASCII Gantt chart of the executed tasks, one row
+// per instance, bars proportional to wall time — the quick-look
+// monitoring view of the run's concurrency structure.
+func (p *Provenance) Gantt(width int) string {
+	if width < 20 {
+		width = 60
+	}
+	var t0, t1 time.Time
+	for _, t := range p.Tasks {
+		if t.Started.IsZero() || t.Ended.IsZero() {
+			continue
+		}
+		if t0.IsZero() || t.Started.Before(t0) {
+			t0 = t.Started
+		}
+		if t.Ended.After(t1) {
+			t1 = t.Ended
+		}
+	}
+	if t0.IsZero() || !t1.After(t0) {
+		return "(no timed tasks)\n"
+	}
+	span := t1.Sub(t0)
+	nameW := 0
+	for _, t := range p.Tasks {
+		if len(t.Name) > nameW {
+			nameW = len(t.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s |%s| total %v\n", nameW+5, "task", strings.Repeat("-", width), span.Round(time.Millisecond))
+	tasks := append([]TaskProvenance(nil), p.Tasks...)
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Started.Equal(tasks[j].Started) {
+			return tasks[i].ID < tasks[j].ID
+		}
+		return tasks[i].Started.Before(tasks[j].Started)
+	})
+	for _, t := range tasks {
+		if t.Started.IsZero() || t.Ended.IsZero() {
+			continue
+		}
+		start := int(float64(t.Started.Sub(t0)) / float64(span) * float64(width))
+		end := int(float64(t.Ended.Sub(t0)) / float64(span) * float64(width))
+		if end <= start {
+			end = start + 1
+		}
+		if end > width {
+			end = width
+		}
+		bar := strings.Repeat(" ", start) + strings.Repeat("█", end-start) + strings.Repeat(" ", width-end)
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW+5, fmt.Sprintf("#%d %s", t.ID, t.Name), bar)
+	}
+	return b.String()
+}
+
+// CriticalTasks returns the tasks on the longest duration-weighted
+// dependency chain, useful for spotting the bottleneck stage.
+func (r *Runtime) CriticalTasks() ([]string, error) {
+	r.mu.Lock()
+	// weight nodes by measured duration
+	for id, in := range r.inv {
+		if !in.started.IsZero() && !in.ended.IsZero() {
+			if n := r.graph.Node(id); n != nil {
+				d := in.ended.Sub(in.started).Seconds()
+				if d <= 0 {
+					d = 1e-9
+				}
+				n.Weight = d
+			}
+		}
+	}
+	r.mu.Unlock()
+	path, _, err := r.graph.CriticalPath()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(path))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range path {
+		if in := r.inv[id]; in != nil {
+			out = append(out, in.def.Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package compss
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func provRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	rt := NewRuntime(Config{Workers: 2})
+	slow, err := rt.Register(TaskDef{
+		Name:    "slow",
+		Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			time.Sleep(3 * time.Millisecond)
+			return []any{args[0]}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := rt.Register(TaskDef{
+		Name:    "fast",
+		Outputs: 1,
+		Fn:      func(args []any) ([]any, error) { return []any{args[0]}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rt.InvokeOne(slow, In(1))
+	b, _ := rt.InvokeOne(fast, In(a))
+	if _, err := rt.InvokeOne(fast, In(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestProvenanceRecordsTasksAndEdges(t *testing.T) {
+	rt := provRuntime(t)
+	p := rt.Provenance("test-wf")
+	if p.Workflow != "test-wf" || len(p.Tasks) != 3 {
+		t.Fatalf("provenance = %+v", p)
+	}
+	for _, task := range p.Tasks {
+		if task.State != "DONE" {
+			t.Fatalf("task %d state %s", task.ID, task.State)
+		}
+		if task.Started.IsZero() || task.Ended.IsZero() || task.DurationMS < 0 {
+			t.Fatalf("task %d has no timing: %+v", task.ID, task)
+		}
+	}
+	if p.Tasks[0].DurationMS < 2 {
+		t.Fatalf("slow task duration = %v ms", p.Tasks[0].DurationMS)
+	}
+	if len(p.Edges) != 2 {
+		t.Fatalf("edges = %v", p.Edges)
+	}
+	if p.Edges[0] != [2]int{1, 2} || p.Edges[1] != [2]int{2, 3} {
+		t.Fatalf("edges = %v", p.Edges)
+	}
+}
+
+func TestProvenanceJSONRoundTrip(t *testing.T) {
+	rt := provRuntime(t)
+	p := rt.Provenance("wf")
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseProvenance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workflow != "wf" || len(got.Tasks) != 3 || len(got.Edges) != 2 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	if _, err := ParseProvenance(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}
+
+func TestGanttRendersBars(t *testing.T) {
+	rt := provRuntime(t)
+	p := rt.Provenance("wf")
+	g := p.Gantt(40)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 tasks
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), g)
+	}
+	if !strings.Contains(lines[0], "total") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "█") {
+			t.Fatalf("row without bar: %q", l)
+		}
+	}
+	// rows sorted by start: slow first
+	if !strings.Contains(lines[1], "slow") {
+		t.Fatalf("first row should be the slow task: %q", lines[1])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	p := &Provenance{}
+	if g := p.Gantt(40); !strings.Contains(g, "no timed tasks") {
+		t.Fatalf("empty gantt = %q", g)
+	}
+}
+
+func TestCriticalTasks(t *testing.T) {
+	rt := provRuntime(t)
+	names, err := rt.CriticalTasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the chain slow → fast → fast is the only path
+	if len(names) != 3 || names[0] != "slow" {
+		t.Fatalf("critical tasks = %v", names)
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "repro/internal/compss"
+
+// openCkpt is a test shim for the file checkpointer.
+func openCkpt(path string) (compss.Checkpointer, error) {
+	return compss.OpenFileCheckpointer(path)
+}

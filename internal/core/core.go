@@ -1,0 +1,259 @@
+// Package core implements the paper's case study end to end: the
+// climate extreme-events workflow that couples the CMCC-CM3-like ESM
+// simulation, Ophidia-like datacube analytics for heat/cold-wave
+// indices, CNN-based tropical-cyclone localization with deterministic
+// tracking validation, and map production — all orchestrated as a
+// task graph on the PyCOMPSs-like runtime (Figures 2 and 3).
+//
+// The workflow follows the paper's §5.1 steps:
+//
+//  1. the ESM simulation task runs iteratively, producing one file per
+//     simulated day;
+//  2. concurrently, a streaming monitor detects each complete year of
+//     files;
+//  3. per year, analytics and ML tasks compute heat/cold-wave indices
+//     and localize tropical cyclones;
+//  4. results are validated and stored as NetCDF-like files, with
+//     intermediate per-year maps;
+//  5. final maps aggregate all years once simulation and processing
+//     complete.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/compss"
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/indices"
+	"repro/internal/ml"
+	"repro/internal/tctrack"
+)
+
+// Task kind names, numbered as in the paper's Figure 3. One graph node
+// of each per-year kind exists per simulated year.
+const (
+	TaskESMRun          = "esm_run"           // #1 (blue)
+	TaskLoadBaselineMax = "load_baseline_max" // #2
+	TaskLoadBaselineMin = "load_baseline_min" // #3
+	TaskMonitorStream   = "monitor_stream"    // #4 (red)
+	TaskImportYear      = "import_year"       // #5
+	TaskDailyMax        = "daily_tmax"        // #6
+	TaskDailyMin        = "daily_tmin"        // #7
+	TaskValidateStore   = "validate_store"    // #8
+	TaskHWDuration      = "hw_duration"       // #9 (green)
+	TaskHWNumber        = "hw_number"         // #10 (yellow)
+	TaskHWFrequency     = "hw_frequency"      // #11 (red)
+	TaskCWDuration      = "cw_duration"       // #12 (green)
+	TaskCWNumber        = "cw_number"         // #13 (yellow)
+	TaskCWFrequency     = "cw_frequency"      // #14 (red)
+	TaskTCPreprocess    = "tc_preprocess"     // #15 (green)
+	TaskTCInference     = "tc_inference"      // #16 (magenta)
+	TaskTCGeoreference  = "tc_georeference"   // #17 (purple)
+	TaskFinalMaps       = "final_maps"        // step 6 aggregation
+)
+
+// PerYearKinds lists the task kinds instantiated once per simulated
+// year (Figure 3's repeated portion).
+var PerYearKinds = []string{
+	TaskMonitorStream, TaskImportYear, TaskDailyMax, TaskDailyMin,
+	TaskValidateStore,
+	TaskHWDuration, TaskHWNumber, TaskHWFrequency,
+	TaskCWDuration, TaskCWNumber, TaskCWFrequency,
+	TaskTCPreprocess, TaskTCInference, TaskTCGeoreference,
+}
+
+// Config parameterizes one workflow run.
+type Config struct {
+	// Grid is the model resolution; zero uses grid.Reduced.
+	Grid grid.Grid
+	// StartYear, Years, DaysPerYear, Seed and Scenario configure the
+	// ESM (see esm.Config).
+	StartYear   int
+	Years       int
+	DaysPerYear int
+	Seed        int64
+	Scenario    esm.Scenario
+	// Events overrides the seeded extremes (nil = defaults).
+	Events *esm.EventConfig
+	// OutputDir receives result files and maps. Required.
+	OutputDir string
+	// ModelDir receives the daily model output; default
+	// OutputDir/model_output.
+	ModelDir string
+	// Workers sizes the task runtime pool (default 4).
+	Workers int
+	// CubeServers sizes the datacube engine (default 4).
+	CubeServers int
+	// Localizer is the pre-trained TC CNN; nil disables the ML branch
+	// (the deterministic tracker still runs).
+	Localizer *ml.Localizer
+	// TCThreshold is the CNN presence threshold (default 0.5).
+	TCThreshold float64
+	// IndexParams overrides wave-index parameters; DaysPerYear and
+	// StepsPerDay are always taken from the model configuration.
+	IndexParams indices.Params
+	// Checkpointer enables task-level checkpointing.
+	Checkpointer compss.Checkpointer
+	// Criteria configures the deterministic tracker (zero = defaults).
+	Criteria tctrack.Criteria
+	// ESMDayDelay models the wall-clock time the real coupled model
+	// spends computing one day on its dedicated HPC allocation (§5.2:
+	// projections "require several days up to a few months"). While the
+	// simulation task waits, analysis tasks of completed years run —
+	// the overlap the end-to-end integration buys. Zero disables it.
+	ESMDayDelay time.Duration
+	// FragmentLatency models the distributed datacube deployment's
+	// per-fragment storage/network access time (datacube.Config).
+	FragmentLatency time.Duration
+	// OnlineDiagnostics enables the in-run validation the paper's §3
+	// describes: every simulated day's global indicators are computed
+	// and checked against plausibility bounds; a violation fails the
+	// ESM task (and therefore the workflow) immediately instead of
+	// letting a corrupted simulation burn its allocation.
+	OnlineDiagnostics bool
+	// AttachOnly skips the ESM task and instead watches ModelDir for
+	// daily files written by an external producer (a real model run, or
+	// esmgen in another process) — the decoupled operational deployment
+	// where the analysis workflow "dynamically adapts to the number of
+	// files produced by the ESM" (§6). The run completes after Years
+	// complete years have appeared.
+	AttachOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid.NLat == 0 {
+		c.Grid = grid.Reduced
+	}
+	if c.StartYear == 0 {
+		c.StartYear = 2040
+	}
+	if c.Years <= 0 {
+		c.Years = 1
+	}
+	if c.DaysPerYear <= 0 {
+		c.DaysPerYear = 365
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.CubeServers <= 0 {
+		c.CubeServers = 4
+	}
+	if c.TCThreshold == 0 {
+		c.TCThreshold = 0.5
+	}
+	if c.ModelDir == "" {
+		c.ModelDir = filepath.Join(c.OutputDir, "model_output")
+	}
+	if c.Criteria == (tctrack.Criteria{}) {
+		c.Criteria = tctrack.DefaultCriteria()
+	}
+	c.IndexParams.DaysPerYear = c.DaysPerYear
+	c.IndexParams.StepsPerDay = esm.StepsPerDay
+	c.IndexParams = c.IndexParams.Defaults()
+	return c
+}
+
+func (c Config) esmConfig() esm.Config {
+	return esm.Config{
+		Grid:        c.Grid,
+		StartYear:   c.StartYear,
+		Years:       c.Years,
+		DaysPerYear: c.DaysPerYear,
+		Seed:        c.Seed,
+		Scenario:    c.Scenario,
+		Events:      c.Events,
+	}
+}
+
+// IndexFiles are the exported NetCDF-like paths of one wave family for
+// one year.
+type IndexFiles struct {
+	Duration  string
+	Number    string
+	Frequency string
+}
+
+// YearResult aggregates one simulated year's products.
+type YearResult struct {
+	Year int
+	// HeatWave / ColdWave index file paths.
+	HeatWave IndexFiles
+	ColdWave IndexFiles
+	// HWNumberMean is the spatial mean heat-wave count (quick-look
+	// statistic used by examples and tests).
+	HWNumberMean float64
+	CWNumberMean float64
+	// CNNDetections are the ML-localized TC instants of the year.
+	CNNDetections []ml.Detection
+	// TrackerTracks is the number of deterministic tracks found.
+	TrackerTracks int
+	// TrackerAgreementKm is the mean distance between each CNN
+	// detection and the nearest deterministic track point of the same
+	// year (negative when either side is empty) — the validation figure
+	// the paper's §5.4 calls for.
+	TrackerAgreementKm float64
+	// MapPath is the intermediate per-year heat-wave-number map.
+	MapPath string
+}
+
+// Result is the complete workflow outcome.
+type Result struct {
+	Years []YearResult
+	// GraphDOT is the executed task graph in Graphviz format (Fig 3).
+	GraphDOT string
+	// FilesProduced counts daily model files written.
+	FilesProduced int
+	// FinalMapPath is the all-years aggregate heat-wave map (step 6).
+	FinalMapPath string
+	// CubeStats snapshots the datacube engine counters.
+	CubeStats datacube.Stats
+	// RuntimeStats snapshots the task runtime counters.
+	RuntimeStats compss.Stats
+	// ProvenancePath is the exported execution-lineage JSON document.
+	ProvenancePath string
+	// Gantt is an ASCII Gantt chart of the executed tasks, showing the
+	// concurrency between the simulation and the per-year analytics.
+	Gantt string
+}
+
+// resultOf finds the YearResult for a year.
+func (r *Result) resultOf(year int) *YearResult {
+	for i := range r.Years {
+		if r.Years[i].Year == year {
+			return &r.Years[i]
+		}
+	}
+	return nil
+}
+
+// cubeMean computes the spatial mean of a per-cell index cube.
+func cubeMean(c *datacube.Cube) (float64, error) {
+	agg, err := c.AggregateRows("avg")
+	if err != nil {
+		return 0, err
+	}
+	defer agg.Delete()
+	red, err := agg.Reduce("avg")
+	if err != nil {
+		return 0, err
+	}
+	defer red.Delete()
+	return red.Scalar()
+}
+
+// exportIndex writes one index cube to the output directory under the
+// index's own variable name.
+func exportIndex(c *datacube.Cube, dir, name string, year int) (string, error) {
+	c.SetMeasure(name)
+	c.SetMeta("year", fmt.Sprint(year))
+	path := filepath.Join(dir, fmt.Sprintf("%s_%d.nc", name, year))
+	if err := c.ExportFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

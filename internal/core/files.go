@@ -1,0 +1,14 @@
+package core
+
+import (
+	"repro/internal/ncdf"
+)
+
+// readIndexVariable reads one exported index file's payload.
+func readIndexVariable(path, varName string) (*ncdf.Dataset, []float32, error) {
+	ds, v, err := ncdf.ReadVariableFile(path, varName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, v.Data, nil
+}

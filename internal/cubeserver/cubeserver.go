@@ -1,0 +1,572 @@
+// Package cubeserver exposes a datacube.Engine over TCP, mirroring the
+// Ophidia deployment of the paper's §4.2.2: "the client-side components
+// (e.g., PyOphidia) dispatch the execution of the data processing tasks
+// on the server-side, deployed near the HPC or Cloud infrastructure",
+// with a front-end server in front of scalable in-memory I/O servers.
+//
+// The wire protocol is a gob-encoded request/response exchange per
+// operation. Cubes live server-side; clients hold lightweight handles,
+// exactly as PyOphidia holds Ophidia PIDs.
+package cubeserver
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/datacube"
+)
+
+// Request is one operation sent by a client.
+type Request struct {
+	// Op selects the operation: importfiles, apply, reduce, reducegroup,
+	// subset, subsetrows, intercube, aggrows, row, values, scalar, list,
+	// delete, export, setmeta, getmeta, stats, shape, ping.
+	Op string
+
+	CubeID  string
+	OtherID string // second operand for intercube
+
+	Paths       []string // importfiles
+	Var         string   // importfiles: variable name
+	ImplicitDim string   // importfiles: implicit dimension
+
+	Expr   string    // apply
+	RowOp  string    // reduce/reducegroup/aggrows / intercube op name
+	Params []float64 // row-op parameters
+	Group  int       // reducegroup
+	Lo, Hi int       // subset / subsetrows
+	Row    int       // row fetch
+
+	Key, Value string // metadata
+	Path       string // export target (server-side path)
+
+	// Pipeline holds the steps of a server-side operator chain
+	// (Op "pipeline").
+	Pipeline []PipelineStep
+}
+
+// Shape describes a cube handle to the client.
+type Shape struct {
+	CubeID      string
+	Rows        int
+	ImplicitLen int
+	Fragments   int
+	Measure     string
+}
+
+// Response carries the result of one Request.
+type Response struct {
+	Err    string
+	Shape  Shape
+	Values [][]float32
+	Scalar float64
+	IDs    []string
+	Value  string
+	Found  bool
+	Stats  datacube.Stats
+}
+
+// Server wraps an engine behind a TCP listener.
+type Server struct {
+	engine *datacube.Engine
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port)
+// backed by the given engine. The returned server is already accepting.
+func Serve(addr string, engine *datacube.Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address, for clients.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections and waits for handler
+// goroutines to drain. The engine is left running (caller owns it).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // client gone (EOF) or protocol error
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func shapeOf(c *datacube.Cube) Shape {
+	return Shape{
+		CubeID:      c.ID(),
+		Rows:        c.Rows(),
+		ImplicitLen: c.ImplicitLen(),
+		Fragments:   c.Fragments(),
+		Measure:     c.Measure(),
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	cube := func(id string) (*datacube.Cube, error) { return s.engine.Get(id) }
+
+	switch req.Op {
+	case "ping":
+		resp.Value = "pong"
+	case "importfiles":
+		c, err := s.engine.ImportFiles(req.Paths, req.Var, req.ImplicitDim)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(c)
+	case "apply":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.Apply(req.Expr)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "reduce":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.Reduce(req.RowOp, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "reducegroup":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.ReduceGroup(req.RowOp, req.Group, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "reducestride":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.ReduceStride(req.RowOp, req.Group, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "subset":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.Subset(req.Lo, req.Hi)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "subsetrows":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.SubsetRows(req.Lo, req.Hi)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "intercube":
+		a, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		b, err := cube(req.OtherID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := a.Intercube(b, req.RowOp)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "aggrows":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := c.AggregateRows(req.RowOp, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "row":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		row, err := c.Row(req.Row)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Values = [][]float32{row}
+	case "values":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Values = c.Values()
+		resp.Shape = shapeOf(c)
+	case "scalar":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		v, err := c.Scalar()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Scalar = v
+	case "shape":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(c)
+	case "list":
+		resp.IDs = s.engine.List()
+	case "delete":
+		if err := s.engine.Delete(req.CubeID); err != nil {
+			return fail(err)
+		}
+	case "export":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.ExportFile(req.Path); err != nil {
+			return fail(err)
+		}
+	case "setmeta":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		c.SetMeta(req.Key, req.Value)
+	case "getmeta":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value, resp.Found = c.Meta(req.Key)
+	case "pipeline":
+		out, err := runPipeline(s.engine, &PipelineRequest{CubeID: req.CubeID, Steps: req.Pipeline})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(out)
+	case "stats":
+		resp.Stats = s.engine.Stats()
+	default:
+		return fail(fmt.Errorf("cubeserver: unknown op %q", req.Op))
+	}
+	return resp
+}
+
+// Client is a connection to a Server. It is safe for concurrent use;
+// requests are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("cubeserver: connection closed")
+		}
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.call(&Request{Op: "ping"})
+	if err != nil {
+		return err
+	}
+	if resp.Value != "pong" {
+		return fmt.Errorf("cubeserver: unexpected ping reply %q", resp.Value)
+	}
+	return nil
+}
+
+// RemoteCube is a client-side handle to a server-resident cube.
+type RemoteCube struct {
+	client *Client
+	Shape  Shape
+}
+
+// NewRemoteCube builds a handle to an existing server-side cube by ID,
+// refreshing its shape from the server when reachable. Operations on a
+// stale or unknown ID fail server-side with a clear error.
+func NewRemoteCube(c *Client, id string) *RemoteCube {
+	r := &RemoteCube{client: c, Shape: Shape{CubeID: id}}
+	if resp, err := c.call(&Request{Op: "shape", CubeID: id}); err == nil {
+		r.Shape = resp.Shape
+	}
+	return r
+}
+
+// ID returns the server-side cube identifier.
+func (r *RemoteCube) ID() string { return r.Shape.CubeID }
+
+func (c *Client) wrap(resp *Response) *RemoteCube {
+	return &RemoteCube{client: c, Shape: resp.Shape}
+}
+
+// ImportFiles loads a variable from server-side files into a cube.
+func (c *Client) ImportFiles(paths []string, varName, implicitDim string) (*RemoteCube, error) {
+	resp, err := c.call(&Request{Op: "importfiles", Paths: paths, Var: varName, ImplicitDim: implicitDim})
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(resp), nil
+}
+
+// List returns resident cube IDs.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.call(&Request{Op: "list"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Stats fetches engine counters.
+func (c *Client) Stats() (datacube.Stats, error) {
+	resp, err := c.call(&Request{Op: "stats"})
+	if err != nil {
+		return datacube.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Apply runs an elementwise expression server-side.
+func (r *RemoteCube) Apply(expr string) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "apply", CubeID: r.ID(), Expr: expr})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// Reduce collapses the implicit axis with a named row op.
+func (r *RemoteCube) Reduce(op string, params ...float64) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "reduce", CubeID: r.ID(), RowOp: op, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// ReduceGroup reduces fixed-size groups along the implicit axis.
+func (r *RemoteCube) ReduceGroup(op string, group int, params ...float64) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "reducegroup", CubeID: r.ID(), RowOp: op, Group: group, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// ReduceStride reduces interleaved groups along the implicit axis
+// (per-day-of-year statistics across stacked years).
+func (r *RemoteCube) ReduceStride(op string, stride int, params ...float64) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "reducestride", CubeID: r.ID(), RowOp: op, Group: stride, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// Subset selects an implicit-axis range.
+func (r *RemoteCube) Subset(lo, hi int) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "subset", CubeID: r.ID(), Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// SubsetRows selects a leading-dimension row range.
+func (r *RemoteCube) SubsetRows(lo, hi int) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "subsetrows", CubeID: r.ID(), Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// Intercube combines with another remote cube elementwise.
+func (r *RemoteCube) Intercube(o *RemoteCube, op string) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "intercube", CubeID: r.ID(), OtherID: o.ID(), RowOp: op})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// AggregateRows reduces across rows.
+func (r *RemoteCube) AggregateRows(op string, params ...float64) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "aggrows", CubeID: r.ID(), RowOp: op, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}
+
+// Row fetches one row's values.
+func (r *RemoteCube) Row(row int) ([]float32, error) {
+	resp, err := r.client.call(&Request{Op: "row", CubeID: r.ID(), Row: row})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Values[0], nil
+}
+
+// Values fetches the whole cube (use sparingly; this is the
+// synchronization point that moves data to the client).
+func (r *RemoteCube) Values() ([][]float32, error) {
+	resp, err := r.client.call(&Request{Op: "values", CubeID: r.ID()})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// Scalar fetches the single value of a 1×1 cube.
+func (r *RemoteCube) Scalar() (float64, error) {
+	resp, err := r.client.call(&Request{Op: "scalar", CubeID: r.ID()})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Scalar, nil
+}
+
+// Delete frees the server-side cube.
+func (r *RemoteCube) Delete() error {
+	_, err := r.client.call(&Request{Op: "delete", CubeID: r.ID()})
+	return err
+}
+
+// Export writes the cube to a server-side GNC1 file.
+func (r *RemoteCube) Export(path string) error {
+	_, err := r.client.call(&Request{Op: "export", CubeID: r.ID(), Path: path})
+	return err
+}
+
+// SetMeta attaches metadata server-side.
+func (r *RemoteCube) SetMeta(k, v string) error {
+	_, err := r.client.call(&Request{Op: "setmeta", CubeID: r.ID(), Key: k, Value: v})
+	return err
+}
+
+// Meta reads metadata.
+func (r *RemoteCube) Meta(k string) (string, bool, error) {
+	resp, err := r.client.call(&Request{Op: "getmeta", CubeID: r.ID(), Key: k})
+	if err != nil {
+		return "", false, err
+	}
+	return resp.Value, resp.Found, nil
+}

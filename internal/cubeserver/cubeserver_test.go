@@ -1,0 +1,346 @@
+package cubeserver
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/ncdf"
+)
+
+// startServer spins up an engine + server + client for one test.
+func startServer(t *testing.T) (*Client, *datacube.Engine) {
+	t.Helper()
+	engine := datacube.NewEngine(datacube.Config{Servers: 2, FragmentsPerCube: 4})
+	srv, err := Serve("127.0.0.1:0", engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		engine.Close()
+	})
+	return client, engine
+}
+
+// writeTestFile creates a GNC1 file with a (time=2, lat=2, lon=2)
+// variable T where value = t*10 + cell.
+func writeTestFile(t *testing.T, dir, name string) string {
+	t.Helper()
+	ds := ncdf.NewDataset()
+	ds.AddDim("time", 2)
+	ds.AddDim("lat", 2)
+	ds.AddDim("lon", 2)
+	data := make([]float32, 8)
+	for tt := 0; tt < 2; tt++ {
+		for cell := 0; cell < 4; cell++ {
+			data[tt*4+cell] = float32(tt*10 + cell)
+		}
+	}
+	ds.AddVar("T", []string{"time", "lat", "lon"}, data)
+	path := filepath.Join(dir, name)
+	if err := ncdf.WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPing(t *testing.T) {
+	client, _ := startServer(t)
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportAndShape(t *testing.T) {
+	client, _ := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, err := client.ImportFiles([]string{path}, "T", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Shape.Rows != 4 || cube.Shape.ImplicitLen != 2 {
+		t.Fatalf("shape = %+v", cube.Shape)
+	}
+	if !strings.HasPrefix(cube.ID(), "cube-") {
+		t.Fatalf("id = %q", cube.ID())
+	}
+	if cube.Shape.Measure != "T" {
+		t.Fatalf("measure = %q", cube.Shape.Measure)
+	}
+}
+
+func TestRemotePipeline(t *testing.T) {
+	client, _ := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, err := client.ImportFiles([]string{path}, "T", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Listing-1 style: mask then reduce
+	mask, err := cube.Apply("x>5 ? 1 : 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := mask.Reduce("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := count.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per cell, time series {cell, 10+cell}: values > 5 → cell 0..3: {10..13} plus none of 0..3
+	for cell, row := range vals {
+		if row[0] != 1 {
+			t.Fatalf("cell %d count = %v", cell, row)
+		}
+	}
+	// delete the mask (Listing 1's Mask.delete())
+	if err := mask.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == mask.ID() {
+			t.Fatal("mask still resident after delete")
+		}
+	}
+}
+
+func TestRemoteRowAndScalar(t *testing.T) {
+	client, _ := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, _ := client.ImportFiles([]string{path}, "T", "time")
+	row, err := cube.Row(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 2 || row[0] != 2 || row[1] != 12 {
+		t.Fatalf("row 2 = %v", row)
+	}
+	agg, err := cube.AggregateRows("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := agg.Reduce("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := red.Scalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6.5 { // mean of 0..3 and 10..13
+		t.Fatalf("scalar = %v", v)
+	}
+}
+
+func TestRemoteSubsetIntercube(t *testing.T) {
+	client, _ := startServer(t)
+	dir := t.TempDir()
+	p1 := writeTestFile(t, dir, "a.nc")
+	p2 := writeTestFile(t, dir, "b.nc")
+	c1, _ := client.ImportFiles([]string{p1}, "T", "time")
+	c2, _ := client.ImportFiles([]string{p2}, "T", "time")
+	diff, err := c1.Intercube(c2, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := diff.Values()
+	for _, row := range vals {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatalf("identical cubes differ: %v", vals)
+			}
+		}
+	}
+	sub, err := c1.Subset(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Shape.ImplicitLen != 1 {
+		t.Fatalf("subset shape = %+v", sub.Shape)
+	}
+	rows, err := c1.SubsetRows(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Shape.Rows != 2 { // lat 0 → 2 lon cells
+		t.Fatalf("subsetrows shape = %+v", rows.Shape)
+	}
+	grouped, err := c1.ReduceGroup("max", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.Shape.ImplicitLen != 1 {
+		t.Fatalf("grouped shape = %+v", grouped.Shape)
+	}
+	strided, err := c1.ReduceStride("max", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strided.Shape.ImplicitLen != 2 {
+		t.Fatalf("strided shape = %+v", strided.Shape)
+	}
+	// cell 0 series is {0, 10}; stride 2 groups each position alone
+	row, err := strided.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 0 || row[1] != 10 {
+		t.Fatalf("strided row = %v", row)
+	}
+	if _, err := c1.ReduceStride("max", 3); err == nil {
+		t.Fatal("bad stride accepted remotely")
+	}
+}
+
+func TestRemoteExportAndMeta(t *testing.T) {
+	client, _ := startServer(t)
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "a.nc")
+	cube, _ := client.ImportFiles([]string{path}, "T", "time")
+	if err := cube.SetMeta("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := cube.Meta("k")
+	if err != nil || !found || v != "v" {
+		t.Fatalf("meta = %q %v %v", v, found, err)
+	}
+	_, found, _ = cube.Meta("none")
+	if found {
+		t.Fatal("phantom meta")
+	}
+	out := filepath.Join(dir, "out.nc")
+	if err := cube.Export(out); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ncdf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Var("T"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	client, _ := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, _ := client.ImportFiles([]string{path}, "T", "time")
+	if _, err := cube.Apply("((("); err == nil {
+		t.Fatal("bad expr accepted remotely")
+	}
+	if _, err := cube.Reduce("nosuch"); err == nil {
+		t.Fatal("bad op accepted remotely")
+	}
+	ghost := &RemoteCube{client: client, Shape: Shape{CubeID: "cube-999"}}
+	if _, err := ghost.Row(0); err == nil {
+		t.Fatal("ghost cube accepted")
+	}
+	if _, err := client.ImportFiles([]string{"/nonexistent.nc"}, "T", "time"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRemoteStats(t *testing.T) {
+	client, _ := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	if _, err := client.ImportFiles([]string{path}, "T", "time"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FileReads != 1 || st.Ops < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	engine := datacube.NewEngine(datacube.Config{Servers: 2})
+	srv, err := Serve("127.0.0.1:0", engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); engine.Close() }()
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			cube, err := c.ImportFiles([]string{path}, "T", "time")
+			if err != nil {
+				errs <- err
+				return
+			}
+			red, err := cube.Reduce("max")
+			if err != nil {
+				errs <- err
+				return
+			}
+			row, err := red.Row(0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if row[0] != 10 {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	client, _ := startServer(t)
+	if _, err := client.call(&Request{Op: "explode"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	engine := datacube.NewEngine(datacube.Config{Servers: 1})
+	defer engine.Close()
+	srv, err := Serve("127.0.0.1:0", engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial after close should fail")
+	}
+}

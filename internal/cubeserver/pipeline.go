@@ -1,0 +1,108 @@
+package cubeserver
+
+import (
+	"fmt"
+
+	"repro/internal/datacube"
+)
+
+// PipelineStep is one operator application in a server-side pipeline.
+// Input defaults to the previous step's output; step 0 consumes the
+// pipeline's source cube.
+type PipelineStep struct {
+	// Op is the operator: apply, reduce, reducegroup, reducestride,
+	// subset, subsetrows, intercube, aggrows, aggtrailing.
+	Op string
+	// Expr is the expression for apply.
+	Expr string
+	// RowOp names the reduction for reduce*/agg* and the arithmetic op
+	// for intercube.
+	RowOp string
+	// Params are row-op parameters.
+	Params []float64
+	// Group is the group/stride size for reducegroup/reducestride.
+	Group int
+	// Lo, Hi bound subset/subsetrows.
+	Lo, Hi int
+	// OtherID names the second operand cube for intercube.
+	OtherID string
+	// Keep retains this step's intermediate cube; unkept intermediates
+	// are deleted server-side once the pipeline finishes (the Listing 1
+	// Mask.delete() pattern, automated).
+	Keep bool
+}
+
+// PipelineRequest executes an operator chain server-side in one round
+// trip — the analogue of submitting an Ophidia workflow document
+// instead of issuing operators one by one.
+type PipelineRequest struct {
+	CubeID string
+	Steps  []PipelineStep
+}
+
+// runPipeline executes the chain on the engine.
+func runPipeline(engine *datacube.Engine, req *PipelineRequest) (*datacube.Cube, error) {
+	if len(req.Steps) == 0 {
+		return nil, fmt.Errorf("cubeserver: empty pipeline")
+	}
+	cur, err := engine.Get(req.CubeID)
+	if err != nil {
+		return nil, err
+	}
+	var intermediates []*datacube.Cube
+	defer func() {
+		for _, c := range intermediates {
+			_ = c.Delete()
+		}
+	}()
+	for i, st := range req.Steps {
+		var next *datacube.Cube
+		switch st.Op {
+		case "apply":
+			next, err = cur.Apply(st.Expr)
+		case "reduce":
+			next, err = cur.Reduce(st.RowOp, st.Params...)
+		case "reducegroup":
+			next, err = cur.ReduceGroup(st.RowOp, st.Group, st.Params...)
+		case "reducestride":
+			next, err = cur.ReduceStride(st.RowOp, st.Group, st.Params...)
+		case "subset":
+			next, err = cur.Subset(st.Lo, st.Hi)
+		case "subsetrows":
+			next, err = cur.SubsetRows(st.Lo, st.Hi)
+		case "intercube":
+			var other *datacube.Cube
+			other, err = engine.Get(st.OtherID)
+			if err == nil {
+				next, err = cur.Intercube(other, st.RowOp)
+			}
+		case "aggrows":
+			next, err = cur.AggregateRows(st.RowOp, st.Params...)
+		case "aggtrailing":
+			next, err = cur.AggregateTrailing(st.RowOp, st.Params...)
+		default:
+			err = fmt.Errorf("cubeserver: unknown pipeline op %q", st.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cubeserver: pipeline step %d (%s): %w", i, st.Op, err)
+		}
+		// intermediates (every step output except the last) are deleted
+		// unless kept
+		if i < len(req.Steps)-1 && !st.Keep {
+			intermediates = append(intermediates, next)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Pipeline executes an operator chain server-side and returns the
+// final cube's handle. Intermediate cubes are freed automatically
+// unless their step sets Keep.
+func (r *RemoteCube) Pipeline(steps ...PipelineStep) (*RemoteCube, error) {
+	resp, err := r.client.call(&Request{Op: "pipeline", CubeID: r.ID(), Pipeline: steps})
+	if err != nil {
+		return nil, err
+	}
+	return r.client.wrap(resp), nil
+}

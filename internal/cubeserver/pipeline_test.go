@@ -1,0 +1,107 @@
+package cubeserver
+
+import (
+	"testing"
+)
+
+func TestPipelineOneRoundTrip(t *testing.T) {
+	client, engine := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, err := client.ImportFiles([]string{path}, "T", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(engine.List())
+
+	// Listing-1 chain server-side: mask → count, one network call
+	out, err := cube.Pipeline(
+		PipelineStep{Op: "apply", Expr: "x>5 ? 1 : 0"},
+		PipelineStep{Op: "reduce", RowOp: "sum"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape.ImplicitLen != 1 {
+		t.Fatalf("shape = %+v", out.Shape)
+	}
+	vals, err := out.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell, row := range vals {
+		if row[0] != 1 { // each cell has one value > 5 (the t=1 sample)
+			t.Fatalf("cell %d count = %v", cell, row)
+		}
+	}
+	// the mask intermediate was deleted server-side: only the source
+	// and the result were added
+	if got := len(engine.List()); got != before+1 {
+		t.Fatalf("resident cubes = %d, want %d (intermediate leaked)", got, before+1)
+	}
+}
+
+func TestPipelineKeepRetainsIntermediate(t *testing.T) {
+	client, engine := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, _ := client.ImportFiles([]string{path}, "T", "time")
+	before := len(engine.List())
+	if _, err := cube.Pipeline(
+		PipelineStep{Op: "apply", Expr: "x*2", Keep: true},
+		PipelineStep{Op: "reduce", RowOp: "max"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(engine.List()); got != before+2 {
+		t.Fatalf("resident cubes = %d, want %d (kept intermediate missing)", got, before+2)
+	}
+}
+
+func TestPipelineIntercubeAndGroups(t *testing.T) {
+	client, _ := startServer(t)
+	dir := t.TempDir()
+	p1 := writeTestFile(t, dir, "a.nc")
+	p2 := writeTestFile(t, dir, "b.nc")
+	c1, _ := client.ImportFiles([]string{p1}, "T", "time")
+	c2, _ := client.ImportFiles([]string{p2}, "T", "time")
+	out, err := c1.Pipeline(
+		PipelineStep{Op: "intercube", RowOp: "sub", OtherID: c2.ID()},
+		PipelineStep{Op: "reducegroup", RowOp: "max", Group: 2},
+		PipelineStep{Op: "aggrows", RowOp: "max"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := out.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 { // identical files → zero difference everywhere
+		t.Fatalf("pipeline result = %v", v)
+	}
+}
+
+func TestPipelineErrorsAtomic(t *testing.T) {
+	client, engine := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, _ := client.ImportFiles([]string{path}, "T", "time")
+	before := len(engine.List())
+	// second step fails: the first step's intermediate must not leak
+	if _, err := cube.Pipeline(
+		PipelineStep{Op: "apply", Expr: "x+1"},
+		PipelineStep{Op: "reduce", RowOp: "nosuchop"},
+	); err == nil {
+		t.Fatal("bad pipeline accepted")
+	}
+	if got := len(engine.List()); got != before {
+		t.Fatalf("resident cubes = %d, want %d after failed pipeline", got, before)
+	}
+	if _, err := cube.Pipeline(); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	if _, err := cube.Pipeline(PipelineStep{Op: "teleport"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := cube.Pipeline(PipelineStep{Op: "intercube", RowOp: "add", OtherID: "cube-999"}); err == nil {
+		t.Fatal("missing operand accepted")
+	}
+}

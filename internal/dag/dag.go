@@ -1,0 +1,382 @@
+// Package dag implements the directed acyclic task graph used by the
+// workflow runtime. A Graph holds nodes identified by integer IDs and
+// directed dependency edges; it supports cycle detection, topological
+// ordering, level (wavefront) computation, critical-path analysis and
+// Graphviz DOT export.
+//
+// The graph mirrors the structure PyCOMPSs builds at run time from task
+// invocations (Figure 3 of the paper): each node is one task instance,
+// each edge a data dependency inferred from parameter directionality.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single Graph. IDs are assigned
+// sequentially starting at 1 so that they match the task numbering used
+// in the paper's Figure 3.
+type NodeID int
+
+// Node is a single vertex of the task graph.
+type Node struct {
+	ID NodeID
+	// Label is the human-readable task name (the Python function name in
+	// the paper; the registered task name here).
+	Label string
+	// Kind groups nodes that execute the same function; nodes of one kind
+	// share a color in DOT output, matching the paper's Figure 3 where
+	// "different colors represent the different function/method defined in
+	// the Python code".
+	Kind string
+	// Weight is an abstract cost used by critical-path analysis. A zero
+	// weight is treated as 1.
+	Weight float64
+	// Meta carries optional free-form annotations (e.g. year index).
+	Meta map[string]string
+}
+
+// Graph is a mutable directed acyclic graph. It is not safe for
+// concurrent mutation; the workflow runtime serializes graph updates on
+// its master goroutine, as the COMPSs runtime does.
+type Graph struct {
+	nodes map[NodeID]*Node
+	succ  map[NodeID]map[NodeID]struct{}
+	pred  map[NodeID]map[NodeID]struct{}
+	next  NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		succ:  make(map[NodeID]map[NodeID]struct{}),
+		pred:  make(map[NodeID]map[NodeID]struct{}),
+		next:  1,
+	}
+}
+
+// AddNode inserts a new node with the given label and kind and returns
+// its assigned ID.
+func (g *Graph) AddNode(label, kind string) NodeID {
+	id := g.next
+	g.next++
+	g.nodes[id] = &Node{ID: id, Label: label, Kind: kind, Weight: 1}
+	g.succ[id] = make(map[NodeID]struct{})
+	g.pred[id] = make(map[NodeID]struct{})
+	return id
+}
+
+// Node returns the node with the given ID, or nil if absent.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Len reports the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// EdgeCount reports the number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// AddEdge inserts the dependency from → to ("to depends on from").
+// It returns an error if either endpoint is missing, the edge would be a
+// self-loop, or the edge would create a cycle.
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("dag: unknown source node %d", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("dag: unknown target node %d", to)
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-loop on node %d", from)
+	}
+	if _, dup := g.succ[from][to]; dup {
+		return nil // idempotent
+	}
+	if g.reaches(to, from) {
+		return fmt.Errorf("dag: edge %d->%d would create a cycle", from, to)
+	}
+	g.succ[from][to] = struct{}{}
+	g.pred[to][from] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether the direct edge from → to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.succ[from][to]
+	return ok
+}
+
+// reaches reports whether a path exists from src to dst.
+func (g *Graph) reaches(src, dst NodeID) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[NodeID]bool{src: true}
+	stack := []NodeID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.succ[n] {
+			if s == dst {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Predecessors returns the sorted direct dependencies of id.
+func (g *Graph) Predecessors(id NodeID) []NodeID { return sortedIDs(g.pred[id]) }
+
+// Successors returns the sorted direct dependents of id.
+func (g *Graph) Successors(id NodeID) []NodeID { return sortedIDs(g.succ[id]) }
+
+func sortedIDs(set map[NodeID]struct{}) []NodeID {
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Roots returns all nodes without predecessors, sorted by ID.
+func (g *Graph) Roots() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns all nodes without successors, sorted by ID.
+func (g *Graph) Leaves() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopoOrder returns the nodes in a deterministic topological order
+// (Kahn's algorithm with a sorted frontier). An error is returned if the
+// graph contains a cycle, which cannot happen through AddEdge but guards
+// against future mutation paths.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = len(g.pred[id])
+	}
+	frontier := g.Roots()
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, n)
+		released := make([]NodeID, 0, 4)
+		for s := range g.succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				released = append(released, s)
+			}
+		}
+		sort.Slice(released, func(i, j int) bool { return released[i] < released[j] })
+		frontier = mergeSorted(frontier, released)
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: cycle detected (%d of %d nodes ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+func mergeSorted(a, b []NodeID) []NodeID {
+	out := make([]NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Levels partitions the nodes into wavefronts: level 0 holds the roots,
+// level k the nodes whose longest path from any root has k edges. Tasks
+// within one level are mutually independent and may run concurrently;
+// the number of levels bounds the critical path length in task count.
+func (g *Graph) Levels() ([][]NodeID, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[NodeID]int, len(order))
+	maxLevel := 0
+	for _, n := range order {
+		l := 0
+		for p := range g.pred[n] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[n] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]NodeID, maxLevel+1)
+	for _, n := range order {
+		out[level[n]] = append(out[level[n]], n)
+	}
+	for _, lv := range out {
+		sort.Slice(lv, func(i, j int) bool { return lv[i] < lv[j] })
+	}
+	return out, nil
+}
+
+// MaxWidth returns the size of the largest level: the maximum degree of
+// task parallelism the graph admits.
+func (g *Graph) MaxWidth() (int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	w := 0
+	for _, lv := range levels {
+		if len(lv) > w {
+			w = len(lv)
+		}
+	}
+	return w, nil
+}
+
+// CriticalPath returns the heaviest root-to-leaf path and its total
+// weight. Nodes with zero weight count as weight 1.
+func (g *Graph) CriticalPath() ([]NodeID, float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make(map[NodeID]float64, len(order))
+	via := make(map[NodeID]NodeID, len(order))
+	w := func(id NodeID) float64 {
+		if n := g.nodes[id]; n.Weight > 0 {
+			return n.Weight
+		}
+		return 1
+	}
+	var best NodeID
+	bestDist := -1.0
+	for _, n := range order {
+		d := w(n)
+		bestPred := NodeID(0)
+		for p := range g.pred[n] {
+			if dist[p]+w(n) > d {
+				d = dist[p] + w(n)
+				bestPred = p
+			}
+		}
+		dist[n] = d
+		if bestPred != 0 {
+			via[n] = bestPred
+		}
+		if d > bestDist {
+			bestDist = d
+			best = n
+		}
+	}
+	if bestDist < 0 {
+		return nil, 0, nil
+	}
+	var path []NodeID
+	for n := best; n != 0; n = via[n] {
+		path = append(path, n)
+		if _, ok := via[n]; !ok {
+			break
+		}
+	}
+	// reverse
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, bestDist, nil
+}
+
+// KindCounts returns the number of nodes per kind.
+func (g *Graph) KindCounts() map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.nodes {
+		out[n.Kind]++
+	}
+	return out
+}
+
+// dotPalette cycles distinct fill colors per kind, approximating the
+// per-function coloring of the paper's Figure 3.
+var dotPalette = []string{
+	"lightblue", "tomato", "palegreen", "gold", "orchid",
+	"lightsalmon", "turquoise", "plum", "khaki", "lightgray",
+	"salmon", "aquamarine", "wheat", "thistle", "palegoldenrod",
+	"lightpink", "powderblue", "darkseagreen",
+}
+
+// DOT renders the graph in Graphviz format with one fill color per node
+// kind. Output is deterministic.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [style=filled, shape=circle];\n")
+
+	kinds := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		k := g.nodes[id].Kind
+		if !seen[k] {
+			seen[k] = true
+			kinds = append(kinds, k)
+		}
+	}
+	color := make(map[string]string, len(kinds))
+	for i, k := range kinds {
+		color[k] = dotPalette[i%len(dotPalette)]
+	}
+	for _, id := range ids {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "  n%d [label=\"#%d\\n%s\", fillcolor=%s];\n", id, id, n.Label, color[n.Kind])
+	}
+	for _, id := range ids {
+		for _, s := range g.Successors(id) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

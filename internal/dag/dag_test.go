@@ -1,0 +1,298 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond(t *testing.T) (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	a := g.AddNode("a", "load")
+	b := g.AddNode("b", "compute")
+	c := g.AddNode("c", "compute")
+	d := g.AddNode("d", "store")
+	for _, e := range [][2]NodeID{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g, a, b, c, d
+}
+
+func TestAddNodeAssignsSequentialIDs(t *testing.T) {
+	g := New()
+	if id := g.AddNode("x", "k"); id != 1 {
+		t.Fatalf("first ID = %d, want 1", id)
+	}
+	if id := g.AddNode("y", "k"); id != 2 {
+		t.Fatalf("second ID = %d, want 2", id)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestAddEdgeRejectsUnknownNodes(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", "k")
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+	if err := g.AddEdge(99, a); err == nil {
+		t.Fatal("expected error for unknown source")
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", "k")
+	if err := g.AddEdge(a, a); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestAddEdgeRejectsCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", "k")
+	b := g.AddNode("b", "k")
+	c := g.AddNode("c", "k")
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, b, c)
+	if err := g.AddEdge(c, a); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", "k")
+	b := g.AddNode("b", "k")
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, a, b)
+	if got := g.EdgeCount(); got != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", got)
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to NodeID) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", from, to, err)
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g, a, b, c, d := buildDiamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos[a] < pos[b] && pos[a] < pos[c] && pos[b] < pos[d] && pos[c] < pos[d]) {
+		t.Fatalf("order %v violates dependencies", order)
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g, a, b, c, d := buildDiamond(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if len(levels[0]) != 1 || levels[0][0] != a {
+		t.Fatalf("level 0 = %v, want [%d]", levels[0], a)
+	}
+	if len(levels[1]) != 2 || levels[1][0] != b || levels[1][1] != c {
+		t.Fatalf("level 1 = %v, want [%d %d]", levels[1], b, c)
+	}
+	if len(levels[2]) != 1 || levels[2][0] != d {
+		t.Fatalf("level 2 = %v, want [%d]", levels[2], d)
+	}
+}
+
+func TestMaxWidth(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	w, err := g.MaxWidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("MaxWidth = %d, want 2", w)
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	g, a, _, _, d := buildDiamond(t)
+	if r := g.Roots(); len(r) != 1 || r[0] != a {
+		t.Fatalf("Roots = %v", r)
+	}
+	if l := g.Leaves(); len(l) != 1 || l[0] != d {
+		t.Fatalf("Leaves = %v", l)
+	}
+}
+
+func TestCriticalPathWeights(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", "k")
+	b := g.AddNode("b", "k")
+	c := g.AddNode("c", "k")
+	d := g.AddNode("d", "k")
+	g.Node(b).Weight = 10 // heavy branch
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, a, c)
+	mustEdge(t, g, b, d)
+	mustEdge(t, g, c, d)
+	path, w, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 12 { // 1 + 10 + 1
+		t.Fatalf("critical weight = %v, want 12", w)
+	}
+	want := []NodeID{a, b, d}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	g := New()
+	path, w, err := g.CriticalPath()
+	if err != nil || path != nil || w != 0 {
+		t.Fatalf("empty graph: path=%v w=%v err=%v", path, w, err)
+	}
+}
+
+func TestKindCounts(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	kc := g.KindCounts()
+	if kc["compute"] != 2 || kc["load"] != 1 || kc["store"] != 1 {
+		t.Fatalf("KindCounts = %v", kc)
+	}
+}
+
+func TestDOTDeterministicAndColored(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	d1 := g.DOT("wf")
+	d2 := g.DOT("wf")
+	if d1 != d2 {
+		t.Fatal("DOT output not deterministic")
+	}
+	for _, frag := range []string{"digraph \"wf\"", "n1 -> n2", "n2 -> n4", "fillcolor=lightblue", "fillcolor=tomato"} {
+		if !strings.Contains(d1, frag) {
+			t.Fatalf("DOT missing %q in:\n%s", frag, d1)
+		}
+	}
+}
+
+func TestPredecessorsSuccessorsSorted(t *testing.T) {
+	g, a, b, c, d := buildDiamond(t)
+	p := g.Predecessors(d)
+	if len(p) != 2 || p[0] != b || p[1] != c {
+		t.Fatalf("Predecessors(d) = %v", p)
+	}
+	s := g.Successors(a)
+	if len(s) != 2 || s[0] != b || s[1] != c {
+		t.Fatalf("Successors(a) = %v", s)
+	}
+}
+
+// Property: for random forward-only edge sets the graph always yields a
+// valid topological order covering every node.
+func TestTopoOrderPropertyRandomDAGs(t *testing.T) {
+	f := func(edges []uint16) bool {
+		const n = 20
+		g := New()
+		ids := make([]NodeID, n)
+		for i := range ids {
+			ids[i] = g.AddNode("t", "k")
+		}
+		for _, e := range edges {
+			from := int(e>>8) % n
+			to := int(e&0xff) % n
+			if from >= to {
+				continue // keep it acyclic by construction
+			}
+			if err := g.AddEdge(ids[from], ids[to]); err != nil {
+				return false
+			}
+		}
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make(map[NodeID]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, id := range order {
+			for _, s := range g.Successors(id) {
+				if pos[s] <= pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddEdge never allows a cycle, no matter the insertion order.
+func TestNoCyclePropertyRandomEdges(t *testing.T) {
+	f := func(edges []uint16) bool {
+		const n = 12
+		g := New()
+		ids := make([]NodeID, n)
+		for i := range ids {
+			ids[i] = g.AddNode("t", "k")
+		}
+		for _, e := range edges {
+			from := ids[int(e>>8)%n]
+			to := ids[int(e&0xff)%n]
+			_ = g.AddEdge(from, to) // errors fine; cycles must be rejected
+		}
+		_, err := g.TopoOrder()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsRespectDependencies(t *testing.T) {
+	g := New()
+	var prev NodeID
+	for i := 0; i < 10; i++ {
+		id := g.AddNode("chain", "k")
+		if prev != 0 {
+			mustEdge(t, g, prev, id)
+		}
+		prev = id
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 10 {
+		t.Fatalf("chain of 10 should have 10 levels, got %d", len(levels))
+	}
+	w, _ := g.MaxWidth()
+	if w != 1 {
+		t.Fatalf("chain MaxWidth = %d, want 1", w)
+	}
+}

@@ -1,0 +1,448 @@
+package datacube
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ncdf"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Servers is the number of in-memory I/O servers (parallel fragment
+	// executors); zero means 4. The paper's §4.2.2: "the number of
+	// Ophidia computing components can be scaled up ... over multiple
+	// nodes of the infrastructure to address more intensive workloads".
+	Servers int
+	// FragmentsPerCube is the default fragmentation of new cubes; zero
+	// means 2× the server count.
+	FragmentsPerCube int
+	// FragmentLatency models the per-fragment storage/network access
+	// time of a real distributed I/O server. Fragment tasks on distinct
+	// servers overlap their latency, so operator time scales down with
+	// the server count the way the real multi-node deployment does —
+	// even on hosts without spare cores. Zero disables it.
+	FragmentLatency time.Duration
+}
+
+// Stats counts engine activity; its deltas drive the paper's
+// data-reuse experiment (C2).
+type Stats struct {
+	// FileReads counts storage read operations (one per file × variable
+	// import).
+	FileReads int64
+	// CellsProcessed counts array elements touched by operators.
+	CellsProcessed int64
+	// Ops counts operator executions.
+	Ops int64
+	// FragmentTasks counts per-fragment work units dispatched.
+	FragmentTasks int64
+}
+
+// Engine hosts datacubes in memory and executes operators over their
+// fragments on a fixed pool of I/O servers (the Ophidia server +
+// I/O-server deployment, collapsed into one process; package cubeserver
+// adds the network front-end).
+type Engine struct {
+	cfg     Config
+	mu      sync.Mutex
+	cubes   map[string]*Cube
+	nextID  int64
+	servers []*ioServer
+	closed  bool
+
+	fileReads atomic.Int64
+	cells     atomic.Int64
+	ops       atomic.Int64
+	fragTasks atomic.Int64
+}
+
+// ioServer executes fragment tasks serially, so total parallelism
+// scales with the number of servers.
+type ioServer struct {
+	tasks chan func()
+	done  chan struct{}
+}
+
+func newIOServer() *ioServer {
+	s := &ioServer{tasks: make(chan func(), 64), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for t := range s.tasks {
+			t()
+		}
+	}()
+	return s
+}
+
+// NewEngine starts an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 4
+	}
+	if cfg.FragmentsPerCube <= 0 {
+		cfg.FragmentsPerCube = 2 * cfg.Servers
+	}
+	e := &Engine{cfg: cfg, cubes: make(map[string]*Cube)}
+	for i := 0; i < cfg.Servers; i++ {
+		e.servers = append(e.servers, newIOServer())
+	}
+	return e
+}
+
+// Close stops the I/O servers. Operators must not be used afterwards.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, s := range e.servers {
+		close(s.tasks)
+	}
+	for _, s := range e.servers {
+		<-s.done
+	}
+}
+
+// Servers reports the configured parallelism.
+func (e *Engine) Servers() int { return e.cfg.Servers }
+
+// Stats returns a snapshot of activity counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		FileReads:      e.fileReads.Load(),
+		CellsProcessed: e.cells.Load(),
+		Ops:            e.ops.Load(),
+		FragmentTasks:  e.fragTasks.Load(),
+	}
+}
+
+// List returns the IDs of all resident cubes, sorted.
+func (e *Engine) List() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.cubes))
+	for id := range e.cubes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the cube with the given ID.
+func (e *Engine) Get(id string) (*Cube, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.cubes[id]
+	if !ok {
+		return nil, fmt.Errorf("datacube: no cube %q", id)
+	}
+	return c, nil
+}
+
+// Delete removes a cube from the engine, freeing its memory.
+func (e *Engine) Delete(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cubes[id]; !ok {
+		return fmt.Errorf("datacube: no cube %q", id)
+	}
+	delete(e.cubes, id)
+	return nil
+}
+
+// MemoryBytes reports the resident payload size across all cubes.
+func (e *Engine) MemoryBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var n int64
+	for _, c := range e.cubes {
+		for _, fr := range c.frags {
+			n += int64(len(fr.data)) * 4
+		}
+	}
+	return n
+}
+
+// register assigns an ID and stores the cube.
+func (e *Engine) register(c *Cube, desc string) *Cube {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	c.id = fmt.Sprintf("cube-%d", e.nextID)
+	c.desc = desc
+	c.engine = e
+	e.cubes[c.id] = c
+	return c
+}
+
+// newCube allocates a fragmented cube with the given shape. Fragments
+// are split over rows and assigned to servers round-robin.
+func (e *Engine) newCube(explicit []Dimension, implicit Dimension) *Cube {
+	rows := 1
+	for _, d := range explicit {
+		rows *= d.Size
+	}
+	nfrag := e.cfg.FragmentsPerCube
+	if nfrag > rows {
+		nfrag = rows
+	}
+	if nfrag < 1 {
+		nfrag = 1
+	}
+	c := &Cube{
+		explicit: append([]Dimension(nil), explicit...),
+		implicit: implicit,
+		rows:     rows,
+	}
+	base := rows / nfrag
+	rem := rows % nfrag
+	start := 0
+	for f := 0; f < nfrag; f++ {
+		cnt := base
+		if f < rem {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		c.frags = append(c.frags, &fragment{
+			rowStart: start,
+			rowCount: cnt,
+			data:     make([]float32, cnt*implicit.Size),
+			server:   f % e.cfg.Servers,
+		})
+		start += cnt
+	}
+	return c
+}
+
+// mapFragments runs fn over every fragment of c on the fragment's
+// owning I/O server and waits for completion, returning the first
+// error.
+func (e *Engine) mapFragments(c *Cube, fn func(fr *fragment) error) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(c.frags))
+	for _, fr := range c.frags {
+		fr := fr
+		wg.Add(1)
+		e.fragTasks.Add(1)
+		e.servers[fr.server].tasks <- func() {
+			defer wg.Done()
+			if e.cfg.FragmentLatency > 0 {
+				time.Sleep(e.cfg.FragmentLatency)
+			}
+			if err := fn(fr); err != nil {
+				errCh <- err
+			}
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// NewCubeFromFunc materializes a cube from a generator function
+// f(row, t). It is how the workflow builds the in-memory climatology
+// baseline cube.
+func (e *Engine) NewCubeFromFunc(measure string, explicit []Dimension, implicit Dimension, f func(row, t int) float32) (*Cube, error) {
+	if implicit.Size <= 0 {
+		return nil, fmt.Errorf("datacube: implicit dimension %q must be positive", implicit.Name)
+	}
+	for _, d := range explicit {
+		if d.Size <= 0 {
+			return nil, fmt.Errorf("datacube: dimension %q must be positive", d.Name)
+		}
+	}
+	c := e.newCube(explicit, implicit)
+	c.measure = measure
+	err := e.mapFragments(c, func(fr *fragment) error {
+		n := implicit.Size
+		for r := 0; r < fr.rowCount; r++ {
+			row := fr.rowStart + r
+			for t := 0; t < n; t++ {
+				fr.data[r*n+t] = f(row, t)
+			}
+		}
+		e.cells.Add(int64(fr.rowCount * n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.ops.Add(1)
+	return e.register(c, "from_func("+measure+")"), nil
+}
+
+// ImportDataset loads one variable of an in-memory dataset as a cube.
+// implicitDim names the dimension that becomes the in-row array axis
+// (typically "time"); the remaining dimensions, in their original
+// order, become the explicit (fragmented) axes.
+func (e *Engine) ImportDataset(ds *ncdf.Dataset, varName, implicitDim string) (*Cube, error) {
+	v, err := ds.Var(varName)
+	if err != nil {
+		return nil, err
+	}
+	shape, err := ds.Shape(v)
+	if err != nil {
+		return nil, err
+	}
+	impAxis := -1
+	var explicit []Dimension
+	for i, dn := range v.Dims {
+		if dn == implicitDim {
+			impAxis = i
+			continue
+		}
+		explicit = append(explicit, Dimension{Name: dn, Size: shape[i]})
+	}
+	if impAxis < 0 {
+		return nil, fmt.Errorf("datacube: variable %q has no dimension %q", varName, implicitDim)
+	}
+	implicit := Dimension{Name: implicitDim, Size: shape[impAxis]}
+	c := e.newCube(explicit, implicit)
+	c.measure = varName
+
+	// strides of the source layout
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	// explicit axes in original order
+	var expAxes []int
+	for i := range v.Dims {
+		if i != impAxis {
+			expAxes = append(expAxes, i)
+		}
+	}
+	err = e.mapFragments(c, func(fr *fragment) error {
+		n := implicit.Size
+		idx := make([]int, len(expAxes))
+		for r := 0; r < fr.rowCount; r++ {
+			row := fr.rowStart + r
+			// decompose row into explicit indices (row-major)
+			rem := row
+			for k := len(expAxes) - 1; k >= 0; k-- {
+				sz := shape[expAxes[k]]
+				idx[k] = rem % sz
+				rem /= sz
+			}
+			base := 0
+			for k, ax := range expAxes {
+				base += idx[k] * strides[ax]
+			}
+			st := strides[impAxis]
+			for t := 0; t < n; t++ {
+				fr.data[r*n+t] = v.Data[base+t*st]
+			}
+		}
+		e.cells.Add(int64(fr.rowCount * n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.ops.Add(1)
+	return e.register(c, "importds("+varName+")"), nil
+}
+
+// ImportFile loads one variable from a GNC1 file (one storage read).
+func (e *Engine) ImportFile(path, varName, implicitDim string) (*Cube, error) {
+	ds, v, err := ncdf.ReadVariableFile(path, varName)
+	if err != nil {
+		return nil, err
+	}
+	e.fileReads.Add(1)
+	// Rebuild a minimal dataset holding just this variable.
+	sub := ncdf.NewDataset()
+	for _, d := range ds.Dims {
+		if err := sub.AddDim(d.Name, d.Len); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := sub.AddVar(v.Name, v.Dims, v.Data); err != nil {
+		return nil, err
+	}
+	return e.ImportDataset(sub, varName, implicitDim)
+}
+
+// ImportFiles loads the same variable from several files (e.g. one
+// year of daily ESM output) and concatenates along the implicit
+// dimension, producing one cube whose rows are grid cells and whose
+// in-row arrays are the full-period time series.
+func (e *Engine) ImportFiles(paths []string, varName, implicitDim string) (*Cube, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("datacube: no files to import")
+	}
+	parts := make([]*Cube, 0, len(paths))
+	defer func() {
+		for _, p := range parts {
+			_ = e.Delete(p.ID())
+		}
+	}()
+	for _, p := range paths {
+		c, err := e.ImportFile(p, varName, implicitDim)
+		if err != nil {
+			return nil, fmt.Errorf("datacube: import %s: %w", p, err)
+		}
+		parts = append(parts, c)
+	}
+	out, err := e.Concat(parts)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Concat joins cubes with identical explicit shape along the implicit
+// axis, in argument order.
+func (e *Engine) Concat(cubes []*Cube) (*Cube, error) {
+	if len(cubes) == 0 {
+		return nil, fmt.Errorf("datacube: nothing to concat")
+	}
+	first := cubes[0]
+	total := 0
+	for _, c := range cubes {
+		if c.rows != first.rows {
+			return nil, fmt.Errorf("datacube: concat shape mismatch: %d vs %d rows", c.rows, first.rows)
+		}
+		total += c.implicit.Size
+	}
+	out := e.newCube(first.explicit, Dimension{Name: first.implicit.Name, Size: total})
+	out.measure = first.measure
+	// offsets of each input along the implicit axis
+	offsets := make([]int, len(cubes))
+	off := 0
+	for i, c := range cubes {
+		offsets[i] = off
+		off += c.implicit.Size
+	}
+	err := e.mapFragments(out, func(fr *fragment) error {
+		n := total
+		for r := 0; r < fr.rowCount; r++ {
+			row := fr.rowStart + r
+			for ci, c := range cubes {
+				src := c.rowSlice(row)
+				copy(fr.data[r*n+offsets[ci]:r*n+offsets[ci]+len(src)], src)
+			}
+		}
+		e.cells.Add(int64(fr.rowCount * n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.ops.Add(1)
+	return e.register(out, "concat"), nil
+}

@@ -1,0 +1,69 @@
+package datacube_test
+
+import (
+	"fmt"
+
+	"repro/internal/datacube"
+)
+
+// Example reproduces the paper's Listing 1 pattern: a predicate mask
+// over a datacube followed by a reduction, with the intermediate cube
+// deleted, all on the in-memory engine.
+func Example() {
+	engine := datacube.NewEngine(datacube.Config{Servers: 2})
+	defer engine.Close()
+
+	// a tiny cube: 3 cells × 5 daily values
+	duration, err := engine.NewCubeFromFunc("duration",
+		[]datacube.Dimension{{Name: "cell", Size: 3}},
+		datacube.Dimension{Name: "day", Size: 5},
+		func(row, day int) float32 { return float32(row * day) })
+	if err != nil {
+		panic(err)
+	}
+
+	// Listing 1: Mask = oph_predicate(measure, 'x>0', '1', '0')
+	mask, err := duration.Apply("x>0 ? 1 : 0")
+	if err != nil {
+		panic(err)
+	}
+	// Count = Mask.reduce(operation='sum')
+	count, err := mask.Reduce("sum")
+	if err != nil {
+		panic(err)
+	}
+	// Mask.delete()
+	if err := mask.Delete(); err != nil {
+		panic(err)
+	}
+
+	for r := 0; r < count.Rows(); r++ {
+		row, _ := count.Row(r)
+		fmt.Printf("cell %d: %g positive days\n", r, row[0])
+	}
+	// Output:
+	// cell 0: 0 positive days
+	// cell 1: 4 positive days
+	// cell 2: 4 positive days
+}
+
+// ExampleCube_ReduceGroup shows the 6-hourly → daily reduction the
+// index pipelines start with.
+func ExampleCube_ReduceGroup() {
+	engine := datacube.NewEngine(datacube.Config{Servers: 1})
+	defer engine.Close()
+	temp, err := engine.NewCubeFromFunc("TREFHT",
+		[]datacube.Dimension{{Name: "cell", Size: 1}},
+		datacube.Dimension{Name: "time", Size: 8}, // 2 days × 4 steps
+		func(_, t int) float32 { return float32(t) })
+	if err != nil {
+		panic(err)
+	}
+	daily, err := temp.ReduceGroup("max", 4)
+	if err != nil {
+		panic(err)
+	}
+	row, _ := daily.Row(0)
+	fmt.Println(row)
+	// Output: [3 7]
+}

@@ -1,0 +1,413 @@
+// Package datacube implements an Ophidia-like High Performance Data
+// Analytics engine (Fiore et al. 2014; Elia et al. 2021): datacubes are
+// multidimensional float32 arrays partitioned into fragments that are
+// distributed over a pool of in-memory I/O servers and processed in
+// parallel by array-oriented operators (import, subset, apply, reduce,
+// intercube comparison, export). Cubes stay in memory between
+// operators, which is what lets the paper's workflow load the long-term
+// climatology baseline once and reuse it across index pipelines (§5.3).
+package datacube
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Expr is a compiled elementwise expression over the variable x, the
+// engine's analogue of Ophidia's oph_predicate/oph_math primitives.
+// Supported grammar (precedence low→high):
+//
+//	ternary:  cond ? a : b
+//	or:       a || b
+//	and:      a && b
+//	cmp:      == != < <= > >=
+//	add:      + -
+//	mul:      * /
+//	unary:    - !
+//	primary:  number | x | ( expr ) | fn(args...)
+//
+// Functions: abs, sqrt, exp, log, pow, min, max. Comparison and logic
+// yield 1 or 0, so masks compose arithmetically as in the paper's
+// Listing 1: oph_predicate(measure, 'x>0', '1', '0').
+type Expr struct {
+	prog ast
+	src  string
+}
+
+// Compile parses the expression once; Eval can then be called per
+// element cheaply and concurrently.
+func Compile(src string) (*Expr, error) {
+	p := &parser{toks: lex(src)}
+	node, err := p.parseTernary()
+	if err != nil {
+		return nil, fmt.Errorf("datacube: compile %q: %w", src, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("datacube: compile %q: trailing input at %q", src, p.peek().text)
+	}
+	return &Expr{prog: node, src: src}, nil
+}
+
+// MustCompile is Compile that panics, for static expressions.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Eval computes the expression at x.
+func (e *Expr) Eval(x float64) float64 { return e.prog.eval(x) }
+
+// String returns the source text.
+func (e *Expr) String() string { return e.src }
+
+// --- lexer -------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokNum tokKind = iota
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			n, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				toks = append(toks, token{kind: tokOp, text: "<badnum>"})
+			} else {
+				toks = append(toks, token{kind: tokNum, num: n, text: src[i:j]})
+			}
+			i = j
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			j := i
+			for j < len(src) && (src[j] >= 'a' && src[j] <= 'z' || src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9' || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j]})
+			i = j
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ","})
+			i++
+		default:
+			// multi-char operators
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{kind: tokOp, text: two})
+				i += 2
+			default:
+				toks = append(toks, token{kind: tokOp, text: string(c)})
+				i++
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: ""})
+	return toks
+}
+
+// --- AST ---------------------------------------------------------------
+
+type ast interface{ eval(x float64) float64 }
+
+type numNode float64
+
+func (n numNode) eval(float64) float64 { return float64(n) }
+
+type varNode struct{}
+
+func (varNode) eval(x float64) float64 { return x }
+
+type unaryNode struct {
+	op string
+	a  ast
+}
+
+func (n unaryNode) eval(x float64) float64 {
+	v := n.a.eval(x)
+	switch n.op {
+	case "-":
+		return -v
+	case "!":
+		if v != 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.NaN()
+}
+
+type binNode struct {
+	op   string
+	a, b ast
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (n binNode) eval(x float64) float64 {
+	a, b := n.a.eval(x), n.b.eval(x)
+	switch n.op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		return a / b
+	case "==":
+		return b2f(a == b)
+	case "!=":
+		return b2f(a != b)
+	case "<":
+		return b2f(a < b)
+	case "<=":
+		return b2f(a <= b)
+	case ">":
+		return b2f(a > b)
+	case ">=":
+		return b2f(a >= b)
+	case "&&":
+		return b2f(a != 0 && b != 0)
+	case "||":
+		return b2f(a != 0 || b != 0)
+	}
+	return math.NaN()
+}
+
+type ternNode struct{ cond, a, b ast }
+
+func (n ternNode) eval(x float64) float64 {
+	if n.cond.eval(x) != 0 {
+		return n.a.eval(x)
+	}
+	return n.b.eval(x)
+}
+
+type callNode struct {
+	fn   string
+	args []ast
+}
+
+func (n callNode) eval(x float64) float64 {
+	switch n.fn {
+	case "abs":
+		return math.Abs(n.args[0].eval(x))
+	case "sqrt":
+		return math.Sqrt(n.args[0].eval(x))
+	case "exp":
+		return math.Exp(n.args[0].eval(x))
+	case "log":
+		return math.Log(n.args[0].eval(x))
+	case "pow":
+		return math.Pow(n.args[0].eval(x), n.args[1].eval(x))
+	case "min":
+		return math.Min(n.args[0].eval(x), n.args[1].eval(x))
+	case "max":
+		return math.Max(n.args[0].eval(x), n.args[1].eval(x))
+	}
+	return math.NaN()
+}
+
+// --- parser ------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(kind tokKind, what string) error {
+	if p.peek().kind != kind {
+		return fmt.Errorf("expected %s, got %q", what, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseTernary() (ast, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokOp && p.peek().text == "?" {
+		p.next()
+		a, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokOp || p.peek().text != ":" {
+			return nil, fmt.Errorf("expected ':' in ternary, got %q", p.peek().text)
+		}
+		p.next()
+		b, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return ternNode{cond: cond, a: a, b: b}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseBinary(ops []string, sub func() (ast, error)) (ast, error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp {
+		matched := false
+		for _, op := range ops {
+			if p.peek().text == op {
+				p.next()
+				right, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				left = binNode{op: op, a: left, b: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (ast, error) {
+	return p.parseBinary([]string{"||"}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (ast, error) {
+	return p.parseBinary([]string{"&&"}, p.parseCmp)
+}
+
+func (p *parser) parseCmp() (ast, error) {
+	return p.parseBinary([]string{"==", "!=", "<=", ">=", "<", ">"}, p.parseAdd)
+}
+
+func (p *parser) parseAdd() (ast, error) {
+	return p.parseBinary([]string{"+", "-"}, p.parseMul)
+}
+
+func (p *parser) parseMul() (ast, error) {
+	return p.parseBinary([]string{"*", "/"}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (ast, error) {
+	if p.peek().kind == tokOp && (p.peek().text == "-" || p.peek().text == "!") {
+		op := p.next().text
+		a, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: op, a: a}, nil
+	}
+	return p.parsePrimary()
+}
+
+var fnArity = map[string]int{
+	"abs": 1, "sqrt": 1, "exp": 1, "log": 1,
+	"pow": 2, "min": 2, "max": 2,
+}
+
+func (p *parser) parsePrimary() (ast, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNum:
+		p.next()
+		return numNode(t.num), nil
+	case tokIdent:
+		p.next()
+		if t.text == "x" {
+			return varNode{}, nil
+		}
+		arity, ok := fnArity[t.text]
+		if !ok {
+			return nil, fmt.Errorf("unknown identifier %q", t.text)
+		}
+		if err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		var args []ast
+		for i := 0; i < arity; i++ {
+			if i > 0 {
+				if err := p.expect(tokComma, ","); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.parseTernary()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return callNode{fn: t.text, args: args}, nil
+	case tokLParen:
+		p.next()
+		a, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %q", t.text)
+	}
+}
+
+// Predicate builds the Ophidia-style predicate expression
+// "cond ? then : else" from its three parts, mirroring
+// oph_predicate('measure', cond, then, else) in Listing 1.
+func Predicate(cond, then, els string) (*Expr, error) {
+	return Compile("(" + cond + ") ? (" + then + ") : (" + els + ")")
+}

@@ -1,0 +1,148 @@
+package datacube
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func evalAt(t *testing.T, src string, x float64) float64 {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return e.Eval(x)
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		x    float64
+		want float64
+	}{
+		{"1+2*3", 0, 7},
+		{"(1+2)*3", 0, 9},
+		{"x*x", 3, 9},
+		{"-x", 2, -2},
+		{"10-4-3", 0, 3}, // left assoc
+		{"8/4/2", 0, 1},  // left assoc
+		{"2+x/2", 6, 5},
+		{"1.5e2", 0, 150},
+		{"pow(2,10)", 0, 1024},
+		{"abs(-3.5)", 0, 3.5},
+		{"sqrt(16)", 0, 4},
+		{"exp(0)", 0, 1},
+		{"log(1)", 0, 0},
+		{"min(3,x)", 1, 1},
+		{"max(3,x)", 1, 3},
+	}
+	for _, c := range cases {
+		if got := evalAt(t, c.src, c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%q at %v = %v, want %v", c.src, c.x, got, c.want)
+		}
+	}
+}
+
+func TestExprComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		x    float64
+		want float64
+	}{
+		{"x>0", 1, 1},
+		{"x>0", -1, 0},
+		{"x>=2", 2, 1},
+		{"x<2", 2, 0},
+		{"x<=2", 2, 1},
+		{"x==3", 3, 1},
+		{"x!=3", 3, 0},
+		{"x>0 && x<10", 5, 1},
+		{"x>0 && x<10", 15, 0},
+		{"x<0 || x>10", 15, 1},
+		{"!(x>0)", 5, 0},
+		{"x>1 ? 100 : 200", 2, 100},
+		{"x>1 ? 100 : 200", 0, 200},
+		{"x>0 ? (x>5 ? 2 : 1) : 0", 7, 2},
+	}
+	for _, c := range cases {
+		if got := evalAt(t, c.src, c.x); got != c.want {
+			t.Errorf("%q at %v = %v, want %v", c.src, c.x, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x +",
+		"(x",
+		"foo(x)",
+		"pow(2)",     // missing arg: expects comma
+		"x ? 1",      // missing colon
+		"1 2",        // trailing
+		"min(1,2,3)", // too many args: trailing before )
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestPredicateHelper(t *testing.T) {
+	e, err := Predicate("x>0", "1", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Eval(5) != 1 || e.Eval(-5) != 0 {
+		t.Fatal("predicate semantics wrong")
+	}
+}
+
+func TestMustCompilePanicsOnBad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustCompile("(((")
+}
+
+func TestExprStringer(t *testing.T) {
+	e := MustCompile("x+1")
+	if e.String() != "x+1" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+// Property: mask expressions only ever produce 0 or 1.
+func TestMaskBinaryProperty(t *testing.T) {
+	e := MustCompile("x>0 ? 1 : 0")
+	f := func(x float64) bool {
+		v := e.Eval(x)
+		return v == 0 || v == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compiled arithmetic matches direct Go evaluation.
+func TestExprMatchesGoProperty(t *testing.T) {
+	e := MustCompile("2*x*x - 3*x + 1")
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+			return true // avoid overflow-to-Inf comparisons
+		}
+		want := 2*x*x - 3*x + 1
+		got := e.Eval(x)
+		if want == 0 {
+			return math.Abs(got) < 1e-9
+		}
+		return math.Abs(got-want) <= 1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

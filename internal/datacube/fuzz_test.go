@@ -1,0 +1,27 @@
+package datacube
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCompile hardens the expression parser: arbitrary input must
+// either fail cleanly or produce an evaluable expression — never panic.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"x", "1+2*3", "x>0 ? 1 : 0", "pow(x,2)", "min(x, max(1,2))",
+		"((x))", "-x", "!x", "x && 1 || 0", "1e300*1e300", ".5",
+		"x ? : 1", "abs(", ")(", "x x", "? :", "1..2", "e", "xx",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src)
+		if err != nil {
+			return
+		}
+		for _, x := range []float64{0, 1, -1, math.Inf(1), math.NaN(), 1e-300} {
+			_ = e.Eval(x) // must not panic
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package datacube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// RowOp reduces one row's array (typically a time series) to a single
+// value. Named row operations keep reductions serializable across the
+// client/server boundary, like Ophidia's fixed operator set.
+type RowOp func(row []float32, params []float64) float64
+
+var (
+	rowOpsMu sync.RWMutex
+	rowOps   = map[string]RowOp{}
+)
+
+// RegisterRowOp installs a named reduction. Built-ins cover the
+// operations the workflow needs; domain packages may add more.
+func RegisterRowOp(name string, op RowOp) error {
+	rowOpsMu.Lock()
+	defer rowOpsMu.Unlock()
+	if _, dup := rowOps[name]; dup {
+		return fmt.Errorf("datacube: row op %q already registered", name)
+	}
+	rowOps[name] = op
+	return nil
+}
+
+// LookupRowOp returns the named reduction.
+func LookupRowOp(name string) (RowOp, bool) {
+	rowOpsMu.RLock()
+	defer rowOpsMu.RUnlock()
+	op, ok := rowOps[name]
+	return op, ok
+}
+
+// RowOpNames lists registered reductions, sorted.
+func RowOpNames() []string {
+	rowOpsMu.RLock()
+	defer rowOpsMu.RUnlock()
+	out := make([]string, 0, len(rowOps))
+	for k := range rowOps {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	must := func(name string, op RowOp) {
+		if err := RegisterRowOp(name, op); err != nil {
+			panic(err)
+		}
+	}
+	must("max", func(row []float32, _ []float64) float64 {
+		m := math.Inf(-1)
+		for _, v := range row {
+			if float64(v) > m {
+				m = float64(v)
+			}
+		}
+		return m
+	})
+	must("min", func(row []float32, _ []float64) float64 {
+		m := math.Inf(1)
+		for _, v := range row {
+			if float64(v) < m {
+				m = float64(v)
+			}
+		}
+		return m
+	})
+	must("sum", func(row []float32, _ []float64) float64 {
+		var s float64
+		for _, v := range row {
+			s += float64(v)
+		}
+		return s
+	})
+	must("avg", func(row []float32, _ []float64) float64 {
+		if len(row) == 0 {
+			return math.NaN()
+		}
+		var s float64
+		for _, v := range row {
+			s += float64(v)
+		}
+		return s / float64(len(row))
+	})
+	must("std", func(row []float32, _ []float64) float64 {
+		if len(row) == 0 {
+			return math.NaN()
+		}
+		var s float64
+		for _, v := range row {
+			s += float64(v)
+		}
+		mean := s / float64(len(row))
+		var ss float64
+		for _, v := range row {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(row)))
+	})
+	// count_above(threshold): elements strictly above params[0]
+	must("count_above", func(row []float32, params []float64) float64 {
+		th := param(params, 0, 0)
+		n := 0
+		for _, v := range row {
+			if float64(v) > th {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	must("count_below", func(row []float32, params []float64) float64 {
+		th := param(params, 0, 0)
+		n := 0
+		for _, v := range row {
+			if float64(v) < th {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	// longest_run_above(threshold): length of the longest consecutive
+	// run of values strictly above the threshold — the heat-wave
+	// duration primitive.
+	must("longest_run_above", func(row []float32, params []float64) float64 {
+		th := param(params, 0, 0)
+		best, cur := 0, 0
+		for _, v := range row {
+			if float64(v) > th {
+				cur++
+				if cur > best {
+					best = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		return float64(best)
+	})
+	must("longest_run_below", func(row []float32, params []float64) float64 {
+		th := param(params, 0, 0)
+		best, cur := 0, 0
+		for _, v := range row {
+			if float64(v) < th {
+				cur++
+				if cur > best {
+					best = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		return float64(best)
+	})
+	// count_runs_above(threshold, minLen): number of maximal runs above
+	// the threshold lasting at least minLen — the wave-count primitive.
+	must("count_runs_above", func(row []float32, params []float64) float64 {
+		th := param(params, 0, 0)
+		minLen := int(param(params, 1, 1))
+		n, cur := 0, 0
+		for _, v := range row {
+			if float64(v) > th {
+				cur++
+			} else {
+				if cur >= minLen {
+					n++
+				}
+				cur = 0
+			}
+		}
+		if cur >= minLen {
+			n++
+		}
+		return float64(n)
+	})
+	must("count_runs_below", func(row []float32, params []float64) float64 {
+		th := param(params, 0, 0)
+		minLen := int(param(params, 1, 1))
+		n, cur := 0, 0
+		for _, v := range row {
+			if float64(v) < th {
+				cur++
+			} else {
+				if cur >= minLen {
+					n++
+				}
+				cur = 0
+			}
+		}
+		if cur >= minLen {
+			n++
+		}
+		return float64(n)
+	})
+	// quantile(q): linear-interpolated q-quantile of the row.
+	must("quantile", func(row []float32, params []float64) float64 {
+		if len(row) == 0 {
+			return math.NaN()
+		}
+		q := param(params, 0, 0.5)
+		sorted := make([]float64, len(row))
+		for i, v := range row {
+			sorted[i] = float64(v)
+		}
+		sort.Float64s(sorted)
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return sorted[lo]
+		}
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	})
+}
+
+func param(params []float64, i int, def float64) float64 {
+	if i < len(params) {
+		return params[i]
+	}
+	return def
+}

@@ -1,0 +1,147 @@
+package datacube
+
+import (
+	"math"
+	"testing"
+)
+
+func apply(t *testing.T, name string, row []float32, params ...float64) float64 {
+	t.Helper()
+	op, ok := LookupRowOp(name)
+	if !ok {
+		t.Fatalf("op %q missing", name)
+	}
+	return op(row, params)
+}
+
+func TestBasicReductions(t *testing.T) {
+	row := []float32{3, 1, 4, 1, 5}
+	if v := apply(t, "max", row); v != 5 {
+		t.Fatalf("max = %v", v)
+	}
+	if v := apply(t, "min", row); v != 1 {
+		t.Fatalf("min = %v", v)
+	}
+	if v := apply(t, "sum", row); v != 14 {
+		t.Fatalf("sum = %v", v)
+	}
+	if v := apply(t, "avg", row); v != 2.8 {
+		t.Fatalf("avg = %v", v)
+	}
+	std := apply(t, "std", row)
+	if math.Abs(std-1.6) > 1e-9 {
+		t.Fatalf("std = %v", std)
+	}
+}
+
+func TestEmptyRowReductions(t *testing.T) {
+	if !math.IsNaN(apply(t, "avg", nil)) || !math.IsNaN(apply(t, "std", nil)) {
+		t.Fatal("avg/std of empty row should be NaN")
+	}
+	if !math.IsInf(apply(t, "max", nil), -1) {
+		t.Fatal("max of empty row should be -Inf")
+	}
+}
+
+func TestCountAboveBelow(t *testing.T) {
+	row := []float32{-2, 0, 1, 3, 5}
+	if v := apply(t, "count_above", row, 0); v != 3 {
+		t.Fatalf("count_above(0) = %v", v)
+	}
+	if v := apply(t, "count_below", row, 0); v != 1 {
+		t.Fatalf("count_below(0) = %v", v)
+	}
+	// default threshold 0 when params omitted
+	if v := apply(t, "count_above", row); v != 3 {
+		t.Fatalf("count_above() = %v", v)
+	}
+}
+
+func TestLongestRun(t *testing.T) {
+	row := []float32{0, 6, 7, 8, 0, 6, 6, 0}
+	if v := apply(t, "longest_run_above", row, 5); v != 3 {
+		t.Fatalf("longest_run_above = %v", v)
+	}
+	if v := apply(t, "longest_run_above", row, 100); v != 0 {
+		t.Fatalf("longest_run_above high = %v", v)
+	}
+	cold := []float32{0, -6, -7, 0, -6, -6, -6, -6}
+	if v := apply(t, "longest_run_below", cold, -5); v != 4 {
+		t.Fatalf("longest_run_below = %v", v)
+	}
+}
+
+func TestLongestRunAtTail(t *testing.T) {
+	row := []float32{0, 0, 9, 9, 9, 9}
+	if v := apply(t, "longest_run_above", row, 5); v != 4 {
+		t.Fatalf("tail run = %v", v)
+	}
+}
+
+func TestCountRuns(t *testing.T) {
+	// runs above 5: [6 7] (len 2), [8] (len 1), [9 9 9] (len 3)
+	row := []float32{6, 7, 0, 8, 0, 9, 9, 9}
+	if v := apply(t, "count_runs_above", row, 5, 2); v != 2 {
+		t.Fatalf("count_runs_above(minlen=2) = %v", v)
+	}
+	if v := apply(t, "count_runs_above", row, 5, 1); v != 3 {
+		t.Fatalf("count_runs_above(minlen=1) = %v", v)
+	}
+	if v := apply(t, "count_runs_above", row, 5, 4); v != 0 {
+		t.Fatalf("count_runs_above(minlen=4) = %v", v)
+	}
+	cold := []float32{-6, -7, 0, -8, -8, -8}
+	if v := apply(t, "count_runs_below", cold, -5, 2); v != 2 {
+		t.Fatalf("count_runs_below = %v", v)
+	}
+}
+
+func TestCountRunsTailCounted(t *testing.T) {
+	row := []float32{0, 9, 9}
+	if v := apply(t, "count_runs_above", row, 5, 2); v != 1 {
+		t.Fatalf("tail run not counted: %v", v)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	row := []float32{1, 2, 3, 4, 5}
+	if v := apply(t, "quantile", row, 0.5); v != 3 {
+		t.Fatalf("median = %v", v)
+	}
+	if v := apply(t, "quantile", row, 0); v != 1 {
+		t.Fatalf("q0 = %v", v)
+	}
+	if v := apply(t, "quantile", row, 1); v != 5 {
+		t.Fatalf("q1 = %v", v)
+	}
+	if v := apply(t, "quantile", row, 0.25); v != 2 {
+		t.Fatalf("q25 = %v", v)
+	}
+	if !math.IsNaN(apply(t, "quantile", nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestRegisterRowOpDuplicate(t *testing.T) {
+	if err := RegisterRowOp("max", nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := RegisterRowOp("custom_test_op", func(row []float32, _ []float64) float64 { return 42 }); err != nil {
+		t.Fatal(err)
+	}
+	if op, ok := LookupRowOp("custom_test_op"); !ok || op(nil, nil) != 42 {
+		t.Fatal("custom op not registered")
+	}
+}
+
+func TestRowOpNamesSorted(t *testing.T) {
+	names := RowOpNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d ops registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

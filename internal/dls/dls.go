@@ -1,0 +1,245 @@
+// Package dls simulates the eFlows4HPC Data Logistics Service (paper
+// §4.1): it "executes the required data pipelines either at deployment
+// or execution time", staging datasets in and out of the computing
+// site. Pipelines are ordered steps over a catalog of named datasets;
+// execution copies real files between directories with checksum
+// verification and records transfer provenance.
+package dls
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Dataset is a catalog entry: a named set of files rooted somewhere.
+type Dataset struct {
+	Name string
+	// Root is the directory holding the dataset files.
+	Root string
+	// Files are paths relative to Root.
+	Files []string
+}
+
+// Catalog maps dataset names to locations (the DLS data catalog).
+type Catalog struct {
+	mu   sync.RWMutex
+	sets map[string]Dataset
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{sets: make(map[string]Dataset)}
+}
+
+// Register adds or replaces a dataset entry.
+func (c *Catalog) Register(d Dataset) error {
+	if d.Name == "" {
+		return fmt.Errorf("dls: dataset needs a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sets[d.Name] = d
+	return nil
+}
+
+// Lookup fetches a dataset entry.
+func (c *Catalog) Lookup(name string) (Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.sets[name]
+	return d, ok
+}
+
+// Names lists registered datasets, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.sets))
+	for n := range c.sets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transfer records one completed file movement.
+type Transfer struct {
+	Dataset  string
+	File     string
+	Bytes    int64
+	Checksum string
+	When     time.Time
+}
+
+// Service executes data pipelines against a catalog.
+type Service struct {
+	Catalog *Catalog
+	mu      sync.Mutex
+	log     []Transfer
+}
+
+// NewService returns a service over the catalog (nil creates one).
+func NewService(c *Catalog) *Service {
+	if c == nil {
+		c = NewCatalog()
+	}
+	return &Service{Catalog: c}
+}
+
+// Log returns a copy of the transfer provenance log.
+func (s *Service) Log() []Transfer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Transfer, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// StageIn copies the named dataset into dstDir, verifying checksums,
+// and returns the destination paths. Partial staging fails atomically
+// per file (a bad copy is removed).
+func (s *Service) StageIn(dataset, dstDir string) ([]string, error) {
+	d, ok := s.Catalog.Lookup(dataset)
+	if !ok {
+		return nil, fmt.Errorf("dls: unknown dataset %q", dataset)
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rel := range d.Files {
+		src := filepath.Join(d.Root, rel)
+		dst := filepath.Join(dstDir, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return out, err
+		}
+		n, sum, err := copyVerify(src, dst)
+		if err != nil {
+			return out, fmt.Errorf("dls: stage-in %s/%s: %w", dataset, rel, err)
+		}
+		s.mu.Lock()
+		s.log = append(s.log, Transfer{Dataset: dataset, File: rel, Bytes: n, Checksum: sum, When: time.Now()})
+		s.mu.Unlock()
+		out = append(out, dst)
+	}
+	return out, nil
+}
+
+// StageOut registers the files under srcDir matching pattern as a new
+// catalog dataset (the result publication pipeline). pattern follows
+// filepath.Match against base names; "" matches everything.
+func (s *Service) StageOut(dataset, srcDir, pattern string) (Dataset, error) {
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return Dataset{}, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if pattern != "" {
+			ok, err := filepath.Match(pattern, e.Name())
+			if err != nil {
+				return Dataset{}, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		files = append(files, e.Name())
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return Dataset{}, fmt.Errorf("dls: stage-out of %q matched no files", dataset)
+	}
+	d := Dataset{Name: dataset, Root: srcDir, Files: files}
+	if err := s.Catalog.Register(d); err != nil {
+		return Dataset{}, err
+	}
+	return d, nil
+}
+
+// copyVerify copies src to dst and returns size and checksum, verifying
+// the written bytes hash identically to the read bytes.
+func copyVerify(src, dst string) (int64, string, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, "", err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, "", err
+	}
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(out, h), in)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dst)
+		return 0, "", err
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	// verify the landed bytes
+	back, err := os.Open(dst)
+	if err != nil {
+		return 0, "", err
+	}
+	defer back.Close()
+	h2 := sha256.New()
+	if _, err := io.Copy(h2, back); err != nil {
+		os.Remove(dst)
+		return 0, "", err
+	}
+	if got := hex.EncodeToString(h2.Sum(nil)); got != sum {
+		os.Remove(dst)
+		return 0, "", fmt.Errorf("checksum mismatch: %s vs %s", got, sum)
+	}
+	return n, sum, nil
+}
+
+// Pipeline is an ordered list of named steps executed by Run.
+type Pipeline struct {
+	Name  string
+	Steps []Step
+}
+
+// Step is one pipeline action.
+type Step struct {
+	// Kind is "stage_in" or "stage_out".
+	Kind string
+	// Dataset names the catalog entry.
+	Dataset string
+	// Dir is the destination (stage_in) or source (stage_out) directory.
+	Dir string
+	// Pattern filters stage_out files.
+	Pattern string
+}
+
+// Run executes the pipeline steps in order, failing fast.
+func (s *Service) Run(p Pipeline) error {
+	for i, st := range p.Steps {
+		switch st.Kind {
+		case "stage_in":
+			if _, err := s.StageIn(st.Dataset, st.Dir); err != nil {
+				return fmt.Errorf("dls: pipeline %s step %d: %w", p.Name, i, err)
+			}
+		case "stage_out":
+			if _, err := s.StageOut(st.Dataset, st.Dir, st.Pattern); err != nil {
+				return fmt.Errorf("dls: pipeline %s step %d: %w", p.Name, i, err)
+			}
+		default:
+			return fmt.Errorf("dls: pipeline %s step %d: unknown kind %q", p.Name, i, st.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package dls
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFiles(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCatalogRegisterLookup(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(Dataset{Name: "clim", Root: "/x", Files: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(Dataset{}); err == nil {
+		t.Fatal("anonymous dataset accepted")
+	}
+	d, ok := c.Lookup("clim")
+	if !ok || d.Root != "/x" {
+		t.Fatalf("lookup = %+v %v", d, ok)
+	}
+	if _, ok := c.Lookup("ghost"); ok {
+		t.Fatal("phantom dataset")
+	}
+	c.Register(Dataset{Name: "b"})
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "clim" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestStageInCopiesAndLogs(t *testing.T) {
+	src := t.TempDir()
+	writeFiles(t, src, map[string]string{"base1.nc": "AAAA", "sub/base2.nc": "BBBBBB"})
+	s := NewService(nil)
+	s.Catalog.Register(Dataset{Name: "clim", Root: src, Files: []string{"base1.nc", "sub/base2.nc"}})
+	dst := filepath.Join(t.TempDir(), "staged")
+	paths, err := s.StageIn("clim", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	data, err := os.ReadFile(filepath.Join(dst, "sub", "base2.nc"))
+	if err != nil || string(data) != "BBBBBB" {
+		t.Fatalf("staged content = %q, %v", data, err)
+	}
+	log := s.Log()
+	if len(log) != 2 || log[0].Bytes != 4 || log[0].Checksum == "" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestStageInUnknownDataset(t *testing.T) {
+	s := NewService(nil)
+	if _, err := s.StageIn("ghost", t.TempDir()); err == nil {
+		t.Fatal("unknown dataset staged")
+	}
+}
+
+func TestStageInMissingFileFails(t *testing.T) {
+	src := t.TempDir()
+	s := NewService(nil)
+	s.Catalog.Register(Dataset{Name: "broken", Root: src, Files: []string{"missing.nc"}})
+	if _, err := s.StageIn("broken", t.TempDir()); err == nil {
+		t.Fatal("missing source staged")
+	}
+}
+
+func TestStageOutRegistersResults(t *testing.T) {
+	out := t.TempDir()
+	writeFiles(t, out, map[string]string{"hw_map.nc": "x", "notes.txt": "y", "cw_map.nc": "z"})
+	s := NewService(nil)
+	d, err := s.StageOut("results", out, "*.nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Files) != 2 || d.Files[0] != "cw_map.nc" {
+		t.Fatalf("files = %v", d.Files)
+	}
+	if got, ok := s.Catalog.Lookup("results"); !ok || got.Root != out {
+		t.Fatal("stage-out not cataloged")
+	}
+	// then stage the results elsewhere (round trip)
+	dst := t.TempDir()
+	paths, err := s.StageIn("results", dst)
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("round trip = %v, %v", paths, err)
+	}
+}
+
+func TestStageOutNoMatches(t *testing.T) {
+	s := NewService(nil)
+	if _, err := s.StageOut("empty", t.TempDir(), "*.nc"); err == nil {
+		t.Fatal("empty stage-out accepted")
+	}
+}
+
+func TestStageOutBadPattern(t *testing.T) {
+	dir := t.TempDir()
+	writeFiles(t, dir, map[string]string{"a.nc": "x"})
+	s := NewService(nil)
+	if _, err := s.StageOut("x", dir, "[bad"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestPipelineRun(t *testing.T) {
+	src := t.TempDir()
+	writeFiles(t, src, map[string]string{"clim.nc": "CLIM"})
+	work := filepath.Join(t.TempDir(), "work")
+	os.MkdirAll(work, 0o755)
+	writeFiles(t, work, map[string]string{"result.nc": "R"})
+
+	s := NewService(nil)
+	s.Catalog.Register(Dataset{Name: "climatology", Root: src, Files: []string{"clim.nc"}})
+	stage := filepath.Join(t.TempDir(), "stage")
+	p := Pipeline{
+		Name: "climate-io",
+		Steps: []Step{
+			{Kind: "stage_in", Dataset: "climatology", Dir: stage},
+			{Kind: "stage_out", Dataset: "results", Dir: work, Pattern: "*.nc"},
+		},
+	}
+	if err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(stage, "clim.nc")); err != nil {
+		t.Fatal("stage-in did not land")
+	}
+	if _, ok := s.Catalog.Lookup("results"); !ok {
+		t.Fatal("stage-out did not register")
+	}
+}
+
+func TestPipelineFailFast(t *testing.T) {
+	s := NewService(nil)
+	p := Pipeline{Name: "bad", Steps: []Step{
+		{Kind: "stage_in", Dataset: "ghost", Dir: t.TempDir()},
+		{Kind: "stage_out", Dataset: "never", Dir: t.TempDir()},
+	}}
+	if err := s.Run(p); err == nil {
+		t.Fatal("pipeline with bad step succeeded")
+	}
+	p2 := Pipeline{Name: "unknown", Steps: []Step{{Kind: "teleport"}}}
+	if err := s.Run(p2); err == nil {
+		t.Fatal("unknown step kind accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package ensemble runs initial-condition ensembles of the synthetic
+// ESM and computes cross-member statistics of the extreme-event
+// indices. The paper's §3 names ensembles ("group of runs of the same
+// ESM with different initial conditions", citing Deser et al. 2020) as
+// a core driver of ESM workflow cost: members are independent, so the
+// task runtime executes them concurrently, and the datacube engine
+// aggregates their index cubes into ensemble mean/spread/agreement
+// products.
+package ensemble
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/compss"
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/indices"
+	"repro/internal/stream"
+)
+
+// Config parameterizes an ensemble run.
+type Config struct {
+	// Base is the shared model configuration (grid, years, scenario,
+	// events). Member m runs with seed Base.Seed + int64(m)·SeedStride.
+	Base esm.Config
+	// Members is the ensemble size.
+	Members int
+	// SeedStride separates member seeds; zero means 1000003.
+	SeedStride int64
+	// Workers sizes the task pool executing members concurrently;
+	// zero means 4.
+	Workers int
+	// Dir is the working directory; each member writes to Dir/memberNN.
+	Dir string
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Members <= 0 {
+		return c, fmt.Errorf("ensemble: need at least 1 member")
+	}
+	if c.Dir == "" {
+		return c, fmt.Errorf("ensemble: Dir is required")
+	}
+	if c.SeedStride == 0 {
+		c.SeedStride = 1000003
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	return c, nil
+}
+
+// MemberResult is one member's heat-wave index summary.
+type MemberResult struct {
+	Member int
+	Seed   int64
+	// Number is the heat-wave-number cube (retained in the engine).
+	Number *datacube.Cube
+	// MeanNumber is its spatial mean.
+	MeanNumber float64
+}
+
+// Result is the ensemble outcome.
+type Result struct {
+	Members []MemberResult
+	// Stats are the cross-member statistics of the heat-wave-number
+	// index.
+	Stats *Stats
+}
+
+// Run executes the ensemble: one task per member (ESM run + heat-wave
+// pipeline), then cross-member aggregation. The engine is supplied by
+// the caller so the statistics cubes outlive the run.
+func Run(engine *datacube.Engine, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := indices.BuildBaseline(engine, cfg.Base.Grid, cfg.Base.DaysPerYear)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = baseline.TMax.Delete()
+		_ = baseline.TMin.Delete()
+	}()
+
+	rt := compss.NewRuntime(compss.Config{Workers: cfg.Workers})
+	member, err := rt.Register(compss.TaskDef{
+		Name:    "ensemble_member",
+		Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			m := args[0].(int)
+			seed := cfg.Base.Seed + int64(m)*cfg.SeedStride
+			dir := filepath.Join(cfg.Dir, fmt.Sprintf("member%02d", m))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+			mc := cfg.Base
+			mc.Seed = seed
+			model := esm.NewModel(mc)
+			paths, err := model.Run(esm.RunOptions{Dir: dir})
+			if err != nil {
+				return nil, err
+			}
+			batches := stream.NewYearBatcher(model.Config().DaysPerYear, esm.YearOf).Add(paths...)
+			if len(batches) == 0 {
+				return nil, fmt.Errorf("ensemble: member %d produced no complete year", m)
+			}
+			// first year only: ensemble statistics compare like with like
+			hw, err := indices.HeatWaves(engine, batches[0].Files, baseline,
+				indices.Params{DaysPerYear: model.Config().DaysPerYear})
+			if err != nil {
+				return nil, err
+			}
+			_ = hw.Duration.Delete()
+			_ = hw.Frequency.Delete()
+			mean, err := spatialMean(hw.Number)
+			if err != nil {
+				return nil, err
+			}
+			return []any{MemberResult{Member: m, Seed: seed, Number: hw.Number, MeanNumber: mean}}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	futs := make([]*compss.Future, cfg.Members)
+	for m := 0; m < cfg.Members; m++ {
+		if futs[m], err = rt.InvokeOne(member, compss.In(m)); err != nil {
+			_ = rt.Shutdown()
+			return nil, err
+		}
+	}
+	if err := rt.Shutdown(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	var cubes []*datacube.Cube
+	for _, f := range futs {
+		v, err := f.Get()
+		if err != nil {
+			return nil, err
+		}
+		mr := v.(MemberResult)
+		res.Members = append(res.Members, mr)
+		cubes = append(cubes, mr.Number)
+	}
+	sort.Slice(res.Members, func(i, j int) bool { return res.Members[i].Member < res.Members[j].Member })
+	if res.Stats, err = IndexStats(engine, cubes); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func spatialMean(c *datacube.Cube) (float64, error) {
+	agg, err := c.AggregateRows("avg")
+	if err != nil {
+		return 0, err
+	}
+	defer agg.Delete()
+	red, err := agg.Reduce("avg")
+	if err != nil {
+		return 0, err
+	}
+	defer red.Delete()
+	return red.Scalar()
+}
+
+// Stats bundles cross-member statistics of a per-cell index. All cubes
+// have one row per cell and implicit length 1.
+type Stats struct {
+	// Mean and Std are the ensemble mean and spread.
+	Mean, Std *datacube.Cube
+	// Min and Max bound the members.
+	Min, Max *datacube.Cube
+	// Agreement is the fraction of members with a non-zero index value
+	// (per cell) — the standard ensemble-consistency diagnostic.
+	Agreement *datacube.Cube
+}
+
+// Delete frees all statistics cubes.
+func (s *Stats) Delete() {
+	for _, c := range []*datacube.Cube{s.Mean, s.Std, s.Min, s.Max, s.Agreement} {
+		if c != nil {
+			_ = c.Delete()
+		}
+	}
+}
+
+// IndexStats stacks per-member index cubes (implicit length 1, same
+// shape) along the implicit axis and reduces across members.
+func IndexStats(e *datacube.Engine, members []*datacube.Cube) (*Stats, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ensemble: no member cubes")
+	}
+	for i, c := range members {
+		if c.ImplicitLen() != 1 {
+			return nil, fmt.Errorf("ensemble: member %d has implicit length %d, want 1", i, c.ImplicitLen())
+		}
+	}
+	stacked, err := e.Concat(members)
+	if err != nil {
+		return nil, err
+	}
+	defer stacked.Delete()
+
+	out := &Stats{}
+	reduce := func(op string, dst **datacube.Cube, meta string) error {
+		c, err := stacked.Reduce(op)
+		if err != nil {
+			return err
+		}
+		c.SetMeta("statistic", meta)
+		*dst = c
+		return nil
+	}
+	if err := reduce("avg", &out.Mean, "ensemble_mean"); err != nil {
+		return nil, err
+	}
+	if err := reduce("std", &out.Std, "ensemble_std"); err != nil {
+		return nil, err
+	}
+	if err := reduce("min", &out.Min, "ensemble_min"); err != nil {
+		return nil, err
+	}
+	if err := reduce("max", &out.Max, "ensemble_max"); err != nil {
+		return nil, err
+	}
+	mask, err := stacked.Apply("x>0 ? 1 : 0")
+	if err != nil {
+		return nil, err
+	}
+	defer mask.Delete()
+	if out.Agreement, err = mask.Reduce("avg"); err != nil {
+		return nil, err
+	}
+	out.Agreement.SetMeta("statistic", "ensemble_agreement")
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+func testEngine(t *testing.T) *datacube.Engine {
+	t.Helper()
+	e := datacube.NewEngine(datacube.Config{Servers: 2, FragmentsPerCube: 4})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func baseCfg() esm.Config {
+	return esm.Config{
+		Grid:        grid.Grid{NLat: 16, NLon: 32},
+		StartYear:   2040,
+		Years:       1,
+		DaysPerYear: 12,
+		Seed:        100,
+		Events: &esm.EventConfig{
+			HeatWavesPerYear: 1, ColdSpellsPerYear: 0, CyclonesPerYear: 0,
+			WaveAmplitudeK: 10, WaveMinDays: 7, WaveMaxDays: 7,
+		},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := testEngine(t)
+	if _, err := Run(e, Config{Base: baseCfg(), Members: 0, Dir: t.TempDir()}); err == nil {
+		t.Fatal("zero members accepted")
+	}
+	if _, err := Run(e, Config{Base: baseCfg(), Members: 2}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestEnsembleRunMembersDiffer(t *testing.T) {
+	e := testEngine(t)
+	res, err := Run(e, Config{Base: baseCfg(), Members: 3, Dir: t.TempDir(), Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 3 {
+		t.Fatalf("members = %d", len(res.Members))
+	}
+	for i, m := range res.Members {
+		if m.Member != i {
+			t.Fatalf("member order: %+v", res.Members)
+		}
+		if m.Number == nil || m.Number.Rows() != 16*32 {
+			t.Fatalf("member %d cube malformed", i)
+		}
+	}
+	// different seeds → different wave locations → member cubes differ
+	a := res.Members[0].Number.Values()
+	diff := false
+	bv := res.Members[1].Number.Values()
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != bv[r][c] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("members identical despite different seeds")
+	}
+	if res.Stats == nil || res.Stats.Mean == nil {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestIndexStatsKnownValues(t *testing.T) {
+	e := testEngine(t)
+	mk := func(v0, v1 float32) *datacube.Cube {
+		c, err := e.NewCubeFromFunc("idx",
+			[]datacube.Dimension{{Name: "cell", Size: 2}},
+			datacube.Dimension{Name: "t", Size: 1},
+			func(row, _ int) float32 {
+				if row == 0 {
+					return v0
+				}
+				return v1
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	members := []*datacube.Cube{mk(0, 2), mk(4, 2), mk(2, 2)}
+	st, err := IndexStats(e, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Delete()
+
+	get := func(c *datacube.Cube, row int) float64 {
+		r, err := c.Row(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(r[0])
+	}
+	if get(st.Mean, 0) != 2 || get(st.Mean, 1) != 2 {
+		t.Fatalf("mean = %v, %v", get(st.Mean, 0), get(st.Mean, 1))
+	}
+	wantStd := math.Sqrt((4.0 + 4.0 + 0.0) / 3.0)
+	if math.Abs(get(st.Std, 0)-wantStd) > 1e-6 {
+		t.Fatalf("std = %v, want %v", get(st.Std, 0), wantStd)
+	}
+	if get(st.Std, 1) != 0 {
+		t.Fatalf("std cell 1 = %v", get(st.Std, 1))
+	}
+	if get(st.Min, 0) != 0 || get(st.Max, 0) != 4 {
+		t.Fatalf("min/max = %v/%v", get(st.Min, 0), get(st.Max, 0))
+	}
+	// agreement: cell 0 has 2/3 members nonzero; cell 1 has 3/3
+	if math.Abs(get(st.Agreement, 0)-2.0/3) > 1e-6 {
+		t.Fatalf("agreement cell 0 = %v", get(st.Agreement, 0))
+	}
+	if get(st.Agreement, 1) != 1 {
+		t.Fatalf("agreement cell 1 = %v", get(st.Agreement, 1))
+	}
+}
+
+func TestIndexStatsValidation(t *testing.T) {
+	e := testEngine(t)
+	if _, err := IndexStats(e, nil); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	c, _ := e.NewCubeFromFunc("bad",
+		[]datacube.Dimension{{Name: "cell", Size: 2}},
+		datacube.Dimension{Name: "t", Size: 3},
+		func(int, int) float32 { return 0 })
+	if _, err := IndexStats(e, []*datacube.Cube{c}); err == nil {
+		t.Fatal("non-scalar member accepted")
+	}
+}
+
+func TestEnsembleAgreementDetectsCommonSignal(t *testing.T) {
+	// all members share the same event configuration but different
+	// weather; the ensemble-max cube should show every member's wave,
+	// and the agreement field must stay within [0,1].
+	e := testEngine(t)
+	res, err := Run(e, Config{Base: baseCfg(), Members: 3, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Stats.Delete()
+	vals := res.Stats.Agreement.Values()
+	for r := range vals {
+		if vals[r][0] < 0 || vals[r][0] > 1 {
+			t.Fatalf("agreement out of range at %d: %v", r, vals[r][0])
+		}
+	}
+	// ensemble max >= each member everywhere (spot check member 0)
+	m0 := res.Members[0].Number.Values()
+	mx := res.Stats.Max.Values()
+	for r := range m0 {
+		if mx[r][0] < m0[r][0] {
+			t.Fatalf("ensemble max < member value at %d", r)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package esm
+
+import (
+	"fmt"
+	"math"
+)
+
+// DayDiagnostics are the online per-day global indicators the paper's
+// §3 describes being computed during the model run itself ("part of
+// the analysis is already performed online during model simulations
+// with the goal of pre-computing some relevant statistics or simple
+// indicators useful for validating the results (e.g., diagnostics)").
+// Spatial means are area-weighted by cos(latitude).
+type DayDiagnostics struct {
+	Year, DayOfYear int
+	// GlobalMeanT is the area-weighted mean near-surface temperature [K].
+	GlobalMeanT float64
+	// GlobalMeanSST is the area-weighted mean sea-surface temperature [K].
+	GlobalMeanSST float64
+	// IceArea is the area-weighted mean sea-ice fraction [0..1].
+	IceArea float64
+	// TOANet is the area-weighted mean top-of-atmosphere net flux
+	// (FSNT − FLNT) [W/m²], the model's energy-balance indicator.
+	TOANet float64
+	// MinPSL is the global minimum sea-level pressure [Pa] (storm
+	// activity indicator).
+	MinPSL float64
+	// MaxWind is the global maximum 850 hPa wind speed [m/s].
+	MaxWind float64
+	// MeanPrecip is the area-weighted mean precipitation [mm/day].
+	MeanPrecip float64
+}
+
+// Diagnose computes the day's diagnostics from its output fields,
+// averaging the 6-hourly steps.
+func Diagnose(d *DayOutput) (DayDiagnostics, error) {
+	out := DayDiagnostics{Year: d.Year, DayOfYear: d.DayOfYear, MinPSL: math.Inf(1)}
+	g := d.Grid
+	// per-row area weights
+	weights := make([]float64, g.NLat)
+	var wsum float64
+	for i := 0; i < g.NLat; i++ {
+		weights[i] = math.Cos(g.Lat(i) * math.Pi / 180)
+		wsum += weights[i] * float64(g.NLon)
+	}
+	steps := float64(len(d.Steps))
+	for s := range d.Steps {
+		var gerr error
+		get := func(name string) []float32 {
+			f, err := d.Field(s, name)
+			if err != nil && gerr == nil {
+				gerr = err
+			}
+			if f == nil {
+				return nil
+			}
+			return f.Data
+		}
+		tre, sst, ice := get("TREFHT"), get("SST"), get("ICEFRAC")
+		fsnt, flnt, psl := get("FSNT"), get("FLNT"), get("PSL")
+		u, v, pr := get("U850"), get("V850"), get("PRECT")
+		if gerr != nil {
+			return out, gerr
+		}
+		var sumT, sumSST, sumIce, sumNet, sumPr float64
+		for i := 0; i < g.NLat; i++ {
+			w := weights[i]
+			base := i * g.NLon
+			for j := 0; j < g.NLon; j++ {
+				idx := base + j
+				sumT += w * float64(tre[idx])
+				sumSST += w * float64(sst[idx])
+				sumIce += w * float64(ice[idx])
+				sumNet += w * (float64(fsnt[idx]) - float64(flnt[idx]))
+				sumPr += w * float64(pr[idx])
+				if p := float64(psl[idx]); p < out.MinPSL {
+					out.MinPSL = p
+				}
+				if sp := math.Hypot(float64(u[idx]), float64(v[idx])); sp > out.MaxWind {
+					out.MaxWind = sp
+				}
+			}
+		}
+		out.GlobalMeanT += sumT / wsum / steps
+		out.GlobalMeanSST += sumSST / wsum / steps
+		out.IceArea += sumIce / wsum / steps
+		out.TOANet += sumNet / wsum / steps
+		out.MeanPrecip += sumPr / wsum / steps
+	}
+	return out, nil
+}
+
+// CheckDiagnostics validates a day's indicators against hard physical
+// plausibility bounds — the in-run sanity gate operational ESM
+// workflows apply before trusting output.
+func CheckDiagnostics(d DayDiagnostics) error {
+	checks := []struct {
+		name   string
+		v      float64
+		lo, hi float64
+	}{
+		{"global mean T", d.GlobalMeanT, 250, 310},
+		{"global mean SST", d.GlobalMeanSST, 250, 310},
+		{"ice area", d.IceArea, 0, 1},
+		{"TOA net flux", d.TOANet, -300, 300},
+		{"min PSL", d.MinPSL, 85000, 105000},
+		{"max wind", d.MaxWind, 0, 150},
+		{"mean precip", d.MeanPrecip, 0, 50},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || c.v < c.lo || c.v > c.hi {
+			return fmt.Errorf("esm: diagnostic %s = %v outside [%v, %v] (year %d day %d)",
+				c.name, c.v, c.lo, c.hi, d.Year, d.DayOfYear)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package esm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestDiagnoseProducesPlausibleIndicators(t *testing.T) {
+	m := NewModel(smallCfg())
+	d := m.StepDay()
+	diag, err := Diagnose(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDiagnostics(diag); err != nil {
+		t.Fatal(err)
+	}
+	if diag.Year != 2040 || diag.DayOfYear != 0 {
+		t.Fatalf("diag identity = %+v", diag)
+	}
+	// global mean temperature in the habitable range
+	if diag.GlobalMeanT < 270 || diag.GlobalMeanT > 300 {
+		t.Fatalf("global mean T = %v", diag.GlobalMeanT)
+	}
+	if diag.MinPSL >= 101325 {
+		t.Fatalf("min PSL = %v, should be below standard pressure somewhere", diag.MinPSL)
+	}
+	if diag.MaxWind <= 0 || diag.MeanPrecip <= 0 {
+		t.Fatalf("wind/precip = %v/%v", diag.MaxWind, diag.MeanPrecip)
+	}
+}
+
+func TestDiagnoseAreaWeighting(t *testing.T) {
+	// area weighting must emphasize the (warm) tropics: the weighted
+	// global mean exceeds the naive cell mean, which over-counts the
+	// cold poles on a regular lat/lon grid.
+	m := NewModel(smallCfg())
+	d := m.StepDay()
+	diag, err := Diagnose(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := d.Field(0, "TREFHT")
+	naive := f.Statistics().Mean
+	if diag.GlobalMeanT <= naive {
+		t.Fatalf("weighted mean %v <= naive mean %v", diag.GlobalMeanT, naive)
+	}
+}
+
+func TestDiagnosticsWarmingTrendVisible(t *testing.T) {
+	// same seed, two scenarios: the weather is identical, so the
+	// difference in the final-day global mean is exactly the forcing.
+	run := func(s Scenario) float64 {
+		cfg := smallCfg()
+		cfg.Years = 3
+		cfg.DaysPerYear = 10
+		cfg.Scenario = s
+		cfg.Events = &EventConfig{}
+		m := NewModel(cfg)
+		var last float64
+		for i := 0; i < m.TotalDays(); i++ {
+			diag, err := Diagnose(m.StepDay())
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = diag.GlobalMeanT
+		}
+		return last
+	}
+	dT := run(SSP585) - run(Historical)
+	want := SSP585.WarmingRate() * 2 // two elapsed year increments
+	if dT < 0.8*want || dT > 1.2*want {
+		t.Fatalf("scenario warming in diagnostics = %vK, want ~%vK", dT, want)
+	}
+}
+
+func TestDiagnosticsStormDeepensMinPSL(t *testing.T) {
+	quiet := NewModel(Config{
+		Grid: grid.Grid{NLat: 32, NLon: 64}, Years: 1, DaysPerYear: 10, Seed: 5,
+		Events: &EventConfig{},
+	})
+	stormy := NewModel(Config{
+		Grid: grid.Grid{NLat: 32, NLon: 64}, Years: 1, DaysPerYear: 10, Seed: 5,
+		Events: &EventConfig{CyclonesPerYear: 4, WaveAmplitudeK: 8, WaveMinDays: 6, WaveMaxDays: 6},
+	})
+	var quietMin, stormyMin = math.Inf(1), math.Inf(1)
+	for i := 0; i < 10; i++ {
+		dq, ds := quiet.StepDay(), stormy.StepDay()
+		q, err := Diagnose(dq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Diagnose(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quietMin = math.Min(quietMin, q.MinPSL)
+		stormyMin = math.Min(stormyMin, s.MinPSL)
+	}
+	if stormyMin >= quietMin {
+		t.Fatalf("storms did not deepen min PSL: quiet %v stormy %v", quietMin, stormyMin)
+	}
+}
+
+func TestCheckDiagnosticsRejectsImplausible(t *testing.T) {
+	good := DayDiagnostics{
+		GlobalMeanT: 288, GlobalMeanSST: 287, IceArea: 0.05,
+		TOANet: 10, MinPSL: 99000, MaxWind: 40, MeanPrecip: 3,
+	}
+	if err := CheckDiagnostics(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.GlobalMeanT = 400
+	if err := CheckDiagnostics(bad); err == nil {
+		t.Fatal("absurd temperature validated")
+	}
+	bad = good
+	bad.IceArea = 1.5
+	if err := CheckDiagnostics(bad); err == nil {
+		t.Fatal("ice fraction > 1 validated")
+	}
+	bad = good
+	bad.MinPSL = math.NaN()
+	if err := CheckDiagnostics(bad); err == nil {
+		t.Fatal("NaN validated")
+	}
+}

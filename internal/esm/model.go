@@ -1,0 +1,226 @@
+package esm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// DayOutput is one simulated day: StepsPerDay instantaneous fields for
+// every output variable.
+type DayOutput struct {
+	// Year is the calendar year, DayOfYear the zero-based day index.
+	Year, DayOfYear int
+	// Grid is the output grid.
+	Grid grid.Grid
+	// Steps[s][v] is the field of variable v at 6-hourly step s.
+	Steps []map[string]*grid.Field
+}
+
+// Field returns the field of variable v at step s.
+func (d *DayOutput) Field(s int, v string) (*grid.Field, error) {
+	if s < 0 || s >= len(d.Steps) {
+		return nil, fmt.Errorf("esm: step %d out of range", s)
+	}
+	f, ok := d.Steps[s][v]
+	if !ok {
+		return nil, fmt.Errorf("esm: unknown variable %q", v)
+	}
+	return f, nil
+}
+
+// Model is the running coupled system.
+type Model struct {
+	cfg Config
+	gt  GroundTruth
+
+	noiseT *noiseField // temperature weather noise [K]
+	noiseP *noiseField // pressure noise [hPa-scale]
+	noiseW *noiseField // wind noise [m/s]
+
+	sst *grid.Field // slab-ocean state
+
+	absDay int // days elapsed since run start
+}
+
+// NewModel builds a model, seeding all ground-truth events for the full
+// configured span.
+func NewModel(cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg}
+
+	// Independent deterministic sub-streams.
+	weatherRng := newPRNG(cfg.Seed*7919 + 1)
+	m.noiseT = newNoiseField(cfg.Grid, weatherRng, 0.75, 1.1)
+	m.noiseP = newNoiseField(cfg.Grid, newPRNG(cfg.Seed*7919+2), 0.7, 2.2)
+	m.noiseW = newNoiseField(cfg.Grid, newPRNG(cfg.Seed*7919+3), 0.6, 2.0)
+
+	stormID := 1
+	for y := 0; y < cfg.Years; y++ {
+		year := cfg.StartYear + y
+		evRng := newPRNG(cfg.Seed ^ int64(year)*104729)
+		m.gt.Waves = append(m.gt.Waves, seedWaves(cfg, year, evRng)...)
+		storms := seedCyclones(cfg, year, stormID, evRng)
+		stormID += len(storms)
+		m.gt.Cyclones = append(m.gt.Cyclones, storms...)
+	}
+
+	// Initialize the slab ocean at day-0 climatology.
+	m.sst = grid.NewField(cfg.Grid)
+	for i := 0; i < cfg.Grid.NLat; i++ {
+		for j := 0; j < cfg.Grid.NLon; j++ {
+			m.sst.Data[cfg.Grid.Index(i, j)] = float32(Climatology(cfg.Grid, i, j, 0, cfg.DaysPerYear))
+		}
+	}
+	return m
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// GroundTruth exposes the seeded events for skill evaluation.
+func (m *Model) GroundTruth() *GroundTruth { return &m.gt }
+
+// TotalDays is the full run length in days.
+func (m *Model) TotalDays() int { return m.cfg.Years * m.cfg.DaysPerYear }
+
+// DaysCompleted reports how many days have been simulated so far.
+func (m *Model) DaysCompleted() int { return m.absDay }
+
+// Done reports whether the run is complete.
+func (m *Model) Done() bool { return m.absDay >= m.TotalDays() }
+
+// StepDay advances the coupled system one day and returns its output.
+// It returns nil once the configured span is exhausted.
+func (m *Model) StepDay() *DayOutput {
+	if m.Done() {
+		return nil
+	}
+	cfg := m.cfg
+	g := cfg.Grid
+	yearIdx := m.absDay / cfg.DaysPerYear
+	year := cfg.StartYear + yearIdx
+	doy := m.absDay % cfg.DaysPerYear
+	warming := cfg.Scenario.WarmingRate() * float64(yearIdx)
+
+	// --- atmosphere daily base state ---------------------------------
+	nT := m.noiseT.step()
+	nP := m.noiseP.step()
+	nW := m.noiseW.step()
+
+	baseT := grid.NewField(g)
+	for i := 0; i < g.NLat; i++ {
+		for j := 0; j < g.NLon; j++ {
+			idx := g.Index(i, j)
+			t := Climatology(g, i, j, doy, cfg.DaysPerYear) + warming + float64(nT.Data[idx])
+			for wi := range m.gt.Waves {
+				w := &m.gt.Waves[wi]
+				if w.Year == year {
+					t += w.anomalyAt(g, i, j, doy)
+				}
+			}
+			baseT.Data[idx] = float32(t)
+		}
+	}
+
+	// --- ocean coupling: SST relaxes toward surface air temperature ---
+	const relaxDays = 20.0
+	for idx := range m.sst.Data {
+		m.sst.Data[idx] += (baseT.Data[idx] - m.sst.Data[idx]) / relaxDays
+	}
+
+	out := &DayOutput{Year: year, DayOfYear: doy, Grid: g, Steps: make([]map[string]*grid.Field, StepsPerDay)}
+	for s := 0; s < StepsPerDay; s++ {
+		fields := make(map[string]*grid.Field, len(Vars))
+		for _, v := range Vars {
+			fields[v] = grid.NewField(g)
+		}
+		diurnal := DiurnalAnomaly(s)
+		for i := 0; i < g.NLat; i++ {
+			lat := g.Lat(i)
+			jet := 12*math.Exp(-math.Pow((math.Abs(lat)-45)/12, 2)) - 4*math.Exp(-math.Pow(lat/12, 2))
+			for j := 0; j < g.NLon; j++ {
+				idx := g.Index(i, j)
+				t := float64(baseT.Data[idx]) + diurnal
+				sst := float64(m.sst.Data[idx])
+
+				fields["TREFHT"].Data[idx] = float32(t)
+				fields["TS"].Data[idx] = float32(0.7*t + 0.3*sst)
+				fields["SST"].Data[idx] = float32(sst)
+				ice := iceFraction(sst)
+				fields["ICEFRAC"].Data[idx] = float32(ice)
+
+				psl := 101325 + 800*math.Cos(2*lat*math.Pi/180) + 120*float64(nP.Data[idx])
+				fields["PSL"].Data[idx] = float32(psl)
+
+				u := jet + float64(nW.Data[idx])
+				v := 0.6 * float64(nW.Data[(idx+g.NLon/2)%len(nW.Data)])
+				fields["U850"].Data[idx] = float32(u)
+				fields["V850"].Data[idx] = float32(v)
+				fields["U10"].Data[idx] = float32(0.6 * u)
+				fields["V10"].Data[idx] = float32(0.6 * v)
+
+				q := 8 * math.Exp((t-288)/15)
+				if q > 25 {
+					q = 25
+				}
+				fields["Q850"].Data[idx] = float32(q)
+				fields["T500"].Data[idx] = float32(t - 30)
+				fields["Z500"].Data[idx] = float32(5600 + 7*(t-288))
+
+				// base precipitation: ITCZ band plus humidity scaling
+				itcz := 6 * math.Exp(-math.Pow(lat/10, 2))
+				pr := itcz * (0.5 + q/16)
+				if n := float64(nT.Data[idx]); n > 1 {
+					pr += 2 * (n - 1)
+				}
+				fields["PRECT"].Data[idx] = float32(pr)
+
+				cld := 1 / (1 + math.Exp(-(q-9)/3))
+				fields["CLDTOT"].Data[idx] = float32(cld)
+				fields["FSNT"].Data[idx] = float32(340 * (1 - 0.5*cld) * math.Cos(lat*math.Pi/180))
+				fields["FLNT"].Data[idx] = float32(2.2 * (t - 190) * (1 - 0.35*cld))
+				fields["VORT850"].Data[idx] = float32(2e-5 * float64(nW.Data[idx]))
+			}
+		}
+		// cyclone imprints at this step
+		for ci := range m.gt.Cyclones {
+			c := &m.gt.Cyclones[ci]
+			if c.Year != year {
+				continue
+			}
+			if p, ok := c.Active(doy, s); ok {
+				imprintCyclone(g, p,
+					fields["PSL"], fields["U850"], fields["V850"],
+					fields["T500"], fields["PRECT"], fields["VORT850"])
+			}
+		}
+		// derived fields
+		for idx := range fields["U10"].Data {
+			u10 := float64(fields["U10"].Data[idx])
+			v10 := float64(fields["V10"].Data[idx])
+			sp := math.Hypot(u10, v10)
+			fields["WSPD10"].Data[idx] = float32(sp)
+			fields["TAUX"].Data[idx] = float32(0.0015 * sp * u10)
+			fields["TAUY"].Data[idx] = float32(0.0015 * sp * v10)
+		}
+		out.Steps[s] = fields
+	}
+	m.absDay++
+	return out
+}
+
+// iceFraction is a smooth ramp from open water to full cover as SST
+// falls through the freezing band.
+func iceFraction(sstK float64) float64 {
+	const freeze = 271.35
+	switch {
+	case sstK >= freeze+1:
+		return 0
+	case sstK <= freeze-2:
+		return 1
+	default:
+		return (freeze + 1 - sstK) / 3
+	}
+}

@@ -1,0 +1,122 @@
+package esm
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+
+	"repro/internal/ncdf"
+)
+
+// FileName returns the canonical daily output file name, e.g.
+// "cm3_2040_d017.nc".
+func FileName(year, dayOfYear int) string {
+	return fmt.Sprintf("cm3_%04d_d%03d.nc", year, dayOfYear)
+}
+
+var fileRe = regexp.MustCompile(`^cm3_(\d{4})_d(\d{3})\.nc$`)
+
+// ParseFileName extracts (year, dayOfYear) from a daily output path.
+func ParseFileName(path string) (year, day int, ok bool) {
+	m := fileRe.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return 0, 0, false
+	}
+	year, _ = strconv.Atoi(m[1])
+	day, _ = strconv.Atoi(m[2])
+	return year, day, true
+}
+
+// YearOf adapts ParseFileName for stream.YearBatcher.
+func YearOf(path string) (int, bool) {
+	y, _, ok := ParseFileName(path)
+	return y, ok
+}
+
+// ToDataset converts a day's output into a GNC1 dataset with dims
+// (time, lat, lon) and one variable per model field, matching the
+// paper's daily-file contract.
+func (d *DayOutput) ToDataset() (*ncdf.Dataset, error) {
+	ds := ncdf.NewDataset()
+	if err := ds.AddDim("time", StepsPerDay); err != nil {
+		return nil, err
+	}
+	if err := ds.AddDim("lat", d.Grid.NLat); err != nil {
+		return nil, err
+	}
+	if err := ds.AddDim("lon", d.Grid.NLon); err != nil {
+		return nil, err
+	}
+	ds.Attrs["model"] = ncdf.String("CMCC-CM3-sim")
+	ds.Attrs["year"] = ncdf.Int(int64(d.Year))
+	ds.Attrs["day_of_year"] = ncdf.Int(int64(d.DayOfYear))
+	ds.Attrs["steps_per_day"] = ncdf.Int(StepsPerDay)
+	size := d.Grid.Size()
+	for _, name := range Vars {
+		data := make([]float32, StepsPerDay*size)
+		for s := 0; s < StepsPerDay; s++ {
+			f, ok := d.Steps[s][name]
+			if !ok {
+				return nil, fmt.Errorf("esm: missing variable %q at step %d", name, s)
+			}
+			copy(data[s*size:(s+1)*size], f.Data)
+		}
+		if _, err := ds.AddVar(name, []string{"time", "lat", "lon"}, data); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// WriteDay writes the day's output into dir using the canonical name
+// and returns the file path.
+func (d *DayOutput) WriteDay(dir string) (string, error) {
+	ds, err := d.ToDataset()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(d.Year, d.DayOfYear))
+	if err := ncdf.WriteFile(path, ds); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// RunOptions controls a full simulation-to-disk run.
+type RunOptions struct {
+	// Dir is the output directory (must exist).
+	Dir string
+	// InterDayDelay, when positive, sleeps between daily files so that
+	// streaming consumers observe gradual production like a real ESM.
+	InterDayDelay time.Duration
+	// OnDay, when non-nil, is called with each file path after it lands.
+	OnDay func(path string, d *DayOutput)
+}
+
+// Run executes the whole configured span, writing one file per day, and
+// returns the paths in production order. It is the "CMCC-CM3 model
+// simulation ... runs iteratively for producing the output data (one
+// NetCDF file for each day of simulation) until the simulation run is
+// completed" (paper step 3).
+func (m *Model) Run(opt RunOptions) ([]string, error) {
+	var paths []string
+	for {
+		d := m.StepDay()
+		if d == nil {
+			return paths, nil
+		}
+		p, err := d.WriteDay(opt.Dir)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+		if opt.OnDay != nil {
+			opt.OnDay(p, d)
+		}
+		if opt.InterDayDelay > 0 {
+			time.Sleep(opt.InterDayDelay)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package esm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Restart files let a long simulation resume exactly where it stopped —
+// every production ESM writes them, and multi-month projections like
+// the paper's 30–35-year runs (§5.2) depend on them to survive
+// allocation limits. The image captures the full prognostic state: the
+// slab-ocean field, the weather-noise generators (coarse AR(1) states
+// plus their serializable PRNGs) and the day counter. Ground-truth
+// events are reseeded deterministically from the configuration, so
+// they need no storage.
+type restartImage struct {
+	Cfg    Config
+	AbsDay int
+	SST    []float32
+	NoiseT noiseImage
+	NoiseP noiseImage
+	NoiseW noiseImage
+}
+
+// noiseImage is the serializable state of one noiseField.
+type noiseImage struct {
+	State []float32
+	RNG   prng
+}
+
+func (n *noiseField) image() noiseImage {
+	return noiseImage{State: append([]float32(nil), n.state.Data...), RNG: *n.rng}
+}
+
+func (n *noiseField) restore(img noiseImage) error {
+	if len(img.State) != len(n.state.Data) {
+		return fmt.Errorf("esm: restart noise state has %d cells, want %d", len(img.State), len(n.state.Data))
+	}
+	copy(n.state.Data, img.State)
+	*n.rng = img.RNG
+	return nil
+}
+
+// MarshalRestart encodes the model's prognostic state.
+func (m *Model) MarshalRestart() ([]byte, error) {
+	img := restartImage{
+		Cfg:    m.cfg,
+		AbsDay: m.absDay,
+		SST:    append([]float32(nil), m.sst.Data...),
+		NoiseT: m.noiseT.image(),
+		NoiseP: m.noiseP.image(),
+		NoiseW: m.noiseW.image(),
+	}
+	return encodeImage(img)
+}
+
+// encodeImage gob-encodes a restart image.
+func encodeImage(img restartImage) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("esm: encode restart: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SaveRestart writes the restart file atomically.
+func (m *Model) SaveRestart(path string) error {
+	data, err := m.MarshalRestart()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// UnmarshalRestart reconstructs a model from MarshalRestart output. The
+// resumed model continues bit-exactly where the saved one stopped.
+func UnmarshalRestart(data []byte) (*Model, error) {
+	var img restartImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("esm: decode restart: %w", err)
+	}
+	m := NewModel(img.Cfg) // reseeds ground truth deterministically
+	if len(img.SST) != len(m.sst.Data) {
+		return nil, fmt.Errorf("esm: restart SST has %d cells, want %d", len(img.SST), len(m.sst.Data))
+	}
+	copy(m.sst.Data, img.SST)
+	if err := m.noiseT.restore(img.NoiseT); err != nil {
+		return nil, err
+	}
+	if err := m.noiseP.restore(img.NoiseP); err != nil {
+		return nil, err
+	}
+	if err := m.noiseW.restore(img.NoiseW); err != nil {
+		return nil, err
+	}
+	if img.AbsDay < 0 || img.AbsDay > m.TotalDays() {
+		return nil, fmt.Errorf("esm: restart day %d outside run of %d days", img.AbsDay, m.TotalDays())
+	}
+	m.absDay = img.AbsDay
+	return m, nil
+}
+
+// LoadRestart reads a restart file written by SaveRestart.
+func LoadRestart(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalRestart(data)
+}

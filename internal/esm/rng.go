@@ -1,0 +1,75 @@
+package esm
+
+import "math"
+
+// prng is a small, fully serializable pseudo-random generator
+// (xoshiro256** with splitmix64 seeding, Box–Muller normals). The
+// standard library generator hides its state, which would make model
+// restart files impossible; this one's exported fields gob-encode, so
+// a saved simulation resumes bit-exactly.
+type prng struct {
+	S     [4]uint64
+	Cache float64 // buffered second Box–Muller variate
+	Has   bool
+}
+
+// newPRNG seeds the generator deterministically.
+func newPRNG(seed int64) *prng {
+	p := &prng{}
+	x := uint64(seed)
+	for i := range p.S {
+		// splitmix64
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.S[i] = z ^ (z >> 31)
+	}
+	return p
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next raw 64-bit value.
+func (p *prng) Uint64() uint64 {
+	s := &p.S
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1).
+func (p *prng) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). n must be positive.
+func (p *prng) Intn(n int) int {
+	if n <= 0 {
+		panic("esm: Intn with non-positive n")
+	}
+	return int(p.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (p *prng) NormFloat64() float64 {
+	if p.Has {
+		p.Has = false
+		return p.Cache
+	}
+	var u float64
+	for u == 0 {
+		u = p.Float64()
+	}
+	v := p.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	p.Cache = r * math.Sin(2*math.Pi*v)
+	p.Has = true
+	return r * math.Cos(2*math.Pi*v)
+}

@@ -1,0 +1,292 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridGeometry(t *testing.T) {
+	g := Grid{NLat: 4, NLon: 8}
+	if g.Size() != 32 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if g.LatStep() != 45 || g.LonStep() != 45 {
+		t.Fatalf("steps = %v, %v", g.LatStep(), g.LonStep())
+	}
+	if g.Lat(0) != -67.5 || g.Lat(3) != 67.5 {
+		t.Fatalf("lats = %v, %v", g.Lat(0), g.Lat(3))
+	}
+	if g.Lon(0) != 22.5 {
+		t.Fatalf("lon0 = %v", g.Lon(0))
+	}
+}
+
+func TestIndexRowColInverse(t *testing.T) {
+	g := Grid{NLat: 5, NLon: 7}
+	for i := 0; i < g.NLat; i++ {
+		for j := 0; j < g.NLon; j++ {
+			r, c := g.RowCol(g.Index(i, j))
+			if r != i || c != j {
+				t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", i, j, r, c)
+			}
+		}
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	g := Grid{NLat: 180, NLon: 360}
+	i, j := g.CellOf(0.5, 0.5)
+	if g.Lat(i) != 0.5 || g.Lon(j) != 0.5 {
+		t.Fatalf("cell center = (%v,%v)", g.Lat(i), g.Lon(j))
+	}
+	// negative longitude wraps
+	_, j = g.CellOf(0, -10)
+	if got := g.Lon(j); got != 350.5 {
+		t.Fatalf("wrapped lon = %v", got)
+	}
+	// poles clamp
+	i, _ = g.CellOf(99, 0)
+	if i != g.NLat-1 {
+		t.Fatalf("clamped row = %d", i)
+	}
+	i, _ = g.CellOf(-99, 0)
+	if i != 0 {
+		t.Fatalf("clamped row = %d", i)
+	}
+}
+
+func TestFieldAtSetWrap(t *testing.T) {
+	f := NewField(Grid{NLat: 3, NLon: 4})
+	f.Set(1, -1, 5) // wraps to col 3
+	if f.At(1, 3) != 5 {
+		t.Fatal("column wrap failed on Set")
+	}
+	if f.At(1, 7) != 5 { // 7 mod 4 = 3
+		t.Fatal("column wrap failed on At")
+	}
+	f.Set(-5, 0, 2) // clamps to row 0
+	if f.At(0, 0) != 2 {
+		t.Fatal("row clamp failed")
+	}
+}
+
+func TestRegridIdentityPreservesConstant(t *testing.T) {
+	src := Grid{NLat: 8, NLon: 16}
+	f := NewField(src)
+	for i := range f.Data {
+		f.Data[i] = 7.5
+	}
+	out := f.Regrid(Grid{NLat: 16, NLon: 32})
+	for _, v := range out.Data {
+		if math.Abs(float64(v)-7.5) > 1e-5 {
+			t.Fatalf("constant field not preserved: %v", v)
+		}
+	}
+}
+
+func TestRegridPreservesSmoothGradient(t *testing.T) {
+	src := Grid{NLat: 32, NLon: 64}
+	f := NewField(src)
+	for i := 0; i < src.NLat; i++ {
+		for j := 0; j < src.NLon; j++ {
+			f.Data[src.Index(i, j)] = float32(src.Lat(i)) // linear in latitude
+		}
+	}
+	dst := Grid{NLat: 16, NLon: 32}
+	out := f.Regrid(dst)
+	for i := 2; i < dst.NLat-2; i++ { // skip poles where clamping biases
+		got := float64(out.At(i, 5))
+		want := dst.Lat(i)
+		if math.Abs(got-want) > 1.0 {
+			t.Fatalf("row %d: regridded %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	f := NewField(Grid{NLat: 1, NLon: 4})
+	copy(f.Data, []float32{1, 2, 3, 4})
+	s := f.Statistics()
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestStatisticsEmpty(t *testing.T) {
+	f := &Field{}
+	if s := f.Statistics(); s.Max != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	f := NewField(Grid{NLat: 1, NLon: 3})
+	copy(f.Data, []float32{10, 20, 30})
+	mn, mx := f.MinMaxScale()
+	if mn != 10 || mx != 30 {
+		t.Fatalf("returned range = %v..%v", mn, mx)
+	}
+	if f.Data[0] != 0 || f.Data[1] != 0.5 || f.Data[2] != 1 {
+		t.Fatalf("scaled = %v", f.Data)
+	}
+}
+
+func TestMinMaxScaleConstant(t *testing.T) {
+	f := NewField(Grid{NLat: 1, NLon: 3})
+	copy(f.Data, []float32{5, 5, 5})
+	f.MinMaxScale()
+	for _, v := range f.Data {
+		if v != 0 {
+			t.Fatalf("constant scale = %v", f.Data)
+		}
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	f := NewField(Grid{NLat: 1, NLon: 4})
+	copy(f.Data, []float32{2, 4, 6, 8})
+	mean, std := f.Standardize()
+	if mean != 5 || std <= 0 {
+		t.Fatalf("mean=%v std=%v", mean, std)
+	}
+	s := f.Statistics()
+	if math.Abs(s.Mean) > 1e-6 || math.Abs(s.Std-1) > 1e-6 {
+		t.Fatalf("standardized stats = %+v", s)
+	}
+}
+
+func TestStandardizeConstant(t *testing.T) {
+	f := NewField(Grid{NLat: 1, NLon: 2})
+	copy(f.Data, []float32{3, 3})
+	if _, std := f.Standardize(); std != 0 {
+		t.Fatalf("std = %v", std)
+	}
+	if f.Data[0] != 0 {
+		t.Fatal("constant standardize should zero")
+	}
+}
+
+func TestTileExact(t *testing.T) {
+	g := Grid{NLat: 4, NLon: 6}
+	f := NewField(g)
+	for i := range f.Data {
+		f.Data[i] = float32(i)
+	}
+	patches, err := f.Tile(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patches) != 4 {
+		t.Fatalf("patches = %d, want 4", len(patches))
+	}
+	p := patches[1] // top-right tile: rows 0-1, cols 3-5
+	if p.Row0 != 0 || p.Col0 != 3 {
+		t.Fatalf("patch origin = (%d,%d)", p.Row0, p.Col0)
+	}
+	if p.Data[p.Index(0, 0)] != float32(g.Index(0, 3)) {
+		t.Fatalf("patch content wrong: %v", p.Data)
+	}
+	if p.Data[p.Index(1, 2)] != float32(g.Index(1, 5)) {
+		t.Fatalf("patch content wrong at (1,2): %v", p.Data)
+	}
+}
+
+func TestTileDropsRagged(t *testing.T) {
+	f := NewField(Grid{NLat: 5, NLon: 7})
+	patches, err := f.Tile(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patches) != 4 { // 2 tile-rows × 2 tile-cols
+		t.Fatalf("patches = %d, want 4", len(patches))
+	}
+}
+
+func TestTileValidation(t *testing.T) {
+	f := NewField(Grid{NLat: 4, NLon: 4})
+	if _, err := f.Tile(0, 2); err == nil {
+		t.Fatal("zero patch accepted")
+	}
+	if _, err := f.Tile(8, 2); err == nil {
+		t.Fatal("oversized patch accepted")
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// equator quarter-circumference ~ 10007.5 km
+	d := Haversine(0, 0, 0, 90)
+	if math.Abs(d-10007.5) > 10 {
+		t.Fatalf("quarter equator = %v", d)
+	}
+	if Haversine(45, 45, 45, 45) != 0 {
+		t.Fatal("zero distance expected")
+	}
+	// antipodal ~ 20015 km
+	d = Haversine(0, 0, 0, 180)
+	if math.Abs(d-20015) > 10 {
+		t.Fatalf("antipodal = %v", d)
+	}
+}
+
+// Property: tiling then reassembling recovers every covered cell.
+func TestTileCoversAllCellsProperty(t *testing.T) {
+	f := func(nl, nc, ph, pw uint8) bool {
+		g := Grid{NLat: int(nl%12) + 4, NLon: int(nc%12) + 4}
+		h := int(ph%3) + 1
+		w := int(pw%3) + 1
+		fld := NewField(g)
+		for i := range fld.Data {
+			fld.Data[i] = float32(i)
+		}
+		patches, err := fld.Tile(h, w)
+		if err != nil {
+			return false
+		}
+		for _, p := range patches {
+			for r := 0; r < p.H; r++ {
+				for c := 0; c < p.W; c++ {
+					if p.Data[p.Index(r, c)] != float32(g.Index(p.Row0+r, p.Col0+c)) {
+						return false
+					}
+				}
+			}
+		}
+		return len(patches) == (g.NLat/h)*(g.NLon/w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: regridding never produces values outside the source range
+// (bilinear interpolation is a convex combination).
+func TestRegridConvexityProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		src := Grid{NLat: 6, NLon: 8}
+		fld := NewField(src)
+		for i := range fld.Data {
+			if len(vals) > 0 {
+				v := vals[i%len(vals)]
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					v = 0
+				}
+				fld.Data[i] = v
+			}
+		}
+		s := fld.Statistics()
+		out := fld.Regrid(Grid{NLat: 9, NLon: 13})
+		for _, v := range out.Data {
+			if float64(v) < s.Min-1e-3 || float64(v) > s.Max+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+package hpcwaas
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/imagebuilder"
+)
+
+// ExecStatus is the lifecycle of one workflow execution.
+type ExecStatus string
+
+// Execution states.
+const (
+	ExecRunning ExecStatus = "RUNNING"
+	ExecDone    ExecStatus = "DONE"
+	ExecFailed  ExecStatus = "FAILED"
+)
+
+// Execution is one run of a deployed workflow triggered via the API.
+type Execution struct {
+	ID       string            `json:"id"`
+	Workflow string            `json:"workflow"`
+	Status   ExecStatus        `json:"status"`
+	Params   map[string]string `json:"params,omitempty"`
+	Results  map[string]string `json:"results,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// Service is the HPCWaaS front-end: it binds the registry, the deployer
+// and the execution engine behind an HTTP API (Figure 1's Execution
+// API, "workflow execution as a simple REST invocation").
+type Service struct {
+	Registry *Registry
+	Deployer *Deployer
+
+	mu     sync.Mutex
+	nextID int
+	execs  map[string]*Execution
+	wg     sync.WaitGroup
+	tokens map[string]string // token → principal
+}
+
+// AuthorizeToken registers an API token for the named principal. Once
+// at least one token exists, every API call must carry
+// "Authorization: Bearer <token>" — the stand-in for the credential
+// vault the eFlows4HPC HPCWaaS uses so final users never handle SSH
+// keys themselves.
+func (s *Service) AuthorizeToken(token, principal string) error {
+	if token == "" {
+		return fmt.Errorf("hpcwaas: empty token")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tokens == nil {
+		s.tokens = make(map[string]string)
+	}
+	s.tokens[token] = principal
+	return nil
+}
+
+// authenticate returns the principal for a request, or "" with false
+// when authentication fails. With no registered tokens the API is
+// open (development mode).
+func (s *Service) authenticate(r *http.Request) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tokens) == 0 {
+		return "anonymous", true
+	}
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return "", false
+	}
+	principal, ok := s.tokens[strings.TrimPrefix(h, prefix)]
+	return principal, ok
+}
+
+// NewService wires a service; nil parts get defaults.
+func NewService(reg *Registry, dep *Deployer) *Service {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if dep == nil {
+		dep = NewDeployer(nil, nil, imagebuilder.Platform{})
+	}
+	return &Service{Registry: reg, Deployer: dep, execs: make(map[string]*Execution)}
+}
+
+// Execute launches a registered, deployed workflow asynchronously and
+// returns a snapshot of the execution record (status RUNNING). The
+// background run mutates only the internal record, never the returned
+// copy.
+func (s *Service) Execute(workflow string, params map[string]string) (Execution, error) {
+	entry, ok := s.Registry.Lookup(workflow)
+	if !ok {
+		return Execution{}, fmt.Errorf("hpcwaas: unknown workflow %q", workflow)
+	}
+	if !s.Deployer.ActiveFor(workflow) {
+		return Execution{}, fmt.Errorf("hpcwaas: workflow %q has no active deployment", workflow)
+	}
+	s.mu.Lock()
+	s.nextID++
+	ex := &Execution{
+		ID:       fmt.Sprintf("exec-%d", s.nextID),
+		Workflow: workflow,
+		Status:   ExecRunning,
+		Params:   params,
+	}
+	s.execs[ex.ID] = ex
+	snapshot := *ex
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		results, err := runApp(entry.App, params)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			ex.Status = ExecFailed
+			ex.Error = err.Error()
+			return
+		}
+		ex.Status = ExecDone
+		ex.Results = results
+	}()
+	return snapshot, nil
+}
+
+// runApp isolates application panics as errors.
+func runApp(app AppFunc, params map[string]string) (out map[string]string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("hpcwaas: application panicked: %v", p)
+		}
+	}()
+	return app(params)
+}
+
+// Wait blocks until all in-flight executions finish (test helper and
+// graceful-shutdown hook).
+func (s *Service) Wait() { s.wg.Wait() }
+
+// GetExecution fetches an execution snapshot.
+func (s *Service) GetExecution(id string) (Execution, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ex, ok := s.execs[id]
+	if !ok {
+		return Execution{}, false
+	}
+	return *ex, true
+}
+
+// Handler returns the REST API. Routes:
+//
+//	GET  /api/workflows                  list registered workflows
+//	GET  /api/workflows/{name}           workflow detail (topology)
+//	POST /api/workflows/{name}/deploy    deploy ({"target": "..."})
+//	GET  /api/deployments/{id}           deployment status/log
+//	POST /api/deployments/{id}/undeploy  tear down
+//	POST /api/executions                 run ({"workflow": ..., "params": {...}})
+//	GET  /api/executions                 list executions
+//	GET  /api/executions/{id}            execution status/results
+//	GET  /api/health                     liveness probe
+//
+// When AuthorizeToken has registered at least one token, every route
+// requires "Authorization: Bearer <token>".
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /api/workflows", func(w http.ResponseWriter, r *http.Request) {
+		type item struct {
+			Name        string `json:"name"`
+			Version     string `json:"version"`
+			Description string `json:"description"`
+		}
+		var out []item
+		for _, name := range s.Registry.List() {
+			e, _ := s.Registry.Lookup(name)
+			out = append(out, item{Name: e.Name, Version: e.Version, Description: e.Description})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /api/workflows/{name}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.Registry.Lookup(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown workflow")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name":        e.Name,
+			"version":     e.Version,
+			"description": e.Description,
+			"topology":    e.Topology,
+		})
+	})
+
+	mux.HandleFunc("POST /api/workflows/{name}/deploy", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.Registry.Lookup(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown workflow")
+			return
+		}
+		var body struct {
+			Target string `json:"target"`
+		}
+		if err := decodeJSON(r, &body); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if body.Target == "" {
+			body.Target = "default-cluster"
+		}
+		dep, err := s.Deployer.Deploy(e, body.Target)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, dep)
+	})
+
+	mux.HandleFunc("GET /api/deployments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		dep, ok := s.Deployer.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown deployment")
+			return
+		}
+		writeJSON(w, http.StatusOK, dep)
+	})
+
+	mux.HandleFunc("POST /api/deployments/{id}/undeploy", func(w http.ResponseWriter, r *http.Request) {
+		dep, ok := s.Deployer.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown deployment")
+			return
+		}
+		e, ok := s.Registry.Lookup(dep.Workflow)
+		if !ok {
+			httpError(w, http.StatusConflict, "workflow no longer registered")
+			return
+		}
+		if err := s.Deployer.Undeploy(dep.ID, e.Topology); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		dep, _ = s.Deployer.Get(dep.ID) // re-read: status changed
+		writeJSON(w, http.StatusOK, dep)
+	})
+
+	mux.HandleFunc("POST /api/executions", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Workflow string            `json:"workflow"`
+			Params   map[string]string `json:"params"`
+		}
+		if err := decodeJSON(r, &body); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ex, err := s.Execute(body.Workflow, body.Params)
+		if err != nil {
+			code := http.StatusConflict
+			if strings.Contains(err.Error(), "unknown workflow") {
+				code = http.StatusNotFound
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, ex)
+	})
+
+	mux.HandleFunc("GET /api/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"workflows": len(s.Registry.List()),
+		})
+	})
+
+	mux.HandleFunc("GET /api/executions", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		out := make([]Execution, 0, len(s.execs))
+		for _, ex := range s.execs {
+			out = append(out, *ex)
+		}
+		s.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /api/executions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		ex, ok := s.GetExecution(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown execution")
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
+	})
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := s.authenticate(r); !ok {
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}

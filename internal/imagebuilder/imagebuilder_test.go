@@ -1,0 +1,140 @@
+package imagebuilder
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func x86() Platform { return Platform{Arch: "x86_64", MPI: "openmpi4"} }
+
+func TestResolveClosureOrder(t *testing.T) {
+	r := NewRegistry()
+	order, err := r.Resolve([]string{"pycompss"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, dep := range [][2]string{{"libc", "mpi"}, {"libc", "python"}, {"python", "pycompss"}, {"mpi", "pycompss"}} {
+		if pos[dep[0]] >= pos[dep[1]] {
+			t.Fatalf("%s not before %s: %v", dep[0], dep[1], order)
+		}
+	}
+}
+
+func TestResolveUnknownAndCycle(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Resolve([]string{"flux-capacitor"}); err == nil {
+		t.Fatal("unknown package resolved")
+	}
+	r.Add(Package{Name: "a", Deps: []string{"b"}})
+	r.Add(Package{Name: "b", Deps: []string{"a"}})
+	if _, err := r.Resolve([]string{"a"}); err == nil {
+		t.Fatal("cycle resolved")
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.Resolve([]string{"cnn-inference", "pyophidia"})
+	b, _ := r.Resolve([]string{"pyophidia", "cnn-inference"})
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("order depends on request order: %v vs %v", a, b)
+	}
+}
+
+func TestBuildProducesManifest(t *testing.T) {
+	b := NewBuilder(nil)
+	img, err := b.Build(Request{Name: "climate-ml", Packages: []string{"cnn-inference"}, Platform: x86()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Tag != "climate-ml:x86_64" {
+		t.Fatalf("tag = %q", img.Tag)
+	}
+	if !strings.HasPrefix(img.Digest, "sha256:") {
+		t.Fatalf("digest = %q", img.Digest)
+	}
+	if img.Cached {
+		t.Fatal("first build marked cached")
+	}
+	if len(img.Layers) < 4 { // libc, python, numpy, tensors, cnn-inference
+		t.Fatalf("layers = %v", img.Layers)
+	}
+	if len(img.BuildLog) != len(img.Layers)+2 {
+		t.Fatalf("log lines = %d", len(img.BuildLog))
+	}
+}
+
+func TestBuildCacheHit(t *testing.T) {
+	b := NewBuilder(nil)
+	req := Request{Name: "app", Packages: []string{"pycompss"}, Platform: x86()}
+	first, err := b.Build(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Build(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Digest != first.Digest {
+		t.Fatalf("cache miss: %+v", second)
+	}
+	if b.Builds() != 1 {
+		t.Fatalf("builds = %d", b.Builds())
+	}
+}
+
+func TestBuildPlatformChangesDigest(t *testing.T) {
+	b := NewBuilder(nil)
+	req := Request{Name: "app", Packages: []string{"mpi"}, Platform: x86()}
+	a, _ := b.Build(req)
+	req.Platform = Platform{Arch: "ppc64le", MPI: "spectrum-mpi"}
+	c, _ := b.Build(req)
+	if a.Digest == c.Digest {
+		t.Fatal("different platforms share a digest")
+	}
+	if b.Builds() != 2 {
+		t.Fatalf("builds = %d", b.Builds())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	b := NewBuilder(nil)
+	if _, err := b.Build(Request{Packages: []string{"mpi"}, Platform: x86()}); err == nil {
+		t.Fatal("anonymous request accepted")
+	}
+	if _, err := b.Build(Request{Name: "x", Packages: []string{"mpi"}}); err == nil {
+		t.Fatal("platformless request accepted")
+	}
+	if _, err := b.Build(Request{Name: "x", Packages: []string{"ghost"}, Platform: x86()}); err == nil {
+		t.Fatal("unknown package accepted")
+	}
+}
+
+func TestConcurrentBuildsConverge(t *testing.T) {
+	b := NewBuilder(nil)
+	req := Request{Name: "app", Packages: []string{"keras-like"}, Platform: x86()}
+	const n = 8
+	digests := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img, err := b.Build(req)
+			if err == nil {
+				digests[i] = img.Digest
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if digests[i] != digests[0] || digests[i] == "" {
+			t.Fatalf("divergent digests: %v", digests)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package indices computes the paper's climate extreme-event indices
+// (§5.3) on top of the datacube engine: for heat waves and cold spells,
+// per grid cell and year, (i) the longest wave duration, (ii) the
+// number of waves and (iii) the frequency of yearly wave days.
+//
+// A heat wave is "a period of unusually hot weather that typically
+// lasts six or more days" where "the maximum temperature must be 5 °C
+// higher than the historical averages"; a cold wave is the mirror image
+// on minimum temperature. The historical-average baseline is built once
+// as an in-memory cube and reused across pipelines, the optimization
+// the paper attributes to Ophidia's in-memory storage.
+package indices
+
+import (
+	"fmt"
+
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+func init() {
+	// days_in_runs_above(threshold, minLen): total days belonging to
+	// qualifying runs — the numerator of the frequency index.
+	mustRegister("days_in_runs_above", func(row []float32, params []float64) float64 {
+		th := paramAt(params, 0, 0)
+		minLen := int(paramAt(params, 1, 1))
+		total, cur := 0, 0
+		flush := func() {
+			if cur >= minLen {
+				total += cur
+			}
+			cur = 0
+		}
+		for _, v := range row {
+			if float64(v) > th {
+				cur++
+			} else {
+				flush()
+			}
+		}
+		flush()
+		return float64(total)
+	})
+	mustRegister("days_in_runs_below", func(row []float32, params []float64) float64 {
+		th := paramAt(params, 0, 0)
+		minLen := int(paramAt(params, 1, 1))
+		total, cur := 0, 0
+		flush := func() {
+			if cur >= minLen {
+				total += cur
+			}
+			cur = 0
+		}
+		for _, v := range row {
+			if float64(v) < th {
+				cur++
+			} else {
+				flush()
+			}
+		}
+		flush()
+		return float64(total)
+	})
+}
+
+func mustRegister(name string, op datacube.RowOp) {
+	if err := datacube.RegisterRowOp(name, op); err != nil {
+		panic(err)
+	}
+}
+
+func paramAt(params []float64, i int, def float64) float64 {
+	if i < len(params) {
+		return params[i]
+	}
+	return def
+}
+
+// Params configures the index definitions.
+type Params struct {
+	// ThresholdK is the anomaly threshold; the paper uses 5 K.
+	ThresholdK float64
+	// MinDays is the minimum qualifying duration; the paper uses 6.
+	MinDays int
+	// StepsPerDay is the sub-daily sampling of the input (4 for the
+	// 6-hourly ESM output); daily extrema are computed over it.
+	StepsPerDay int
+	// DaysPerYear is the length of one year of input in days.
+	DaysPerYear int
+}
+
+// Defaults fills zero fields with the paper's definitions.
+func (p Params) Defaults() Params {
+	if p.ThresholdK == 0 {
+		p.ThresholdK = 5
+	}
+	if p.MinDays == 0 {
+		p.MinDays = 6
+	}
+	if p.StepsPerDay == 0 {
+		p.StepsPerDay = esm.StepsPerDay
+	}
+	if p.DaysPerYear == 0 {
+		p.DaysPerYear = 365
+	}
+	return p
+}
+
+// Baseline holds the long-term climatological daily-extreme cubes,
+// loaded once and shared across yearly pipelines.
+type Baseline struct {
+	// TMax is the climatological daily-maximum temperature per cell.
+	TMax *datacube.Cube
+	// TMin is the climatological daily-minimum temperature per cell.
+	TMin *datacube.Cube
+	// Grid is the spatial layout of the rows.
+	Grid grid.Grid
+	// DaysPerYear is the implicit length of the baseline cubes.
+	DaysPerYear int
+}
+
+// BuildBaseline materializes the climatology baseline from the
+// simulator's known long-term means (the stand-in for "historical
+// averages computed over a 20-year period"). Each cube has one row per
+// grid cell and one value per day of year.
+func BuildBaseline(e *datacube.Engine, g grid.Grid, daysPerYear int) (*Baseline, error) {
+	mkdims := func() []datacube.Dimension {
+		return []datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}}
+	}
+	tmax, err := e.NewCubeFromFunc("TMAX_CLIM", mkdims(),
+		datacube.Dimension{Name: "dayofyear", Size: daysPerYear},
+		func(row, day int) float32 {
+			i, j := g.RowCol(row)
+			return float32(esm.Climatology(g, i, j, day, daysPerYear) + maxDiurnal())
+		})
+	if err != nil {
+		return nil, err
+	}
+	tmin, err := e.NewCubeFromFunc("TMIN_CLIM", mkdims(),
+		datacube.Dimension{Name: "dayofyear", Size: daysPerYear},
+		func(row, day int) float32 {
+			i, j := g.RowCol(row)
+			return float32(esm.Climatology(g, i, j, day, daysPerYear) + minDiurnal())
+		})
+	if err != nil {
+		return nil, err
+	}
+	tmax.SetMeta("role", "baseline")
+	tmin.SetMeta("role", "baseline")
+	return &Baseline{TMax: tmax, TMin: tmin, Grid: g, DaysPerYear: daysPerYear}, nil
+}
+
+func maxDiurnal() float64 {
+	m := -1e9
+	for s := 0; s < esm.StepsPerDay; s++ {
+		if v := esm.DiurnalAnomaly(s); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minDiurnal() float64 {
+	m := 1e9
+	for s := 0; s < esm.StepsPerDay; s++ {
+		if v := esm.DiurnalAnomaly(s); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Result bundles the three index cubes of one pipeline run. Each cube
+// has one row per grid cell and implicit length 1.
+type Result struct {
+	// Duration is the longest qualifying wave length in days (0 when no
+	// wave occurred).
+	Duration *datacube.Cube
+	// Number is the count of qualifying waves.
+	Number *datacube.Cube
+	// Frequency is the fraction of the year spent in qualifying waves.
+	Frequency *datacube.Cube
+}
+
+// HeatWavesFromCube runs the heat-wave pipeline on an already-imported
+// temperature cube (rows = cells, implicit = StepsPerDay×DaysPerYear
+// sub-daily samples), reusing the shared baseline.
+func HeatWavesFromCube(temp *datacube.Cube, b *Baseline, p Params) (*Result, error) {
+	p = p.Defaults()
+	return wavePipeline(temp, b.TMax, p, true)
+}
+
+// ColdWavesFromCube runs the cold-spell pipeline (daily minima below
+// baseline − threshold).
+func ColdWavesFromCube(temp *datacube.Cube, b *Baseline, p Params) (*Result, error) {
+	p = p.Defaults()
+	return wavePipeline(temp, b.TMin, p, false)
+}
+
+// wavePipeline is the shared operator chain of the paper's Listing 1:
+// daily extremum → anomaly vs baseline → duration / count / frequency
+// reductions, all fragment-parallel on the datacube engine.
+func wavePipeline(temp *datacube.Cube, baseline *datacube.Cube, p Params, hot bool) (*Result, error) {
+	if temp.ImplicitLen() != p.StepsPerDay*p.DaysPerYear {
+		return nil, fmt.Errorf("indices: input has %d samples, want %d days × %d steps",
+			temp.ImplicitLen(), p.DaysPerYear, p.StepsPerDay)
+	}
+	if baseline.ImplicitLen() != p.DaysPerYear {
+		return nil, fmt.Errorf("indices: baseline has %d days, want %d", baseline.ImplicitLen(), p.DaysPerYear)
+	}
+	if temp.Rows() != baseline.Rows() {
+		return nil, fmt.Errorf("indices: input rows %d != baseline rows %d", temp.Rows(), baseline.Rows())
+	}
+
+	// Daily extremum over the sub-daily steps (oph_reduce2).
+	op := "max"
+	if !hot {
+		op = "min"
+	}
+	daily, err := temp.ReduceGroup(op, p.StepsPerDay)
+	if err != nil {
+		return nil, err
+	}
+	defer daily.Delete()
+
+	// Anomaly against the (already resident) baseline.
+	anom, err := daily.Intercube(baseline, "sub")
+	if err != nil {
+		return nil, err
+	}
+	defer anom.Delete()
+
+	runOp, countOp, daysOp := "longest_run_above", "count_runs_above", "days_in_runs_above"
+	th := p.ThresholdK
+	if !hot {
+		runOp, countOp, daysOp = "longest_run_below", "count_runs_below", "days_in_runs_below"
+		th = -p.ThresholdK
+	}
+
+	// (i) longest duration, zeroed when below the minimum length.
+	longest, err := anom.Reduce(runOp, th)
+	if err != nil {
+		return nil, err
+	}
+	duration, err := longest.Apply(fmt.Sprintf("x>=%d ? x : 0", p.MinDays))
+	if err != nil {
+		return nil, err
+	}
+	_ = longest.Delete()
+	duration.SetMeta("index", indexName(hot, "duration"))
+
+	// (ii) number of qualifying waves.
+	number, err := anom.Reduce(countOp, th, float64(p.MinDays))
+	if err != nil {
+		return nil, err
+	}
+	number.SetMeta("index", indexName(hot, "number"))
+
+	// (iii) frequency: qualifying wave days / year length.
+	waveDays, err := anom.Reduce(daysOp, th, float64(p.MinDays))
+	if err != nil {
+		return nil, err
+	}
+	frequency, err := waveDays.Apply(fmt.Sprintf("x/%d", p.DaysPerYear))
+	if err != nil {
+		return nil, err
+	}
+	_ = waveDays.Delete()
+	frequency.SetMeta("index", indexName(hot, "frequency"))
+
+	return &Result{Duration: duration, Number: number, Frequency: frequency}, nil
+}
+
+func indexName(hot bool, kind string) string {
+	if hot {
+		return "heat_wave_" + kind
+	}
+	return "cold_wave_" + kind
+}
+
+// HeatWaves imports one year of daily ESM files (variable TREFHT) and
+// runs the heat-wave pipeline.
+func HeatWaves(e *datacube.Engine, files []string, b *Baseline, p Params) (*Result, error) {
+	p = p.Defaults()
+	temp, err := e.ImportFiles(files, "TREFHT", "time")
+	if err != nil {
+		return nil, err
+	}
+	defer temp.Delete()
+	return HeatWavesFromCube(temp, b, p)
+}
+
+// ColdWaves imports one year of daily ESM files and runs the cold-spell
+// pipeline.
+func ColdWaves(e *datacube.Engine, files []string, b *Baseline, p Params) (*Result, error) {
+	p = p.Defaults()
+	temp, err := e.ImportFiles(files, "TREFHT", "time")
+	if err != nil {
+		return nil, err
+	}
+	defer temp.Delete()
+	return ColdWavesFromCube(temp, b, p)
+}
+
+// CubeToField converts a per-cell index cube (implicit length 1, rows =
+// NLat×NLon) into a renderable 2-D field.
+func CubeToField(c *datacube.Cube, g grid.Grid) (*grid.Field, error) {
+	if c.Rows() != g.Size() || c.ImplicitLen() != 1 {
+		return nil, fmt.Errorf("indices: cube %dx%d does not match grid %dx%d",
+			c.Rows(), c.ImplicitLen(), g.NLat, g.NLon)
+	}
+	f := grid.NewField(g)
+	for r := 0; r < c.Rows(); r++ {
+		row, err := c.Row(r)
+		if err != nil {
+			return nil, err
+		}
+		f.Data[r] = row[0]
+	}
+	return f, nil
+}
+
+// Validate sanity-checks a result against hard invariants: durations
+// within [0, daysPerYear], non-negative counts, frequencies in [0,1].
+// It mirrors the workflow's step 5 ("the output of the analysis is then
+// validated and stored on disk").
+func Validate(r *Result, p Params) error {
+	p = p.Defaults()
+	checks := []struct {
+		cube   *datacube.Cube
+		lo, hi float64
+		name   string
+	}{
+		{r.Duration, 0, float64(p.DaysPerYear), "duration"},
+		{r.Number, 0, float64(p.DaysPerYear) / float64(p.MinDays), "number"},
+		{r.Frequency, 0, 1, "frequency"},
+	}
+	for _, c := range checks {
+		for rIdx := 0; rIdx < c.cube.Rows(); rIdx++ {
+			row, err := c.cube.Row(rIdx)
+			if err != nil {
+				return err
+			}
+			v := float64(row[0])
+			if v < c.lo || v > c.hi {
+				return fmt.Errorf("indices: %s[%d] = %v outside [%v,%v]", c.name, rIdx, v, c.lo, c.hi)
+			}
+		}
+	}
+	return nil
+}

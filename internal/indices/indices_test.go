@@ -1,0 +1,402 @@
+package indices
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+func testEngine(t *testing.T) *datacube.Engine {
+	t.Helper()
+	e := datacube.NewEngine(datacube.Config{Servers: 2, FragmentsPerCube: 4})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// syntheticTempCube builds a temperature cube equal to the baseline
+// climatology plus a controllable anomaly function a(row, day).
+func syntheticTempCube(t *testing.T, e *datacube.Engine, g grid.Grid, days int, a func(row, day int) float64) *datacube.Cube {
+	t.Helper()
+	c, err := e.NewCubeFromFunc("TREFHT",
+		[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
+		datacube.Dimension{Name: "time", Size: days * esm.StepsPerDay},
+		func(row, tt int) float32 {
+			day := tt / esm.StepsPerDay
+			step := tt % esm.StepsPerDay
+			i, j := g.RowCol(row)
+			return float32(esm.Climatology(g, i, j, day, days) + esm.DiurnalAnomaly(step) + a(row, day))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallGrid() grid.Grid { return grid.Grid{NLat: 6, NLon: 8} }
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.Defaults()
+	if p.ThresholdK != 5 || p.MinDays != 6 || p.StepsPerDay != 4 || p.DaysPerYear != 365 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	q := Params{ThresholdK: 3, MinDays: 4, StepsPerDay: 2, DaysPerYear: 100}.Defaults()
+	if q.ThresholdK != 3 || q.MinDays != 4 {
+		t.Fatalf("overrides lost: %+v", q)
+	}
+}
+
+func TestBuildBaselineShape(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	b, err := BuildBaseline(e, g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TMax.Rows() != g.Size() || b.TMax.ImplicitLen() != 30 {
+		t.Fatalf("TMax shape = %dx%d", b.TMax.Rows(), b.TMax.ImplicitLen())
+	}
+	// baseline max > baseline min everywhere
+	for r := 0; r < b.TMax.Rows(); r += 7 {
+		mx, _ := b.TMax.Row(r)
+		mn, _ := b.TMin.Row(r)
+		for d := range mx {
+			if mx[d] <= mn[d] {
+				t.Fatalf("row %d day %d: tmax %v <= tmin %v", r, d, mx[d], mn[d])
+			}
+		}
+	}
+	if role, ok := b.TMax.Meta("role"); !ok || role != "baseline" {
+		t.Fatal("baseline meta missing")
+	}
+}
+
+func TestNoAnomalyMeansNoWaves(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, err := BuildBaseline(e, g, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := syntheticTempCube(t, e, g, days, func(int, int) float64 { return 0 })
+	p := Params{DaysPerYear: days}
+	res, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res, p); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < res.Number.Rows(); r++ {
+		n, _ := res.Number.Row(r)
+		if n[0] != 0 {
+			t.Fatalf("cell %d has %v waves without anomaly", r, n)
+		}
+	}
+}
+
+func TestSingleHeatWaveDetected(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, _ := BuildBaseline(e, g, days)
+	hotRow := 13
+	// 8 K anomaly on days 10..17 (8 days) in one cell only
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if row == hotRow && day >= 10 && day < 18 {
+			return 8
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res, p); err != nil {
+		t.Fatal(err)
+	}
+	dur, _ := res.Duration.Row(hotRow)
+	num, _ := res.Number.Row(hotRow)
+	freq, _ := res.Frequency.Row(hotRow)
+	if dur[0] != 8 {
+		t.Fatalf("duration = %v, want 8", dur)
+	}
+	if num[0] != 1 {
+		t.Fatalf("number = %v, want 1", num)
+	}
+	if want := float32(8.0 / days); freq[0] != want {
+		t.Fatalf("frequency = %v, want %v", freq, want)
+	}
+	// other cells untouched
+	other, _ := res.Number.Row(hotRow + 1)
+	if other[0] != 0 {
+		t.Fatalf("neighbor cell has waves: %v", other)
+	}
+}
+
+func TestShortSpikeBelowMinDaysIgnored(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, _ := BuildBaseline(e, g, days)
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if row == 0 && day >= 5 && day < 10 { // 5 days < MinDays 6
+			return 9
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, _ := res.Duration.Row(0)
+	num, _ := res.Number.Row(0)
+	if dur[0] != 0 || num[0] != 0 {
+		t.Fatalf("5-day spike detected as wave: dur=%v num=%v", dur, num)
+	}
+}
+
+func TestSubThresholdAnomalyIgnored(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, _ := BuildBaseline(e, g, days)
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		return 4.5 // everywhere, always, but below the 5 K threshold
+	})
+	p := Params{DaysPerYear: days}
+	res, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < res.Number.Rows(); r++ {
+		n, _ := res.Number.Row(r)
+		if n[0] != 0 {
+			t.Fatalf("sub-threshold anomaly detected at %d", r)
+		}
+	}
+}
+
+func TestTwoSeparateWavesCounted(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 40
+	b, _ := BuildBaseline(e, g, days)
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if row != 3 {
+			return 0
+		}
+		if (day >= 2 && day < 9) || (day >= 20 && day < 30) {
+			return 7
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, _ := res.Number.Row(3)
+	dur, _ := res.Duration.Row(3)
+	freq, _ := res.Frequency.Row(3)
+	if num[0] != 2 {
+		t.Fatalf("number = %v, want 2", num)
+	}
+	if dur[0] != 10 {
+		t.Fatalf("duration = %v, want 10 (longest)", dur)
+	}
+	if want := float32(17.0 / days); freq[0] != want {
+		t.Fatalf("frequency = %v, want %v", freq, want)
+	}
+}
+
+func TestColdWaveDetected(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, _ := BuildBaseline(e, g, days)
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if row == 7 && day >= 12 && day < 19 {
+			return -9
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, err := ColdWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res, p); err != nil {
+		t.Fatal(err)
+	}
+	num, _ := res.Number.Row(7)
+	dur, _ := res.Duration.Row(7)
+	if num[0] != 1 || dur[0] != 7 {
+		t.Fatalf("cold wave num=%v dur=%v", num, dur)
+	}
+	// heat pipeline should see nothing there
+	hres, _ := HeatWavesFromCube(temp, b, p)
+	hn, _ := hres.Number.Row(7)
+	if hn[0] != 0 {
+		t.Fatalf("cold anomaly detected as heat wave: %v", hn)
+	}
+}
+
+func TestPipelineShapeValidation(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	b, _ := BuildBaseline(e, g, 30)
+	// wrong sample count
+	temp := syntheticTempCube(t, e, g, 20, func(int, int) float64 { return 0 })
+	if _, err := HeatWavesFromCube(temp, b, Params{DaysPerYear: 30}); err == nil {
+		t.Fatal("sample-count mismatch accepted")
+	}
+	// wrong baseline length
+	b2, _ := BuildBaseline(e, g, 10)
+	temp2 := syntheticTempCube(t, e, g, 30, func(int, int) float64 { return 0 })
+	if _, err := HeatWavesFromCube(temp2, b2, Params{DaysPerYear: 30}); err == nil {
+		t.Fatal("baseline mismatch accepted")
+	}
+	// wrong row count
+	g2 := grid.Grid{NLat: 3, NLon: 4}
+	b3, _ := BuildBaseline(e, g2, 30)
+	if _, err := HeatWavesFromCube(temp2, b3, Params{DaysPerYear: 30}); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}
+
+func TestEndToEndFromESMFiles(t *testing.T) {
+	e := testEngine(t)
+	g := grid.Grid{NLat: 16, NLon: 24}
+	const days = 25
+	dir := t.TempDir()
+	cfg := esm.Config{
+		Grid: g, StartYear: 2040, Years: 1, DaysPerYear: days, Seed: 7,
+		Events: &esm.EventConfig{
+			HeatWavesPerYear: 1, ColdSpellsPerYear: 0, CyclonesPerYear: 0,
+			WaveAmplitudeK: 10, WaveMinDays: 8, WaveMaxDays: 8,
+		},
+	}
+	m := esm.NewModel(cfg)
+	files, err := m.Run(esm.RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBaseline(e, g, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{DaysPerYear: days}
+	res, err := HeatWaves(e, files, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res, p); err != nil {
+		t.Fatal(err)
+	}
+	// the seeded wave must be detected at its center cell
+	w := m.GroundTruth().HeatWaves()[0]
+	ci, cj := g.CellOf(w.CenterLat, w.CenterLon)
+	num, _ := res.Number.Row(g.Index(ci, cj))
+	dur, _ := res.Duration.Row(g.Index(ci, cj))
+	if num[0] < 1 {
+		t.Fatalf("seeded wave not detected: num=%v dur=%v (wave %+v)", num, dur, w)
+	}
+	if dur[0] < 6 {
+		t.Fatalf("detected duration too short: %v", dur)
+	}
+	// input cube cleaned up; engine retains only baseline + results
+	if got := len(e.List()); got > 8 {
+		t.Fatalf("engine leaking cubes: %d resident", got)
+	}
+	// file reads: one per day
+	if st := e.Stats(); st.FileReads != int64(days) {
+		t.Fatalf("file reads = %d, want %d", st.FileReads, days)
+	}
+}
+
+func TestCubeToField(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	c, _ := e.NewCubeFromFunc("idx",
+		[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
+		datacube.Dimension{Name: "t", Size: 1},
+		func(row, _ int) float32 { return float32(row) })
+	f, err := CubeToField(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.At(2, 3) != float32(g.Index(2, 3)) {
+		t.Fatalf("field value = %v", f.At(2, 3))
+	}
+	wrong, _ := e.NewCubeFromFunc("idx2",
+		[]datacube.Dimension{{Name: "x", Size: 3}},
+		datacube.Dimension{Name: "t", Size: 1},
+		func(int, int) float32 { return 0 })
+	if _, err := CubeToField(wrong, g); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, _ := BuildBaseline(e, g, days)
+	temp := syntheticTempCube(t, e, g, days, func(int, int) float64 { return 0 })
+	p := Params{DaysPerYear: days}
+	res, _ := HeatWavesFromCube(temp, b, p)
+	// corrupt the frequency cube with an out-of-range value
+	bad, err := res.Frequency.Apply("x+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Frequency = bad
+	if err := Validate(res, p); err == nil {
+		t.Fatal("corrupted result validated")
+	}
+}
+
+func TestDaysInRunsRowOps(t *testing.T) {
+	op, ok := datacube.LookupRowOp("days_in_runs_above")
+	if !ok {
+		t.Fatal("op missing")
+	}
+	row := []float32{6, 7, 0, 8, 8, 8, 0, 9}
+	// runs above 5: len 2, len 3, len 1; minLen 2 → 5 days
+	if v := op(row, []float64{5, 2}); v != 5 {
+		t.Fatalf("days_in_runs_above = %v", v)
+	}
+	opb, _ := datacube.LookupRowOp("days_in_runs_below")
+	cold := []float32{-6, -6, -6, 0, -9}
+	if v := opb(cold, []float64{-5, 3}); v != 3 {
+		t.Fatalf("days_in_runs_below = %v", v)
+	}
+}
+
+func TestResultsSurviveOnDisk(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 30
+	b, _ := BuildBaseline(e, g, days)
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if day >= 3 && day < 12 {
+			return 7
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, _ := HeatWavesFromCube(temp, b, p)
+	path := t.TempDir() + "/hw_number.nc"
+	if err := res.Number.ExportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package indices
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+// This file implements the ETCCDI percentile-based extreme indices the
+// paper cites for its wave definitions ("Indices of daily temperature
+// and precipitation extremes", ref [31]): TX90p, TN10p, WSDI and CSDI.
+// Unlike the fixed +5 K threshold of §5.3, these compare each day
+// against a calendar-day percentile climatology estimated from a
+// historical simulation period.
+
+// PercentileBaseline holds calendar-day percentile climatologies.
+type PercentileBaseline struct {
+	// TX90 is the 90th percentile of daily maximum temperature per cell
+	// and day of year.
+	TX90 *datacube.Cube
+	// TN10 is the 10th percentile of daily minimum temperature.
+	TN10 *datacube.Cube
+	// Grid is the spatial layout; DaysPerYear the calendar length.
+	Grid        grid.Grid
+	DaysPerYear int
+	// HistYears is the number of historical years the estimate used.
+	HistYears int
+}
+
+// BuildPercentileBaseline estimates the percentile climatology by
+// running histYears of the historical-scenario model (weather noise
+// but no seeded events, the "20-year period" analogue) and reducing
+// across years per calendar day with the quantile operator.
+func BuildPercentileBaseline(e *datacube.Engine, g grid.Grid, daysPerYear, histYears int, seed int64) (*PercentileBaseline, error) {
+	if histYears < 2 {
+		return nil, fmt.Errorf("indices: need at least 2 historical years, got %d", histYears)
+	}
+	// Generate the historical daily extrema directly into year cubes.
+	// Each year uses an independent deterministic noise stream.
+	mkYear := func(year int, daily func(rng *rand.Rand, row, day int) float32) (*datacube.Cube, error) {
+		rng := rand.New(rand.NewSource(seed ^ int64(year)*99991))
+		// per-row/day smooth noise: coarse AR(1)-like draw per day
+		offsets := make([]float64, daysPerYear)
+		for d := 1; d < daysPerYear; d++ {
+			offsets[d] = 0.7*offsets[d-1] + rng.NormFloat64()*1.2
+		}
+		return e.NewCubeFromFunc("hist",
+			[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
+			datacube.Dimension{Name: "time", Size: daysPerYear},
+			func(row, day int) float32 {
+				return daily(rng, row, day) + float32(offsets[day])
+			})
+	}
+
+	build := func(q float64, extremum func(rng *rand.Rand, row, day int) float32, measure string) (*datacube.Cube, error) {
+		var years []*datacube.Cube
+		defer func() {
+			for _, y := range years {
+				_ = y.Delete()
+			}
+		}()
+		for y := 0; y < histYears; y++ {
+			c, err := mkYear(y, extremum)
+			if err != nil {
+				return nil, err
+			}
+			years = append(years, c)
+		}
+		stacked, err := e.Concat(years)
+		if err != nil {
+			return nil, err
+		}
+		defer stacked.Delete()
+		pct, err := stacked.ReduceStride("quantile", daysPerYear, q)
+		if err != nil {
+			return nil, err
+		}
+		pct.SetMeasure(measure)
+		pct.SetMeta("role", "percentile_baseline")
+		pct.SetMeta("quantile", fmt.Sprintf("%g", q))
+		return pct, nil
+	}
+
+	maxD := maxDiurnal()
+	tx90, err := build(0.9, func(rng *rand.Rand, row, day int) float32 {
+		i, j := g.RowCol(row)
+		return float32(esm.Climatology(g, i, j, day, daysPerYear) + maxD)
+	}, "TX90_CLIM")
+	if err != nil {
+		return nil, err
+	}
+	minD := minDiurnal()
+	tn10, err := build(0.1, func(rng *rand.Rand, row, day int) float32 {
+		i, j := g.RowCol(row)
+		return float32(esm.Climatology(g, i, j, day, daysPerYear) + minD)
+	}, "TN10_CLIM")
+	if err != nil {
+		return nil, err
+	}
+	return &PercentileBaseline{TX90: tx90, TN10: tn10, Grid: g, DaysPerYear: daysPerYear, HistYears: histYears}, nil
+}
+
+// PercentileResult bundles the ETCCDI indices of one year.
+type PercentileResult struct {
+	// TX90p is the fraction of days with daily max above the 90th
+	// percentile climatology (per cell).
+	TX90p *datacube.Cube
+	// TN10p is the fraction of days with daily min below the 10th
+	// percentile climatology.
+	TN10p *datacube.Cube
+	// WSDI is the warm-spell duration index: days in spells of ≥6
+	// consecutive days above the 90th percentile.
+	WSDI *datacube.Cube
+	// CSDI is the cold-spell duration index (mirror of WSDI).
+	CSDI *datacube.Cube
+}
+
+// ETCCDI computes the percentile indices from a sub-daily temperature
+// cube, following the standard definitions (6-day minimum spells).
+func ETCCDI(temp *datacube.Cube, b *PercentileBaseline, p Params) (*PercentileResult, error) {
+	p = p.Defaults()
+	if temp.ImplicitLen() != p.StepsPerDay*p.DaysPerYear {
+		return nil, fmt.Errorf("indices: input has %d samples, want %d days × %d steps",
+			temp.ImplicitLen(), p.DaysPerYear, p.StepsPerDay)
+	}
+	if b.TX90.ImplicitLen() != p.DaysPerYear {
+		return nil, fmt.Errorf("indices: percentile baseline has %d days, want %d", b.TX90.ImplicitLen(), p.DaysPerYear)
+	}
+
+	out := &PercentileResult{}
+	// warm side: daily max vs TX90
+	dmax, err := temp.ReduceGroup("max", p.StepsPerDay)
+	if err != nil {
+		return nil, err
+	}
+	defer dmax.Delete()
+	warmAnom, err := dmax.Intercube(b.TX90, "sub")
+	if err != nil {
+		return nil, err
+	}
+	defer warmAnom.Delete()
+	warmDays, err := warmAnom.Reduce("count_above", 0)
+	if err != nil {
+		return nil, err
+	}
+	if out.TX90p, err = warmDays.Apply(fmt.Sprintf("x/%d", p.DaysPerYear)); err != nil {
+		return nil, err
+	}
+	_ = warmDays.Delete()
+	out.TX90p.SetMeta("index", "TX90p")
+	if out.WSDI, err = warmAnom.Reduce("days_in_runs_above", 0, float64(p.MinDays)); err != nil {
+		return nil, err
+	}
+	out.WSDI.SetMeta("index", "WSDI")
+
+	// cold side: daily min vs TN10
+	dmin, err := temp.ReduceGroup("min", p.StepsPerDay)
+	if err != nil {
+		return nil, err
+	}
+	defer dmin.Delete()
+	coldAnom, err := dmin.Intercube(b.TN10, "sub")
+	if err != nil {
+		return nil, err
+	}
+	defer coldAnom.Delete()
+	coldDays, err := coldAnom.Reduce("count_below", 0)
+	if err != nil {
+		return nil, err
+	}
+	if out.TN10p, err = coldDays.Apply(fmt.Sprintf("x/%d", p.DaysPerYear)); err != nil {
+		return nil, err
+	}
+	_ = coldDays.Delete()
+	out.TN10p.SetMeta("index", "TN10p")
+	if out.CSDI, err = coldAnom.Reduce("days_in_runs_below", 0, float64(p.MinDays)); err != nil {
+		return nil, err
+	}
+	out.CSDI.SetMeta("index", "CSDI")
+	return out, nil
+}
+
+// Delete frees all result cubes.
+func (r *PercentileResult) Delete() {
+	for _, c := range []*datacube.Cube{r.TX90p, r.TN10p, r.WSDI, r.CSDI} {
+		if c != nil {
+			_ = c.Delete()
+		}
+	}
+}

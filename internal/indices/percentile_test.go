@@ -1,0 +1,193 @@
+package indices
+
+import (
+	"testing"
+
+	"repro/internal/datacube"
+)
+
+func TestReduceStrideAcrossYears(t *testing.T) {
+	e := testEngine(t)
+	// 2 rows, 3 "years" of 4 "days": value = year*100 + day
+	c, err := e.NewCubeFromFunc("m",
+		[]datacube.Dimension{{Name: "r", Size: 2}},
+		datacube.Dimension{Name: "t", Size: 12},
+		func(row, tt int) float32 { return float32((tt/4)*100 + tt%4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ReduceStride("max", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ImplicitLen() != 4 {
+		t.Fatalf("stride result len = %d", out.ImplicitLen())
+	}
+	row, _ := out.Row(0)
+	for d := 0; d < 4; d++ {
+		if row[d] != float32(200+d) { // max over years at day d
+			t.Fatalf("day %d = %v, want %v", d, row[d], 200+d)
+		}
+	}
+	if _, err := c.ReduceStride("max", 5); err == nil {
+		t.Fatal("non-dividing stride accepted")
+	}
+	if _, err := c.ReduceStride("nosuch", 4); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestBuildPercentileBaseline(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 15
+	b, err := BuildPercentileBaseline(e, g, days, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TX90.Rows() != g.Size() || b.TX90.ImplicitLen() != days {
+		t.Fatalf("TX90 shape = %dx%d", b.TX90.Rows(), b.TX90.ImplicitLen())
+	}
+	// TX90 (90th pct of maxima) must exceed TN10 (10th pct of minima)
+	for r := 0; r < b.TX90.Rows(); r += 11 {
+		hi, _ := b.TX90.Row(r)
+		lo, _ := b.TN10.Row(r)
+		for d := range hi {
+			if hi[d] <= lo[d] {
+				t.Fatalf("row %d day %d: TX90 %v <= TN10 %v", r, d, hi[d], lo[d])
+			}
+		}
+	}
+	if _, err := BuildPercentileBaseline(e, g, days, 1, 3); err == nil {
+		t.Fatal("single-year climatology accepted")
+	}
+	if q, _ := b.TX90.Meta("quantile"); q != "0.9" {
+		t.Fatalf("quantile meta = %q", q)
+	}
+}
+
+func TestPercentileBaselineDeterministic(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	b1, err := BuildPercentileBaseline(e, g, 10, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := BuildPercentileBaseline(e, g, 10, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := b1.TX90.Row(5)
+	r2, _ := b2.TX90.Row(5)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("same seed produced different baselines")
+		}
+	}
+}
+
+func TestETCCDIWarmSpell(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, err := BuildPercentileBaseline(e, g, days, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotRow := 9
+	// a huge warm anomaly for 8 consecutive days in one cell
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if row == hotRow && day >= 5 && day < 13 {
+			return 15
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, err := ETCCDI(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Delete()
+
+	wsdi, _ := res.WSDI.Row(hotRow)
+	if wsdi[0] < 8 {
+		t.Fatalf("WSDI = %v, want >= 8 (the seeded spell)", wsdi)
+	}
+	tx90p, _ := res.TX90p.Row(hotRow)
+	if tx90p[0] < 8.0/days {
+		t.Fatalf("TX90p = %v, want >= %v", tx90p, 8.0/days)
+	}
+	// TX90p is a fraction
+	for r := 0; r < res.TX90p.Rows(); r++ {
+		v, _ := res.TX90p.Row(r)
+		if v[0] < 0 || v[0] > 1 {
+			t.Fatalf("TX90p[%d] = %v out of [0,1]", r, v)
+		}
+	}
+}
+
+func TestETCCDIColdSpell(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, _ := BuildPercentileBaseline(e, g, days, 6, 3)
+	coldRow := 4
+	temp := syntheticTempCube(t, e, g, days, func(row, day int) float64 {
+		if row == coldRow && day >= 2 && day < 9 {
+			return -15
+		}
+		return 0
+	})
+	p := Params{DaysPerYear: days}
+	res, err := ETCCDI(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Delete()
+	csdi, _ := res.CSDI.Row(coldRow)
+	if csdi[0] < 7 {
+		t.Fatalf("CSDI = %v, want >= 7", csdi)
+	}
+	tn10p, _ := res.TN10p.Row(coldRow)
+	if tn10p[0] < 7.0/days {
+		t.Fatalf("TN10p = %v", tn10p)
+	}
+}
+
+func TestETCCDIQuiescentYearNearBaseRate(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, _ := BuildPercentileBaseline(e, g, days, 10, 3)
+	// climatology exactly: no noise, no events — exceedances of a 90th
+	// percentile should be rare
+	temp := syntheticTempCube(t, e, g, days, func(int, int) float64 { return 0 })
+	res, err := ETCCDI(temp, b, Params{DaysPerYear: days})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Delete()
+	agg, _ := res.TX90p.AggregateRows("avg")
+	defer agg.Delete()
+	red, _ := agg.Reduce("avg")
+	defer red.Delete()
+	mean, _ := red.Scalar()
+	if mean > 0.25 {
+		t.Fatalf("quiescent TX90p mean = %v, want small", mean)
+	}
+}
+
+func TestETCCDIShapeValidation(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	b, _ := BuildPercentileBaseline(e, g, 20, 4, 3)
+	temp := syntheticTempCube(t, e, g, 10, func(int, int) float64 { return 0 })
+	if _, err := ETCCDI(temp, b, Params{DaysPerYear: 20}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	temp2 := syntheticTempCube(t, e, g, 20, func(int, int) float64 { return 0 })
+	b2, _ := BuildPercentileBaseline(e, g, 10, 4, 3)
+	if _, err := ETCCDI(temp2, b2, Params{DaysPerYear: 20}); err == nil {
+		t.Fatal("baseline mismatch accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package indices
+
+import (
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+// dailyPrecipCube builds a daily-mean precipitation cube directly.
+func dailyPrecipCube(t *testing.T, e *datacube.Engine, g grid.Grid, days int, f func(row, day int) float32) *datacube.Cube {
+	t.Helper()
+	c, err := e.NewCubeFromFunc("PRECT",
+		[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
+		datacube.Dimension{Name: "time", Size: days}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPrecipIndicesKnownValues(t *testing.T) {
+	e := testEngine(t)
+	g := grid.Grid{NLat: 2, NLon: 2}
+	const days = 10
+	// row 0: dry except day 3 (20 mm); rows 1..: constant 2 mm/day
+	daily := dailyPrecipCube(t, e, g, days, func(row, day int) float32 {
+		if row == 0 {
+			if day == 3 {
+				return 20
+			}
+			return 0.2
+		}
+		return 2
+	})
+	res, err := PrecipIndices(daily, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Delete()
+	tot, _ := res.PRCPTOT.Row(0)
+	if tot[0] != 20+9*0.2 {
+		t.Fatalf("PRCPTOT = %v", tot)
+	}
+	rx, _ := res.Rx1day.Row(0)
+	if rx[0] != 20 {
+		t.Fatalf("Rx1day = %v", rx)
+	}
+	cdd, _ := res.CDD.Row(0)
+	if cdd[0] != 6 { // days 4..9 dry (0.2 < 1)
+		t.Fatalf("CDD = %v, want 6", cdd)
+	}
+	cdd1, _ := res.CDD.Row(1)
+	if cdd1[0] != 0 {
+		t.Fatalf("wet cell CDD = %v", cdd1)
+	}
+	if res.R95pTOT != nil {
+		t.Fatal("R95pTOT computed without baseline")
+	}
+}
+
+func TestPrecipR95pAgainstBaseline(t *testing.T) {
+	e := testEngine(t)
+	g := grid.Grid{NLat: 2, NLon: 2}
+	const days = 10
+	daily := dailyPrecipCube(t, e, g, days, func(row, day int) float32 {
+		if day == 5 {
+			return 30 // one extreme day everywhere
+		}
+		return 2
+	})
+	// constant baseline p95 = 10 mm/day
+	p95 := dailyPrecipCube(t, e, g, days, func(int, int) float32 { return 10 })
+	p95.SetMeasure("PR95_CLIM")
+	res, err := PrecipIndices(daily, p95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Delete()
+	r95, _ := res.R95pTOT.Row(0)
+	if r95[0] != 30 {
+		t.Fatalf("R95pTOT = %v, want 30 (only the extreme day)", r95)
+	}
+	// shape mismatch rejected
+	short := dailyPrecipCube(t, e, g, 5, func(int, int) float32 { return 1 })
+	if _, err := PrecipIndices(short, p95); err == nil {
+		t.Fatal("day mismatch accepted")
+	}
+}
+
+func TestDailyPrecipFromFiles(t *testing.T) {
+	e := testEngine(t)
+	g := grid.Grid{NLat: 12, NLon: 24}
+	const days = 6
+	m := esm.NewModel(esm.Config{Grid: g, Years: 1, DaysPerYear: days, Seed: 3, Events: &esm.EventConfig{}})
+	files, err := m.Run(esm.RunOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daily, err := DailyPrecipFromFiles(e, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if daily.Rows() != g.Size() || daily.ImplicitLen() != days {
+		t.Fatalf("shape = %dx%d", daily.Rows(), daily.ImplicitLen())
+	}
+	// precip is non-negative
+	for r := 0; r < daily.Rows(); r += 37 {
+		row, _ := daily.Row(r)
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative precip %v at row %d", v, r)
+			}
+		}
+	}
+}
+
+func TestBuildPrecipBaselineAndR95(t *testing.T) {
+	e := testEngine(t)
+	g := grid.Grid{NLat: 12, NLon: 24}
+	const days = 8
+	base := esm.Config{Grid: g, Years: 1, DaysPerYear: days, Seed: 11}
+	p95, err := BuildPrecipBaseline(e, base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p95.Rows() != g.Size() || p95.ImplicitLen() != days {
+		t.Fatalf("baseline shape = %dx%d", p95.Rows(), p95.ImplicitLen())
+	}
+	if _, err := BuildPrecipBaseline(e, base, 1); err == nil {
+		t.Fatal("single-year precip baseline accepted")
+	}
+	// an ordinary year: R95pTOT must be far below PRCPTOT
+	m := esm.NewModel(base)
+	files, err := m.Run(esm.RunOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daily, err := DailyPrecipFromFiles(e, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PrecipIndices(daily, p95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Delete()
+	totAgg, _ := res.PRCPTOT.AggregateRows("avg")
+	defer totAgg.Delete()
+	totRed, _ := totAgg.Reduce("avg")
+	defer totRed.Delete()
+	tot, _ := totRed.Scalar()
+	r95Agg, _ := res.R95pTOT.AggregateRows("avg")
+	defer r95Agg.Delete()
+	r95Red, _ := r95Agg.Reduce("avg")
+	defer r95Red.Delete()
+	r95, _ := r95Red.Scalar()
+	if tot <= 0 {
+		t.Fatalf("PRCPTOT mean = %v", tot)
+	}
+	if r95 < 0 || r95 > 0.8*tot {
+		t.Fatalf("R95pTOT mean %v implausible vs PRCPTOT %v", r95, tot)
+	}
+}

@@ -1,0 +1,295 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable network stage. Forward caches whatever
+// Backward needs; a Layer instance therefore serves one goroutine at a
+// time (clone the network for concurrent inference).
+type Layer interface {
+	Forward(x *Tensor) *Tensor
+	Backward(grad *Tensor) *Tensor
+	// Params returns parameter/gradient slice pairs for the optimizer;
+	// stateless layers return nil.
+	Params() []ParamGrad
+}
+
+// ParamGrad pairs a parameter vector with its gradient accumulator.
+type ParamGrad struct {
+	W []float64
+	G []float64
+}
+
+// --- Conv2D -------------------------------------------------------------
+
+// Conv2D is a stride-1, valid-padding 2-D convolution over (C,H,W)
+// input tensors.
+type Conv2D struct {
+	InC, OutC, K int
+	W            []float64 // [outC][inC][k][k]
+	B            []float64 // [outC]
+	GW, GB       []float64
+
+	x *Tensor // cached input
+}
+
+// NewConv2D builds a conv layer with He-initialized weights drawn from
+// rng.
+func NewConv2D(inC, outC, k int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k,
+		W:  make([]float64, outC*inC*k*k),
+		B:  make([]float64, outC),
+		GW: make([]float64, outC*inC*k*k),
+		GB: make([]float64, outC),
+	}
+	std := math.Sqrt(2 / float64(inC*k*k))
+	for i := range c.W {
+		c.W[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+func (c *Conv2D) widx(o, i, a, b int) int { return ((o*c.InC+i)*c.K+a)*c.K + b }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
+		panic(fmt.Sprintf("ml: conv input shape %v, want (%d,H,W)", x.Shape, c.InC))
+	}
+	c.x = x
+	h, w := x.Shape[1], x.Shape[2]
+	oh, ow := h-c.K+1, w-c.K+1
+	out := NewTensor(c.OutC, oh, ow)
+	for o := 0; o < c.OutC; o++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				sum := c.B[o]
+				for ic := 0; ic < c.InC; ic++ {
+					for a := 0; a < c.K; a++ {
+						for b := 0; b < c.K; b++ {
+							sum += c.W[c.widx(o, ic, a, b)] * x.At3(ic, i+a, j+b)
+						}
+					}
+				}
+				out.Set3(o, i, j, sum)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) *Tensor {
+	x := c.x
+	h, w := x.Shape[1], x.Shape[2]
+	oh, ow := grad.Shape[1], grad.Shape[2]
+	dx := NewTensor(c.InC, h, w)
+	for o := 0; o < c.OutC; o++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				g := grad.At3(o, i, j)
+				if g == 0 {
+					continue
+				}
+				c.GB[o] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for a := 0; a < c.K; a++ {
+						for b := 0; b < c.K; b++ {
+							c.GW[c.widx(o, ic, a, b)] += g * x.At3(ic, i+a, j+b)
+							dx.Set3(ic, i+a, j+b, dx.At3(ic, i+a, j+b)+g*c.W[c.widx(o, ic, a, b)])
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []ParamGrad {
+	return []ParamGrad{{W: c.W, G: c.GW}, {W: c.B, G: c.GB}}
+}
+
+// --- ReLU ---------------------------------------------------------------
+
+// ReLU is the elementwise rectifier.
+type ReLU struct{ mask []bool }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []ParamGrad { return nil }
+
+// --- MaxPool2 -----------------------------------------------------------
+
+// MaxPool2 is a 2×2 stride-2 max pool over (C,H,W); odd trailing
+// rows/columns are dropped.
+type MaxPool2 struct {
+	inShape []int
+	argmax  []int
+}
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x *Tensor) *Tensor {
+	ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	p.inShape = append([]int(nil), x.Shape...)
+	out := NewTensor(ch, oh, ow)
+	p.argmax = make([]int, out.Len())
+	oi := 0
+	for c := 0; c < ch; c++ {
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				best := math.Inf(-1)
+				bestIdx := 0
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						ii, jj := 2*i+a, 2*j+b
+						v := x.At3(c, ii, jj)
+						if v > best {
+							best = v
+							bestIdx = (c*h+ii)*w + jj
+						}
+					}
+				}
+				out.Data[oi] = best
+				p.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(p.inShape...)
+	for oi, g := range grad.Data {
+		dx.Data[p.argmax[oi]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2) Params() []ParamGrad { return nil }
+
+// --- Flatten ------------------------------------------------------------
+
+// Flatten reshapes any tensor to rank 1.
+type Flatten struct{ inShape []int }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor) *Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	out := x.Clone()
+	out.Shape = []int{len(out.Data)}
+	return out
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) *Tensor {
+	out := grad.Clone()
+	out.Shape = append([]int(nil), f.inShape...)
+	return out
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []ParamGrad { return nil }
+
+// --- Dense --------------------------------------------------------------
+
+// Dense is a fully connected layer over rank-1 tensors.
+type Dense struct {
+	In, Out int
+	W       []float64 // [out][in]
+	B       []float64
+	GW, GB  []float64
+
+	x *Tensor
+}
+
+// NewDense builds a dense layer with He initialization from rng.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		GW: make([]float64, in*out),
+		GB: make([]float64, out),
+	}
+	std := math.Sqrt(2 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("ml: dense input %d, want %d", x.Len(), d.In))
+	}
+	d.x = x
+	out := NewTensor(d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, v := range x.Data {
+			sum += row[i] * v
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.GB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.GW[o*d.In : (o+1)*d.In]
+		for i, v := range d.x.Data {
+			grow[i] += g * v
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []ParamGrad {
+	return []ParamGrad{{W: d.W, G: d.GW}, {W: d.B, G: d.GB}}
+}
+
+// Sigmoid maps a logit to (0,1).
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

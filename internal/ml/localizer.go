@@ -1,0 +1,347 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+// Channels are the climate variables stacked as CNN input planes, the
+// paper's "set of input climate variables simulated by ESM (i.e.,
+// temperature, sea pressure level, wind speed, vorticity)".
+var Channels = []string{"PSL", "WSPD", "VORT850", "T500"}
+
+// Localizer is the pre-trained TC patch localizer plus its
+// preprocessing contract (patch size and channel stack).
+type Localizer struct {
+	Net    *Network
+	PatchH int
+	PatchW int
+}
+
+// NewLocalizer builds an untrained localizer for the given patch size.
+func NewLocalizer(patchH, patchW int, seed int64) (*Localizer, error) {
+	net, err := NewCNN(len(Channels), patchH, patchW, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Localizer{Net: net, PatchH: patchH, PatchW: patchW}, nil
+}
+
+// Prediction is the CNN head output for one patch.
+type Prediction struct {
+	// Presence is the TC probability in (0,1).
+	Presence float64
+	// Row, Col are the predicted center coordinates as fractions of the
+	// patch extent, valid when Presence is high.
+	Row, Col float64
+}
+
+// Predict runs one preprocessed patch tensor through the network.
+func (l *Localizer) Predict(x *Tensor) Prediction {
+	out := l.Net.Forward(x)
+	return Prediction{
+		Presence: Sigmoid(out.Data[0]),
+		Row:      clamp01(out.Data[1]),
+		Col:      clamp01(out.Data[2]),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Sample is one labelled training patch.
+type Sample struct {
+	X     *Tensor
+	HasTC bool
+	// Row, Col are the true center fractions (only meaningful when
+	// HasTC).
+	Row, Col float64
+}
+
+// stackPatches builds the preprocessed channel patches of one
+// instantaneous field set: each channel field is standardized over the
+// full domain (feature scaling), then tiled into non-overlapping
+// patches (§5.4 pre-processing).
+func stackPatches(fields map[string]*grid.Field, patchH, patchW int) ([][]grid.Patch, error) {
+	chPatches := make([][]grid.Patch, len(Channels))
+	for ci, name := range Channels {
+		f, ok := fields[name]
+		if !ok {
+			return nil, fmt.Errorf("ml: missing channel field %q", name)
+		}
+		scaled := &grid.Field{Grid: f.Grid, Data: append([]float32(nil), f.Data...)}
+		scaled.Standardize()
+		ps, err := scaled.Tile(patchH, patchW)
+		if err != nil {
+			return nil, err
+		}
+		chPatches[ci] = ps
+	}
+	return chPatches, nil
+}
+
+// patchTensor assembles the pi-th patch of every channel into a CNN
+// input tensor.
+func patchTensor(chPatches [][]grid.Patch, pi, patchH, patchW int) *Tensor {
+	x := NewTensor(len(Channels), patchH, patchW)
+	for ci := range chPatches {
+		p := chPatches[ci][pi]
+		for r := 0; r < patchH; r++ {
+			for c := 0; c < patchW; c++ {
+				x.Set3(ci, r, c, float64(p.Data[p.Index(r, c)]))
+			}
+		}
+	}
+	return x
+}
+
+// ChannelFields extracts and derives the localizer input fields from a
+// model step (WSPD is derived from the 850 hPa wind components).
+func ChannelFields(day *esm.DayOutput, step int) (map[string]*grid.Field, error) {
+	out := make(map[string]*grid.Field, len(Channels))
+	for _, name := range []string{"PSL", "VORT850", "T500"} {
+		f, err := day.Field(step, name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = f
+	}
+	u, err := day.Field(step, "U850")
+	if err != nil {
+		return nil, err
+	}
+	v, err := day.Field(step, "V850")
+	if err != nil {
+		return nil, err
+	}
+	w := grid.NewField(u.Grid)
+	for i := range w.Data {
+		w.Data[i] = float32(math.Hypot(float64(u.Data[i]), float64(v.Data[i])))
+	}
+	out["WSPD"] = w
+	return out, nil
+}
+
+// BuildSamples labels every patch of one model step against the seeded
+// ground truth: positive when a storm center falls inside the patch.
+func BuildSamples(day *esm.DayOutput, step int, storms []esm.Cyclone, patchH, patchW int) ([]Sample, error) {
+	fields, err := ChannelFields(day, step)
+	if err != nil {
+		return nil, err
+	}
+	chPatches, err := stackPatches(fields, patchH, patchW)
+	if err != nil {
+		return nil, err
+	}
+	g := day.Grid
+	// active storm centers at this instant
+	type center struct{ row, col int }
+	var centers []center
+	for i := range storms {
+		if storms[i].Year != day.Year {
+			continue
+		}
+		if p, ok := storms[i].Active(day.DayOfYear, step); ok {
+			ci, cj := g.CellOf(p.Lat, p.Lon)
+			centers = append(centers, center{ci, cj})
+		}
+	}
+	var out []Sample
+	for pi := range chPatches[0] {
+		p := chPatches[0][pi]
+		s := Sample{X: patchTensor(chPatches, pi, patchH, patchW)}
+		for _, c := range centers {
+			if c.row >= p.Row0 && c.row < p.Row0+patchH && c.col >= p.Col0 && c.col < p.Col0+patchW {
+				s.HasTC = true
+				s.Row = (float64(c.row-p.Row0) + 0.5) / float64(patchH)
+				s.Col = (float64(c.col-p.Col0) + 0.5) / float64(patchW)
+				break
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TrainConfig controls localizer training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+	// CoordWeight scales the localization loss term; zero means 2.
+	CoordWeight float64
+	// Balance duplicates positive samples to counter class imbalance.
+	Balance bool
+}
+
+// Train fits the localizer on samples with BCE (presence) + masked MSE
+// (center coordinates) and returns the mean loss per epoch.
+func (l *Localizer) Train(samples []Sample, cfg TrainConfig) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("ml: no training samples")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.CoordWeight == 0 {
+		cfg.CoordWeight = 2
+	}
+	train := samples
+	if cfg.Balance {
+		train = balance(samples)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	opt := NewAdam(l.Net, cfg.LR)
+	losses := make([]float64, 0, cfg.Epochs)
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		inBatch := 0
+		for _, si := range idx {
+			s := train[si]
+			out := l.Net.Forward(s.X)
+			logit, pr, pc := out.Data[0], out.Data[1], out.Data[2]
+			y := 0.0
+			if s.HasTC {
+				y = 1
+			}
+			p := Sigmoid(logit)
+			// BCE + masked coordinate MSE
+			loss := -(y*math.Log(p+1e-12) + (1-y)*math.Log(1-p+1e-12))
+			grad := NewTensor(3)
+			grad.Data[0] = p - y
+			if s.HasTC {
+				dr, dc := pr-s.Row, pc-s.Col
+				loss += cfg.CoordWeight * (dr*dr + dc*dc)
+				grad.Data[1] = 2 * cfg.CoordWeight * dr
+				grad.Data[2] = 2 * cfg.CoordWeight * dc
+			}
+			epochLoss += loss
+			l.Net.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				opt.Step(inBatch)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(inBatch)
+		}
+		losses = append(losses, epochLoss/float64(len(train)))
+	}
+	return losses, nil
+}
+
+// balance oversamples positives to roughly match negatives.
+func balance(samples []Sample) []Sample {
+	var pos, neg []Sample
+	for _, s := range samples {
+		if s.HasTC {
+			pos = append(pos, s)
+		} else {
+			neg = append(neg, s)
+		}
+	}
+	if len(pos) == 0 || len(neg) <= len(pos) {
+		return samples
+	}
+	out := append([]Sample(nil), samples...)
+	for len(pos) > 0 && len(out) < len(neg)*2 {
+		out = append(out, pos...)
+	}
+	return out
+}
+
+// SamplesFromSimulations generates labelled patches from several
+// independent simulated years (one model per seed), giving the training
+// set the storm diversity a single run cannot provide — the stand-in
+// for the paper's CNN "previously trained on historical data".
+func SamplesFromSimulations(cfg esm.Config, seeds []int64, patchH, patchW int) ([]Sample, error) {
+	var out []Sample
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		m := esm.NewModel(c)
+		gt := m.GroundTruth()
+		for {
+			d := m.StepDay()
+			if d == nil {
+				break
+			}
+			for step := 0; step < esm.StepsPerDay; step += 2 {
+				s, err := BuildSamples(d, step, gt.Cyclones, patchH, patchW)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, s...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Detection is one geo-referenced TC localization (workflow step
+// "geo-referencing predicted TC center coordinates onto a global map").
+type Detection struct {
+	Lat, Lon float64
+	Score    float64
+}
+
+// DetectStep runs the localizer over every patch of one model step and
+// returns detections above the probability threshold, sorted by
+// descending score.
+func (l *Localizer) DetectStep(day *esm.DayOutput, step int, threshold float64) ([]Detection, error) {
+	fields, err := ChannelFields(day, step)
+	if err != nil {
+		return nil, err
+	}
+	return l.DetectFields(fields, day.Grid, threshold)
+}
+
+// DetectFields is DetectStep on pre-extracted channel fields.
+func (l *Localizer) DetectFields(fields map[string]*grid.Field, g grid.Grid, threshold float64) ([]Detection, error) {
+	chPatches, err := stackPatches(fields, l.PatchH, l.PatchW)
+	if err != nil {
+		return nil, err
+	}
+	var out []Detection
+	for pi := range chPatches[0] {
+		p := chPatches[0][pi]
+		pred := l.Predict(patchTensor(chPatches, pi, l.PatchH, l.PatchW))
+		if pred.Presence < threshold {
+			continue
+		}
+		row := float64(p.Row0) + pred.Row*float64(l.PatchH)
+		col := float64(p.Col0) + pred.Col*float64(l.PatchW)
+		out = append(out, Detection{
+			Lat:   g.Lat(int(row)),
+			Lon:   g.Lon(int(col) % g.NLon),
+			Score: pred.Presence,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}

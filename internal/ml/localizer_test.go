@@ -1,0 +1,198 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+// stormModel builds a model whose single year contains seeded cyclones.
+func stormModel(t *testing.T, cyclones int, seed int64) *esm.Model {
+	t.Helper()
+	return esm.NewModel(esm.Config{
+		Grid:        grid.Grid{NLat: 48, NLon: 96},
+		StartYear:   2040,
+		Years:       1,
+		DaysPerYear: 30,
+		Seed:        seed,
+		Events: &esm.EventConfig{
+			CyclonesPerYear: cyclones,
+			WaveAmplitudeK:  8, WaveMinDays: 6, WaveMaxDays: 6,
+		},
+	})
+}
+
+func TestChannelFieldsDerivesWind(t *testing.T) {
+	m := stormModel(t, 0, 1)
+	d := m.StepDay()
+	fields, err := ChannelFields(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Channels {
+		if fields[name] == nil {
+			t.Fatalf("channel %q missing", name)
+		}
+	}
+	if fields["WSPD"].Statistics().Min < 0 {
+		t.Fatal("wind speed negative")
+	}
+}
+
+func TestBuildSamplesLabels(t *testing.T) {
+	m := stormModel(t, 2, 3)
+	gt := m.GroundTruth()
+	// advance to the first storm's first active day
+	first := gt.Cyclones[0].Track[0]
+	var d *esm.DayOutput
+	for i := 0; i <= first.Day; i++ {
+		d = m.StepDay()
+	}
+	samples, err := BuildSamples(d, first.Step, gt.Cyclones, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != (48/16)*(96/16) {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	pos := 0
+	for _, s := range samples {
+		if s.HasTC {
+			pos++
+			if s.Row < 0 || s.Row > 1 || s.Col < 0 || s.Col > 1 {
+				t.Fatalf("center fractions out of range: %+v", s)
+			}
+		}
+		if s.X.Shape[0] != len(Channels) || s.X.Shape[1] != 16 {
+			t.Fatalf("tensor shape = %v", s.X.Shape)
+		}
+	}
+	if pos == 0 {
+		t.Fatal("no positive patches despite active storm")
+	}
+}
+
+// TestLocalizerLearnsToDetect is the core ML skill test: train on
+// storms from several simulated years, verify detections on a held-out
+// seed beat chance.
+func TestLocalizerLearnsToDetect(t *testing.T) {
+	cfg := esm.Config{
+		Grid:        grid.Grid{NLat: 48, NLon: 96},
+		StartYear:   2040,
+		Years:       1,
+		DaysPerYear: 30,
+		Events: &esm.EventConfig{
+			CyclonesPerYear: 6,
+			WaveAmplitudeK:  8, WaveMinDays: 6, WaveMaxDays: 6,
+		},
+	}
+	samples, err := SamplesFromSimulations(cfg, []int64{11, 12, 13, 14, 15}, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(12, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := loc.Train(samples, TrainConfig{Epochs: 5, BatchSize: 32, LR: 2e-3, Seed: 5, Balance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+
+	// evaluate on held-out seeds at instants with a substantial
+	// signature, pooled over two years and two steps per day
+	var hits, total int
+	for _, evalSeed := range []int64{99, 100} {
+		evalModel := stormModel(t, 6, evalSeed)
+		egt := evalModel.GroundTruth()
+		for day := 0; day < evalModel.TotalDays(); day++ {
+			d := evalModel.StepDay()
+			for _, step := range []int{0, 2} {
+				for _, c := range egt.Cyclones {
+					p, ok := c.Active(day, step)
+					if !ok || p.PressureDrop < 1500 {
+						continue
+					}
+					total++
+					dets, err := loc.DetectStep(d, step, 0.5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, det := range dets {
+						if grid.Haversine(det.Lat, det.Lon, p.Lat, p.Lon) < 2000 {
+							hits++
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no evaluation instants")
+	}
+	pod := float64(hits) / float64(total)
+	if pod < 0.5 {
+		t.Fatalf("probability of detection %.2f (%d/%d) below 0.5", pod, hits, total)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	loc, _ := NewLocalizer(16, 16, 1)
+	if _, err := loc.Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestDetectStepNoStormsQuiet(t *testing.T) {
+	// an untrained network may fire anywhere; a trained one on a
+	// stormless model should mostly stay quiet — covered by the skill
+	// test above. Here just verify the plumbing returns cleanly.
+	m := stormModel(t, 0, 2)
+	d := m.StepDay()
+	loc, _ := NewLocalizer(16, 16, 3)
+	dets, err := loc.DetectStep(d, 0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dets); i++ {
+		if dets[i-1].Score < dets[i].Score {
+			t.Fatal("detections not sorted by score")
+		}
+	}
+}
+
+func TestBalanceOversamples(t *testing.T) {
+	mk := func(pos bool) Sample {
+		return Sample{X: NewTensor(1), HasTC: pos}
+	}
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, mk(false))
+	}
+	samples = append(samples, mk(true))
+	out := balance(samples)
+	pos := 0
+	for _, s := range out {
+		if s.HasTC {
+			pos++
+		}
+	}
+	if pos < 5 {
+		t.Fatalf("positives after balance = %d", pos)
+	}
+	// no positives: unchanged
+	if got := balance(samples[:20]); len(got) != 20 {
+		t.Fatal("balance modified all-negative set")
+	}
+}
+
+func TestPredictionClamped(t *testing.T) {
+	if clamp01(-3) != 0 || clamp01(3) != 1 || clamp01(0.4) != 0.4 {
+		t.Fatal("clamp01 broken")
+	}
+}

@@ -1,0 +1,308 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("len = %d", x.Len())
+	}
+	x.Set3(1, 2, 3, 7)
+	if x.At3(1, 2, 3) != 7 {
+		t.Fatal("At3/Set3 mismatch")
+	}
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] == 99 {
+		t.Fatal("clone aliases data")
+	}
+	if !x.SameShape(y) {
+		t.Fatal("clone shape differs")
+	}
+	if x.SameShape(NewTensor(2, 3)) || x.SameShape(NewTensor(2, 3, 5)) {
+		t.Fatal("SameShape false positives")
+	}
+}
+
+func TestTensorPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTensor(0, 3)
+}
+
+func TestConvForwardKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(1, 1, 2, rng)
+	// identity-ish kernel: w = [[1,0],[0,0]], b = 0.5
+	copy(c.W, []float64{1, 0, 0, 0})
+	c.B[0] = 0.5
+	x := NewTensor(1, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	out := c.Forward(x)
+	if out.Shape[1] != 2 || out.Shape[2] != 2 {
+		t.Fatalf("out shape = %v", out.Shape)
+	}
+	if out.At3(0, 0, 0) != 0.5 || out.At3(0, 1, 1) != 4.5 {
+		t.Fatalf("conv values = %v", out.Data)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	x := NewTensor(4)
+	copy(x.Data, []float64{-1, 0, 2, -3})
+	out := r.Forward(x)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("relu = %v", out.Data)
+		}
+	}
+	g := NewTensor(4)
+	copy(g.Data, []float64{1, 1, 1, 1})
+	back := r.Backward(g)
+	wantG := []float64{0, 0, 1, 0}
+	for i := range wantG {
+		if back.Data[i] != wantG[i] {
+			t.Fatalf("relu grad = %v", back.Data)
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	p := &MaxPool2{}
+	x := NewTensor(1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	out := p.Forward(x)
+	if out.Shape[1] != 2 || out.Shape[2] != 2 {
+		t.Fatalf("pool shape = %v", out.Shape)
+	}
+	if out.At3(0, 0, 0) != 5 || out.At3(0, 1, 1) != 15 {
+		t.Fatalf("pool values = %v", out.Data)
+	}
+	g := NewTensor(1, 2, 2)
+	copy(g.Data, []float64{1, 2, 3, 4})
+	back := p.Backward(g)
+	if back.At3(0, 1, 1) != 1 || back.At3(0, 3, 3) != 4 || back.At3(0, 0, 0) != 0 {
+		t.Fatalf("pool grad = %v", back.Data)
+	}
+}
+
+func TestDenseForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(2, 1, rng)
+	copy(d.W, []float64{3, -1})
+	d.B[0] = 0.5
+	x := NewTensor(2)
+	copy(x.Data, []float64{2, 4})
+	out := d.Forward(x)
+	if out.Data[0] != 2.5 { // 6 - 4 + 0.5
+		t.Fatalf("dense = %v", out.Data)
+	}
+}
+
+// numericalGrad checks analytic gradients against finite differences
+// for a small conv+dense network — the canonical backprop correctness
+// test.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := &Network{Layers: []Layer{
+		NewConv2D(2, 3, 2, rng),
+		&ReLU{},
+		&MaxPool2{},
+		&Flatten{},
+		NewDense(3*2*2, 2, rng),
+	}}
+	x := NewTensor(2, 5, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	target := []float64{0.3, -0.7}
+	loss := func() float64 {
+		out := net.Forward(x)
+		l := 0.0
+		for i, v := range out.Data {
+			d := v - target[i]
+			l += d * d
+		}
+		return l
+	}
+	// analytic gradient
+	net.ZeroGrads()
+	out := net.Forward(x)
+	grad := NewTensor(2)
+	for i, v := range out.Data {
+		grad.Data[i] = 2 * (v - target[i])
+	}
+	net.Backward(grad)
+
+	const eps = 1e-5
+	checked := 0
+	for _, l := range net.Layers {
+		for _, pg := range l.Params() {
+			for i := 0; i < len(pg.W); i += 3 { // sample every 3rd param
+				orig := pg.W[i]
+				pg.W[i] = orig + eps
+				lp := loss()
+				pg.W[i] = orig - eps
+				lm := loss()
+				pg.W[i] = orig
+				num := (lp - lm) / (2 * eps)
+				ana := pg.G[i]
+				if math.Abs(num-ana) > 1e-3*(1+math.Abs(num)) {
+					t.Fatalf("grad mismatch at param %d: analytic %v numerical %v", i, ana, num)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d params checked", checked)
+	}
+}
+
+func TestAdamReducesLossOnRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := &Network{Layers: []Layer{NewDense(3, 8, rng), &ReLU{}, NewDense(8, 1, rng)}}
+	opt := NewAdam(net, 0.01)
+	// target function: y = x0 + 2*x1 - x2
+	sample := func() (*Tensor, float64) {
+		x := NewTensor(3)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		return x, x.Data[0] + 2*x.Data[1] - x.Data[2]
+	}
+	lossAt := func(n int) float64 {
+		var total float64
+		for i := 0; i < n; i++ {
+			x, y := sample()
+			out := net.Forward(x)
+			d := out.Data[0] - y
+			total += d * d
+		}
+		return total / float64(n)
+	}
+	before := lossAt(50)
+	for it := 0; it < 400; it++ {
+		x, y := sample()
+		out := net.Forward(x)
+		g := NewTensor(1)
+		g.Data[0] = 2 * (out.Data[0] - y)
+		net.Backward(g)
+		if (it+1)%8 == 0 {
+			opt.Step(8)
+		}
+	}
+	after := lossAt(50)
+	if after > before/4 {
+		t.Fatalf("training did not reduce loss: %v -> %v", before, after)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net, err := NewCNN(2, 12, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(2, 12, 12)
+	rng := rand.New(rand.NewSource(9))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := net.Forward(x)
+
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Forward(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("output diverged after reload at %d: %v vs %v", i, want.Data[i], got.Data[i])
+		}
+	}
+	if loaded.ParamCount() != net.ParamCount() {
+		t.Fatalf("param counts differ: %d vs %d", loaded.ParamCount(), net.ParamCount())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	net, _ := NewCNN(2, 12, 12, 7)
+	clone, err := net.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mutate original weights; clone must not change
+	conv := net.Layers[0].(*Conv2D)
+	cloneConv := clone.Layers[0].(*Conv2D)
+	orig := cloneConv.W[0]
+	conv.W[0] += 100
+	if cloneConv.W[0] != orig {
+		t.Fatal("clone shares weights")
+	}
+}
+
+func TestLoadCorruptData(t *testing.T) {
+	if _, err := Unmarshal([]byte("not gob")); err == nil {
+		t.Fatal("corrupt data accepted")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNewCNNTooSmall(t *testing.T) {
+	if _, err := NewCNN(2, 4, 4, 1); err == nil {
+		t.Fatal("tiny patch accepted")
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		v := Sigmoid(x)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}
+
+func TestNetworkDeterministicSeed(t *testing.T) {
+	a, _ := NewCNN(2, 12, 12, 42)
+	b, _ := NewCNN(2, 12, 12, 42)
+	ca, cb := a.Layers[0].(*Conv2D), b.Layers[0].(*Conv2D)
+	for i := range ca.W {
+		if ca.W[i] != cb.W[i] {
+			t.Fatal("same seed, different weights")
+		}
+	}
+	c, _ := NewCNN(2, 12, 12, 43)
+	cc := c.Layers[0].(*Conv2D)
+	if ca.W[0] == cc.W[0] {
+		t.Fatal("different seeds, same weights")
+	}
+}

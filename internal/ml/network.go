@@ -1,0 +1,241 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+)
+
+// Network is an ordered stack of layers trained with Adam.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the full stack.
+func (n *Network) Forward(x *Tensor) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates an output gradient back through the stack,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad *Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// ZeroGrads clears accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		for _, pg := range l.Params() {
+			for i := range pg.G {
+				pg.G[i] = 0
+			}
+		}
+	}
+}
+
+// ParamCount returns the number of trainable scalars.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, l := range n.Layers {
+		for _, pg := range l.Params() {
+			c += len(pg.W)
+		}
+	}
+	return c
+}
+
+// Adam is the Adam optimizer bound to one network.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  [][]float64
+	net                   *Network
+}
+
+// NewAdam binds an optimizer with standard hyperparameters.
+func NewAdam(net *Network, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, net: net}
+	for _, l := range net.Layers {
+		for _, pg := range l.Params() {
+			a.m = append(a.m, make([]float64, len(pg.W)))
+			a.v = append(a.v, make([]float64, len(pg.W)))
+		}
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients (scaled by
+// 1/batchSize) and zeroes them.
+func (a *Adam) Step(batchSize int) {
+	a.t++
+	scale := 1.0
+	if batchSize > 0 {
+		scale = 1 / float64(batchSize)
+	}
+	k := 0
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, l := range a.net.Layers {
+		for _, pg := range l.Params() {
+			m, v := a.m[k], a.v[k]
+			for i := range pg.W {
+				g := pg.G[i] * scale
+				m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+				v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+				pg.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+				pg.G[i] = 0
+			}
+			k++
+		}
+	}
+}
+
+// --- serialization -------------------------------------------------------
+
+// netSpec is the gob image of a network: layer kinds plus parameters.
+type netSpec struct {
+	Kinds  []string
+	Convs  []convSpec
+	Denses []denseSpec
+}
+
+type convSpec struct {
+	InC, OutC, K int
+	W, B         []float64
+}
+
+type denseSpec struct {
+	In, Out int
+	W, B    []float64
+}
+
+// Save writes the network to path.
+func (n *Network) Save(path string) error {
+	data, err := n.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Marshal encodes the network to bytes.
+func (n *Network) Marshal() ([]byte, error) {
+	var spec netSpec
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			spec.Kinds = append(spec.Kinds, "conv")
+			spec.Convs = append(spec.Convs, convSpec{InC: v.InC, OutC: v.OutC, K: v.K, W: v.W, B: v.B})
+		case *Dense:
+			spec.Kinds = append(spec.Kinds, "dense")
+			spec.Denses = append(spec.Denses, denseSpec{In: v.In, Out: v.Out, W: v.W, B: v.B})
+		case *ReLU:
+			spec.Kinds = append(spec.Kinds, "relu")
+		case *MaxPool2:
+			spec.Kinds = append(spec.Kinds, "pool")
+		case *Flatten:
+			spec.Kinds = append(spec.Kinds, "flatten")
+		default:
+			return nil, fmt.Errorf("ml: cannot serialize layer %T", l)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a network from Marshal output.
+func Unmarshal(data []byte) (*Network, error) {
+	var spec netSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return nil, err
+	}
+	n := &Network{}
+	ci, di := 0, 0
+	for _, kind := range spec.Kinds {
+		switch kind {
+		case "conv":
+			if ci >= len(spec.Convs) {
+				return nil, fmt.Errorf("ml: corrupt spec: missing conv %d", ci)
+			}
+			s := spec.Convs[ci]
+			ci++
+			c := &Conv2D{InC: s.InC, OutC: s.OutC, K: s.K, W: s.W, B: s.B,
+				GW: make([]float64, len(s.W)), GB: make([]float64, len(s.B))}
+			n.Layers = append(n.Layers, c)
+		case "dense":
+			if di >= len(spec.Denses) {
+				return nil, fmt.Errorf("ml: corrupt spec: missing dense %d", di)
+			}
+			s := spec.Denses[di]
+			di++
+			d := &Dense{In: s.In, Out: s.Out, W: s.W, B: s.B,
+				GW: make([]float64, len(s.W)), GB: make([]float64, len(s.B))}
+			n.Layers = append(n.Layers, d)
+		case "relu":
+			n.Layers = append(n.Layers, &ReLU{})
+		case "pool":
+			n.Layers = append(n.Layers, &MaxPool2{})
+		case "flatten":
+			n.Layers = append(n.Layers, &Flatten{})
+		default:
+			return nil, fmt.Errorf("ml: unknown layer kind %q", kind)
+		}
+	}
+	return n, nil
+}
+
+// Load reads a network from path.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// Clone deep-copies the network (for concurrent inference: each
+// goroutine needs its own instance because layers cache activations).
+func (n *Network) Clone() (*Network, error) {
+	data, err := n.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// NewCNN builds the TC-localizer architecture for a cin-channel h×w
+// patch: two conv+relu+pool blocks, then two dense layers emitting
+// (presence logit, row fraction, col fraction).
+func NewCNN(cin, h, w int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const k = 3
+	h1, w1 := (h-k+1)/2, (w-k+1)/2   // after conv1+pool
+	h2, w2 := (h1-k+1)/2, (w1-k+1)/2 // after conv2+pool
+	if h2 < 1 || w2 < 1 {
+		return nil, fmt.Errorf("ml: patch %dx%d too small for the CNN", h, w)
+	}
+	flat := 16 * h2 * w2
+	return &Network{Layers: []Layer{
+		NewConv2D(cin, 8, k, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewConv2D(8, 16, k, rng),
+		&ReLU{},
+		&MaxPool2{},
+		&Flatten{},
+		NewDense(flat, 32, rng),
+		&ReLU{},
+		NewDense(32, 3, rng),
+	}}, nil
+}

@@ -1,0 +1,61 @@
+// Package ml implements the machine-learning substrate of the
+// workflow: a small, dependency-free neural-network library (tensors,
+// conv/pool/dense layers, Adam) plus the tropical-cyclone patch
+// localizer the paper runs with Keras/TensorFlow (§5.4). The CNN takes
+// a tiled, feature-scaled multi-channel patch of climate fields and
+// predicts whether a TC is present and where its center ("eye") falls
+// within the patch.
+package ml
+
+import "fmt"
+
+// Tensor is a dense row-major float64 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("ml: invalid tensor dim %d", s))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// At3 reads element (c, i, j) of a rank-3 tensor.
+func (t *Tensor) At3(c, i, j int) float64 {
+	return t.Data[(c*t.Shape[1]+i)*t.Shape[2]+j]
+}
+
+// Set3 writes element (c, i, j) of a rank-3 tensor.
+func (t *Tensor) Set3(c, i, j int, v float64) {
+	t.Data[(c*t.Shape[1]+i)*t.Shape[2]+j] = v
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}

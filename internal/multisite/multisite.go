@@ -1,0 +1,327 @@
+// Package multisite implements the paper's stated future direction
+// (§7): "a distributed execution of different tasks by leveraging the
+// Data Logistics Service ... the different parts of the workflow could
+// be run on different infrastructures according to their requirements,
+// using, for instance, large HPC systems for the ESM simulation,
+// data-oriented/Cloud systems for Big Data processing and
+// GPU-partitions for the ML-based models."
+//
+// A Federation is a set of named sites, each with its own storage
+// directory and datacube engine; the Data Logistics Service moves
+// datasets between sites with checksum verification and transfer
+// accounting, so the cost of distribution is measurable against the
+// single-site deployment.
+package multisite
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/datacube"
+	"repro/internal/dls"
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/indices"
+	"repro/internal/ml"
+	"repro/internal/stream"
+	"repro/internal/tctrack"
+)
+
+// SiteKind classifies a site's specialization.
+type SiteKind string
+
+// Site kinds, after the paper's §7 enumeration.
+const (
+	KindHPC   SiteKind = "hpc"   // simulation
+	KindCloud SiteKind = "cloud" // Big Data processing
+	KindGPU   SiteKind = "gpu"   // ML models
+)
+
+// Site is one infrastructure in the federation.
+type Site struct {
+	Name string
+	Kind SiteKind
+	// Dir is the site-local storage root.
+	Dir string
+	// Engine is the site-local datacube deployment (nil for sites that
+	// never run analytics).
+	Engine *datacube.Engine
+}
+
+// Federation is a set of sites plus the shared Data Logistics Service.
+type Federation struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+	dls   *dls.Service
+
+	bytesMoved int64
+	transfers  int
+}
+
+// NewFederation starts an empty federation.
+func NewFederation() *Federation {
+	return &Federation{
+		sites: make(map[string]*Site),
+		dls:   dls.NewService(nil),
+	}
+}
+
+// AddSite registers a site, creating its storage directory.
+func (f *Federation) AddSite(name string, kind SiteKind, dir string, engine *datacube.Engine) (*Site, error) {
+	if name == "" {
+		return nil, fmt.Errorf("multisite: site needs a name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.sites[name]; dup {
+		return nil, fmt.Errorf("multisite: duplicate site %q", name)
+	}
+	s := &Site{Name: name, Kind: kind, Dir: dir, Engine: engine}
+	f.sites[name] = s
+	return s, nil
+}
+
+// Site returns a registered site.
+func (f *Federation) Site(name string) (*Site, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sites[name]
+	if !ok {
+		return nil, fmt.Errorf("multisite: unknown site %q", name)
+	}
+	return s, nil
+}
+
+// Sites lists site names, sorted.
+func (f *Federation) Sites() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.sites))
+	for n := range f.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransferStats reports federation-wide data movement.
+type TransferStats struct {
+	BytesMoved int64
+	Transfers  int
+}
+
+// Stats returns accumulated transfer accounting.
+func (f *Federation) Stats() TransferStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return TransferStats{BytesMoved: f.bytesMoved, Transfers: f.transfers}
+}
+
+// Transfer moves the named files (paths under the source site's Dir)
+// to the destination site via a DLS stage-in pipeline, preserving the
+// relative layout. It returns the destination paths.
+func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([]string, error) {
+	rels := make([]string, len(files))
+	for i, p := range files {
+		rel, err := filepath.Rel(from.Dir, p)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) || filepath.IsAbs(rel) {
+			return nil, fmt.Errorf("multisite: %s is not under site %s", p, from.Name)
+		}
+		rels[i] = rel
+	}
+	if err := f.dls.Catalog.Register(dls.Dataset{Name: dataset, Root: from.Dir, Files: rels}); err != nil {
+		return nil, err
+	}
+	out, err := f.dls.StageIn(dataset, to.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var moved int64
+	for _, p := range out {
+		if fi, err := os.Stat(p); err == nil {
+			moved += fi.Size()
+		}
+	}
+	f.mu.Lock()
+	f.bytesMoved += moved
+	f.transfers += len(out)
+	f.mu.Unlock()
+	return out, nil
+}
+
+// Config parameterizes a distributed workflow run.
+type Config struct {
+	// Model is the ESM configuration (grid, years, events, seed).
+	Model esm.Config
+	// Localizer enables the ML branch on the GPU site (optional).
+	Localizer *ml.Localizer
+	// TCThreshold is the CNN presence threshold (default 0.5).
+	TCThreshold float64
+	// IndexParams for the wave pipelines; DaysPerYear/StepsPerDay are
+	// forced from the model configuration.
+	IndexParams indices.Params
+}
+
+// YearOutput is one year's distributed products.
+type YearOutput struct {
+	Year int
+	// HWNumberMean is the spatial mean heat-wave count (computed on the
+	// cloud site).
+	HWNumberMean float64
+	// TrackerTracks and CNNDetections come from the GPU site.
+	TrackerTracks int
+	CNNDetections int
+}
+
+// Result is the distributed run outcome.
+type Result struct {
+	Years []YearOutput
+	// Transfers is the inter-site data movement the distribution cost.
+	Transfers TransferStats
+}
+
+// RunDistributed executes the case-study workflow across three sites:
+// the ESM writes on the HPC site; each complete year's temperature
+// files move to the cloud site for the datacube index pipelines, and
+// its dynamical fields move to the GPU site for TC detection.
+func RunDistributed(f *Federation, cfg Config) (*Result, error) {
+	hpc, err := siteOfKind(f, KindHPC)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := siteOfKind(f, KindCloud)
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := siteOfKind(f, KindGPU)
+	if err != nil {
+		return nil, err
+	}
+	if cloud.Engine == nil {
+		return nil, fmt.Errorf("multisite: cloud site %q has no datacube engine", cloud.Name)
+	}
+	if cfg.TCThreshold == 0 {
+		cfg.TCThreshold = 0.5
+	}
+
+	// Stage 1: simulation on the HPC site.
+	model := esm.NewModel(cfg.Model)
+	mc := model.Config()
+	paths, err := model.Run(esm.RunOptions{Dir: hpc.Dir})
+	if err != nil {
+		return nil, err
+	}
+	batches := stream.NewYearBatcher(mc.DaysPerYear, esm.YearOf).Add(paths...)
+
+	params := cfg.IndexParams
+	params.DaysPerYear = mc.DaysPerYear
+	params.StepsPerDay = esm.StepsPerDay
+	params = params.Defaults()
+
+	baseline, err := indices.BuildBaseline(cloud.Engine, mc.Grid, mc.DaysPerYear)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = baseline.TMax.Delete()
+		_ = baseline.TMin.Delete()
+	}()
+
+	res := &Result{}
+	for _, batch := range batches {
+		// move the year to the analytics and ML sites
+		cloudFiles, err := f.Transfer(fmt.Sprintf("year%d-cloud", batch.Year), hpc, cloud, batch.Files)
+		if err != nil {
+			return nil, err
+		}
+		gpuFiles, err := f.Transfer(fmt.Sprintf("year%d-gpu", batch.Year), hpc, gpu, batch.Files)
+		if err != nil {
+			return nil, err
+		}
+
+		// Big Data processing on the cloud site
+		hw, err := indices.HeatWaves(cloud.Engine, cloudFiles, baseline, params)
+		if err != nil {
+			return nil, err
+		}
+		mean, err := spatialMean(hw.Number)
+		if err != nil {
+			return nil, err
+		}
+		_ = hw.Duration.Delete()
+		_ = hw.Number.Delete()
+		_ = hw.Frequency.Delete()
+
+		// ML + tracking on the GPU site
+		tracks, dets, err := runTCBranch(gpuFiles, mc.Grid, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		res.Years = append(res.Years, YearOutput{
+			Year:          batch.Year,
+			HWNumberMean:  mean,
+			TrackerTracks: tracks,
+			CNNDetections: dets,
+		})
+	}
+	res.Transfers = f.Stats()
+	return res, nil
+}
+
+func siteOfKind(f *Federation, kind SiteKind) (*Site, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var names []string
+	for n := range f.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if f.sites[n].Kind == kind {
+			return f.sites[n], nil
+		}
+	}
+	return nil, fmt.Errorf("multisite: no site of kind %q", kind)
+}
+
+func spatialMean(c *datacube.Cube) (float64, error) {
+	agg, err := c.AggregateRows("avg")
+	if err != nil {
+		return 0, err
+	}
+	defer agg.Delete()
+	red, err := agg.Reduce("avg")
+	if err != nil {
+		return 0, err
+	}
+	defer red.Delete()
+	return red.Scalar()
+}
+
+// runTCBranch executes detection on the GPU site's local files.
+func runTCBranch(files []string, g grid.Grid, cfg Config) (tracks, cnnDets int, err error) {
+	steps, err := loadFields(files, g)
+	if err != nil {
+		return 0, 0, err
+	}
+	tracker := tctrack.NewTracker()
+	for _, sf := range steps {
+		tracker.Advance(tctrack.DetectFields(sf.psl, sf.vort, sf.t500, sf.day, sf.step, tctrack.DefaultCriteria()))
+		if cfg.Localizer != nil && sf.step%2 == 0 {
+			d, err := cfg.Localizer.DetectFields(sf.channels, g, cfg.TCThreshold)
+			if err != nil {
+				return 0, 0, err
+			}
+			cnnDets += len(d)
+		}
+	}
+	return len(tracker.Finish()), cnnDets, nil
+}

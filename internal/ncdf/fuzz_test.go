@@ -1,0 +1,48 @@
+package ncdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the file decoder: arbitrary bytes must produce an
+// error or a dataset — never a panic or a runaway allocation.
+func FuzzRead(f *testing.F) {
+	// a valid file as the seed
+	ds := NewDataset()
+	_ = ds.AddDim("lat", 2)
+	_ = ds.AddDim("lon", 3)
+	ds.Attrs["model"] = String("seed")
+	ds.Attrs["year"] = Int(2040)
+	ds.Attrs["res"] = Float(0.25)
+	_, _ = ds.AddVar("T", []string{"lat", "lon"}, []float32{1, 2, 3, 4, 5, 6})
+	var buf bytes.Buffer
+	_ = ds.Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("GNC1"))
+	f.Add([]byte("GNC1\x00\x00\x00\x00"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+	// truncations of the valid file
+	b := buf.Bytes()
+	for _, cut := range []int{4, 8, 12, 20, len(b) - 4} {
+		if cut > 0 && cut < len(b) {
+			f.Add(b[:cut])
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// a decoded dataset must be internally consistent
+		for _, v := range got.Vars {
+			if _, err := got.Shape(v); err != nil {
+				// dims may legitimately be missing in crafted input; Shape
+				// must error, not panic
+				continue
+			}
+		}
+	})
+}

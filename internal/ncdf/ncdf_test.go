@@ -1,0 +1,271 @@
+package ncdf
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds := NewDataset()
+	if err := ds.AddDim("lat", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddDim("lon", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddDim("time", 2); err != nil {
+		t.Fatal(err)
+	}
+	ds.Attrs["model"] = String("CMCC-CM3-sim")
+	ds.Attrs["year"] = Int(2040)
+	ds.Attrs["resolution_deg"] = Float(0.25)
+	data := make([]float32, 2*3*4)
+	for i := range data {
+		data[i] = float32(i) * 0.5
+	}
+	v, err := ds.AddVar("TMAX", []string{"time", "lat", "lon"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Attrs["units"] = String("K")
+	psl := make([]float32, 3*4)
+	for i := range psl {
+		psl[i] = 101325 + float32(i)
+	}
+	if _, err := ds.AddVar("PSL", []string{"lat", "lon"}, psl); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAddDimValidation(t *testing.T) {
+	ds := NewDataset()
+	if err := ds.AddDim("x", 0); err == nil {
+		t.Fatal("zero-length dim accepted")
+	}
+	if err := ds.AddDim("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddDim("x", 3); err == nil {
+		t.Fatal("duplicate dim accepted")
+	}
+}
+
+func TestAddVarValidation(t *testing.T) {
+	ds := NewDataset()
+	ds.AddDim("a", 2)
+	if _, err := ds.AddVar("v", []string{"missing"}, nil); err == nil {
+		t.Fatal("unknown dim accepted")
+	}
+	if _, err := ds.AddVar("v", []string{"a"}, make([]float32, 3)); err == nil {
+		t.Fatal("wrong payload size accepted")
+	}
+	if _, err := ds.AddVar("v", []string{"a"}, make([]float32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.AddVar("v", []string{"a"}, make([]float32, 2)); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+}
+
+func TestRoundTripMemory(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dims) != 3 || got.Dims[0].Name != "lat" || got.Dims[0].Len != 3 {
+		t.Fatalf("dims = %+v", got.Dims)
+	}
+	if got.Attrs["model"].S != "CMCC-CM3-sim" || got.Attrs["year"].I != 2040 || got.Attrs["resolution_deg"].F != 0.25 {
+		t.Fatalf("attrs = %+v", got.Attrs)
+	}
+	v, err := got.Var("TMAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Attrs["units"].S != "K" {
+		t.Fatalf("var attrs = %+v", v.Attrs)
+	}
+	if len(v.Data) != 24 || v.Data[5] != 2.5 {
+		t.Fatalf("data = len %d, [5]=%v", len(v.Data), v.Data[5])
+	}
+	shape, err := got.Shape(v)
+	if err != nil || len(shape) != 3 || shape[0] != 2 || shape[1] != 3 || shape[2] != 4 {
+		t.Fatalf("shape = %v (%v)", shape, err)
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	ds := sampleDataset(t)
+	path := filepath.Join(t.TempDir(), "day.nc")
+	if err := WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := got.VarNames(); len(names) != 2 || names[0] != "PSL" || names[1] != "TMAX" {
+		t.Fatalf("vars = %v", names)
+	}
+	// atomic write leaves no tmp file behind
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("tmp file left behind")
+	}
+}
+
+func TestReadHeaderFileSkipsPayload(t *testing.T) {
+	ds := sampleDataset(t)
+	path := filepath.Join(t.TempDir(), "day.nc")
+	if err := WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := ReadHeaderFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hdr.Var("TMAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data != nil {
+		t.Fatal("header read should not load data")
+	}
+}
+
+func TestReadVariableFileSelective(t *testing.T) {
+	ds := sampleDataset(t)
+	path := filepath.Join(t.TempDir(), "day.nc")
+	if err := WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	_, v, err := ReadVariableFile(path, "PSL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Data) != 12 || v.Data[0] != 101325 {
+		t.Fatalf("PSL data = %v", v.Data[:3])
+	}
+	if _, _, err := ReadVariableFile(path, "NOPE"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXXjunk"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-10])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := Read(bytes.NewReader(b[:10])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestVarNotFound(t *testing.T) {
+	ds := NewDataset()
+	if _, err := ds.Var("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ds.DimLen("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpecialFloatValuesSurvive(t *testing.T) {
+	ds := NewDataset()
+	ds.AddDim("n", 4)
+	data := []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), -0}
+	ds.AddVar("v", []string{"n"}, data)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := got.Var("v")
+	if !math.IsNaN(float64(v.Data[0])) || !math.IsInf(float64(v.Data[1]), 1) || !math.IsInf(float64(v.Data[2]), -1) {
+		t.Fatalf("special values corrupted: %v", v.Data)
+	}
+}
+
+// Property: any dataset round-trips bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []float32, name string, attr int64) bool {
+		if len(vals) == 0 {
+			vals = []float32{1}
+		}
+		if len(vals) > 1000 {
+			vals = vals[:1000]
+		}
+		ds := NewDataset()
+		if err := ds.AddDim("n", len(vals)); err != nil {
+			return false
+		}
+		ds.Attrs["a"] = Int(attr)
+		if _, err := ds.AddVar("v", []string{"n"}, vals); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := ds.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		v, err := got.Var("v")
+		if err != nil || got.Attrs["a"].I != attr || len(v.Data) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float32bits(v.Data[i]) != math.Float32bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDeterministicAttrOrder(t *testing.T) {
+	mk := func() []byte {
+		ds := NewDataset()
+		ds.AddDim("n", 1)
+		ds.Attrs["z"] = Int(1)
+		ds.Attrs["a"] = Int(2)
+		ds.Attrs["m"] = String("x")
+		ds.AddVar("v", []string{"n"}, []float32{1})
+		var buf bytes.Buffer
+		ds.Write(&buf)
+		return buf.Bytes()
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("encoding not deterministic")
+	}
+}

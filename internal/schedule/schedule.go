@@ -1,0 +1,206 @@
+// Package schedule replays recorded workflow executions on the
+// simulated cluster to answer capacity-planning questions: given the
+// measured task durations and the dependency graph of a real run, what
+// would the makespan be on N nodes? This is the "what-if" analysis HPC
+// workflow teams run before requesting allocations, built from two
+// pieces this repository already has — execution provenance
+// (internal/compss) and the discrete-event batch scheduler
+// (internal/cluster).
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/compss"
+)
+
+// TaskSpec overrides per-task-kind resource needs during replay.
+type TaskSpec struct {
+	// Cores per instance of this task kind (default 1).
+	Cores int
+}
+
+// ReplayConfig parameterizes one replay.
+type ReplayConfig struct {
+	// Nodes and CoresPerNode size the simulated machine.
+	Nodes, CoresPerNode int
+	// Specs maps task kind names to resource overrides.
+	Specs map[string]TaskSpec
+	// MinTaskSeconds floors recorded durations, so zero-duration tasks
+	// (sub-millisecond) still occupy the scheduler; default 1e-6.
+	MinTaskSeconds float64
+}
+
+// ReplayResult summarizes one replay.
+type ReplayResult struct {
+	Nodes, CoresPerNode int
+	// Makespan is the virtual completion time of the whole graph.
+	Makespan float64
+	// TotalWork is the sum of task core-seconds.
+	TotalWork float64
+	// CriticalPath is the duration-weighted longest dependency chain —
+	// the lower bound no machine size can beat.
+	CriticalPath float64
+	// Efficiency is TotalWork / (capacity × Makespan).
+	Efficiency float64
+	// Tasks is the number of replayed tasks.
+	Tasks int
+}
+
+// replayTask is the in-memory task state during a replay.
+type replayTask struct {
+	id       int
+	name     string
+	duration float64
+	cores    int
+	deps     map[int]struct{}
+	children []int
+}
+
+// Replay simulates the provenance graph on a cluster of the given
+// size. Task durations come from the recorded run; dependencies are
+// honored exactly; placement and queueing follow the cluster's batch
+// scheduler.
+func Replay(p *compss.Provenance, cfg ReplayConfig) (ReplayResult, error) {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		return ReplayResult{}, fmt.Errorf("schedule: invalid machine %dx%d", cfg.Nodes, cfg.CoresPerNode)
+	}
+	if cfg.MinTaskSeconds <= 0 {
+		cfg.MinTaskSeconds = 1e-6
+	}
+	tasks := make(map[int]*replayTask, len(p.Tasks))
+	for _, tp := range p.Tasks {
+		d := tp.DurationMS / 1000
+		if d < cfg.MinTaskSeconds {
+			d = cfg.MinTaskSeconds
+		}
+		cores := 1
+		if spec, ok := cfg.Specs[tp.Name]; ok && spec.Cores > 0 {
+			cores = spec.Cores
+		}
+		if cores > cfg.CoresPerNode {
+			cores = cfg.CoresPerNode
+		}
+		tasks[tp.ID] = &replayTask{
+			id: tp.ID, name: tp.Name, duration: d, cores: cores,
+			deps: make(map[int]struct{}),
+		}
+	}
+	for _, e := range p.Edges {
+		from, to := e[0], e[1]
+		ft, fok := tasks[from]
+		tt, tok := tasks[to]
+		if !fok || !tok {
+			return ReplayResult{}, fmt.Errorf("schedule: edge %v references unknown task", e)
+		}
+		tt.deps[from] = struct{}{}
+		ft.children = append(ft.children, to)
+	}
+
+	res := ReplayResult{Nodes: cfg.Nodes, CoresPerNode: cfg.CoresPerNode, Tasks: len(tasks)}
+	for _, t := range tasks {
+		res.TotalWork += t.duration * float64(t.cores)
+	}
+	res.CriticalPath = criticalPath(tasks)
+
+	c := cluster.New(cfg.Nodes, cfg.CoresPerNode, 1<<30)
+	running := make(map[int]*cluster.Job) // task id → job
+	done := make(map[int]bool)
+
+	submitReady := func() error {
+		ids := make([]int, 0, len(tasks))
+		for id := range tasks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			t := tasks[id]
+			if done[id] || running[id] != nil {
+				continue
+			}
+			ready := true
+			for dep := range t.deps {
+				if !done[dep] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			job, err := c.Submit(t.name, cluster.Resources{Cores: t.cores}, t.duration)
+			if err != nil {
+				return fmt.Errorf("schedule: task %d (%s): %w", id, t.name, err)
+			}
+			running[id] = job
+		}
+		return nil
+	}
+
+	if err := submitReady(); err != nil {
+		return ReplayResult{}, err
+	}
+	for len(done) < len(tasks) {
+		if !c.Step() {
+			return ReplayResult{}, fmt.Errorf("schedule: deadlock with %d of %d tasks done", len(done), len(tasks))
+		}
+		for id, job := range running {
+			if job.State == cluster.JobDone {
+				done[id] = true
+				delete(running, id)
+			}
+		}
+		if err := submitReady(); err != nil {
+			return ReplayResult{}, err
+		}
+	}
+	res.Makespan = c.Clock()
+	capacity := float64(cfg.Nodes * cfg.CoresPerNode)
+	if res.Makespan > 0 {
+		res.Efficiency = res.TotalWork / (capacity * res.Makespan)
+	}
+	return res, nil
+}
+
+// criticalPath computes the duration-weighted longest chain.
+func criticalPath(tasks map[int]*replayTask) float64 {
+	memo := make(map[int]float64, len(tasks))
+	var longest func(id int) float64
+	longest = func(id int) float64 {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		t := tasks[id]
+		best := 0.0
+		for dep := range t.deps {
+			if v := longest(dep); v > best {
+				best = v
+			}
+		}
+		memo[id] = best + t.duration
+		return memo[id]
+	}
+	best := 0.0
+	for id := range tasks {
+		if v := longest(id); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Sweep replays the provenance across several machine sizes and
+// returns results in input order.
+func Sweep(p *compss.Provenance, nodeCounts []int, coresPerNode int, specs map[string]TaskSpec) ([]ReplayResult, error) {
+	out := make([]ReplayResult, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		r, err := Replay(p, ReplayConfig{Nodes: n, CoresPerNode: coresPerNode, Specs: specs})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

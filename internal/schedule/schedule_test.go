@@ -1,0 +1,213 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/compss"
+)
+
+// prov builds a provenance document by hand: tasks with durations (in
+// seconds) and edges.
+func prov(durations map[int]float64, names map[int]string, edges [][2]int) *compss.Provenance {
+	p := &compss.Provenance{Workflow: "synthetic", CreatedAt: time.Now()}
+	for id := 1; id <= len(durations); id++ {
+		name := names[id]
+		if name == "" {
+			name = "t"
+		}
+		p.Tasks = append(p.Tasks, compss.TaskProvenance{
+			ID: id, Name: name, State: "DONE", DurationMS: durations[id] * 1000,
+		})
+	}
+	p.Edges = edges
+	return p
+}
+
+func TestReplayChainEqualsSum(t *testing.T) {
+	p := prov(map[int]float64{1: 2, 2: 3, 3: 5}, nil, [][2]int{{1, 2}, {2, 3}})
+	r, err := Replay(p, ReplayConfig{Nodes: 4, CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-10) > 1e-9 {
+		t.Fatalf("chain makespan = %v, want 10", r.Makespan)
+	}
+	if math.Abs(r.CriticalPath-10) > 1e-9 {
+		t.Fatalf("critical path = %v", r.CriticalPath)
+	}
+	if r.Tasks != 3 {
+		t.Fatalf("tasks = %d", r.Tasks)
+	}
+}
+
+func TestReplayFanOutParallelizes(t *testing.T) {
+	// 8 independent 1s tasks
+	d := map[int]float64{}
+	for i := 1; i <= 8; i++ {
+		d[i] = 1
+	}
+	p := prov(d, nil, nil)
+	one, err := Replay(p, ReplayConfig{Nodes: 1, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.Makespan-8) > 1e-9 {
+		t.Fatalf("serial makespan = %v", one.Makespan)
+	}
+	four, err := Replay(p, ReplayConfig{Nodes: 2, CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(four.Makespan-2) > 1e-9 {
+		t.Fatalf("4-core makespan = %v, want 2", four.Makespan)
+	}
+	if four.Efficiency < 0.99 {
+		t.Fatalf("efficiency = %v", four.Efficiency)
+	}
+}
+
+func TestReplayRespectsDependencies(t *testing.T) {
+	// diamond: 1 → (2,3) → 4; durations 1, 2, 5, 1
+	p := prov(map[int]float64{1: 1, 2: 2, 3: 5, 4: 1}, nil,
+		[][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	r, err := Replay(p, ReplayConfig{Nodes: 2, CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// makespan = 1 + max(2,5) + 1 = 7 with enough cores
+	if math.Abs(r.Makespan-7) > 1e-9 {
+		t.Fatalf("diamond makespan = %v, want 7", r.Makespan)
+	}
+	if math.Abs(r.CriticalPath-7) > 1e-9 {
+		t.Fatalf("critical path = %v", r.CriticalPath)
+	}
+}
+
+func TestReplayMakespanNeverBelowCriticalPath(t *testing.T) {
+	p := prov(map[int]float64{1: 1, 2: 2, 3: 3, 4: 4, 5: 2}, nil,
+		[][2]int{{1, 3}, {2, 3}, {3, 5}, {4, 5}})
+	for _, nodes := range []int{1, 2, 8} {
+		r, err := Replay(p, ReplayConfig{Nodes: nodes, CoresPerNode: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Makespan < r.CriticalPath-1e-9 {
+			t.Fatalf("nodes=%d: makespan %v < critical path %v", nodes, r.Makespan, r.CriticalPath)
+		}
+	}
+}
+
+func TestReplaySpecsMultiCore(t *testing.T) {
+	// two 4-core tasks on a 1×4 machine must serialize
+	p := prov(map[int]float64{1: 1, 2: 1}, map[int]string{1: "wide", 2: "wide"}, nil)
+	r, err := Replay(p, ReplayConfig{
+		Nodes: 1, CoresPerNode: 4,
+		Specs: map[string]TaskSpec{"wide": {Cores: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-2) > 1e-9 {
+		t.Fatalf("wide makespan = %v, want 2", r.Makespan)
+	}
+	// cores clamp to node size rather than failing
+	r, err = Replay(p, ReplayConfig{
+		Nodes: 1, CoresPerNode: 2,
+		Specs: map[string]TaskSpec{"wide": {Cores: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-2) > 1e-9 {
+		t.Fatalf("clamped makespan = %v", r.Makespan)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	p := prov(map[int]float64{1: 1}, nil, nil)
+	if _, err := Replay(p, ReplayConfig{Nodes: 0, CoresPerNode: 1}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := prov(map[int]float64{1: 1}, nil, [][2]int{{1, 99}})
+	if _, err := Replay(bad, ReplayConfig{Nodes: 1, CoresPerNode: 1}); err == nil {
+		t.Fatal("dangling edge accepted")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	d := map[int]float64{}
+	var edges [][2]int
+	// two layers of 6 tasks
+	for i := 1; i <= 12; i++ {
+		d[i] = 1
+	}
+	for i := 1; i <= 6; i++ {
+		edges = append(edges, [2]int{i, i + 6})
+	}
+	p := prov(d, nil, edges)
+	results, err := Sweep(p, []int{1, 2, 4}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Makespan > results[i-1].Makespan+1e-9 {
+			t.Fatalf("makespan not monotone: %+v", results)
+		}
+	}
+	// with 4×2 = 8 cores ≥ layer width, makespan hits the critical path
+	last := results[len(results)-1]
+	if math.Abs(last.Makespan-last.CriticalPath) > 1e-9 {
+		t.Fatalf("wide machine makespan %v != critical path %v", last.Makespan, last.CriticalPath)
+	}
+}
+
+// TestReplayRealWorkflowProvenance replays an actual runtime execution.
+func TestReplayRealWorkflowProvenance(t *testing.T) {
+	rt := compss.NewRuntime(compss.Config{Workers: 4})
+	work, err := rt.Register(compss.TaskDef{
+		Name:    "work",
+		Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			time.Sleep(2 * time.Millisecond)
+			return []any{args[0]}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*compss.Future
+	for i := 0; i < 6; i++ {
+		f, err := rt.InvokeOne(work, compss.In(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	join := make([]compss.Param, len(futs))
+	for i, f := range futs {
+		join[i] = compss.In(f)
+	}
+	if _, err := rt.InvokeOne(work, join...); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Provenance("fan")
+	serial, err := Replay(p, ReplayConfig{Nodes: 1, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Replay(p, ReplayConfig{Nodes: 1, CoresPerNode: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Makespan >= serial.Makespan {
+		t.Fatalf("wide %v not faster than serial %v", wide.Makespan, serial.Makespan)
+	}
+}

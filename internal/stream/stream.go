@@ -1,0 +1,286 @@
+// Package stream provides the streaming interface the workflow uses to
+// monitor file production progress while the ESM is still running
+// (paper §5.2): "a streaming interface available in PyCOMPSs has been
+// leveraged to monitor the file production progress and detect when a
+// (full) new year of data is available".
+//
+// Two building blocks are provided: a generic typed Stream with
+// publish/poll semantics modelled on PyCOMPSs distributed streams, and a
+// DirWatcher that turns files appearing in a directory into stream
+// elements.
+package stream
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Publish after Close.
+var ErrClosed = errors.New("stream: closed")
+
+// Stream is an unbounded multi-producer, multi-consumer ordered stream.
+// Poll drains currently available elements; Next blocks for one.
+type Stream[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []T
+	closed bool
+}
+
+// New creates an empty open stream.
+func New[T any]() *Stream[T] {
+	s := &Stream[T]{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Publish appends elements to the stream.
+func (s *Stream[T]) Publish(items ...T) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.buf = append(s.buf, items...)
+	s.cond.Broadcast()
+	return nil
+}
+
+// Close marks the stream complete. Pending and future Poll/Next calls
+// drain the remaining buffer and then report closure.
+func (s *Stream[T]) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (s *Stream[T]) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Poll removes and returns all currently buffered elements without
+// blocking. ok is false only when the stream is closed and drained.
+func (s *Stream[T]) Poll() (items []T, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items = s.buf
+	s.buf = nil
+	return items, !(s.closed && len(items) == 0)
+}
+
+// Next blocks until one element is available and returns it; ok is
+// false when the stream closes with nothing left.
+func (s *Stream[T]) Next() (item T, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = s.buf[0]
+	s.buf = s.buf[1:]
+	return item, true
+}
+
+// Len reports buffered (unconsumed) elements.
+func (s *Stream[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// DirWatcher polls a directory and publishes newly appeared file names
+// (matching an optional pattern) to a Stream in sorted order. It stands
+// in for PyCOMPSs' file-stream monitoring of ESM output.
+type DirWatcher struct {
+	Dir      string
+	Pattern  *regexp.Regexp // nil matches everything
+	Interval time.Duration  // poll period; zero means 5ms
+
+	out  *Stream[string]
+	seen map[string]bool
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewDirWatcher builds a watcher over dir with an optional filename
+// regexp (pass "" for all files).
+func NewDirWatcher(dir, pattern string) (*DirWatcher, error) {
+	var re *regexp.Regexp
+	if pattern != "" {
+		var err error
+		re, err = regexp.Compile(pattern)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &DirWatcher{
+		Dir:     dir,
+		Pattern: re,
+		out:     New[string](),
+		seen:    make(map[string]bool),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Stream returns the output stream of newly detected file names.
+func (w *DirWatcher) Stream() *Stream[string] { return w.out }
+
+// Start begins polling in a background goroutine.
+func (w *DirWatcher) Start() {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			w.scan()
+			select {
+			case <-w.stop:
+				w.scan() // final scan so nothing published before Stop is lost
+				w.out.Close()
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop terminates polling after one final scan and closes the stream.
+func (w *DirWatcher) Stop() {
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+func (w *DirWatcher) scan() {
+	entries, err := os.ReadDir(w.Dir)
+	if err != nil {
+		return // directory may not exist yet; keep polling
+	}
+	var fresh []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if w.Pattern != nil && !w.Pattern.MatchString(name) {
+			continue
+		}
+		if w.seen[name] {
+			continue
+		}
+		w.seen[name] = true
+		fresh = append(fresh, filepath.Join(w.Dir, name))
+	}
+	sort.Strings(fresh)
+	if len(fresh) > 0 {
+		_ = w.out.Publish(fresh...)
+	}
+}
+
+// YearBatcher groups incoming daily-file names into complete years. It
+// implements the paper's step 4: "as soon as full year of NetCDF files
+// is available, the data analytics and ML tasks are executed".
+type YearBatcher struct {
+	// DaysPerYear is the number of daily files forming one complete
+	// year; zero means 365.
+	DaysPerYear int
+	// YearOf extracts the year key from a file path. Required.
+	YearOf func(path string) (int, bool)
+
+	mu      sync.Mutex
+	pending map[int][]string
+	emitted map[int]bool
+}
+
+// NewYearBatcher builds a batcher with the given extraction function.
+func NewYearBatcher(daysPerYear int, yearOf func(string) (int, bool)) *YearBatcher {
+	if daysPerYear <= 0 {
+		daysPerYear = 365
+	}
+	return &YearBatcher{
+		DaysPerYear: daysPerYear,
+		YearOf:      yearOf,
+		pending:     make(map[int][]string),
+		emitted:     make(map[int]bool),
+	}
+}
+
+// YearBatch is one complete year of daily files.
+type YearBatch struct {
+	Year  int
+	Files []string // sorted
+}
+
+// Add ingests newly seen file paths and returns any years that just
+// became complete, in ascending year order.
+func (b *YearBatcher) Add(paths ...string) []YearBatch {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	touched := map[int]bool{}
+	for _, p := range paths {
+		y, ok := b.YearOf(p)
+		if !ok || b.emitted[y] {
+			continue
+		}
+		b.pending[y] = append(b.pending[y], p)
+		touched[y] = true
+	}
+	var out []YearBatch
+	for y := range touched {
+		if len(b.pending[y]) >= b.DaysPerYear {
+			files := b.pending[y]
+			sort.Strings(files)
+			out = append(out, YearBatch{Year: y, Files: files})
+			b.emitted[y] = true
+			delete(b.pending, y)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}
+
+// Incomplete returns the years seen but not yet complete, with counts.
+func (b *YearBatcher) Incomplete() map[int]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int]int, len(b.pending))
+	for y, fs := range b.pending {
+		out[y] = len(fs)
+	}
+	return out
+}
+
+// WaitForFile blocks until path exists or the timeout elapses.
+func WaitForFile(path string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return nil
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return os.ErrDeadlineExceeded
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,300 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPublishPollOrder(t *testing.T) {
+	s := New[int]()
+	if err := s.Publish(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	items, ok := s.Poll()
+	if !ok || len(items) != 3 || items[0] != 1 || items[2] != 3 {
+		t.Fatalf("poll = %v, %v", items, ok)
+	}
+	items, ok = s.Poll()
+	if !ok || len(items) != 0 {
+		t.Fatalf("empty open stream poll = %v, %v", items, ok)
+	}
+}
+
+func TestPollAfterCloseDrainsThenEnds(t *testing.T) {
+	s := New[string]()
+	s.Publish("a")
+	s.Close()
+	items, ok := s.Poll()
+	if !ok || len(items) != 1 {
+		t.Fatalf("drain poll = %v %v", items, ok)
+	}
+	items, ok = s.Poll()
+	if ok || len(items) != 0 {
+		t.Fatalf("final poll = %v %v", items, ok)
+	}
+}
+
+func TestPublishAfterClose(t *testing.T) {
+	s := New[int]()
+	s.Close()
+	if err := s.Publish(1); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false")
+	}
+}
+
+func TestNextBlocksUntilPublish(t *testing.T) {
+	s := New[int]()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.Publish(7)
+	}()
+	v, ok := s.Next()
+	if !ok || v != 7 {
+		t.Fatalf("next = %v %v", v, ok)
+	}
+}
+
+func TestNextUnblocksOnClose(t *testing.T) {
+	s := New[int]()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.Close()
+	}()
+	if _, ok := s.Next(); ok {
+		t.Fatal("next on closed empty stream should report !ok")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	s := New[int]()
+	const producers, per = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Publish(p*per + i)
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); s.Close() }()
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := s.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("consumed %d unique items, want %d", len(seen), producers*per)
+	}
+}
+
+func TestDirWatcherDetectsFiles(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewDirWatcher(dir, `\.nc$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Interval = time.Millisecond
+	w.Start()
+	os.WriteFile(filepath.Join(dir, "day1.nc"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "ignore.txt"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "day2.nc"), []byte("x"), 0o644)
+	time.Sleep(20 * time.Millisecond)
+	w.Stop()
+	var got []string
+	for {
+		v, ok := w.Stream().Next()
+		if !ok {
+			break
+		}
+		got = append(got, filepath.Base(v))
+	}
+	if len(got) != 2 {
+		t.Fatalf("detected %v, want 2 .nc files", got)
+	}
+	for _, g := range got {
+		if !strings.HasSuffix(g, ".nc") {
+			t.Fatalf("non-matching file %q", g)
+		}
+	}
+}
+
+func TestDirWatcherNoDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.nc"), []byte("x"), 0o644)
+	w, _ := NewDirWatcher(dir, "")
+	w.Interval = time.Millisecond
+	w.Start()
+	time.Sleep(15 * time.Millisecond)
+	w.Stop()
+	n := 0
+	for {
+		if _, ok := w.Stream().Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("file reported %d times, want 1", n)
+	}
+}
+
+func TestDirWatcherBadPattern(t *testing.T) {
+	if _, err := NewDirWatcher(".", "("); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}
+
+func TestDirWatcherFinalScanBeforeStop(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewDirWatcher(dir, "")
+	w.Interval = time.Hour // never ticks: rely on the final scan
+	w.Start()
+	os.WriteFile(filepath.Join(dir, "late.nc"), []byte("x"), 0o644)
+	w.Stop()
+	items, _ := w.Stream().Poll()
+	if len(items) != 1 {
+		t.Fatalf("final scan missed file: %v", items)
+	}
+}
+
+func yearFromName(p string) (int, bool) {
+	base := filepath.Base(p)
+	parts := strings.SplitN(base, "-", 2)
+	y, err := strconv.Atoi(parts[0])
+	return y, err == nil
+}
+
+func TestYearBatcherEmitsCompleteYears(t *testing.T) {
+	b := NewYearBatcher(3, yearFromName)
+	if out := b.Add("2040-d1.nc", "2040-d2.nc"); len(out) != 0 {
+		t.Fatalf("premature batch %v", out)
+	}
+	if inc := b.Incomplete(); inc[2040] != 2 {
+		t.Fatalf("incomplete = %v", inc)
+	}
+	out := b.Add("2040-d3.nc")
+	if len(out) != 1 || out[0].Year != 2040 || len(out[0].Files) != 3 {
+		t.Fatalf("batch = %+v", out)
+	}
+	if out[0].Files[0] != "2040-d1.nc" {
+		t.Fatalf("files not sorted: %v", out[0].Files)
+	}
+}
+
+func TestYearBatcherMultipleYearsInterleaved(t *testing.T) {
+	b := NewYearBatcher(2, yearFromName)
+	out := b.Add("2041-d1.nc", "2040-d1.nc", "2041-d2.nc", "2040-d2.nc")
+	if len(out) != 2 || out[0].Year != 2040 || out[1].Year != 2041 {
+		t.Fatalf("batches = %+v", out)
+	}
+}
+
+func TestYearBatcherIgnoresDuplicateEmission(t *testing.T) {
+	b := NewYearBatcher(1, yearFromName)
+	if out := b.Add("2040-d1.nc"); len(out) != 1 {
+		t.Fatal("expected emission")
+	}
+	if out := b.Add("2040-d2.nc"); len(out) != 0 {
+		t.Fatalf("year re-emitted: %v", out)
+	}
+}
+
+func TestYearBatcherSkipsUnparseable(t *testing.T) {
+	b := NewYearBatcher(1, yearFromName)
+	if out := b.Add("garbage.nc"); len(out) != 0 {
+		t.Fatalf("unparseable file produced batch %v", out)
+	}
+}
+
+func TestYearBatcherDefaultDays(t *testing.T) {
+	b := NewYearBatcher(0, yearFromName)
+	if b.DaysPerYear != 365 {
+		t.Fatalf("default days = %d", b.DaysPerYear)
+	}
+}
+
+// Property: regardless of arrival order, every year with exactly
+// daysPerYear files is emitted exactly once with all its files.
+func TestYearBatcherCompletenessProperty(t *testing.T) {
+	f := func(perm []uint8, days uint8) bool {
+		d := int(days%5) + 1
+		const years = 4
+		var files []string
+		for y := 0; y < years; y++ {
+			for k := 0; k < d; k++ {
+				files = append(files, fmt.Sprintf("%d-d%d.nc", 2040+y, k))
+			}
+		}
+		// permute deterministically from perm
+		for i := len(files) - 1; i > 0; i-- {
+			j := 0
+			if len(perm) > 0 {
+				j = int(perm[i%len(perm)]) % (i + 1)
+			}
+			files[i], files[j] = files[j], files[i]
+		}
+		b := NewYearBatcher(d, yearFromName)
+		emitted := map[int]int{}
+		for _, f := range files {
+			for _, batch := range b.Add(f) {
+				emitted[batch.Year]++
+				if len(batch.Files) != d {
+					return false
+				}
+			}
+		}
+		if len(emitted) != years {
+			return false
+		}
+		for _, n := range emitted {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitForFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		os.WriteFile(p, []byte("1"), 0o644)
+	}()
+	if err := WaitForFile(p, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := WaitForFile(filepath.Join(dir, "never"), 20*time.Millisecond); err == nil {
+		t.Fatal("expected timeout")
+	}
+}

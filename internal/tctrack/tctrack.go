@@ -1,0 +1,352 @@
+// Package tctrack implements a deterministic tropical-cyclone detection
+// and tracking scheme of the classical kind the paper cites as the
+// validation path for the ML localizer (§5.4: "the workflow for climate
+// extreme events can execute deterministic TC tracking schemes to
+// further validate the results").
+//
+// Detection follows the standard multi-criteria recipe (cf. Zarzycki &
+// Ullrich; Murakami): a sea-level-pressure local minimum with a closed
+// depression relative to its surroundings, cyclonic 850 hPa vorticity
+// for the hemisphere, and a warm core at 500 hPa, restricted to
+// tropical/subtropical latitudes. Tracking stitches step-wise
+// detections by nearest-neighbour association under a maximum
+// displacement, and discards short-lived tracks.
+package tctrack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+// Criteria holds the detection thresholds.
+type Criteria struct {
+	// MinDepressionPa is the required central pressure deficit relative
+	// to the ring average.
+	MinDepressionPa float64
+	// MinVorticity is the required cyclonic 850 hPa relative vorticity
+	// magnitude (sign-adjusted per hemisphere).
+	MinVorticity float64
+	// MinWarmCoreK is the required 500 hPa warm anomaly at the center.
+	MinWarmCoreK float64
+	// MaxAbsLat restricts candidates to the tropical belt.
+	MaxAbsLat float64
+	// RingCells is the radius, in grid cells, of the comparison ring.
+	RingCells int
+	// MinimaWindow is the neighbourhood half-width for the local-minimum
+	// test.
+	MinimaWindow int
+}
+
+// DefaultCriteria returns thresholds tuned to the simulator's vortex
+// signature (the real numbers would be tuned to the ESM climatology the
+// same way).
+func DefaultCriteria() Criteria {
+	return Criteria{
+		MinDepressionPa: 1100,
+		MinVorticity:    1e-4,
+		MinWarmCoreK:    2.0,
+		MaxAbsLat:       45,
+		RingCells:       6,
+		MinimaWindow:    2,
+	}
+}
+
+// Detection is one instantaneous storm candidate.
+type Detection struct {
+	Day, Step    int
+	Lat, Lon     float64
+	DepressionPa float64
+	Vorticity    float64
+	WarmCoreK    float64
+}
+
+// DetectStep scans one model step for storm candidates.
+func DetectStep(day *esm.DayOutput, step int, c Criteria) ([]Detection, error) {
+	psl, err := day.Field(step, "PSL")
+	if err != nil {
+		return nil, err
+	}
+	vort, err := day.Field(step, "VORT850")
+	if err != nil {
+		return nil, err
+	}
+	t500, err := day.Field(step, "T500")
+	if err != nil {
+		return nil, err
+	}
+	return DetectFields(psl, vort, t500, day.DayOfYear, step, c), nil
+}
+
+// DetectFields is DetectStep over raw fields.
+func DetectFields(psl, vort, t500 *grid.Field, dayOfYear, step int, c Criteria) []Detection {
+	g := psl.Grid
+	var out []Detection
+	for i := 0; i < g.NLat; i++ {
+		lat := g.Lat(i)
+		if math.Abs(lat) > c.MaxAbsLat {
+			continue
+		}
+		for j := 0; j < g.NLon; j++ {
+			p := psl.At(i, j)
+			if !isLocalMin(psl, i, j, c.MinimaWindow) {
+				continue
+			}
+			ringP, ringT := ringMeans(psl, t500, i, j, c.RingCells)
+			depression := float64(ringP) - float64(p)
+			if depression < c.MinDepressionPa {
+				continue
+			}
+			warm := float64(t500.At(i, j)) - float64(ringT)
+			if warm < c.MinWarmCoreK {
+				continue
+			}
+			v := float64(vort.At(i, j))
+			if lat >= 0 && v < c.MinVorticity {
+				continue
+			}
+			if lat < 0 && v > -c.MinVorticity {
+				continue
+			}
+			out = append(out, Detection{
+				Day: dayOfYear, Step: step,
+				Lat: lat, Lon: g.Lon(j),
+				DepressionPa: depression,
+				Vorticity:    v,
+				WarmCoreK:    warm,
+			})
+		}
+	}
+	// strongest first, for dedup by proximity
+	sort.Slice(out, func(a, b int) bool { return out[a].DepressionPa > out[b].DepressionPa })
+	return dedup(out, 500)
+}
+
+// dedup suppresses weaker detections within km of a stronger one.
+func dedup(dets []Detection, km float64) []Detection {
+	var out []Detection
+	for _, d := range dets {
+		keep := true
+		for _, k := range out {
+			if grid.Haversine(d.Lat, d.Lon, k.Lat, k.Lon) < km {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// isLocalMin reports whether (i,j) is a strict minimum of its
+// neighbourhood (ties broken toward larger indices to keep one winner).
+func isLocalMin(f *grid.Field, i, j, w int) bool {
+	v := f.At(i, j)
+	for di := -w; di <= w; di++ {
+		for dj := -w; dj <= w; dj++ {
+			if di == 0 && dj == 0 {
+				continue
+			}
+			n := f.At(i+di, j+dj)
+			if n < v || (n == v && (di < 0 || (di == 0 && dj < 0))) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ringMeans averages PSL and T500 on the square ring at distance r.
+func ringMeans(psl, t500 *grid.Field, i, j, r int) (float32, float32) {
+	var sumP, sumT float64
+	n := 0
+	for dj := -r; dj <= r; dj++ {
+		for _, di := range []int{-r, r} {
+			sumP += float64(psl.At(i+di, j+dj))
+			sumT += float64(t500.At(i+di, j+dj))
+			n++
+		}
+	}
+	for di := -r + 1; di <= r-1; di++ {
+		for _, dj := range []int{-r, r} {
+			sumP += float64(psl.At(i+di, j+dj))
+			sumT += float64(t500.At(i+di, j+dj))
+			n++
+		}
+	}
+	return float32(sumP / float64(n)), float32(sumT / float64(n))
+}
+
+// Track is a stitched storm trajectory.
+type Track struct {
+	ID     int
+	Points []Detection
+}
+
+// Duration returns the track length in 6-hourly steps.
+func (t *Track) Duration() int { return len(t.Points) }
+
+// Tracker stitches per-step detections into tracks.
+type Tracker struct {
+	// MaxStepKm is the maximum displacement between consecutive steps.
+	MaxStepKm float64
+	// MinPoints is the minimum track length to report.
+	MinPoints int
+
+	open   []*Track
+	closed []*Track
+	nextID int
+}
+
+// NewTracker returns a tracker with sensible defaults: storms move well
+// under 800 km per 6 h, and tracks shorter than 6 steps (1.5 days) are
+// treated as noise — daily-persistent weather patterns can fake a
+// four-step track because the synoptic field changes once per day.
+func NewTracker() *Tracker {
+	return &Tracker{MaxStepKm: 800, MinPoints: 6, nextID: 1}
+}
+
+// Advance ingests the detections of the next time step (call in
+// chronological order). Detections extend the nearest open track within
+// MaxStepKm or open new tracks; unmatched open tracks close.
+func (tr *Tracker) Advance(dets []Detection) {
+	matched := make([]bool, len(dets))
+	var stillOpen []*Track
+	for _, track := range tr.open {
+		last := track.Points[len(track.Points)-1]
+		bestIdx, bestDist := -1, tr.MaxStepKm
+		for i, d := range dets {
+			if matched[i] {
+				continue
+			}
+			dist := grid.Haversine(last.Lat, last.Lon, d.Lat, d.Lon)
+			if dist <= bestDist {
+				bestDist = dist
+				bestIdx = i
+			}
+		}
+		if bestIdx >= 0 {
+			matched[bestIdx] = true
+			track.Points = append(track.Points, dets[bestIdx])
+			stillOpen = append(stillOpen, track)
+		} else {
+			tr.closed = append(tr.closed, track)
+		}
+	}
+	tr.open = stillOpen
+	for i, d := range dets {
+		if !matched[i] {
+			tr.open = append(tr.open, &Track{ID: tr.nextID, Points: []Detection{d}})
+			tr.nextID++
+		}
+	}
+}
+
+// Finish closes all open tracks and returns those meeting MinPoints,
+// ordered by ID.
+func (tr *Tracker) Finish() []*Track {
+	tr.closed = append(tr.closed, tr.open...)
+	tr.open = nil
+	var out []*Track
+	for _, t := range tr.closed {
+		if len(t.Points) >= tr.MinPoints {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunModel detects and tracks across an entire model run, returning the
+// qualifying tracks. It consumes the model (steps it to completion).
+func RunModel(m *esm.Model, c Criteria) ([]*Track, error) {
+	tr := NewTracker()
+	for {
+		d := m.StepDay()
+		if d == nil {
+			break
+		}
+		for s := 0; s < esm.StepsPerDay; s++ {
+			dets, err := DetectStep(d, s, c)
+			if err != nil {
+				return nil, err
+			}
+			tr.Advance(dets)
+		}
+	}
+	return tr.Finish(), nil
+}
+
+// Skill quantifies detection quality against seeded ground truth.
+type Skill struct {
+	// POD is the probability of detection (hits / truth instants).
+	POD float64
+	// FAR is the false-alarm ratio (false detections / all detections).
+	FAR float64
+	// MeanErrorKm is the mean center error over hits.
+	MeanErrorKm float64
+	Hits        int
+	Misses      int
+	FalseAlarms int
+}
+
+func (s Skill) String() string {
+	return fmt.Sprintf("POD=%.2f FAR=%.2f err=%.0fkm (hit=%d miss=%d fa=%d)",
+		s.POD, s.FAR, s.MeanErrorKm, s.Hits, s.Misses, s.FalseAlarms)
+}
+
+// Instant pairs a truth point with the detections of the same step.
+type Instant struct {
+	Truth []esm.TrackPoint
+	Dets  []Detection
+}
+
+// Evaluate matches detections to truth points within matchKm and
+// accumulates skill over the instants.
+func Evaluate(instants []Instant, matchKm float64) Skill {
+	var sk Skill
+	var errSum float64
+	for _, in := range instants {
+		used := make([]bool, len(in.Dets))
+		for _, tp := range in.Truth {
+			bestIdx, bestDist := -1, matchKm
+			for i, d := range in.Dets {
+				if used[i] {
+					continue
+				}
+				dist := grid.Haversine(tp.Lat, tp.Lon, d.Lat, d.Lon)
+				if dist <= bestDist {
+					bestDist = dist
+					bestIdx = i
+				}
+			}
+			if bestIdx >= 0 {
+				used[bestIdx] = true
+				sk.Hits++
+				errSum += bestDist
+			} else {
+				sk.Misses++
+			}
+		}
+		for i := range in.Dets {
+			if !used[i] {
+				sk.FalseAlarms++
+			}
+		}
+	}
+	if sk.Hits+sk.Misses > 0 {
+		sk.POD = float64(sk.Hits) / float64(sk.Hits+sk.Misses)
+	}
+	if sk.Hits+sk.FalseAlarms > 0 {
+		sk.FAR = float64(sk.FalseAlarms) / float64(sk.Hits+sk.FalseAlarms)
+	}
+	if sk.Hits > 0 {
+		sk.MeanErrorKm = errSum / float64(sk.Hits)
+	}
+	return sk
+}

@@ -1,0 +1,249 @@
+package tctrack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/esm"
+	"repro/internal/grid"
+)
+
+func stormModel(seed int64, cyclones, days int) *esm.Model {
+	return esm.NewModel(esm.Config{
+		Grid:        grid.Grid{NLat: 48, NLon: 96},
+		StartYear:   2040,
+		Years:       1,
+		DaysPerYear: days,
+		Seed:        seed,
+		Events: &esm.EventConfig{
+			CyclonesPerYear: cyclones,
+			WaveAmplitudeK:  8, WaveMinDays: 6, WaveMaxDays: 6,
+		},
+	})
+}
+
+func TestIsLocalMin(t *testing.T) {
+	g := grid.Grid{NLat: 8, NLon: 8}
+	f := grid.NewField(g)
+	for i := range f.Data {
+		f.Data[i] = 10
+	}
+	f.Set(4, 4, 1)
+	if !isLocalMin(f, 4, 4, 2) {
+		t.Fatal("clear minimum missed")
+	}
+	if isLocalMin(f, 4, 5, 2) {
+		t.Fatal("neighbour of minimum accepted")
+	}
+	// plateau: only one winner among equal cells
+	f.Set(2, 2, 10)
+	wins := 0
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if f.At(i, j) == 10 && isLocalMin(f, i, j, 1) {
+				wins++
+			}
+		}
+	}
+	if wins > 12 { // far from unique minimum cells can win locally, but ties must not double-count
+		t.Fatalf("too many plateau winners: %d", wins)
+	}
+}
+
+func TestDetectFieldsFindsSeededVortex(t *testing.T) {
+	m := stormModel(21, 1, 20)
+	gt := m.GroundTruth()
+	c := gt.Cyclones[0]
+	// step to peak intensity
+	peak := c.Track[0]
+	for _, p := range c.Track {
+		if p.PressureDrop > peak.PressureDrop {
+			peak = p
+		}
+	}
+	var day *esm.DayOutput
+	for i := 0; i <= peak.Day; i++ {
+		day = m.StepDay()
+	}
+	dets, err := DetectStep(day, peak.Step, DefaultCriteria())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("peak storm not detected")
+	}
+	best := math.Inf(1)
+	for _, d := range dets {
+		if dist := grid.Haversine(d.Lat, d.Lon, peak.Lat, peak.Lon); dist < best {
+			best = dist
+		}
+	}
+	if best > 600 {
+		t.Fatalf("nearest detection %v km from truth", best)
+	}
+	d := dets[0]
+	if d.DepressionPa <= 0 || d.WarmCoreK < 0.8 {
+		t.Fatalf("detection diagnostics implausible: %+v", d)
+	}
+}
+
+func TestNoStormsNoDetections(t *testing.T) {
+	m := stormModel(22, 0, 6)
+	falsePos := 0
+	for {
+		day := m.StepDay()
+		if day == nil {
+			break
+		}
+		for s := 0; s < esm.StepsPerDay; s++ {
+			dets, err := DetectStep(day, s, DefaultCriteria())
+			if err != nil {
+				t.Fatal(err)
+			}
+			falsePos += len(dets)
+		}
+	}
+	if falsePos > 2 { // allow the rare noise coincidence
+		t.Fatalf("%d false detections in a storm-free run", falsePos)
+	}
+}
+
+func TestTrackerStitchesAndFilters(t *testing.T) {
+	tr := NewTracker()
+	tr.MinPoints = 3
+	// storm A moving steadily; storm B appears once (noise)
+	tr.Advance([]Detection{{Day: 0, Step: 0, Lat: 15, Lon: 300}})
+	tr.Advance([]Detection{{Day: 0, Step: 1, Lat: 15.5, Lon: 299}, {Day: 0, Step: 1, Lat: -30, Lon: 100}})
+	tr.Advance([]Detection{{Day: 0, Step: 2, Lat: 16, Lon: 298}})
+	tr.Advance(nil)
+	tracks := tr.Finish()
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1 (noise filtered)", len(tracks))
+	}
+	if tracks[0].Duration() != 3 {
+		t.Fatalf("track length = %d", tracks[0].Duration())
+	}
+}
+
+func TestTrackerSplitsDistantDetections(t *testing.T) {
+	tr := NewTracker()
+	tr.MinPoints = 2
+	tr.Advance([]Detection{{Lat: 10, Lon: 100}})
+	// a detection 5000+ km away must start a new track, not extend
+	tr.Advance([]Detection{{Lat: 10, Lon: 160}})
+	tr.Advance([]Detection{{Lat: 10, Lon: 161}})
+	tracks := tr.Finish()
+	if len(tracks) != 1 || tracks[0].Points[0].Lon != 160 {
+		t.Fatalf("unexpected tracks: %+v", tracks)
+	}
+}
+
+func TestRunModelRecoverseededTracks(t *testing.T) {
+	m := stormModel(23, 2, 25)
+	gt := m.GroundTruth()
+	tracks, err := RunModel(m, DefaultCriteria())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) == 0 {
+		t.Fatal("no tracks recovered")
+	}
+	// every recovered track should shadow a true storm for most points
+	for _, track := range tracks {
+		good := 0
+		for _, p := range track.Points {
+			for _, c := range gt.Cyclones {
+				if tp, ok := c.Active(p.Day, p.Step); ok {
+					if grid.Haversine(p.Lat, p.Lon, tp.Lat, tp.Lon) < 700 {
+						good++
+						break
+					}
+				}
+			}
+		}
+		if float64(good) < 0.7*float64(len(track.Points)) {
+			t.Fatalf("track %d matches truth at only %d/%d points", track.ID, good, len(track.Points))
+		}
+	}
+}
+
+func TestEvaluateSkillPerfectAndEmpty(t *testing.T) {
+	truth := []esm.TrackPoint{{Lat: 10, Lon: 100}}
+	perfect := Evaluate([]Instant{{Truth: truth, Dets: []Detection{{Lat: 10, Lon: 100}}}}, 300)
+	if perfect.POD != 1 || perfect.FAR != 0 || perfect.Hits != 1 {
+		t.Fatalf("perfect skill = %+v", perfect)
+	}
+	miss := Evaluate([]Instant{{Truth: truth, Dets: nil}}, 300)
+	if miss.POD != 0 || miss.Misses != 1 {
+		t.Fatalf("miss skill = %+v", miss)
+	}
+	fa := Evaluate([]Instant{{Truth: nil, Dets: []Detection{{Lat: 0, Lon: 0}}}}, 300)
+	if fa.FAR != 1 || fa.FalseAlarms != 1 {
+		t.Fatalf("false-alarm skill = %+v", fa)
+	}
+	empty := Evaluate(nil, 300)
+	if empty.POD != 0 || empty.FAR != 0 {
+		t.Fatalf("empty skill = %+v", empty)
+	}
+	if perfect.String() == "" {
+		t.Fatal("skill stringer empty")
+	}
+}
+
+func TestEvaluateNoDoubleCounting(t *testing.T) {
+	// two truth storms, one detection between them: only one hit
+	truth := []esm.TrackPoint{{Lat: 10, Lon: 100}, {Lat: 10, Lon: 101}}
+	sk := Evaluate([]Instant{{Truth: truth, Dets: []Detection{{Lat: 10, Lon: 100.5}}}}, 300)
+	if sk.Hits != 1 || sk.Misses != 1 || sk.FalseAlarms != 0 {
+		t.Fatalf("skill = %+v", sk)
+	}
+}
+
+func TestEndToEndSkillAgainstGroundTruth(t *testing.T) {
+	m := stormModel(24, 3, 25)
+	gt := m.GroundTruth()
+	var instants []Instant
+	for {
+		day := m.StepDay()
+		if day == nil {
+			break
+		}
+		for s := 0; s < esm.StepsPerDay; s++ {
+			var truth []esm.TrackPoint
+			for _, c := range gt.Cyclones {
+				if p, ok := c.Active(day.DayOfYear, s); ok && p.PressureDrop > 1200 {
+					truth = append(truth, p)
+				}
+			}
+			dets, err := DetectStep(day, s, DefaultCriteria())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(truth) > 0 || len(dets) > 0 {
+				instants = append(instants, Instant{Truth: truth, Dets: dets})
+			}
+		}
+	}
+	sk := Evaluate(instants, 600)
+	if sk.POD < 0.6 {
+		t.Fatalf("deterministic tracker POD too low: %v", sk)
+	}
+	if sk.FAR > 0.4 {
+		t.Fatalf("deterministic tracker FAR too high: %v", sk)
+	}
+}
+
+func TestDedupSuppressesNearbyWeaker(t *testing.T) {
+	dets := []Detection{
+		{Lat: 10, Lon: 100, DepressionPa: 3000},
+		{Lat: 10.5, Lon: 100.5, DepressionPa: 1000}, // within 500 km of stronger
+		{Lat: -20, Lon: 200, DepressionPa: 900},
+	}
+	out := dedup(dets, 500)
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d, want 2", len(out))
+	}
+	if out[0].DepressionPa != 3000 || out[1].Lat != -20 {
+		t.Fatalf("dedup result = %+v", out)
+	}
+}

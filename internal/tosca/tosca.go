@@ -1,0 +1,255 @@
+// Package tosca models application topologies in the spirit of the
+// OASIS TOSCA standard the eFlows4HPC stack uses: Alien4Cloud edits "an
+// extended TOSCA format" describing "the topology of components
+// involved in the workflow deployment and execution", which the Yorc
+// orchestrator then deploys (§4.1).
+//
+// A Topology is a set of typed nodes with properties, host/dependency
+// relationships and lifecycle operations. The package validates
+// topologies (unique names, resolvable references, acyclic dependency
+// graph) and computes deployment order. Serialization is JSON, the
+// stdlib-friendly stand-in for TOSCA YAML.
+package tosca
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// NodeType classifies topology nodes.
+type NodeType string
+
+// Common node types used by the climate workflow topology.
+const (
+	TypeCompute   NodeType = "eflows.nodes.Compute"   // an HPC allocation
+	TypeSoftware  NodeType = "eflows.nodes.Software"  // installable component
+	TypeContainer NodeType = "eflows.nodes.Container" // container image
+	TypeData      NodeType = "eflows.nodes.Data"      // dataset managed by DLS
+	TypeWorkflow  NodeType = "eflows.nodes.PyCOMPSs"  // the orchestrated app
+)
+
+// Node is one component of the topology.
+type Node struct {
+	// Name is unique within the topology.
+	Name string `json:"name"`
+	// Type classifies the node.
+	Type NodeType `json:"type"`
+	// Properties hold free-form configuration (partition, image name,
+	// dataset URL, ...).
+	Properties map[string]string `json:"properties,omitempty"`
+	// HostedOn names the node this one is installed on (TOSCA HostedOn
+	// relationship); empty for root nodes.
+	HostedOn string `json:"hosted_on,omitempty"`
+	// DependsOn lists nodes that must be deployed first (TOSCA
+	// DependsOn relationship).
+	DependsOn []string `json:"depends_on,omitempty"`
+	// Lifecycle maps operation names (create, configure, start, stop,
+	// delete) to the artifact/script identifier executed by the
+	// orchestrator.
+	Lifecycle map[string]string `json:"lifecycle,omitempty"`
+}
+
+// Topology is a named set of nodes plus workflow-level inputs.
+type Topology struct {
+	Name string `json:"name"`
+	// Inputs declares the parameters a user supplies at launch time
+	// (name → description).
+	Inputs map[string]string `json:"inputs,omitempty"`
+	Nodes  []Node            `json:"nodes"`
+}
+
+// Node returns the named node, or nil.
+func (t *Topology) Node(name string) *Node {
+	for i := range t.Nodes {
+		if t.Nodes[i].Name == name {
+			return &t.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// NodesOfType returns nodes of the given type in declaration order.
+func (t *Topology) NodesOfType(nt NodeType) []*Node {
+	var out []*Node
+	for i := range t.Nodes {
+		if t.Nodes[i].Type == nt {
+			out = append(out, &t.Nodes[i])
+		}
+	}
+	return out
+}
+
+// Validate checks structural integrity: non-empty name, unique node
+// names, resolvable HostedOn/DependsOn references, and an acyclic
+// combined relationship graph.
+func (t *Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("tosca: topology needs a name")
+	}
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("tosca: topology %q has no nodes", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("tosca: node with empty name in %q", t.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("tosca: duplicate node %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	for _, n := range t.Nodes {
+		if n.HostedOn != "" && !seen[n.HostedOn] {
+			return fmt.Errorf("tosca: node %q hosted on unknown %q", n.Name, n.HostedOn)
+		}
+		for _, d := range n.DependsOn {
+			if !seen[d] {
+				return fmt.Errorf("tosca: node %q depends on unknown %q", n.Name, d)
+			}
+		}
+	}
+	if _, err := t.DeployOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeployOrder returns node names in a valid deployment order: every
+// node after its host and its dependencies. Order is deterministic.
+func (t *Topology) DeployOrder() ([]string, error) {
+	deps := make(map[string][]string, len(t.Nodes))
+	for _, n := range t.Nodes {
+		var d []string
+		if n.HostedOn != "" {
+			d = append(d, n.HostedOn)
+		}
+		d = append(d, n.DependsOn...)
+		sort.Strings(d)
+		deps[n.Name] = d
+	}
+	indeg := make(map[string]int, len(deps))
+	dependents := make(map[string][]string, len(deps))
+	for name, ds := range deps {
+		indeg[name] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], name)
+		}
+	}
+	var frontier []string
+	for name, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, name)
+		}
+	}
+	sort.Strings(frontier)
+	var order []string
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, n)
+		released := []string{}
+		for _, s := range dependents[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				released = append(released, s)
+			}
+		}
+		sort.Strings(released)
+		frontier = append(frontier, released...)
+		sort.Strings(frontier)
+	}
+	if len(order) != len(t.Nodes) {
+		return nil, fmt.Errorf("tosca: cyclic relationships in topology %q", t.Name)
+	}
+	return order, nil
+}
+
+// UndeployOrder is DeployOrder reversed.
+func (t *Topology) UndeployOrder() ([]string, error) {
+	order, err := t.DeployOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+// Marshal serializes the topology to pretty JSON.
+func (t *Topology) Marshal() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Parse deserializes and validates a topology.
+func Parse(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("tosca: parse: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadFile reads and validates a topology file.
+func LoadFile(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// ClimateTopology builds the case study's topology: a compute target
+// hosting the ESM binary, the datacube framework, the Python/ML stack
+// packaged as a container image, the climatology dataset staged by the
+// DLS, and the PyCOMPSs application depending on all of them (Figure 2).
+func ClimateTopology(clusterName string) *Topology {
+	return &Topology{
+		Name: "climate-extremes",
+		Inputs: map[string]string{
+			"years":      "number of simulated years",
+			"start_year": "first projection year",
+			"grid":       "output grid (reduced|native)",
+			"scenario":   "forcing scenario (historical|ssp245|ssp585)",
+			"output_dir": "directory for result files and maps",
+		},
+		Nodes: []Node{
+			{
+				Name: "hpc_cluster", Type: TypeCompute,
+				Properties: map[string]string{"name": clusterName, "scheduler": "lsf"},
+			},
+			{
+				Name: "esm_model", Type: TypeSoftware, HostedOn: "hpc_cluster",
+				Properties: map[string]string{"package": "cmcc-cm3-sim"},
+				Lifecycle:  map[string]string{"create": "install-esm", "start": "noop"},
+			},
+			{
+				Name: "datacube_engine", Type: TypeSoftware, HostedOn: "hpc_cluster",
+				Properties: map[string]string{"package": "ophidia-like", "io_servers": "4"},
+				Lifecycle:  map[string]string{"create": "install-datacube", "start": "start-io-servers"},
+			},
+			{
+				Name: "ml_runtime", Type: TypeContainer, HostedOn: "hpc_cluster",
+				Properties: map[string]string{"image": "climate-ml", "packages": "cnn-inference,tensors"},
+				Lifecycle:  map[string]string{"create": "build-image"},
+			},
+			{
+				Name: "climatology_baseline", Type: TypeData,
+				DependsOn:  []string{"hpc_cluster"},
+				Properties: map[string]string{"pipeline": "stage-in-climatology"},
+			},
+			{
+				Name: "extremes_workflow", Type: TypeWorkflow, HostedOn: "hpc_cluster",
+				DependsOn:  []string{"esm_model", "datacube_engine", "ml_runtime", "climatology_baseline"},
+				Properties: map[string]string{"app": "climate-extremes"},
+				Lifecycle:  map[string]string{"start": "run-pycompss-app"},
+			},
+		},
+	}
+}

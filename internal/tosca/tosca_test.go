@@ -1,0 +1,122 @@
+package tosca
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestClimateTopologyValid(t *testing.T) {
+	top := ClimateTopology("zeus")
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if top.Node("extremes_workflow") == nil {
+		t.Fatal("workflow node missing")
+	}
+	if n := top.NodesOfType(TypeSoftware); len(n) != 2 {
+		t.Fatalf("software nodes = %d", len(n))
+	}
+}
+
+func TestDeployOrderRespectsRelationships(t *testing.T) {
+	top := ClimateTopology("zeus")
+	order, err := top.DeployOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["hpc_cluster"] != 0 {
+		t.Fatalf("cluster not first: %v", order)
+	}
+	for _, dep := range []string{"esm_model", "datacube_engine", "ml_runtime", "climatology_baseline"} {
+		if pos[dep] >= pos["extremes_workflow"] {
+			t.Fatalf("%s after workflow: %v", dep, order)
+		}
+	}
+	undo, err := top.UndeployOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undo[len(undo)-1] != "hpc_cluster" {
+		t.Fatalf("undeploy must end with cluster: %v", undo)
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	cases := map[string]*Topology{
+		"empty name": {Nodes: []Node{{Name: "a"}}},
+		"no nodes":   {Name: "x"},
+		"dup nodes":  {Name: "x", Nodes: []Node{{Name: "a"}, {Name: "a"}}},
+		"anon node":  {Name: "x", Nodes: []Node{{Name: ""}}},
+		"bad host":   {Name: "x", Nodes: []Node{{Name: "a", HostedOn: "ghost"}}},
+		"bad dep":    {Name: "x", Nodes: []Node{{Name: "a", DependsOn: []string{"ghost"}}}},
+		"cycle": {Name: "x", Nodes: []Node{
+			{Name: "a", DependsOn: []string{"b"}},
+			{Name: "b", DependsOn: []string{"a"}},
+		}},
+		"self cycle": {Name: "x", Nodes: []Node{{Name: "a", HostedOn: "a"}}},
+	}
+	for label, top := range cases {
+		if err := top.Validate(); err == nil {
+			t.Errorf("%s: validated", label)
+		}
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	top := ClimateTopology("zeus")
+	data, err := top.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != top.Name || len(got.Nodes) != len(top.Nodes) {
+		t.Fatalf("roundtrip lost data: %+v", got)
+	}
+	if got.Node("ml_runtime").Properties["image"] != "climate-ml" {
+		t.Fatal("properties lost")
+	}
+	if _, err := Parse([]byte("{broken")); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","nodes":[{"name":"a","hosted_on":"ghost"}]}`)); err == nil {
+		t.Fatal("invalid topology accepted by Parse")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	top := ClimateTopology("zeus")
+	data, _ := top.Marshal()
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "climate-extremes" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDeployOrderDeterministic(t *testing.T) {
+	top := ClimateTopology("zeus")
+	a, _ := top.DeployOrder()
+	b, _ := top.DeployOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("order not deterministic")
+		}
+	}
+}

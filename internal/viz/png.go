@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+
+	"repro/internal/grid"
+)
+
+// WritePNG renders the field as a PNG image through a palette, north
+// up, with an optional integer upscale factor for small grids. lo==hi
+// auto-scales to the data range.
+func WritePNG(path string, f *grid.Field, lo, hi float64, pal Palette, scale int) error {
+	if pal == nil {
+		pal = Heat
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	norm := normalize(f, lo, hi)
+	g := f.Grid
+	img := image.NewNRGBA(image.Rect(0, 0, g.NLon*scale, g.NLat*scale))
+	for i := 0; i < g.NLat; i++ {
+		row := g.NLat - 1 - i // north at top
+		for j := 0; j < g.NLon; j++ {
+			r, gg, b := pal(norm(i, j))
+			c := color.NRGBA{R: r, G: gg, B: b, A: 255}
+			for di := 0; di < scale; di++ {
+				for dj := 0; dj < scale; dj++ {
+					img.SetNRGBA(j*scale+dj, row*scale+di, c)
+				}
+			}
+		}
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(out, img); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// OverlayPNG renders the field with point markers (e.g. TC detections)
+// stamped as small crosses in the given color.
+func OverlayPNG(path string, f *grid.Field, lo, hi float64, pal Palette, scale int, markers []Marker) error {
+	if pal == nil {
+		pal = Heat
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	norm := normalize(f, lo, hi)
+	g := f.Grid
+	w, h := g.NLon*scale, g.NLat*scale
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	for i := 0; i < g.NLat; i++ {
+		row := g.NLat - 1 - i
+		for j := 0; j < g.NLon; j++ {
+			r, gg, b := pal(norm(i, j))
+			c := color.NRGBA{R: r, G: gg, B: b, A: 255}
+			for di := 0; di < scale; di++ {
+				for dj := 0; dj < scale; dj++ {
+					img.SetNRGBA(j*scale+dj, row*scale+di, c)
+				}
+			}
+		}
+	}
+	mark := color.NRGBA{R: 0, G: 0, B: 0, A: 255}
+	for _, m := range markers {
+		i, j := g.CellOf(m.Lat, m.Lon)
+		cx := j*scale + scale/2
+		cy := (g.NLat-1-i)*scale + scale/2
+		for d := -2 * scale; d <= 2*scale; d++ {
+			setIf(img, cx+d, cy, mark, w, h)
+			setIf(img, cx, cy+d, mark, w, h)
+		}
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(out, img); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func setIf(img *image.NRGBA, x, y int, c color.NRGBA, w, h int) {
+	if x >= 0 && x < w && y >= 0 && y < h {
+		img.SetNRGBA(x, y, c)
+	}
+}

@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func decodePNG(t *testing.T, path string) (w, h int) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+func TestWritePNGDimensions(t *testing.T) {
+	g := grid.Grid{NLat: 6, NLon: 10}
+	path := filepath.Join(t.TempDir(), "m.png")
+	if err := WritePNG(path, rampField(g), 0, 0, Heat, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w, h := decodePNG(t, path); w != 10 || h != 6 {
+		t.Fatalf("dims = %dx%d", w, h)
+	}
+}
+
+func TestWritePNGScaled(t *testing.T) {
+	g := grid.Grid{NLat: 4, NLon: 8}
+	path := filepath.Join(t.TempDir(), "m.png")
+	if err := WritePNG(path, rampField(g), 0, 3, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	if w, h := decodePNG(t, path); w != 24 || h != 12 {
+		t.Fatalf("scaled dims = %dx%d", w, h)
+	}
+	// zero scale clamps to 1
+	if err := WritePNG(path, rampField(g), 0, 3, Heat, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := decodePNG(t, path); w != 8 {
+		t.Fatalf("clamped scale width = %d", w)
+	}
+}
+
+func TestOverlayPNGMarkers(t *testing.T) {
+	g := grid.Grid{NLat: 12, NLon: 24}
+	path := filepath.Join(t.TempDir(), "o.png")
+	markers := []Marker{{Lat: 0, Lon: 180}, {Lat: 85, Lon: 5}}
+	if err := OverlayPNG(path, grid.NewField(g), 0, 1, Cool, 4, markers); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a black marker pixel must exist (background is Cool(0) = white-ish)
+	found := false
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y && !found; y++ {
+		for x := b.Min.X; x < b.Max.X && !found; x++ {
+			r, g2, b2, _ := img.At(x, y).RGBA()
+			if r == 0 && g2 == 0 && b2 == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no marker pixels rendered")
+	}
+}
+
+func TestWritePNGBadPath(t *testing.T) {
+	g := grid.Grid{NLat: 2, NLon: 2}
+	if err := WritePNG("/nonexistent-dir/x.png", grid.NewField(g), 0, 1, Heat, 1); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := OverlayPNG("/nonexistent-dir/x.png", grid.NewField(g), 0, 1, Heat, 1, nil); err == nil {
+		t.Fatal("bad overlay path accepted")
+	}
+}

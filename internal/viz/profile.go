@@ -1,0 +1,56 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ProfilePoint is one labelled value of a 1-D profile (e.g. a zonal
+// mean per latitude).
+type ProfilePoint struct {
+	Label string
+	Value float64
+}
+
+// ASCIIProfile renders a horizontal bar chart of a 1-D profile, value
+// axis auto-scaled, one row per point — the quick-look for zonal-mean
+// diagnostics. width bounds the bar length in characters.
+func ASCIIProfile(points []ProfilePoint, width int) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	if width < 10 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, p := range points {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+		if len(p.Label) > labelW {
+			labelW = len(p.Label)
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %-*s  value\n", labelW, "", width, fmt.Sprintf("[%.4g .. %.4g]", lo, hi))
+	for _, p := range points {
+		n := int(math.Round((p.Value - lo) / span * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %.4g\n", labelW, p.Label, width, strings.Repeat("▆", n), p.Value)
+	}
+	return b.String()
+}

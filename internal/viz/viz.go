@@ -1,0 +1,193 @@
+// Package viz renders global fields as images and text, covering the
+// workflow's final stage ("maps can be produced starting from the
+// results stored on disk", §5.1 step 6; Figure 4 shows such a map for
+// the Heat Wave Number indicator).
+//
+// Output formats are dependency-free: PGM (grayscale) and PPM (color)
+// raster images, and fixed-width ASCII maps for terminals and logs.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/grid"
+)
+
+// Palette maps a normalized value in [0,1] to RGB.
+type Palette func(v float64) (r, g, b uint8)
+
+// Heat is a white→yellow→red→dark palette suited to wave-count maps.
+func Heat(v float64) (uint8, uint8, uint8) {
+	v = clamp01(v)
+	switch {
+	case v < 0.25:
+		t := v / 0.25
+		return 255, 255, uint8(255 * (1 - t)) // white → yellow
+	case v < 0.6:
+		t := (v - 0.25) / 0.35
+		return 255, uint8(255 * (1 - t)), 0 // yellow → red
+	default:
+		t := (v - 0.6) / 0.4
+		return uint8(255 * (1 - 0.6*t)), 0, 0 // red → dark red
+	}
+}
+
+// Cool is a white→cyan→blue palette for cold-spell maps.
+func Cool(v float64) (uint8, uint8, uint8) {
+	v = clamp01(v)
+	switch {
+	case v < 0.5:
+		t := v / 0.5
+		return uint8(255 * (1 - t)), 255, 255
+	default:
+		t := (v - 0.5) / 0.5
+		return 0, uint8(255 * (1 - t)), 255
+	}
+}
+
+// Diverging is a blue→white→red palette for anomaly maps (0.5 = zero).
+func Diverging(v float64) (uint8, uint8, uint8) {
+	v = clamp01(v)
+	if v < 0.5 {
+		t := v / 0.5
+		return uint8(255 * t), uint8(255 * t), 255
+	}
+	t := (v - 0.5) / 0.5
+	return 255, uint8(255 * (1 - t)), uint8(255 * (1 - t))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// normalize maps field values to [0,1] given explicit or data bounds.
+func normalize(f *grid.Field, lo, hi float64) func(i, j int) float64 {
+	if lo == hi {
+		s := f.Statistics()
+		lo, hi = s.Min, s.Max
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	span := hi - lo
+	return func(i, j int) float64 {
+		return clamp01((float64(f.At(i, j)) - lo) / span)
+	}
+}
+
+// WritePGM renders the field as a binary 8-bit PGM image, north up.
+// lo/hi set the value range mapped to black..white; pass lo==hi to
+// auto-scale.
+func WritePGM(path string, f *grid.Field, lo, hi float64) error {
+	norm := normalize(f, lo, hi)
+	g := f.Grid
+	var b strings.Builder
+	fmt.Fprintf(&b, "P5\n%d %d\n255\n", g.NLon, g.NLat)
+	buf := make([]byte, 0, g.Size())
+	for i := g.NLat - 1; i >= 0; i-- { // north at top
+		for j := 0; j < g.NLon; j++ {
+			buf = append(buf, uint8(255*norm(i, j)))
+		}
+	}
+	return os.WriteFile(path, append([]byte(b.String()), buf...), 0o644)
+}
+
+// WritePPM renders the field as a binary PPM image through a palette.
+func WritePPM(path string, f *grid.Field, lo, hi float64, pal Palette) error {
+	if pal == nil {
+		pal = Heat
+	}
+	norm := normalize(f, lo, hi)
+	g := f.Grid
+	var b strings.Builder
+	fmt.Fprintf(&b, "P6\n%d %d\n255\n", g.NLon, g.NLat)
+	buf := make([]byte, 0, 3*g.Size())
+	for i := g.NLat - 1; i >= 0; i-- {
+		for j := 0; j < g.NLon; j++ {
+			r, gg, bb := pal(norm(i, j))
+			buf = append(buf, r, gg, bb)
+		}
+	}
+	return os.WriteFile(path, append([]byte(b.String()), buf...), 0o644)
+}
+
+// asciiRamp orders glyphs from empty to dense.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCIIMap renders the field as a text map of at most maxCols columns,
+// north up, with a value legend. It is the quick-look rendering used in
+// example binaries and logs.
+func ASCIIMap(f *grid.Field, maxCols int) string {
+	g := f.Grid
+	if maxCols <= 0 {
+		maxCols = 72
+	}
+	target := g
+	view := f
+	if g.NLon > maxCols {
+		target = grid.Grid{NLat: maxInt(g.NLat*maxCols/g.NLon, 2), NLon: maxCols}
+		view = f.Regrid(target)
+	}
+	s := view.Statistics()
+	norm := normalize(view, s.Min, s.Max)
+	var b strings.Builder
+	for i := target.NLat - 1; i >= 0; i-- {
+		for j := 0; j < target.NLon; j++ {
+			idx := int(norm(i, j) * float64(len(asciiRamp)-1))
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "[min=%.3g max=%.3g mean=%.3g]\n", s.Min, s.Max, s.Mean)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Marker overlays a set of (lat, lon) points on an ASCII map, for
+// geo-referenced TC detections.
+type Marker struct {
+	Lat, Lon float64
+	Glyph    byte
+}
+
+// ASCIIMapWithMarkers renders like ASCIIMap then stamps markers.
+func ASCIIMapWithMarkers(f *grid.Field, maxCols int, markers []Marker) string {
+	base := ASCIIMap(f, maxCols)
+	lines := strings.Split(base, "\n")
+	if len(lines) < 2 {
+		return base
+	}
+	nrows := len(lines) - 2 // last line is the legend, then trailing empty
+	ncols := len(lines[0])
+	for _, m := range markers {
+		vg := grid.Grid{NLat: nrows, NLon: ncols}
+		i, j := vg.CellOf(m.Lat, m.Lon)
+		row := nrows - 1 - i
+		if row < 0 || row >= nrows || j < 0 || j >= len(lines[row]) {
+			continue
+		}
+		glyph := m.Glyph
+		if glyph == 0 {
+			glyph = 'O'
+		}
+		line := []byte(lines[row])
+		line[j] = glyph
+		lines[row] = string(line)
+	}
+	return strings.Join(lines, "\n")
+}

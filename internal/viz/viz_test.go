@@ -1,0 +1,175 @@
+package viz
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func rampField(g grid.Grid) *grid.Field {
+	f := grid.NewField(g)
+	for i := 0; i < g.NLat; i++ {
+		for j := 0; j < g.NLon; j++ {
+			f.Set(i, j, float32(i))
+		}
+	}
+	return f
+}
+
+func TestPalettesEndpoints(t *testing.T) {
+	for name, pal := range map[string]Palette{"heat": Heat, "cool": Cool, "div": Diverging} {
+		r0, g0, b0 := pal(0)
+		r1, g1, b1 := pal(1)
+		if r0 == r1 && g0 == g1 && b0 == b1 {
+			t.Fatalf("%s palette constant", name)
+		}
+		// out-of-range input clamps, not panics
+		pal(-5)
+		pal(5)
+	}
+	// heat low end is light, high end dark red
+	r, g, b := Heat(0)
+	if r != 255 || g != 255 || b != 255 {
+		t.Fatalf("heat(0) = %d,%d,%d", r, g, b)
+	}
+	r, g, b = Heat(1)
+	if r >= 255 || g != 0 || b != 0 {
+		t.Fatalf("heat(1) = %d,%d,%d", r, g, b)
+	}
+}
+
+func TestWritePGMFormat(t *testing.T) {
+	g := grid.Grid{NLat: 4, NLon: 6}
+	path := filepath.Join(t.TempDir(), "m.pgm")
+	if err := WritePGM(path, rampField(g), 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("P5\n6 4\n255\n")) {
+		t.Fatalf("header = %q", data[:12])
+	}
+	pixels := data[len("P5\n6 4\n255\n"):]
+	if len(pixels) != 24 {
+		t.Fatalf("pixel count = %d", len(pixels))
+	}
+	// north (max row index) first → brightest first
+	if pixels[0] != 255 || pixels[len(pixels)-1] != 0 {
+		t.Fatalf("orientation wrong: first=%d last=%d", pixels[0], pixels[len(pixels)-1])
+	}
+}
+
+func TestWritePGMAutoScale(t *testing.T) {
+	g := grid.Grid{NLat: 2, NLon: 2}
+	f := grid.NewField(g)
+	copy(f.Data, []float32{10, 10, 10, 20})
+	path := filepath.Join(t.TempDir(), "m.pgm")
+	if err := WritePGM(path, f, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	px := data[len("P5\n2 2\n255\n"):]
+	if px[1] != 255 { // the 20 sits at row 1 col 1 → rendered first row second col
+		t.Fatalf("autoscale wrong: %v", px)
+	}
+}
+
+func TestWritePGMConstantField(t *testing.T) {
+	g := grid.Grid{NLat: 2, NLon: 2}
+	f := grid.NewField(g)
+	if err := WritePGM(filepath.Join(t.TempDir(), "c.pgm"), f, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePPMFormat(t *testing.T) {
+	g := grid.Grid{NLat: 3, NLon: 5}
+	path := filepath.Join(t.TempDir(), "m.ppm")
+	if err := WritePPM(path, rampField(g), 0, 2, Heat); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !bytes.HasPrefix(data, []byte("P6\n5 3\n255\n")) {
+		t.Fatalf("header = %q", data[:12])
+	}
+	if len(data)-len("P6\n5 3\n255\n") != 45 {
+		t.Fatalf("payload = %d", len(data))
+	}
+	// nil palette defaults
+	if err := WritePPM(path, rampField(g), 0, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASCIIMapShapeAndLegend(t *testing.T) {
+	g := grid.Grid{NLat: 10, NLon: 20}
+	out := ASCIIMap(rampField(g), 72)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // 10 rows + legend
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[10], "min=") {
+		t.Fatalf("legend missing: %q", lines[10])
+	}
+	// top line (north) should be densest glyphs
+	if !strings.Contains(lines[0], "@") {
+		t.Fatalf("north row not dense: %q", lines[0])
+	}
+	if strings.ContainsAny(lines[9], "@#%") {
+		t.Fatalf("south row too dense: %q", lines[9])
+	}
+}
+
+func TestASCIIMapDownsamples(t *testing.T) {
+	g := grid.Grid{NLat: 48, NLon: 192}
+	out := ASCIIMap(rampField(g), 64)
+	lines := strings.Split(out, "\n")
+	if len(lines[0]) != 64 {
+		t.Fatalf("cols = %d, want 64", len(lines[0]))
+	}
+}
+
+func TestASCIIProfile(t *testing.T) {
+	out := ASCIIProfile([]ProfilePoint{
+		{Label: "-60", Value: 250},
+		{Label: "0", Value: 300},
+		{Label: "60", Value: 260},
+	}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// the max-value row has the longest bar
+	if strings.Count(lines[2], "▆") != 20 {
+		t.Fatalf("max row bar = %q", lines[2])
+	}
+	if strings.Count(lines[1], "▆") != 0 {
+		t.Fatalf("min row bar = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "300") {
+		t.Fatalf("value missing: %q", lines[2])
+	}
+	if got := ASCIIProfile(nil, 20); !strings.Contains(got, "no data") {
+		t.Fatalf("empty = %q", got)
+	}
+	// constant profile does not divide by zero
+	ASCIIProfile([]ProfilePoint{{Label: "a", Value: 5}, {Label: "b", Value: 5}}, 0)
+}
+
+func TestASCIIMapWithMarkers(t *testing.T) {
+	g := grid.Grid{NLat: 12, NLon: 24}
+	f := grid.NewField(g) // constant zero background
+	out := ASCIIMapWithMarkers(f, 24, []Marker{{Lat: 0, Lon: 180, Glyph: 'X'}, {Lat: 80, Lon: 10}})
+	if !strings.Contains(out, "X") {
+		t.Fatal("explicit marker missing")
+	}
+	if !strings.Contains(out, "O") {
+		t.Fatal("default marker glyph missing")
+	}
+}
