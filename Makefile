@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench examples experiments clean
+.PHONY: all check build vet test race bench examples experiments clean
 
 all: build vet test
+
+# tier-1 gate: everything a PR must keep green
+check: build vet test race
 
 build:
 	$(GO) build ./...

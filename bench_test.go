@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datacube"
 	"repro/internal/esm"
+	"repro/internal/execq"
 	"repro/internal/grid"
 	"repro/internal/indices"
 	"repro/internal/ml"
@@ -508,5 +510,35 @@ func BenchmarkTrackerDetect(b *testing.B) {
 		if _, err := tctrack.DetectStep(day, 0, crit); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExecQueueThroughput measures the HPCWaaS execution queue's
+// job throughput across a worker-pool sweep (the admission-control
+// subsystem in front of the Execution API): no-op jobs isolate the
+// queue's own dispatch overhead.
+func BenchmarkExecQueueThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			q, err := execq.New(execq.Config{Workers: workers, QueueDepth: b.N + workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer q.Close()
+			run := func(ctx context.Context) error { return nil }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Submit(execq.Job{Run: run}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := q.WaitIdle(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
 	}
 }

@@ -2,22 +2,33 @@
 // climate-extremes workflow pre-registered, so the whole case study is
 // drivable with curl:
 //
-//	hpcwaas-server -addr :8700 &
+//	hpcwaas-server -addr :8700 -workers 4 -queue-depth 64 &
 //	curl localhost:8700/api/workflows
 //	curl -X POST localhost:8700/api/workflows/climate-extremes/deploy -d '{"target":"zeus"}'
 //	curl -X POST localhost:8700/api/executions \
 //	     -d '{"workflow":"climate-extremes","params":{"years":"1","days_per_year":"12"}}'
 //	curl localhost:8700/api/executions/exec-1
+//	curl localhost:8700/api/queue
+//	curl -X DELETE localhost:8700/api/executions/exec-1
+//
+// Executions flow through a bounded multi-tenant queue
+// (internal/execq): admission control answers 429 + Retry-After under
+// overload, -journal persists queued/running work across restarts, and
+// SIGINT/SIGTERM trigger a graceful drain before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dls"
@@ -31,8 +42,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		addr = flag.String("addr", "127.0.0.1:8700", "listen address")
-		work = flag.String("work", "", "working directory (default: temp)")
+		addr       = flag.String("addr", "127.0.0.1:8700", "listen address")
+		work       = flag.String("work", "", "working directory (default: temp)")
+		workers    = flag.Int("workers", 4, "execution worker-pool size")
+		queueDepth = flag.Int("queue-depth", 256, "max queued executions before 429")
+		quota      = flag.Int("quota", 0, "per-principal live-execution quota (0 = queue depth)")
+		rate       = flag.Float64("rate", 0, "per-principal executions/sec token-bucket rate (0 = off)")
+		retention  = flag.Int("retention", 1024, "completed execution records to retain")
+		journal    = flag.String("journal", "", "journal file for crash recovery (default: off)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight executions on shutdown")
 	)
 	flag.Parse()
 
@@ -66,9 +84,47 @@ func main() {
 		Steps: []dls.Step{{Kind: "stage_in", Dataset: "climatology", Dir: filepath.Join(workDir, "staged")}},
 	}
 
-	svc := hpcwaas.NewService(registry, deployer)
-	fmt.Printf("HPCWaaS service on http://%s (workdir %s)\n", *addr, workDir)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	svc, err := hpcwaas.NewServiceWith(registry, deployer, hpcwaas.ServiceConfig{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		PerPrincipalLimit: *quota,
+		RatePerSec:        *rate,
+		Retention:         *retention,
+		JournalPath:       *journal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	fmt.Printf("HPCWaaS service on http://%s (workdir %s, %d workers, depth %d)\n",
+		*addr, workDir, *workers, *queueDepth)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-sigCtx.Done():
+	}
+
+	// Graceful shutdown: stop listening, drain in-flight executions,
+	// then force-close whatever is left.
+	log.Printf("signal received: draining (up to %s)", *drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	log.Printf("shutdown complete")
 }
 
 func app(workDir string) hpcwaas.AppFunc {

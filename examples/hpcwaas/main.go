@@ -1,16 +1,18 @@
 // Hpcwaas walks the full HPC-Workflows-as-a-Service lifecycle of the
-// paper's Figure 1 against a live REST service: the developer registers
-// the climate-extremes workflow with its TOSCA topology; the deployer
-// (Yorc role) builds container images through the Image Creation
-// service and stages data through the Data Logistics Service; the final
-// user then deploys and runs the workflow with plain HTTP calls, never
-// touching the cluster directly — "climate scientists can focus more on
-// the results of the simulations ... rather than handling complex
-// workflows and setting up the software environment."
+// paper's Figure 1 against a live REST service — now with the bounded
+// multi-tenant execution queue in front of the workers: the developer
+// registers the climate-extremes workflow with its TOSCA topology; the
+// deployer (Yorc role) builds container images and stages data; the
+// final user then drives everything over plain HTTP: submissions past
+// the admission limit bounce with 429 + Retry-After, accepted ones are
+// observable through QUEUED → RUNNING → DONE, a queued execution is
+// cancelled mid-flight, GET /api/queue exposes depth and latency, and
+// the service drains cleanly at the end.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -62,10 +64,17 @@ func main() {
 		Steps: []dls.Step{{Kind: "stage_in", Dataset: "climatology", Dir: filepath.Join(workDir, "staged")}},
 	}
 
-	svc := hpcwaas.NewService(registry, deployer)
+	// A deliberately tiny queue so admission control is visible: one
+	// worker, two queued slots, at most three live executions per user.
+	svc, err := hpcwaas.NewServiceWith(registry, deployer, hpcwaas.ServiceConfig{
+		Workers: 1, QueueDepth: 2, PerPrincipalLimit: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	server := httptest.NewServer(svc.Handler())
 	defer server.Close()
-	fmt.Printf("HPCWaaS execution API listening at %s\n\n", server.URL)
+	fmt.Printf("HPCWaaS execution API listening at %s (1 worker, queue depth 2)\n\n", server.URL)
 
 	// --- user side: pure REST from here on -------------------------------
 	var workflows []map[string]any
@@ -75,40 +84,78 @@ func main() {
 	var dep map[string]any
 	postJSON(server.URL+"/api/workflows/climate-extremes/deploy",
 		map[string]any{"target": "zeus"}, &dep)
-	fmt.Printf("POST .../deploy -> %s on %s (%s)\n", dep["ID"], dep["Target"], dep["Status"])
-	fmt.Println("deployment log:")
-	for _, line := range dep["Log"].([]any) {
-		fmt.Printf("  %s\n", line)
+	fmt.Printf("POST .../deploy -> %s on %s (%s)\n\n", dep["ID"], dep["Target"], dep["Status"])
+
+	// Submit four executions back to back. The first occupies the lone
+	// worker, two wait in the queue, and the fourth is turned away.
+	params := map[string]string{"years": "1", "days_per_year": "12", "seed": "42"}
+	var ids []string
+	for i := 1; i <= 4; i++ {
+		code, headers, body := post(server.URL+"/api/executions",
+			map[string]any{"workflow": "climate-extremes", "params": params})
+		var ex map[string]any
+		json.Unmarshal(body, &ex)
+		if code == http.StatusAccepted {
+			ids = append(ids, ex["id"].(string))
+			fmt.Printf("POST /api/executions #%d -> 202 %s (%s)\n", i, ex["id"], ex["status"])
+		} else {
+			fmt.Printf("POST /api/executions #%d -> %d %v (Retry-After: %ss)\n",
+				i, code, ex["error"], headers.Get("Retry-After"))
+		}
 	}
 
-	var ex map[string]any
-	postJSON(server.URL+"/api/executions", map[string]any{
-		"workflow": "climate-extremes",
-		"params":   map[string]string{"years": "1", "days_per_year": "12", "seed": "42"},
-	}, &ex)
-	execID := ex["id"].(string)
-	fmt.Printf("\nPOST /api/executions -> %s (%s)\n", execID, ex["status"])
+	// The queue endpoint shows where everything sits.
+	var stats map[string]any
+	getJSON(server.URL+"/api/queue", &stats)
+	fmt.Printf("\nGET /api/queue -> depth %v/%v, running %v, rejected(full+quota) %v\n",
+		stats["depth"], stats["capacity"], stats["running"],
+		asFloat(stats["rejected_full"])+asFloat(stats["rejected_quota"]))
 
+	// Cancel the last accepted execution while it still waits its turn.
+	last := ids[len(ids)-1]
+	code, _, body := do("DELETE", server.URL+"/api/executions/"+last, nil)
+	var cancelled map[string]any
+	json.Unmarshal(body, &cancelled)
+	fmt.Printf("DELETE /api/executions/%s -> %d (%s)\n\n", last, code, cancelled["status"])
+
+	// Poll the second execution through its lifecycle.
+	watch := ids[1]
+	lastStatus := ""
+	var ex map[string]any
 	for {
-		getJSON(server.URL+"/api/executions/"+execID, &ex)
-		if ex["status"] != "RUNNING" {
+		getJSON(server.URL+"/api/executions/"+watch, &ex)
+		if st := ex["status"].(string); st != lastStatus {
+			fmt.Printf("GET /api/executions/%s -> %s\n", watch, st)
+			lastStatus = st
+		}
+		if lastStatus == "DONE" || lastStatus == "FAILED" || lastStatus == "CANCELED" {
 			break
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond)
 	}
-	fmt.Printf("GET /api/executions/%s -> %s\n", execID, ex["status"])
-	if ex["status"] != "DONE" {
+	if lastStatus != "DONE" {
 		log.Fatalf("execution failed: %v", ex["error"])
 	}
 	results := ex["results"].(map[string]any)
-	fmt.Println("results:")
-	for k, v := range results {
-		fmt.Printf("  %-22s %v\n", k, v)
-	}
+	fmt.Printf("results: %v years processed, %v files, heat-wave mean %v\n\n",
+		results["years_processed"], results["files_produced"], results["hw_mean_year_1"])
 
-	var un map[string]any
-	postJSON(server.URL+"/api/deployments/"+dep["ID"].(string)+"/undeploy", map[string]any{}, &un)
-	fmt.Printf("\nPOST .../undeploy -> %s\n", un["Status"])
+	// Drain: intake stops, in-flight executions finish, workers exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	var final []map[string]any
+	getJSON(server.URL+"/api/executions", &final)
+	fmt.Println("drained; final execution states:")
+	for _, e := range final {
+		fmt.Printf("  %-8s %s\n", e["id"], e["status"])
+	}
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server shut down cleanly")
 }
 
 // climateApp adapts the core workflow as an HPCWaaS application: input
@@ -158,33 +205,57 @@ func atoiDefault(s string, def int) int {
 	return n
 }
 
-func getJSON(url string, v any) {
-	resp, err := http.Get(url)
+func asFloat(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+// do issues a request and returns status, headers and raw body.
+func do(method, url string, reqBody any) (int, http.Header, []byte) {
+	var rdr *bytes.Reader
+	if reqBody != nil {
+		data, err := json.Marshal(reqBody)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rdr = bytes.NewReader(data)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header, buf.Bytes()
+}
+
+func post(url string, body any) (int, http.Header, []byte) {
+	return do("POST", url, body)
+}
+
+func getJSON(url string, v any) {
+	code, _, body := do("GET", url, nil)
+	if code >= 400 {
+		log.Fatalf("GET %s -> %d: %s", url, code, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func postJSON(url string, body, v any) {
-	data, err := json.Marshal(body)
-	if err != nil {
-		log.Fatal(err)
+	code, _, data := do("POST", url, body)
+	if code >= 400 {
+		log.Fatalf("POST %s -> %d: %s", url, code, data)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var e map[string]any
-		json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("POST %s -> %d: %v", url, resp.StatusCode, e)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+	if err := json.Unmarshal(data, v); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,823 @@
+// Package execq implements a bounded, multi-tenant job execution queue
+// for the HPCWaaS Execution API (paper §4.1, Figure 1) and any other
+// subsystem that must absorb bursty load: a fixed-size worker pool
+// drains a FIFO-within-priority heap, admission control enforces a
+// global depth bound, per-principal concurrency quotas and token-bucket
+// rate limits, failed jobs retry with exponential backoff + jitter,
+// queued and running jobs are cancellable, a JSON-lines journal makes
+// queued/running work survive a crash, and Drain stops intake and waits
+// for in-flight jobs — the producer–consumer task-server shape that
+// Merlin (Peterson et al., 2019) identifies as the piece that lets
+// ML-ready HPC ensembles scale to many concurrent users.
+//
+// The queue is workflow-agnostic: a Job carries an opaque JSON payload
+// and is executed either by its own Run closure or by the queue-wide
+// Config.Handler (the only option that survives journal recovery,
+// since closures cannot be persisted).
+package execq
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"encoding/json"
+)
+
+// State is the lifecycle of one job.
+type State string
+
+// Job states. QUEUED, RUNNING and RETRYING are live (recovered after a
+// crash); DONE, FAILED and CANCELED are terminal.
+const (
+	StateQueued   State = "QUEUED"
+	StateRunning  State = "RUNNING"
+	StateRetrying State = "RETRYING"
+	StateDone     State = "DONE"
+	StateFailed   State = "FAILED"
+	StateCanceled State = "CANCELED"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Admission sentinels. Submit wraps the first three in an error that
+// also carries a Retry-After hint; extract it with RetryAfter.
+var (
+	ErrQueueFull     = errors.New("execq: queue full")
+	ErrQuotaExceeded = errors.New("execq: principal quota exceeded")
+	ErrRateLimited   = errors.New("execq: principal rate limited")
+	ErrDraining      = errors.New("execq: queue draining")
+	ErrClosed        = errors.New("execq: queue closed")
+	ErrUnknownJob    = errors.New("execq: unknown job")
+	ErrDuplicateID   = errors.New("execq: duplicate job id")
+)
+
+// admissionError pairs a rejection sentinel with a retry hint.
+type admissionError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.err, e.retryAfter)
+}
+
+func (e *admissionError) Unwrap() error { return e.err }
+
+// RetryAfter extracts the suggested wait from an admission rejection
+// (queue full, quota exceeded, rate limited). ok is false for every
+// other error.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ae *admissionError
+	if errors.As(err, &ae) {
+		return ae.retryAfter, true
+	}
+	return 0, false
+}
+
+// permanentError marks a handler failure that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the queue fails the job immediately instead of
+// retrying it.
+func Permanent(err error) error { return &permanentError{err: err} }
+
+func isPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Job is one unit of work submitted to the queue.
+type Job struct {
+	// ID names the job; empty means the queue assigns "job-N".
+	ID string
+	// Principal is the tenant the job is accounted against.
+	Principal string
+	// Priority orders dispatch: higher runs first, FIFO within equal
+	// priority.
+	Priority int
+	// Payload is the opaque job description handed to the handler and
+	// persisted in the journal.
+	Payload json.RawMessage
+	// Retries is how many times a transiently failed run is retried
+	// (with exponential backoff) before the job is FAILED.
+	Retries int
+	// Run, when non-nil, executes the job instead of Config.Handler.
+	// Closures are not journaled: a recovered job always uses Handler.
+	Run func(ctx context.Context) error
+}
+
+// JobView is a race-free snapshot of a job's state.
+type JobView struct {
+	ID        string          `json:"id"`
+	Principal string          `json:"principal,omitempty"`
+	Priority  int             `json:"priority,omitempty"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+	State     State           `json:"state"`
+	// Attempt counts run starts (1 on the first execution).
+	Attempt   int       `json:"attempt"`
+	Err       string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// Config parameterizes a Queue. Zero values get defaults from New.
+type Config struct {
+	// Workers is the fixed worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// Submit rejects with ErrQueueFull beyond it (default 256).
+	QueueDepth int
+	// PerPrincipalLimit bounds one principal's live jobs
+	// (queued+running+retrying); 0 disables the quota.
+	PerPrincipalLimit int
+	// RatePerSec token-bucket refill rate per principal; 0 disables
+	// rate limiting. Burst is the bucket size (default ceil(rate), min 1).
+	RatePerSec float64
+	Burst      int
+	// BaseBackoff/MaxBackoff shape the retry delay:
+	// min(Max, Base<<(attempt-1)) scaled by jitter in [0.5,1.5)
+	// (defaults 100ms / 10s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryAfterHint is the Retry-After suggestion attached to queue-full
+	// and quota rejections (default 1s). Rate-limit rejections compute
+	// the exact wait instead.
+	RetryAfterHint time.Duration
+	// JournalPath, when set, persists live jobs as JSON lines; New
+	// replays it and re-enqueues jobs that were queued/running/retrying.
+	JournalPath string
+	// Seed fixes the jitter PRNG (0 means a time-derived seed).
+	Seed int64
+	// Handler executes jobs whose Run is nil; required for journal
+	// recovery to be useful.
+	Handler func(ctx context.Context, job JobView) error
+	// OnChange observes every state transition, delivered in order from
+	// a single goroutine. It may call back into the queue.
+	OnChange func(JobView)
+
+	// nowFn overrides the clock in tests.
+	nowFn func() time.Time
+}
+
+// item is the queue's mutable record of one job.
+type item struct {
+	Job
+	seq      uint64 // FIFO tie-break within priority
+	idx      int    // heap index, -1 when not queued
+	state    State
+	attempt  int
+	errMsg   string
+	canceled bool
+	// cancelRun interrupts the running handler; timer is the pending
+	// retry re-enqueue.
+	cancelRun context.CancelFunc
+	timer     *time.Timer
+
+	submitted time.Time
+	enqueued  time.Time // last (re-)enqueue, for wait-latency
+	started   time.Time
+	finished  time.Time
+}
+
+func (it *item) view() JobView {
+	return JobView{
+		ID:        it.ID,
+		Principal: it.Principal,
+		Priority:  it.Priority,
+		Payload:   it.Payload,
+		State:     it.state,
+		Attempt:   it.attempt,
+		Err:       it.errMsg,
+		Submitted: it.submitted,
+		Started:   it.started,
+		Finished:  it.finished,
+	}
+}
+
+// itemHeap orders queued items by (priority desc, seq asc).
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// bucket is one principal's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Queue is a bounded multi-tenant execution queue. Create with New.
+type Queue struct {
+	cfg Config
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	heap         itemHeap
+	items        map[string]*item // live jobs (queued, running, retrying)
+	perPrincipal map[string]int
+	buckets      map[string]*bucket
+	running      int
+	retrying     int
+	seq          uint64
+	nextID       uint64
+	draining     bool
+	closed       bool
+	rng          *rand.Rand
+	counters     counters
+	waitHist     histogram
+	runHist      histogram
+	journal      *journal
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup // workers
+	inflight   sync.WaitGroup // live jobs
+
+	// event delivery: appended under emu, drained by one notifier
+	// goroutine so OnChange sees transitions in order and may call back
+	// into the queue without deadlocking.
+	emu          sync.Mutex
+	evCond       *sync.Cond
+	events       []JobView
+	evDelivering bool
+	evStopped    bool
+	evDone       chan struct{}
+}
+
+// New validates cfg, replays the journal (if configured), starts the
+// worker pool and returns a live queue. Recovered jobs bypass admission
+// control and are re-enqueued with a fresh attempt counter; OnChange
+// observes them as QUEUED.
+func New(cfg Config) (*Queue, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 10 * time.Second
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = time.Second
+	}
+	if cfg.RatePerSec > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.RatePerSec))
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.nowFn == nil {
+		cfg.nowFn = time.Now
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	q := &Queue{
+		cfg:          cfg,
+		items:        make(map[string]*item),
+		perPrincipal: make(map[string]int),
+		buckets:      make(map[string]*bucket),
+		rng:          rand.New(rand.NewSource(seed)),
+		waitHist:     newHistogram(),
+		runHist:      newHistogram(),
+		evDone:       make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.evCond = sync.NewCond(&q.emu)
+	q.baseCtx, q.cancelBase = context.WithCancel(context.Background())
+
+	var pending []Job
+	if cfg.JournalPath != "" {
+		var err error
+		pending, err = replayJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		q.journal, err = resetJournal(cfg.JournalPath, pending)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	go q.notifier()
+	for _, j := range pending {
+		q.enqueueRecovered(j)
+	}
+	// Deliver the recovered-QUEUED events before any worker can race
+	// ahead: when New returns, OnChange has observed every recovered job.
+	q.flushEvents()
+	q.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go q.worker()
+	}
+	return q, nil
+}
+
+func (q *Queue) now() time.Time { return q.cfg.nowFn() }
+
+// Submit admits a job or rejects it with ErrQueueFull, ErrQuotaExceeded
+// or ErrRateLimited (all carrying a RetryAfter hint), ErrDraining or
+// ErrClosed. On success the returned view is the QUEUED snapshot.
+func (q *Queue) Submit(j Job) (JobView, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	if q.draining {
+		q.mu.Unlock()
+		return JobView{}, ErrDraining
+	}
+	if len(q.heap) >= q.cfg.QueueDepth {
+		q.counters.rejectedFull++
+		q.mu.Unlock()
+		return JobView{}, &admissionError{err: ErrQueueFull, retryAfter: q.cfg.RetryAfterHint}
+	}
+	if q.cfg.PerPrincipalLimit > 0 && q.perPrincipal[j.Principal] >= q.cfg.PerPrincipalLimit {
+		q.counters.rejectedQuota++
+		q.mu.Unlock()
+		return JobView{}, &admissionError{err: ErrQuotaExceeded, retryAfter: q.cfg.RetryAfterHint}
+	}
+	if q.cfg.RatePerSec > 0 {
+		if wait := q.takeTokenLocked(j.Principal); wait > 0 {
+			q.counters.rejectedRate++
+			q.mu.Unlock()
+			return JobView{}, &admissionError{err: ErrRateLimited, retryAfter: wait}
+		}
+	}
+	if j.ID == "" {
+		q.nextID++
+		j.ID = fmt.Sprintf("job-%d", q.nextID)
+	}
+	if _, dup := q.items[j.ID]; dup {
+		q.mu.Unlock()
+		return JobView{}, fmt.Errorf("%w: %s", ErrDuplicateID, j.ID)
+	}
+	it := q.enqueueLocked(j)
+	q.counters.submitted++
+	if q.journal != nil {
+		q.journal.append(submitRecord(j, it.submitted))
+	}
+	view := it.view()
+	q.mu.Unlock()
+	return view, nil
+}
+
+// enqueueRecovered re-admits a journaled job, bypassing admission
+// control (the work was already accepted before the crash).
+func (q *Queue) enqueueRecovered(j Job) {
+	q.mu.Lock()
+	if _, dup := q.items[j.ID]; dup {
+		q.mu.Unlock()
+		return
+	}
+	q.enqueueLocked(j)
+	q.counters.recovered++
+	q.mu.Unlock()
+}
+
+// enqueueLocked inserts a new live item and emits QUEUED.
+func (q *Queue) enqueueLocked(j Job) *item {
+	now := q.now()
+	q.seq++
+	it := &item{
+		Job:       j,
+		seq:       q.seq,
+		idx:       -1,
+		state:     StateQueued,
+		submitted: now,
+		enqueued:  now,
+	}
+	heap.Push(&q.heap, it)
+	q.items[j.ID] = it
+	q.perPrincipal[j.Principal]++
+	q.inflight.Add(1)
+	q.emitLocked(it.view())
+	q.cond.Broadcast()
+	return it
+}
+
+// takeTokenLocked consumes one token from the principal's bucket or
+// returns how long until one is available.
+func (q *Queue) takeTokenLocked(principal string) time.Duration {
+	now := q.now()
+	b := q.buckets[principal]
+	if b == nil {
+		b = &bucket{tokens: float64(q.cfg.Burst), last: now}
+		q.buckets[principal] = b
+	}
+	b.tokens = math.Min(float64(q.cfg.Burst), b.tokens+now.Sub(b.last).Seconds()*q.cfg.RatePerSec)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.cfg.RatePerSec * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
+}
+
+// worker is one pool goroutine: pop, run, finalize or schedule a retry.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for {
+			if q.closed {
+				q.mu.Unlock()
+				return
+			}
+			if len(q.heap) > 0 {
+				break
+			}
+			if q.draining && q.running == 0 && q.retrying == 0 {
+				q.mu.Unlock()
+				return
+			}
+			q.cond.Wait()
+		}
+		it := heap.Pop(&q.heap).(*item)
+		if it.canceled {
+			q.finalizeLocked(it, StateCanceled, context.Canceled)
+			q.cond.Broadcast()
+			q.mu.Unlock()
+			continue
+		}
+		now := q.now()
+		q.waitHist.observe(now.Sub(it.enqueued).Seconds())
+		it.attempt++
+		it.state = StateRunning
+		it.started = now
+		ctx, cancel := context.WithCancel(q.baseCtx)
+		it.cancelRun = cancel
+		q.running++
+		if q.journal != nil {
+			q.journal.append(stateRecord(it.ID, StateRunning, "", now))
+		}
+		q.emitLocked(it.view())
+		q.mu.Unlock()
+
+		err := q.invoke(ctx, it)
+		cancel()
+
+		q.mu.Lock()
+		q.running--
+		it.cancelRun = nil
+		switch {
+		case err == nil:
+			q.finalizeLocked(it, StateDone, nil)
+		case it.canceled || errors.Is(err, context.Canceled):
+			q.finalizeLocked(it, StateCanceled, err)
+		case it.attempt <= it.Retries && !isPermanent(err) && !q.closed && q.baseCtx.Err() == nil:
+			q.scheduleRetryLocked(it, err)
+		default:
+			q.finalizeLocked(it, StateFailed, err)
+		}
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// invoke runs the job body, converting panics into errors.
+func (q *Queue) invoke(ctx context.Context, it *item) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("execq: job %s panicked: %v", it.ID, p)
+		}
+	}()
+	if it.Run != nil {
+		return it.Run(ctx)
+	}
+	if q.cfg.Handler == nil {
+		return Permanent(fmt.Errorf("execq: job %s has no handler", it.ID))
+	}
+	return q.cfg.Handler(ctx, it.view())
+}
+
+// scheduleRetryLocked parks a transiently failed job until its backoff
+// timer re-enqueues it.
+func (q *Queue) scheduleRetryLocked(it *item, cause error) {
+	it.state = StateRetrying
+	it.errMsg = cause.Error()
+	q.retrying++
+	q.counters.retried++
+	delay := q.backoffLocked(it.attempt)
+	if q.journal != nil {
+		q.journal.append(stateRecord(it.ID, StateRetrying, it.errMsg, q.now()))
+	}
+	q.emitLocked(it.view())
+	it.timer = time.AfterFunc(delay, func() { q.requeue(it) })
+}
+
+// backoffLocked computes min(Max, Base*2^(attempt-1)) with jitter.
+func (q *Queue) backoffLocked(attempt int) time.Duration {
+	d := float64(q.cfg.BaseBackoff) * math.Pow(2, float64(attempt-1))
+	if d > float64(q.cfg.MaxBackoff) {
+		d = float64(q.cfg.MaxBackoff)
+	}
+	d *= 0.5 + q.rng.Float64()
+	return time.Duration(d)
+}
+
+// requeue is the retry timer callback: put the job back on the heap.
+func (q *Queue) requeue(it *item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if it.state != StateRetrying {
+		return
+	}
+	q.retrying--
+	it.timer = nil
+	if q.closed || it.canceled {
+		q.finalizeLocked(it, StateCanceled, context.Canceled)
+		q.cond.Broadcast()
+		return
+	}
+	q.seq++
+	it.seq = q.seq
+	it.state = StateQueued
+	it.enqueued = q.now()
+	heap.Push(&q.heap, it)
+	q.emitLocked(it.view())
+	q.cond.Broadcast()
+}
+
+// finalizeLocked moves a job to a terminal state, updates accounting,
+// journals, emits and releases the in-flight reference.
+func (q *Queue) finalizeLocked(it *item, state State, cause error) {
+	it.state = state
+	it.finished = q.now()
+	if cause != nil {
+		it.errMsg = cause.Error()
+	}
+	if !it.started.IsZero() {
+		q.runHist.observe(it.finished.Sub(it.started).Seconds())
+	}
+	switch state {
+	case StateDone:
+		q.counters.completed++
+	case StateFailed:
+		q.counters.failed++
+	case StateCanceled:
+		q.counters.canceled++
+	}
+	delete(q.items, it.ID)
+	if n := q.perPrincipal[it.Principal] - 1; n > 0 {
+		q.perPrincipal[it.Principal] = n
+	} else {
+		delete(q.perPrincipal, it.Principal)
+	}
+	if q.journal != nil {
+		q.journal.append(stateRecord(it.ID, state, it.errMsg, it.finished))
+	}
+	q.emitLocked(it.view())
+	q.inflight.Done()
+}
+
+// Cancel cancels a live job: a queued or backoff-parked job finalizes
+// as CANCELED immediately; a running job has its context canceled and
+// finalizes when the handler returns. Unknown (or already terminal)
+// IDs return ErrUnknownJob.
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.items[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	it.canceled = true
+	switch it.state {
+	case StateQueued:
+		if it.idx >= 0 {
+			heap.Remove(&q.heap, it.idx)
+		}
+		q.finalizeLocked(it, StateCanceled, context.Canceled)
+		q.cond.Broadcast()
+	case StateRetrying:
+		if it.timer != nil && it.timer.Stop() {
+			q.retrying--
+			it.timer = nil
+			q.finalizeLocked(it, StateCanceled, context.Canceled)
+			q.cond.Broadcast()
+		}
+		// else the timer already fired; requeue observes canceled.
+	case StateRunning:
+		if it.cancelRun != nil {
+			it.cancelRun()
+		}
+	}
+	return nil
+}
+
+// Get returns a snapshot of a live job. Terminal jobs are forgotten by
+// the queue (callers track outcomes via OnChange).
+func (q *Queue) Get(id string) (JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.items[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return it.view(), true
+}
+
+// Drain stops intake (Submit returns ErrDraining) and waits for every
+// live job — queued, running or awaiting retry — to reach a terminal
+// state, then stops the workers and flushes pending OnChange events.
+// It returns ctx.Err() if the deadline expires first; the queue keeps
+// running in that case and Close can force it down.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.draining = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		q.wg.Wait()
+		q.flushEvents()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the queue: running handlers get their contexts
+// canceled, queued and retry-parked jobs finalize as CANCELED, workers
+// exit, events flush and the journal closes. Safe to call after Drain
+// (then it is a plain cleanup) and idempotent.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.cancelBase()
+	live := make([]*item, 0, len(q.items))
+	for _, it := range q.items {
+		live = append(live, it)
+	}
+	for _, it := range live {
+		it.canceled = true
+		switch it.state {
+		case StateQueued:
+			if it.idx >= 0 {
+				heap.Remove(&q.heap, it.idx)
+			}
+			q.finalizeLocked(it, StateCanceled, context.Canceled)
+		case StateRetrying:
+			if it.timer != nil && it.timer.Stop() {
+				q.retrying--
+				it.timer = nil
+				q.finalizeLocked(it, StateCanceled, context.Canceled)
+			}
+		}
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	q.wg.Wait()
+	q.stopEvents()
+	q.mu.Lock()
+	j := q.journal
+	q.journal = nil
+	q.mu.Unlock()
+	if j != nil {
+		return j.close()
+	}
+	return nil
+}
+
+// WaitIdle blocks until the queue holds no live jobs and all OnChange
+// events have been delivered (test and benchmark helper).
+func (q *Queue) WaitIdle(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	q.mu.Lock()
+	for len(q.items) > 0 && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	q.flushEvents()
+	return nil
+}
+
+// --- event delivery -------------------------------------------------------
+
+// emitLocked queues a state-change event; caller holds q.mu.
+func (q *Queue) emitLocked(v JobView) {
+	q.emu.Lock()
+	q.events = append(q.events, v)
+	q.evCond.Broadcast()
+	q.emu.Unlock()
+}
+
+// notifier delivers events to OnChange in order from one goroutine.
+func (q *Queue) notifier() {
+	for {
+		q.emu.Lock()
+		for len(q.events) == 0 && !q.evStopped {
+			q.evCond.Wait()
+		}
+		if len(q.events) == 0 && q.evStopped {
+			q.emu.Unlock()
+			close(q.evDone)
+			return
+		}
+		batch := q.events
+		q.events = nil
+		q.evDelivering = true
+		q.emu.Unlock()
+
+		if q.cfg.OnChange != nil {
+			for _, v := range batch {
+				q.cfg.OnChange(v)
+			}
+		}
+
+		q.emu.Lock()
+		q.evDelivering = false
+		q.evCond.Broadcast()
+		q.emu.Unlock()
+	}
+}
+
+// flushEvents blocks until the notifier has delivered everything queued
+// so far.
+func (q *Queue) flushEvents() {
+	q.emu.Lock()
+	for (len(q.events) > 0 || q.evDelivering) && !q.evStopped {
+		q.evCond.Wait()
+	}
+	q.emu.Unlock()
+}
+
+// stopEvents flushes and terminates the notifier goroutine.
+func (q *Queue) stopEvents() {
+	q.emu.Lock()
+	q.evStopped = true
+	q.evCond.Broadcast()
+	q.emu.Unlock()
+	<-q.evDone
+}

@@ -1,0 +1,598 @@
+package execq
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStats polls until pred(Stats) holds or the deadline expires.
+func waitStats(t *testing.T, q *Queue, pred func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !pred(q.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held; stats = %+v", q.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func idle(t *testing.T, q *Queue) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+}
+
+func TestBoundedIntake(t *testing.T) {
+	gate := make(chan struct{})
+	q, err := New(Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	block := func(ctx context.Context) error { <-gate; return nil }
+
+	if _, err := q.Submit(Job{ID: "running", Run: block}); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, q, func(s Stats) bool { return s.Running == 1 })
+	for _, id := range []string{"q1", "q2"} {
+		if _, err := q.Submit(Job{ID: id, Run: block}); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+	_, err = q.Submit(Job{ID: "overflow", Run: block})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	if ra, ok := RetryAfter(err); !ok || ra <= 0 {
+		t.Fatalf("RetryAfter = %v %v", ra, ok)
+	}
+	close(gate)
+	idle(t, q)
+	s := q.Stats()
+	if s.Completed != 3 || s.RejectedFull != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPriorityFIFOOrder(t *testing.T) {
+	gate := make(chan struct{})
+	q, err := New(Config{Workers: 1, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var mu sync.Mutex
+	var order []string
+	record := func(id string) func(context.Context) error {
+		return func(ctx context.Context) error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	if _, err := q.Submit(Job{ID: "head", Run: func(ctx context.Context) error { <-gate; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, q, func(s Stats) bool { return s.Running == 1 })
+	for _, j := range []struct {
+		id  string
+		pri int
+	}{{"low-a", 0}, {"high-b", 5}, {"low-c", 0}, {"high-d", 5}} {
+		if _, err := q.Submit(Job{ID: j.id, Priority: j.pri, Run: record(j.id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	idle(t, q)
+	want := []string{"high-b", "high-d", "low-a", "low-c"}
+	mu.Lock()
+	got := strings.Join(order, ",")
+	mu.Unlock()
+	if got != strings.Join(want, ",") {
+		t.Fatalf("dispatch order = %s, want %s", got, strings.Join(want, ","))
+	}
+}
+
+func TestPerPrincipalQuota(t *testing.T) {
+	gate := make(chan struct{})
+	q, err := New(Config{Workers: 1, QueueDepth: 16, PerPrincipalLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	block := func(ctx context.Context) error { <-gate; return nil }
+
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(Job{Principal: "alice", Run: block}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = q.Submit(Job{Principal: "alice", Run: block})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third alice job err = %v, want ErrQuotaExceeded", err)
+	}
+	if _, err := q.Submit(Job{Principal: "bob", Run: block}); err != nil {
+		t.Fatalf("bob blocked by alice's quota: %v", err)
+	}
+	s := q.Stats()
+	if s.PerPrincipal["alice"] != 2 || s.PerPrincipal["bob"] != 1 {
+		t.Fatalf("per-principal = %v", s.PerPrincipal)
+	}
+	close(gate)
+	idle(t, q)
+	// quota freed: alice can submit again
+	if _, err := q.Submit(Job{Principal: "alice", Run: func(ctx context.Context) error { return nil }}); err != nil {
+		t.Fatalf("post-drain alice submit: %v", err)
+	}
+	idle(t, q)
+}
+
+func TestRateLimit(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	q, err := New(Config{Workers: 1, QueueDepth: 16, RatePerSec: 1, Burst: 2, nowFn: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	noop := func(ctx context.Context) error { return nil }
+
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(Job{Principal: "alice", Run: noop}); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err = q.Submit(Job{Principal: "alice", Run: noop})
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("rate err = %v, want ErrRateLimited", err)
+	}
+	ra, ok := RetryAfter(err)
+	if !ok || ra <= 0 || ra > time.Second+time.Millisecond {
+		t.Fatalf("retry-after = %v %v", ra, ok)
+	}
+	// other principals have their own bucket
+	if _, err := q.Submit(Job{Principal: "bob", Run: noop}); err != nil {
+		t.Fatalf("bob rate limited by alice: %v", err)
+	}
+	// a second refills one token
+	clockMu.Lock()
+	now = now.Add(time.Second)
+	clockMu.Unlock()
+	if _, err := q.Submit(Job{Principal: "alice", Run: noop}); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+	idle(t, q)
+	if s := q.Stats(); s.RejectedRate != 1 {
+		t.Fatalf("rejected_rate = %d", s.RejectedRate)
+	}
+}
+
+func TestRetryBackoffThenSuccess(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	var states []State
+	q, err := New(Config{
+		Workers: 2, QueueDepth: 8,
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 1,
+		OnChange: func(v JobView) {
+			mu.Lock()
+			states = append(states, v.State)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Submit(Job{ID: "flaky", Retries: 3, Run: func(ctx context.Context) error {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n < 3 {
+			return fmt.Errorf("transient %d", n)
+		}
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	idle(t, q)
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	s := q.Stats()
+	if s.Completed != 1 || s.Retried != 2 || s.Failed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	got := fmt.Sprint(states)
+	want := fmt.Sprint([]State{StateQueued, StateRunning, StateRetrying, StateQueued,
+		StateRunning, StateRetrying, StateQueued, StateRunning, StateDone})
+	if got != want {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+}
+
+func TestRetriesExhaustedAndPermanent(t *testing.T) {
+	q, err := New(Config{Workers: 1, QueueDepth: 8, BaseBackoff: time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var mu sync.Mutex
+	counts := map[string]int{}
+	run := func(id string, perm bool) func(context.Context) error {
+		return func(ctx context.Context) error {
+			mu.Lock()
+			counts[id]++
+			mu.Unlock()
+			if perm {
+				return Permanent(errors.New("bad input"))
+			}
+			return errors.New("always transient")
+		}
+	}
+	if _, err := q.Submit(Job{ID: "exhaust", Retries: 2, Run: run("exhaust", false)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Job{ID: "perm", Retries: 5, Run: run("perm", true)}); err != nil {
+		t.Fatal(err)
+	}
+	idle(t, q)
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["exhaust"] != 3 { // initial + 2 retries
+		t.Fatalf("exhaust attempts = %d", counts["exhaust"])
+	}
+	if counts["perm"] != 1 {
+		t.Fatalf("permanent error retried: attempts = %d", counts["perm"])
+	}
+	if s := q.Stats(); s.Failed != 2 {
+		t.Fatalf("failed = %d", s.Failed)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	terminal := map[string]State{}
+	q, err := New(Config{Workers: 1, QueueDepth: 8, OnChange: func(v JobView) {
+		if v.State.Terminal() {
+			mu.Lock()
+			terminal[v.ID] = v.State
+			mu.Unlock()
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	// running job honors its context
+	if _, err := q.Submit(Job{ID: "running", Run: func(ctx context.Context) error {
+		close(gate)
+		<-ctx.Done()
+		return ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-gate
+	if _, err := q.Submit(Job{ID: "parked", Run: func(ctx context.Context) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Cancel("parked"); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if err := q.Cancel("running"); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	idle(t, q)
+	mu.Lock()
+	defer mu.Unlock()
+	if terminal["parked"] != StateCanceled || terminal["running"] != StateCanceled {
+		t.Fatalf("terminal states = %v", terminal)
+	}
+	if err := q.Cancel("ghost"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("ghost cancel err = %v", err)
+	}
+	if s := q.Stats(); s.Canceled != 2 {
+		t.Fatalf("canceled = %d", s.Canceled)
+	}
+}
+
+func TestPanicIsolatedAsFailure(t *testing.T) {
+	q, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Submit(Job{ID: "boom", Run: func(ctx context.Context) error { panic("kaboom") }}); err != nil {
+		t.Fatal(err)
+	}
+	idle(t, q)
+	if s := q.Stats(); s.Failed != 1 {
+		t.Fatalf("failed = %d", s.Failed)
+	}
+}
+
+func TestDuplicateAndAutoIDs(t *testing.T) {
+	gate := make(chan struct{})
+	q, err := New(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	block := func(ctx context.Context) error { <-gate; return nil }
+	v, err := q.Submit(Job{Run: block})
+	if err != nil || v.ID == "" {
+		t.Fatalf("auto-id submit = %+v, %v", v, err)
+	}
+	if _, err := q.Submit(Job{ID: v.ID, Run: block}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	if got, ok := q.Get(v.ID); !ok || got.ID != v.ID {
+		t.Fatalf("Get = %+v %v", got, ok)
+	}
+	close(gate)
+	idle(t, q)
+	if _, ok := q.Get(v.ID); ok {
+		t.Fatal("terminal job still visible via Get")
+	}
+}
+
+// TestJournalRecovery simulates a crash by hand-writing the journal a
+// dying queue would leave behind: one job mid-run, one still queued,
+// one already done, plus a torn final line.
+func TestJournalRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	var lines []string
+	add := func(rec journalRecord) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	now := time.Now()
+	payload := func(s string) json.RawMessage { return json.RawMessage(`{"task":"` + s + `"}`) }
+	add(submitRecord(Job{ID: "j1", Principal: "alice", Payload: payload("one")}, now))
+	add(stateRecord("j1", StateRunning, "", now))
+	add(submitRecord(Job{ID: "j2", Principal: "bob", Priority: 3, Payload: payload("two")}, now))
+	add(submitRecord(Job{ID: "j3", Principal: "alice", Payload: payload("three")}, now))
+	add(stateRecord("j3", StateRunning, "", now))
+	add(stateRecord("j3", StateDone, "", now))
+	content := strings.Join(lines, "\n") + "\n" + `{"op":"submit","id":"torn`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	ran := map[string]string{}
+	q, err := New(Config{
+		Workers: 2, QueueDepth: 8, JournalPath: path,
+		Handler: func(ctx context.Context, j JobView) error {
+			var p struct {
+				Task string `json:"task"`
+			}
+			if err := json.Unmarshal(j.Payload, &p); err != nil {
+				return Permanent(err)
+			}
+			mu.Lock()
+			ran[j.ID] = p.Task
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle(t, q)
+	mu.Lock()
+	if len(ran) != 2 || ran["j1"] != "one" || ran["j2"] != "two" {
+		t.Fatalf("recovered runs = %v (want j1, j2 only)", ran)
+	}
+	mu.Unlock()
+	if s := q.Stats(); s.Recovered != 2 || s.Completed != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// everything finished cleanly: a fresh queue recovers nothing, and
+	// the compacted journal no longer mentions the done job j3.
+	q2, err := New(Config{Workers: 1, QueueDepth: 8, JournalPath: path,
+		Handler: func(ctx context.Context, j JobView) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := q2.Stats(); s.Recovered != 0 {
+		t.Fatalf("second recovery = %+v", s)
+	}
+	if err := q2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "j3") {
+		t.Fatalf("compacted journal still mentions finished job:\n%s", data)
+	}
+}
+
+func TestJournalPersistsAcrossLiveCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	gate := make(chan struct{})
+	q, err := New(Config{Workers: 1, QueueDepth: 8, JournalPath: path,
+		Handler: func(ctx context.Context, j JobView) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Submit(Job{ID: fmt.Sprintf("job-%d", i), Payload: json.RawMessage(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitStats(t, q, func(s Stats) bool { return s.Running == 1 })
+	// "crash": abandon q without Drain/Close; replay sees all three live.
+	pending, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 3 {
+		t.Fatalf("pending after crash = %d, want 3", len(pending))
+	}
+	close(gate)
+	q.Close()
+}
+
+func TestDrainStopsIntakeAndWaits(t *testing.T) {
+	before := runtime.NumGoroutine()
+	q, err := New(Config{Workers: 8, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	done := 0
+	for i := 0; i < 32; i++ {
+		if _, err := q.Submit(Job{Run: func(ctx context.Context) error {
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			done++
+			mu.Unlock()
+			return nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	mu.Lock()
+	if done != 32 {
+		t.Fatalf("drained with %d/32 jobs done", done)
+	}
+	mu.Unlock()
+	if _, err := q.Submit(Job{Run: func(ctx context.Context) error { return nil }}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v", err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// zero leaked goroutines: workers, notifier and timers all gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDrainTimeoutThenForceClose(t *testing.T) {
+	q, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	if _, err := q.Submit(Job{ID: "stuck", Run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v", err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s := q.Stats(); s.Canceled != 1 {
+		t.Fatalf("canceled = %d", s.Canceled)
+	}
+	if _, err := q.Submit(Job{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit err = %v", err)
+	}
+}
+
+func TestCancelRetryingJob(t *testing.T) {
+	q, err := New(Config{Workers: 1, QueueDepth: 4,
+		BaseBackoff: 200 * time.Millisecond, MaxBackoff: time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Submit(Job{ID: "flaky", Retries: 5, Run: func(ctx context.Context) error {
+		return errors.New("transient")
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, q, func(s Stats) bool { return s.Retrying == 1 })
+	if err := q.Cancel("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	idle(t, q)
+	if s := q.Stats(); s.Canceled != 1 || s.Retrying != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsHistogram(t *testing.T) {
+	q, err := New(Config{Workers: 2, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := q.Submit(Job{Run: func(ctx context.Context) error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idle(t, q)
+	s := q.Stats()
+	if s.Run.Count != 8 || s.Wait.Count != 8 {
+		t.Fatalf("histogram counts = run %d wait %d", s.Run.Count, s.Wait.Count)
+	}
+	if s.Run.MeanSeconds <= 0 || s.Run.P90Seconds <= 0 {
+		t.Fatalf("run summary = %+v", s.Run)
+	}
+}

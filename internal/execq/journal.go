@@ -1,0 +1,165 @@
+package execq
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// The journal is a JSON-lines file: one record per line, either a
+// "submit" (full job description) or a "state" transition. On startup
+// New replays it, re-enqueues every job whose last recorded state is
+// live (QUEUED, RUNNING or RETRYING — the work that a crash would
+// otherwise lose), and compacts the file down to just those pending
+// submits. A torn final line (the crash happened mid-write) is
+// ignored.
+type journalRecord struct {
+	Op        string          `json:"op"` // "submit" | "state"
+	ID        string          `json:"id"`
+	Principal string          `json:"principal,omitempty"`
+	Priority  int             `json:"priority,omitempty"`
+	Retries   int             `json:"retries,omitempty"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+	State     State           `json:"state,omitempty"`
+	Err       string          `json:"error,omitempty"`
+	Time      time.Time       `json:"t"`
+}
+
+func submitRecord(j Job, at time.Time) journalRecord {
+	return journalRecord{
+		Op:        "submit",
+		ID:        j.ID,
+		Principal: j.Principal,
+		Priority:  j.Priority,
+		Retries:   j.Retries,
+		Payload:   j.Payload,
+		Time:      at,
+	}
+}
+
+func stateRecord(id string, s State, errMsg string, at time.Time) journalRecord {
+	return journalRecord{Op: "state", ID: id, State: s, Err: errMsg, Time: at}
+}
+
+// journal appends records to an open file. Append errors are recorded,
+// not returned: losing journal durability must not fail live traffic.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	enc     *json.Encoder
+	lastErr error
+}
+
+func (j *journal) append(rec journalRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if err := j.enc.Encode(rec); err != nil {
+		j.lastErr = err
+	}
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.lastErr
+	}
+	err := j.f.Close()
+	j.f = nil
+	if j.lastErr != nil {
+		return j.lastErr
+	}
+	return err
+}
+
+// replayJournal reads path and returns the jobs still pending (last
+// state live) in original submit order. A missing file means no
+// pending work.
+func replayJournal(path string) ([]Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("execq: open journal: %w", err)
+	}
+	defer f.Close()
+
+	type entry struct {
+		job  Job
+		last State
+		seen bool
+	}
+	byID := make(map[string]*entry)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn or corrupt line: skip
+		}
+		switch rec.Op {
+		case "submit":
+			if _, dup := byID[rec.ID]; dup {
+				continue
+			}
+			byID[rec.ID] = &entry{
+				job: Job{
+					ID:        rec.ID,
+					Principal: rec.Principal,
+					Priority:  rec.Priority,
+					Retries:   rec.Retries,
+					Payload:   rec.Payload,
+				},
+				last: StateQueued,
+				seen: true,
+			}
+			order = append(order, rec.ID)
+		case "state":
+			if e, ok := byID[rec.ID]; ok {
+				e.last = rec.State
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("execq: read journal: %w", err)
+	}
+	var pending []Job
+	for _, id := range order {
+		e := byID[id]
+		if e.seen && !e.last.Terminal() {
+			pending = append(pending, e.job)
+		}
+	}
+	return pending, nil
+}
+
+// resetJournal truncates path to just the pending submits (compaction)
+// and returns the open journal for subsequent appends.
+func resetJournal(path string, pending []Job) (*journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("execq: create journal: %w", err)
+	}
+	j := &journal{f: f, enc: json.NewEncoder(f)}
+	now := time.Now()
+	for _, job := range pending {
+		j.append(submitRecord(job, now))
+	}
+	if j.lastErr != nil {
+		f.Close()
+		return nil, fmt.Errorf("execq: compact journal: %w", j.lastErr)
+	}
+	return j, nil
+}

@@ -1,0 +1,156 @@
+package execq
+
+import "math"
+
+// counters are the queue's monotonic event counts (guarded by Queue.mu).
+type counters struct {
+	submitted     uint64
+	recovered     uint64
+	completed     uint64
+	failed        uint64
+	canceled      uint64
+	retried       uint64
+	rejectedFull  uint64
+	rejectedQuota uint64
+	rejectedRate  uint64
+}
+
+// histBounds are the exponential latency bucket upper bounds in seconds.
+var histBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram (guarded by Queue.mu).
+type histogram struct {
+	counts []uint64 // len(histBounds)+1; last bucket is overflow
+	total  uint64
+	sum    float64
+}
+
+func newHistogram() histogram {
+	return histogram{counts: make([]uint64, len(histBounds)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(histBounds) && seconds > histBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += seconds
+}
+
+// quantile approximates the q-th quantile (0..1) by linear
+// interpolation within the containing bucket.
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := lo
+			if i < len(histBounds) {
+				hi = histBounds[i]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return histBounds[len(histBounds)-1]
+}
+
+// HistogramSummary is the JSON-friendly snapshot of one latency
+// histogram.
+type HistogramSummary struct {
+	Count       uint64    `json:"count"`
+	MeanSeconds float64   `json:"mean_seconds"`
+	P50Seconds  float64   `json:"p50_seconds"`
+	P90Seconds  float64   `json:"p90_seconds"`
+	P99Seconds  float64   `json:"p99_seconds"`
+	// BoundsSeconds[i] is the upper bound of Counts[i]; the final
+	// Counts entry is the overflow bucket.
+	BoundsSeconds []float64 `json:"bounds_seconds"`
+	Counts        []uint64  `json:"counts"`
+}
+
+func (h *histogram) summary() HistogramSummary {
+	s := HistogramSummary{
+		Count:         h.total,
+		P50Seconds:    round6(h.quantile(0.50)),
+		P90Seconds:    round6(h.quantile(0.90)),
+		P99Seconds:    round6(h.quantile(0.99)),
+		BoundsSeconds: histBounds,
+		Counts:        append([]uint64(nil), h.counts...),
+	}
+	if h.total > 0 {
+		s.MeanSeconds = round6(h.sum / float64(h.total))
+	}
+	return s
+}
+
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// Stats is a point-in-time snapshot of queue state, counters and
+// latency histograms (wait = enqueue→dispatch, run = dispatch→finish).
+type Stats struct {
+	Workers       int            `json:"workers"`
+	Capacity      int            `json:"capacity"`
+	Depth         int            `json:"depth"`
+	Running       int            `json:"running"`
+	Retrying      int            `json:"retrying"`
+	Draining      bool           `json:"draining"`
+	PerPrincipal  map[string]int `json:"per_principal,omitempty"`
+	Submitted     uint64         `json:"submitted"`
+	Recovered     uint64         `json:"recovered"`
+	Completed     uint64         `json:"completed"`
+	Failed        uint64         `json:"failed"`
+	Canceled      uint64         `json:"canceled"`
+	Retried       uint64         `json:"retried"`
+	RejectedFull  uint64         `json:"rejected_full"`
+	RejectedQuota uint64         `json:"rejected_quota"`
+	RejectedRate  uint64         `json:"rejected_rate"`
+
+	Wait HistogramSummary `json:"wait"`
+	Run  HistogramSummary `json:"run"`
+}
+
+// Stats returns a snapshot of the queue's gauges, counters and latency
+// histograms.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	per := make(map[string]int, len(q.perPrincipal))
+	for k, v := range q.perPrincipal {
+		per[k] = v
+	}
+	return Stats{
+		Workers:       q.cfg.Workers,
+		Capacity:      q.cfg.QueueDepth,
+		Depth:         len(q.heap),
+		Running:       q.running,
+		Retrying:      q.retrying,
+		Draining:      q.draining || q.closed,
+		PerPrincipal:  per,
+		Submitted:     q.counters.submitted,
+		Recovered:     q.counters.recovered,
+		Completed:     q.counters.completed,
+		Failed:        q.counters.failed,
+		Canceled:      q.counters.canceled,
+		Retried:       q.counters.retried,
+		RejectedFull:  q.counters.rejectedFull,
+		RejectedQuota: q.counters.rejectedQuota,
+		RejectedRate:  q.counters.rejectedRate,
+		Wait:          q.waitHist.summary(),
+		Run:           q.runHist.summary(),
+	}
+}

@@ -1,46 +1,91 @@
 package hpcwaas
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/execq"
 	"repro/internal/imagebuilder"
 )
 
 // ExecStatus is the lifecycle of one workflow execution.
 type ExecStatus string
 
-// Execution states.
+// Execution states. QUEUED means admitted but not yet dispatched (or
+// parked between retry attempts); RUNNING, DONE, FAILED and CANCELED
+// follow the execq job lifecycle.
 const (
-	ExecRunning ExecStatus = "RUNNING"
-	ExecDone    ExecStatus = "DONE"
-	ExecFailed  ExecStatus = "FAILED"
+	ExecQueued   ExecStatus = "QUEUED"
+	ExecRunning  ExecStatus = "RUNNING"
+	ExecDone     ExecStatus = "DONE"
+	ExecFailed   ExecStatus = "FAILED"
+	ExecCanceled ExecStatus = "CANCELED"
 )
+
+// Terminal reports whether the status is final.
+func (s ExecStatus) Terminal() bool {
+	return s == ExecDone || s == ExecFailed || s == ExecCanceled
+}
 
 // Execution is one run of a deployed workflow triggered via the API.
 type Execution struct {
-	ID       string            `json:"id"`
-	Workflow string            `json:"workflow"`
-	Status   ExecStatus        `json:"status"`
-	Params   map[string]string `json:"params,omitempty"`
-	Results  map[string]string `json:"results,omitempty"`
-	Error    string            `json:"error,omitempty"`
+	ID        string            `json:"id"`
+	Workflow  string            `json:"workflow"`
+	Principal string            `json:"principal,omitempty"`
+	Status    ExecStatus        `json:"status"`
+	Priority  int               `json:"priority,omitempty"`
+	Attempt   int               `json:"attempt,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+	Results   map[string]string `json:"results,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// ServiceConfig sizes the execution queue behind the REST API. Zero
+// values get defaults from NewServiceWith.
+type ServiceConfig struct {
+	// Workers is the execution worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds queued executions; beyond it POST /api/executions
+	// answers 429 + Retry-After (default 256).
+	QueueDepth int
+	// PerPrincipalLimit bounds one principal's live executions
+	// (default QueueDepth; set lower for real multi-tenant fairness).
+	PerPrincipalLimit int
+	// RatePerSec/Burst token-bucket rate limit per principal
+	// (0 disables).
+	RatePerSec float64
+	Burst      int
+	// Retries is how many times a transiently failed execution is
+	// retried with backoff (default 0: workflow failures are final).
+	Retries int
+	// Retention bounds how many completed execution records are kept;
+	// the oldest completed ones are evicted first (default 1024).
+	Retention int
+	// JournalPath persists queued/running executions across restarts.
+	JournalPath string
 }
 
 // Service is the HPCWaaS front-end: it binds the registry, the deployer
-// and the execution engine behind an HTTP API (Figure 1's Execution
-// API, "workflow execution as a simple REST invocation").
+// and a bounded multi-tenant execution queue behind an HTTP API
+// (Figure 1's Execution API, "workflow execution as a simple REST
+// invocation").
 type Service struct {
 	Registry *Registry
 	Deployer *Deployer
 
+	cfg   ServiceConfig
+	queue *execq.Queue
+
 	mu     sync.Mutex
 	nextID int
 	execs  map[string]*Execution
+	order  []string // creation order of retained records
 	wg     sync.WaitGroup
 	tokens map[string]string // token → principal
 }
@@ -49,7 +94,8 @@ type Service struct {
 // at least one token exists, every API call must carry
 // "Authorization: Bearer <token>" — the stand-in for the credential
 // vault the eFlows4HPC HPCWaaS uses so final users never handle SSH
-// keys themselves.
+// keys themselves. The principal is also the tenant that queue quotas
+// and rate limits are accounted against.
 func (s *Service) AuthorizeToken(token, principal string) error {
 	if token == "" {
 		return fmt.Errorf("hpcwaas: empty token")
@@ -81,56 +127,352 @@ func (s *Service) authenticate(r *http.Request) (string, bool) {
 	return principal, ok
 }
 
-// NewService wires a service; nil parts get defaults.
+// NewService wires a service with default queue sizing; nil parts get
+// defaults. See NewServiceWith to tune admission control.
 func NewService(reg *Registry, dep *Deployer) *Service {
+	s, err := NewServiceWith(reg, dep, ServiceConfig{})
+	if err != nil {
+		// only journal I/O can fail, and the default config has none
+		panic("hpcwaas: NewService: " + err.Error())
+	}
+	return s
+}
+
+// NewServiceWith wires a service on top of a bounded execution queue.
+// With cfg.JournalPath set, executions that were queued or running when
+// the previous process died are recovered and re-enqueued.
+func NewServiceWith(reg *Registry, dep *Deployer, cfg ServiceConfig) (*Service, error) {
 	if reg == nil {
 		reg = NewRegistry()
 	}
 	if dep == nil {
 		dep = NewDeployer(nil, nil, imagebuilder.Platform{})
 	}
-	return &Service{Registry: reg, Deployer: dep, execs: make(map[string]*Execution)}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.PerPrincipalLimit <= 0 {
+		cfg.PerPrincipalLimit = cfg.QueueDepth
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 1024
+	}
+	s := &Service{
+		Registry: reg,
+		Deployer: dep,
+		cfg:      cfg,
+		execs:    make(map[string]*Execution),
+	}
+	q, err := execq.New(execq.Config{
+		Workers:           cfg.Workers,
+		QueueDepth:        cfg.QueueDepth,
+		PerPrincipalLimit: cfg.PerPrincipalLimit,
+		RatePerSec:        cfg.RatePerSec,
+		Burst:             cfg.Burst,
+		JournalPath:       cfg.JournalPath,
+		Handler:           s.runJob,
+		OnChange:          s.onJobChange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.queue = q
+	return s, nil
 }
 
-// Execute launches a registered, deployed workflow asynchronously and
-// returns a snapshot of the execution record (status RUNNING). The
-// background run mutates only the internal record, never the returned
-// copy.
+// jobPayload is the journal-safe job description: everything needed to
+// re-run an execution after a crash.
+type jobPayload struct {
+	Workflow string            `json:"workflow"`
+	Params   map[string]string `json:"params,omitempty"`
+}
+
+// Execute enqueues a registered, deployed workflow for the anonymous
+// principal and returns a snapshot of the execution record (status
+// QUEUED). The queue mutates only the internal record, never the
+// returned copy.
 func (s *Service) Execute(workflow string, params map[string]string) (Execution, error) {
-	entry, ok := s.Registry.Lookup(workflow)
-	if !ok {
+	return s.ExecuteAs("anonymous", workflow, params, 0)
+}
+
+// ExecuteAs enqueues an execution for a principal at a priority
+// (higher dispatches first, FIFO within equal priority). Admission
+// failures surface execq sentinels: use execq.RetryAfter to extract
+// the back-off hint for ErrQueueFull / ErrQuotaExceeded /
+// ErrRateLimited.
+func (s *Service) ExecuteAs(principal, workflow string, params map[string]string, priority int) (Execution, error) {
+	if _, ok := s.Registry.Lookup(workflow); !ok {
 		return Execution{}, fmt.Errorf("hpcwaas: unknown workflow %q", workflow)
 	}
 	if !s.Deployer.ActiveFor(workflow) {
 		return Execution{}, fmt.Errorf("hpcwaas: workflow %q has no active deployment", workflow)
 	}
+	payload, err := json.Marshal(jobPayload{Workflow: workflow, Params: params})
+	if err != nil {
+		return Execution{}, fmt.Errorf("hpcwaas: encode params: %w", err)
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	ex := &Execution{
-		ID:       fmt.Sprintf("exec-%d", s.nextID),
-		Workflow: workflow,
-		Status:   ExecRunning,
-		Params:   params,
+		ID:        fmt.Sprintf("exec-%d", s.nextID),
+		Workflow:  workflow,
+		Principal: principal,
+		Status:    ExecQueued,
+		Priority:  priority,
+		Params:    params,
 	}
 	s.execs[ex.ID] = ex
+	s.order = append(s.order, ex.ID)
+	s.evictLocked()
 	snapshot := *ex
 	s.mu.Unlock()
 
 	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		results, err := runApp(entry.App, params)
+	if _, err := s.queue.Submit(execq.Job{
+		ID:        ex.ID,
+		Principal: principal,
+		Priority:  priority,
+		Payload:   payload,
+		Retries:   s.cfg.Retries,
+	}); err != nil {
+		s.wg.Done()
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		if err != nil {
-			ex.Status = ExecFailed
-			ex.Error = err.Error()
+		delete(s.execs, ex.ID)
+		s.removeFromOrderLocked(ex.ID)
+		s.mu.Unlock()
+		return Execution{}, err
+	}
+	return snapshot, nil
+}
+
+// runJob is the queue handler: it decodes the payload, runs the
+// registered application, and honors cancellation (the app result is
+// discarded if its context is canceled first).
+func (s *Service) runJob(ctx context.Context, j execq.JobView) error {
+	var p jobPayload
+	if err := json.Unmarshal(j.Payload, &p); err != nil {
+		return execq.Permanent(fmt.Errorf("hpcwaas: decode job payload: %w", err))
+	}
+	entry, ok := s.Registry.Lookup(p.Workflow)
+	if !ok {
+		return execq.Permanent(fmt.Errorf("hpcwaas: unknown workflow %q", p.Workflow))
+	}
+	type result struct {
+		out map[string]string
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := runApp(entry.App, p.Params)
+		ch <- result{out, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case r := <-ch:
+		if r.err != nil {
+			return r.err
+		}
+		s.mu.Lock()
+		if ex := s.execs[j.ID]; ex != nil {
+			ex.Results = r.out
+		}
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// onJobChange mirrors queue transitions into the execution records.
+// Events arrive in order from the queue's notifier goroutine. An event
+// for an unknown ID is a journal-recovered execution: its record is
+// recreated from the job payload.
+func (s *Service) onJobChange(v execq.JobView) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ex := s.execs[v.ID]
+	if ex == nil {
+		if v.State != execq.StateQueued {
+			return // terminal echo of an already-evicted record
+		}
+		var p jobPayload
+		_ = json.Unmarshal(v.Payload, &p)
+		ex = &Execution{
+			ID:        v.ID,
+			Workflow:  p.Workflow,
+			Principal: v.Principal,
+			Priority:  v.Priority,
+			Status:    ExecQueued,
+			Params:    p.Params,
+		}
+		s.execs[v.ID] = ex
+		s.order = append(s.order, v.ID)
+		// keep ID allocation ahead of recovered records
+		var n int
+		if _, err := fmt.Sscanf(v.ID, "exec-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		s.wg.Add(1)
+		s.evictLocked()
+	}
+	ex.Attempt = v.Attempt
+	switch v.State {
+	case execq.StateQueued, execq.StateRetrying:
+		ex.Status = ExecQueued
+		ex.Error = v.Err
+	case execq.StateRunning:
+		ex.Status = ExecRunning
+	case execq.StateDone:
+		ex.Status = ExecDone
+		ex.Error = ""
+	case execq.StateFailed:
+		ex.Status = ExecFailed
+		ex.Error = v.Err
+	case execq.StateCanceled:
+		ex.Status = ExecCanceled
+		ex.Error = v.Err
+	}
+	if v.State.Terminal() {
+		s.evictLocked()
+		s.wg.Done()
+	}
+}
+
+// evictLocked enforces the retention bound by dropping the oldest
+// *completed* records; live (queued/running) executions are never
+// evicted.
+func (s *Service) evictLocked() {
+	if s.cfg.Retention <= 0 {
+		return
+	}
+	for len(s.execs) > s.cfg.Retention {
+		evicted := false
+		for _, id := range s.order {
+			if ex := s.execs[id]; ex != nil && ex.Status.Terminal() {
+				delete(s.execs, id)
+				s.removeFromOrderLocked(id)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still live
+		}
+	}
+}
+
+func (s *Service) removeFromOrderLocked(id string) {
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
 			return
 		}
-		ex.Status = ExecDone
-		ex.Results = results
-	}()
-	return snapshot, nil
+	}
+}
+
+// Wait blocks until every admitted execution reaches a terminal state
+// (test helper and graceful-shutdown hook).
+func (s *Service) Wait() { s.wg.Wait() }
+
+// Drain stops accepting executions and waits for queued and running
+// ones to finish (or ctx to expire). The REST API keeps answering
+// reads during a drain.
+func (s *Service) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+
+// Close force-stops the execution queue, cancelling whatever is still
+// live. Call Drain first for a graceful shutdown.
+func (s *Service) Close() error { return s.queue.Close() }
+
+// QueueStats exposes the execution queue's depth, per-principal usage,
+// counters and latency histograms.
+func (s *Service) QueueStats() execq.Stats { return s.queue.Stats() }
+
+// LookupStatus distinguishes "never existed" from "existed but was
+// evicted by the retention bound".
+type LookupStatus int
+
+// LookupExecution results.
+const (
+	LookupFound LookupStatus = iota
+	LookupExpired
+	LookupUnknown
+)
+
+// LookupExecution fetches an execution snapshot, reporting expired
+// (evicted) IDs distinctly from unknown ones.
+func (s *Service) LookupExecution(id string) (Execution, LookupStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ex, ok := s.execs[id]; ok {
+		return *ex, LookupFound
+	}
+	// Records are named exec-N with N from a monotonic counter, so a
+	// well-formed ID at or below the high-water mark must have been
+	// evicted.
+	var n int
+	if _, err := fmt.Sscanf(id, "exec-%d", &n); err == nil && n >= 1 && n <= s.nextID {
+		return Execution{}, LookupExpired
+	}
+	return Execution{}, LookupUnknown
+}
+
+// GetExecution fetches an execution snapshot; ok is false for unknown
+// and evicted IDs alike (see LookupExecution for the distinction).
+func (s *Service) GetExecution(id string) (Execution, bool) {
+	ex, st := s.LookupExecution(id)
+	return ex, st == LookupFound
+}
+
+// CancelExecution cancels a queued or running execution. Terminal
+// executions return an error; the returned snapshot reflects the
+// record at the moment of the call (a running app finalizes as
+// CANCELED once its context unwinds).
+func (s *Service) CancelExecution(id string) (Execution, error) {
+	s.mu.Lock()
+	ex, ok := s.execs[id]
+	if !ok {
+		s.mu.Unlock()
+		if _, st := s.LookupExecution(id); st == LookupExpired {
+			return Execution{}, fmt.Errorf("hpcwaas: execution %s expired", id)
+		}
+		return Execution{}, fmt.Errorf("hpcwaas: unknown execution %q", id)
+	}
+	if ex.Status.Terminal() {
+		snap := *ex
+		s.mu.Unlock()
+		return snap, fmt.Errorf("hpcwaas: execution %s already %s", id, snap.Status)
+	}
+	s.mu.Unlock()
+	// Ignore a lost race with completion: the terminal record stands.
+	_ = s.queue.Cancel(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ex := s.execs[id]; ex != nil {
+		return *ex, nil
+	}
+	return Execution{ID: id, Status: ExecCanceled}, nil
+}
+
+// ListExecutions returns retained executions in creation order,
+// optionally filtered by status ("" means all).
+func (s *Service) ListExecutions(status ExecStatus) []Execution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Execution, 0, len(s.order))
+	for _, id := range s.order {
+		ex := s.execs[id]
+		if ex == nil {
+			continue
+		}
+		if status != "" && ex.Status != status {
+			continue
+		}
+		out = append(out, *ex)
+	}
+	return out
 }
 
 // runApp isolates application panics as errors.
@@ -143,35 +485,30 @@ func runApp(app AppFunc, params map[string]string) (out map[string]string, err e
 	return app(params)
 }
 
-// Wait blocks until all in-flight executions finish (test helper and
-// graceful-shutdown hook).
-func (s *Service) Wait() { s.wg.Wait() }
-
-// GetExecution fetches an execution snapshot.
-func (s *Service) GetExecution(id string) (Execution, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ex, ok := s.execs[id]
-	if !ok {
-		return Execution{}, false
-	}
-	return *ex, true
-}
+// principalKey carries the authenticated principal in the request
+// context.
+type principalKey struct{}
 
 // Handler returns the REST API. Routes:
 //
-//	GET  /api/workflows                  list registered workflows
-//	GET  /api/workflows/{name}           workflow detail (topology)
-//	POST /api/workflows/{name}/deploy    deploy ({"target": "..."})
-//	GET  /api/deployments/{id}           deployment status/log
-//	POST /api/deployments/{id}/undeploy  tear down
-//	POST /api/executions                 run ({"workflow": ..., "params": {...}})
-//	GET  /api/executions                 list executions
-//	GET  /api/executions/{id}            execution status/results
-//	GET  /api/health                     liveness probe
+//	GET    /api/workflows                  list registered workflows
+//	GET    /api/workflows/{name}           workflow detail (topology)
+//	POST   /api/workflows/{name}/deploy    deploy ({"target": "..."})
+//	GET    /api/deployments/{id}           deployment status/log
+//	POST   /api/deployments/{id}/undeploy  tear down
+//	POST   /api/executions                 enqueue ({"workflow", "params", "priority"})
+//	GET    /api/executions[?status=S]      list executions, creation order
+//	GET    /api/executions/{id}            execution status/results (410 if evicted)
+//	DELETE /api/executions/{id}            cancel a queued/running execution
+//	GET    /api/queue                      queue depth, usage, latency histograms
+//	GET    /api/health                     liveness probe
 //
-// When AuthorizeToken has registered at least one token, every route
-// requires "Authorization: Bearer <token>".
+// POST /api/executions answers 202 on admission and 429 with a
+// Retry-After header when the queue, the principal's quota or the
+// principal's rate budget is full. When AuthorizeToken has registered
+// at least one token, every route requires "Authorization: Bearer
+// <token>" and the token's principal is the tenant charged for the
+// execution.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -259,13 +596,24 @@ func (s *Service) Handler() http.Handler {
 		var body struct {
 			Workflow string            `json:"workflow"`
 			Params   map[string]string `json:"params"`
+			Priority int               `json:"priority"`
 		}
 		if err := decodeJSON(r, &body); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		ex, err := s.Execute(body.Workflow, body.Params)
+		principal, _ := r.Context().Value(principalKey{}).(string)
+		ex, err := s.ExecuteAs(principal, body.Workflow, body.Params, body.Priority)
 		if err != nil {
+			if ra, ok := execq.RetryAfter(err); ok {
+				secs := int(math.Ceil(ra.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				httpError(w, http.StatusTooManyRequests, err.Error())
+				return
+			}
 			code := http.StatusConflict
 			if strings.Contains(err.Error(), "unknown workflow") {
 				code = http.StatusNotFound
@@ -284,31 +632,56 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /api/executions", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		out := make([]Execution, 0, len(s.execs))
-		for _, ex := range s.execs {
-			out = append(out, *ex)
+		status := ExecStatus(strings.ToUpper(r.URL.Query().Get("status")))
+		switch status {
+		case "", ExecQueued, ExecRunning, ExecDone, ExecFailed, ExecCanceled:
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown status filter %q", status))
+			return
 		}
-		s.mu.Unlock()
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, s.ListExecutions(status))
 	})
 
 	mux.HandleFunc("GET /api/executions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		ex, ok := s.GetExecution(r.PathValue("id"))
-		if !ok {
+		ex, st := s.LookupExecution(r.PathValue("id"))
+		switch st {
+		case LookupExpired:
+			httpError(w, http.StatusGone, "execution expired from retention")
+		case LookupUnknown:
 			httpError(w, http.StatusNotFound, "unknown execution")
+		default:
+			writeJSON(w, http.StatusOK, ex)
+		}
+	})
+
+	mux.HandleFunc("DELETE /api/executions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		ex, err := s.CancelExecution(id)
+		if err != nil {
+			switch {
+			case strings.Contains(err.Error(), "expired"):
+				httpError(w, http.StatusGone, err.Error())
+			case strings.Contains(err.Error(), "unknown"):
+				httpError(w, http.StatusNotFound, err.Error())
+			default: // already terminal
+				httpError(w, http.StatusConflict, err.Error())
+			}
 			return
 		}
-		writeJSON(w, http.StatusOK, ex)
+		writeJSON(w, http.StatusAccepted, ex)
+	})
+
+	mux.HandleFunc("GET /api/queue", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.QueueStats())
 	})
 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if _, ok := s.authenticate(r); !ok {
+		principal, ok := s.authenticate(r)
+		if !ok {
 			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
 			return
 		}
-		mux.ServeHTTP(w, r)
+		mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), principalKey{}, principal)))
 	})
 }
 

@@ -1,0 +1,513 @@
+package hpcwaas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/execq"
+)
+
+// newQueuedService builds a deployed service on a deliberately tiny
+// queue so admission control is observable.
+func newQueuedService(t *testing.T, cfg ServiceConfig, app AppFunc) *Service {
+	t.Helper()
+	d := newTestDeployer(t)
+	reg := NewRegistry()
+	if err := reg.Register(demoEntry("climate", app)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewServiceWith(reg, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	e, _ := reg.Lookup("climate")
+	if _, err := d.Deploy(e, "zeus"); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestConcurrentAPIStress fires many parallel POST /api/executions from
+// two principals against a tiny queue and asserts quota enforcement,
+// 429 + Retry-After semantics and that every accepted execution reaches
+// exactly one terminal state (run with -race).
+func TestConcurrentAPIStress(t *testing.T) {
+	svc := newQueuedService(t, ServiceConfig{
+		Workers: 2, QueueDepth: 4, PerPrincipalLimit: 3, Retention: 4096,
+	}, func(params map[string]string) (map[string]string, error) {
+		time.Sleep(2 * time.Millisecond)
+		return map[string]string{"ok": "1"}, nil
+	})
+	svc.AuthorizeToken("tok-alice", "alice")
+	svc.AuthorizeToken("tok-bob", "bob")
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	post := func(token string) (int, string, string, error) {
+		body, _ := json.Marshal(map[string]any{"workflow": "climate"})
+		req, _ := http.NewRequest("POST", srv.URL+"/api/executions", bytes.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			return 0, "", "", err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		id, _ := out["id"].(string)
+		return resp.StatusCode, id, resp.Header.Get("Retry-After"), nil
+	}
+
+	const perPrincipal = 30
+	var (
+		mu       sync.Mutex
+		accepted []string
+		rejected int
+	)
+	var wg sync.WaitGroup
+	for _, token := range []string{"tok-alice", "tok-bob"} {
+		for i := 0; i < perPrincipal; i++ {
+			wg.Add(1)
+			go func(token string) {
+				defer wg.Done()
+				code, id, retryAfter, err := post(token)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch code {
+				case http.StatusAccepted:
+					mu.Lock()
+					accepted = append(accepted, id)
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					if secs, err := strconv.Atoi(retryAfter); err != nil || secs < 1 {
+						t.Errorf("429 without usable Retry-After: %q", retryAfter)
+					}
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				default:
+					t.Errorf("unexpected status %d", code)
+				}
+			}(token)
+		}
+	}
+	// concurrently observe the queue: per-principal usage must respect
+	// the quota at every sample
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for p, n := range svc.QueueStats().PerPrincipal {
+				if n > 3 {
+					t.Errorf("principal %s over quota: %d live jobs", p, n)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	mu.Lock()
+	ids := append([]string(nil), accepted...)
+	nRejected := rejected
+	mu.Unlock()
+	if len(ids)+nRejected != 2*perPrincipal {
+		t.Fatalf("accepted %d + rejected %d != %d", len(ids), nRejected, 2*perPrincipal)
+	}
+	if len(ids) == 0 || nRejected == 0 {
+		t.Fatalf("load did not exercise admission: accepted=%d rejected=%d", len(ids), nRejected)
+	}
+	if stats := svc.QueueStats(); stats.RejectedQuota+stats.RejectedFull == 0 {
+		t.Fatalf("no admission rejections recorded: %+v", stats)
+	}
+
+	svc.Wait()
+
+	// no lost or duplicated terminal states: every accepted ID appears
+	// exactly once in the listing, DONE
+	req, _ := http.NewRequest("GET", srv.URL+"/api/executions", nil)
+	req.Header.Set("Authorization", "Bearer tok-alice")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Execution
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	seen := make(map[string]int)
+	for _, ex := range list {
+		seen[ex.ID]++
+		if ex.Status != ExecDone {
+			t.Errorf("execution %s status = %s, want DONE", ex.ID, ex.Status)
+		}
+	}
+	for _, id := range ids {
+		if seen[id] != 1 {
+			t.Errorf("accepted execution %s listed %d times", id, seen[id])
+		}
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("listing has %d executions, accepted %d", len(list), len(ids))
+	}
+}
+
+// TestExecutionRetention covers the bounded-retention satellite: old
+// completed records evict, evicted IDs answer 410/"expired", and live
+// records are never evicted.
+func TestExecutionRetention(t *testing.T) {
+	svc := newQueuedService(t, ServiceConfig{
+		Workers: 1, QueueDepth: 16, Retention: 3,
+	}, func(params map[string]string) (map[string]string, error) {
+		return map[string]string{"ok": "1"}, nil
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := svc.Execute("climate", nil); err != nil {
+			t.Fatal(err)
+		}
+		svc.Wait() // serialize so eviction order is deterministic
+	}
+	list := svc.ListExecutions("")
+	if len(list) != 3 {
+		t.Fatalf("retained %d records, want 3", len(list))
+	}
+	if list[0].ID != "exec-4" || list[2].ID != "exec-6" {
+		t.Fatalf("retained window = %s..%s, want exec-4..exec-6", list[0].ID, list[2].ID)
+	}
+
+	// evicted ID: distinct "expired" signal, REST answers 410
+	if _, st := svc.LookupExecution("exec-1"); st != LookupExpired {
+		t.Fatalf("exec-1 lookup = %v, want LookupExpired", st)
+	}
+	if _, ok := svc.GetExecution("exec-1"); ok {
+		t.Fatal("GetExecution returned an evicted record")
+	}
+	if _, st := svc.LookupExecution("exec-999"); st != LookupUnknown {
+		t.Fatalf("exec-999 lookup = %v, want LookupUnknown", st)
+	}
+	code, _ := restCall(t, srv, "GET", "/api/executions/exec-1", nil)
+	if code != http.StatusGone {
+		t.Fatalf("evicted GET code = %d, want 410", code)
+	}
+	code, _ = restCall(t, srv, "GET", "/api/executions/nonsense", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown GET code = %d, want 404", code)
+	}
+}
+
+// TestListExecutionsOrderAndFilter covers the stable-order + ?status=
+// satellite.
+func TestListExecutionsOrderAndFilter(t *testing.T) {
+	fail := make(map[string]bool)
+	var mu sync.Mutex
+	svc := newQueuedService(t, ServiceConfig{Workers: 1, QueueDepth: 16},
+		func(params map[string]string) (map[string]string, error) {
+			mu.Lock()
+			bad := fail[params["n"]]
+			mu.Unlock()
+			if bad {
+				return nil, errors.New("synthetic failure")
+			}
+			return map[string]string{"ok": "1"}, nil
+		})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	mu.Lock()
+	fail["1"] = true
+	mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Execute("climate", map[string]string{"n": strconv.Itoa(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Wait()
+
+	resp, err := srv.Client().Get(srv.URL + "/api/executions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Execution
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 4 {
+		t.Fatalf("list len = %d", len(list))
+	}
+	for i, ex := range list {
+		if want := "exec-" + strconv.Itoa(i+1); ex.ID != want {
+			t.Fatalf("list[%d] = %s, want %s (stable creation order)", i, ex.ID, want)
+		}
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/api/executions?status=failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed []Execution
+	json.NewDecoder(resp.Body).Decode(&failed)
+	resp.Body.Close()
+	if len(failed) != 1 || failed[0].ID != "exec-2" || failed[0].Status != ExecFailed {
+		t.Fatalf("failed filter = %+v", failed)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/api/executions?status=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus filter code = %d", resp.StatusCode)
+	}
+}
+
+// TestCancelEndpoint exercises DELETE /api/executions/{id} for queued
+// and terminal records.
+func TestCancelEndpoint(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	svc := newQueuedService(t, ServiceConfig{Workers: 1, QueueDepth: 8},
+		func(params map[string]string) (map[string]string, error) {
+			once.Do(func() { close(started) })
+			<-gate
+			return map[string]string{"ok": "1"}, nil
+		})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// first occupies the worker; second sits queued
+	if _, err := svc.Execute("climate", nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := svc.Execute("climate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Status != ExecQueued {
+		t.Fatalf("second execution status = %s, want QUEUED", queued.Status)
+	}
+
+	code, body := restCall(t, srv, "DELETE", "/api/executions/"+queued.ID, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel code = %d %v", code, body)
+	}
+	close(gate)
+	svc.Wait()
+	got, _ := svc.GetExecution(queued.ID)
+	if got.Status != ExecCanceled {
+		t.Fatalf("canceled execution = %+v", got)
+	}
+	// terminal record: conflict
+	code, _ = restCall(t, srv, "DELETE", "/api/executions/"+queued.ID, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("double cancel code = %d", code)
+	}
+	code, _ = restCall(t, srv, "DELETE", "/api/executions/ghost", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("ghost cancel code = %d", code)
+	}
+}
+
+// TestQueueEndpointAndDrain exercises GET /api/queue and the graceful
+// drain path.
+func TestQueueEndpointAndDrain(t *testing.T) {
+	svc := newQueuedService(t, ServiceConfig{Workers: 2, QueueDepth: 8},
+		func(params map[string]string) (map[string]string, error) {
+			time.Sleep(time.Millisecond)
+			return map[string]string{"ok": "1"}, nil
+		})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := svc.Execute("climate", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, stats := restCall(t, srv, "GET", "/api/queue", nil)
+	if code != http.StatusOK {
+		t.Fatalf("queue stats code = %d", code)
+	}
+	if stats["capacity"].(float64) != 8 || stats["workers"].(float64) != 2 {
+		t.Fatalf("queue stats = %v", stats)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// intake rejected after drain
+	if _, err := svc.Execute("climate", nil); !errors.Is(err, execq.ErrDraining) {
+		t.Fatalf("post-drain execute err = %v", err)
+	}
+	// all six finished
+	done := svc.ListExecutions(ExecDone)
+	if len(done) != 6 {
+		t.Fatalf("done executions = %d, want 6", len(done))
+	}
+	code, stats = restCall(t, srv, "GET", "/api/queue", nil)
+	if code != http.StatusOK || stats["draining"] != true {
+		t.Fatalf("post-drain stats = %d %v", code, stats)
+	}
+}
+
+// TestJournalRecoveryAcrossServices covers the crash-recovery path at
+// the service layer: executions queued in a first service's journal are
+// re-run by a second service sharing the journal path.
+func TestJournalRecoveryAcrossServices(t *testing.T) {
+	journal := t.TempDir() + "/exec-journal.jsonl"
+	gate := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+
+	d := newTestDeployer(t)
+	reg := NewRegistry()
+	if err := reg.Register(demoEntry("climate", func(params map[string]string) (map[string]string, error) {
+		once.Do(func() { close(started) })
+		<-gate
+		return map[string]string{"ok": "1"}, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Lookup("climate")
+	if _, err := d.Deploy(e, "zeus"); err != nil {
+		t.Fatal(err)
+	}
+
+	svc1, err := NewServiceWith(reg, d, ServiceConfig{Workers: 1, QueueDepth: 8, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc1.Execute("climate", map[string]string{"n": strconv.Itoa(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	// "crash": svc1 is abandoned without drain; its worker stays parked
+	// on the gate, and the journal still lists all three as live.
+
+	// the recovered service runs the app to completion
+	reg2 := NewRegistry()
+	var mu sync.Mutex
+	ran := map[string]bool{}
+	if err := reg2.Register(demoEntry("climate", func(params map[string]string) (map[string]string, error) {
+		mu.Lock()
+		ran[params["n"]] = true
+		mu.Unlock()
+		return map[string]string{"recovered": "yes"}, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := reg2.Lookup("climate")
+	if _, err := d.Deploy(e2, "zeus"); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := NewServiceWith(reg2, d, ServiceConfig{Workers: 2, QueueDepth: 8, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	svc2.Wait()
+
+	mu.Lock()
+	n := len(ran)
+	mu.Unlock()
+	if n != 3 {
+		t.Fatalf("recovered runs = %d, want 3", n)
+	}
+	list := svc2.ListExecutions(ExecDone)
+	if len(list) != 3 {
+		t.Fatalf("recovered DONE records = %d, want 3", len(list))
+	}
+	for _, ex := range list {
+		if ex.Results["recovered"] != "yes" {
+			t.Fatalf("recovered record missing results: %+v", ex)
+		}
+	}
+	// new IDs allocate past the recovered ones
+	ex, err := svc2.Execute("climate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.ID != "exec-4" {
+		t.Fatalf("post-recovery ID = %s, want exec-4", ex.ID)
+	}
+	svc2.Wait()
+	close(gate) // release the abandoned worker
+	svc1.Close()
+}
+
+// TestPriorityViaREST covers the priority field on POST /api/executions.
+func TestPriorityViaREST(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	svc := newQueuedService(t, ServiceConfig{Workers: 1, QueueDepth: 8},
+		func(params map[string]string) (map[string]string, error) {
+			once.Do(func() { close(started) })
+			if params["tag"] == "head" {
+				<-gate
+			} else {
+				mu.Lock()
+				order = append(order, params["tag"])
+				mu.Unlock()
+			}
+			return map[string]string{}, nil
+		})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	if _, err := svc.Execute("climate", map[string]string{"tag": "head"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for _, sub := range []struct {
+		tag string
+		pri int
+	}{{"low", 0}, {"high", 9}} {
+		code, body := restCall(t, srv, "POST", "/api/executions", map[string]any{
+			"workflow": "climate",
+			"params":   map[string]string{"tag": sub.tag},
+			"priority": sub.pri,
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s = %d %v", sub.tag, code, body)
+		}
+	}
+	close(gate)
+	svc.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("dispatch order = %v, want [high low]", order)
+	}
+}
