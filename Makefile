@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples experiments clean
+.PHONY: all check build vet test race bench examples experiments chaos fuzz-short clean
 
 all: build vet test
 
@@ -37,6 +37,18 @@ examples:
 experiments:
 	$(GO) run ./cmd/wfbench -exp all
 	$(GO) run ./cmd/tcexperiment
+
+# opt-in robustness soak: deterministic fault-injection suites under the
+# race detector, then the end-to-end crash/resume driver (see DESIGN.md
+# "Failure model & recovery")
+chaos:
+	$(GO) test -race -run 'Chaos|Injected|Retry|Timeout|Breaker|Corrupt|Torn' ./internal/chaos/ ./internal/compss/ ./internal/dls/ ./internal/multisite/ ./internal/execq/ ./internal/core/
+	$(GO) run ./cmd/chaosrun
+
+# opt-in short fuzz pass over the binary-format parsers
+fuzz-short:
+	$(GO) test -fuzz=FuzzRead -fuzztime=10s -run=FuzzRead ./internal/ncdf/
+	$(GO) test -fuzz=FuzzCompile -fuzztime=10s -run=FuzzCompile ./internal/datacube/
 
 clean:
 	$(GO) clean ./...

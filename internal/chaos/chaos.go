@@ -1,0 +1,289 @@
+// Package chaos is a seeded, fully deterministic fault injector for the
+// runtime layers of the workflow stack. The paper's central robustness
+// claim — per-task fault tolerance plus task-level checkpointing lets a
+// failed climate workflow recover without recomputing finished work
+// (Ejarque et al. 2020; Vergés et al. 2023) — is only believable if the
+// failure paths are as tested as the fast paths. This package makes
+// faults first-class test inputs: the task runtime (internal/compss),
+// the data logistics copies (internal/dls) and the federation transfers
+// (internal/multisite) each consult an Injector at well-known sites and
+// obey whatever fault it decides.
+//
+// Determinism contract: a decision is a pure function of
+// (seed, rule index, site, op, attempt). Two runs with the same seed and
+// the same decision points inject the same faults regardless of
+// goroutine interleaving. The one exception is Rule.Max, which bounds a
+// rule's total injections with a first-come counter; for exact
+// reproducible triggers combine Max with a fully qualified match
+// (Site + Op + Attempt) so only one decision point can ever hit it.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site names an injection point class. Each integration layer consults
+// the injector with its own site constant, so one rule set can target
+// (or spare) individual layers.
+type Site string
+
+// Injection sites wired into the stack.
+const (
+	// SiteTask is consulted before every task attempt in the compss
+	// runtime; op is the task name.
+	SiteTask Site = "compss.task"
+	// SiteCheckpoint is consulted before a successful task's outputs are
+	// recorded; a Crash fault here simulates the process dying after the
+	// work but before the checkpoint write (the hardest recovery case).
+	SiteCheckpoint Site = "compss.checkpoint"
+	// SiteCopy is consulted before every verified file copy in the data
+	// logistics service; op is "dataset/relpath".
+	SiteCopy Site = "dls.copy"
+	// SiteTransfer is consulted before every federation transfer attempt;
+	// op is the dataset name.
+	SiteTransfer Site = "multisite.transfer"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// None means no fault: proceed normally.
+	None Kind = iota
+	// Transient is an error a retry can clear.
+	Transient
+	// PermanentKind is an error that must not consume the retry budget.
+	PermanentKind
+	// Latency delays the operation by Fault.Delay before it proceeds
+	// (and, for deadline-bearing ops, counts against the deadline).
+	Latency
+	// PanicKind makes the operation panic instead of returning.
+	PanicKind
+	// Crash simulates the whole process dying at the decision point:
+	// nothing after it is durably recorded.
+	Crash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case PermanentKind:
+		return "permanent"
+	case Latency:
+		return "latency"
+	case PanicKind:
+		return "panic"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the base cause of every injected error fault.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// ErrCrash is the cause reported when a Crash fault fires; drivers
+// detect it with errors.Is and re-run with the same checkpointer to
+// exercise recovery.
+var ErrCrash = errors.New("chaos: injected crash")
+
+// permanentError marks an error as non-retryable. The marker is shared
+// across packages so every retry loop in the stack skips its budget for
+// the same typed reason.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so retry loops fail immediately instead of
+// burning their budget.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Fault is one injection decision. The zero value means "no fault".
+type Fault struct {
+	Kind  Kind
+	Delay time.Duration // for Latency
+	Err   error         // optional specific cause for error kinds
+}
+
+// Error materializes the fault as an error: transient faults wrap
+// ErrInjected, permanent faults additionally carry the Permanent
+// marker. It returns nil for non-error kinds.
+func (f Fault) Error() error {
+	switch f.Kind {
+	case Transient:
+		if f.Err != nil {
+			return fmt.Errorf("%w: %w", ErrInjected, f.Err)
+		}
+		return fmt.Errorf("%w (transient)", ErrInjected)
+	case PermanentKind:
+		if f.Err != nil {
+			return Permanent(fmt.Errorf("%w: %w", ErrInjected, f.Err))
+		}
+		return Permanent(fmt.Errorf("%w (permanent)", ErrInjected))
+	default:
+		return nil
+	}
+}
+
+// Injector decides whether a fault fires at a decision point. A nil
+// Injector everywhere means production behaviour; implementations must
+// be safe for concurrent use.
+type Injector interface {
+	Decide(site Site, op string, attempt int) Fault
+}
+
+// Rule is one match-and-inject clause of a seeded injector. Zero-value
+// fields match anything: empty Site matches every site, empty Op every
+// operation (otherwise substring match), Attempt < 0 every attempt.
+type Rule struct {
+	Site    Site
+	Op      string
+	Attempt int // exact attempt to hit; -1 (or AnyAttempt) = any
+	Kind    Kind
+	// Prob is the injection probability per matching decision; values
+	// >= 1 (or 0, for convenience) always fire.
+	Prob float64
+	// Max bounds this rule's total injections; 0 = unlimited.
+	Max int
+	// Delay is the injected latency for Kind == Latency.
+	Delay time.Duration
+	// Err overrides the injected error cause.
+	Err error
+}
+
+// AnyAttempt marks a rule as attempt-independent.
+const AnyAttempt = -1
+
+func (r Rule) matches(site Site, op string, attempt int) bool {
+	if r.Site != "" && r.Site != site {
+		return false
+	}
+	if r.Op != "" && !strings.Contains(op, r.Op) {
+		return false
+	}
+	if r.Attempt >= 0 && r.Attempt != attempt {
+		return false
+	}
+	return true
+}
+
+// Event records one injected fault, for assertions and soak reports.
+type Event struct {
+	Site    Site
+	Op      string
+	Attempt int
+	Kind    Kind
+	Rule    int // index of the firing rule
+}
+
+// SeededInjector is the deterministic rule-driven Injector. Create with
+// NewSeeded.
+type SeededInjector struct {
+	seed  int64
+	rules []Rule
+
+	mu   sync.Mutex
+	hits []int
+	log  []Event
+}
+
+// NewSeeded builds an injector whose probabilistic decisions are a pure
+// function of seed and decision point (see the package comment for the
+// determinism contract). Rules are evaluated in order; the first firing
+// rule wins.
+func NewSeeded(seed int64, rules ...Rule) *SeededInjector {
+	return &SeededInjector{
+		seed:  seed,
+		rules: append([]Rule(nil), rules...),
+		hits:  make([]int, len(rules)),
+	}
+}
+
+// Decide implements Injector.
+func (s *SeededInjector) Decide(site Site, op string, attempt int) Fault {
+	for i, r := range s.rules {
+		if !r.matches(site, op, attempt) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && s.roll(i, site, op, attempt) >= r.Prob {
+			continue
+		}
+		s.mu.Lock()
+		if r.Max > 0 && s.hits[i] >= r.Max {
+			s.mu.Unlock()
+			continue
+		}
+		s.hits[i]++
+		s.log = append(s.log, Event{Site: site, Op: op, Attempt: attempt, Kind: r.Kind, Rule: i})
+		s.mu.Unlock()
+		return Fault{Kind: r.Kind, Delay: r.Delay, Err: r.Err}
+	}
+	return Fault{}
+}
+
+// roll returns a uniform value in [0, 1) derived only from the seed and
+// the decision point, so concurrent interleavings cannot change it.
+func (s *SeededInjector) roll(rule int, site Site, op string, attempt int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%s|%d", s.seed, rule, site, op, attempt)
+	// 53 mantissa bits give a uniform float in [0, 1).
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// Events returns a copy of every injected fault so far.
+func (s *SeededInjector) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.log...)
+}
+
+// Injected reports the total number of faults fired.
+func (s *SeededInjector) Injected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// CountKind reports how many faults of one kind fired.
+func (s *SeededInjector) CountKind(k Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.log {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// ExpectedHits estimates how many decisions out of n a probability p
+// rule fires for — a helper for sizing soak workloads (binomial mean,
+// rounded).
+func ExpectedHits(n int, p float64) int {
+	return int(math.Round(float64(n) * p))
+}

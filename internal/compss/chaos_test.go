@@ -1,0 +1,604 @@
+package compss
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// sleepRecorder captures backoff sleeps instead of waiting, so retry
+// timing is asserted deterministically with zero wall-clock cost.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (s *sleepRecorder) sleep(d time.Duration) {
+	s.mu.Lock()
+	s.sleeps = append(s.sleeps, d)
+	s.mu.Unlock()
+}
+
+func (s *sleepRecorder) recorded() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.sleeps...)
+}
+
+func TestRetryBackoffExponentialWithJitter(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 40 * time.Millisecond
+	run := func(seed int64) []time.Duration {
+		rec := &sleepRecorder{}
+		rt := NewRuntime(Config{
+			Workers: 1, BaseBackoff: base, MaxBackoff: max,
+			Seed: seed, Sleep: rec.sleep,
+		})
+		defer rt.Shutdown()
+		var attempts int32
+		def := rt.MustRegister(TaskDef{
+			Name: "flaky", Outputs: 1, Retries: 4,
+			Fn: func([]any) ([]any, error) {
+				if atomic.AddInt32(&attempts, 1) <= 4 {
+					return nil, errors.New("transient")
+				}
+				return []any{1}, nil
+			},
+		})
+		f, err := rt.InvokeOne(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Get(); err != nil {
+			t.Fatalf("task should succeed on the final attempt: %v", err)
+		}
+		return rec.recorded()
+	}
+
+	sleeps := run(11)
+	if len(sleeps) != 4 {
+		t.Fatalf("4 failed attempts should produce 4 backoff sleeps, got %d", len(sleeps))
+	}
+	// min(max, base·2^i) with jitter in [0.5, 1.5).
+	for i, d := range sleeps {
+		exp := base << uint(i)
+		if exp > max {
+			exp = max
+		}
+		lo := time.Duration(float64(exp) * 0.5)
+		hi := time.Duration(float64(exp) * 1.5)
+		if d < lo || d >= hi {
+			t.Errorf("sleep %d = %v outside jitter window [%v, %v) of %v", i, d, lo, hi, exp)
+		}
+	}
+	// Growth: the cap (40ms) must be reached by the third retry.
+	if sleeps[2] < 20*time.Millisecond {
+		t.Errorf("third backoff %v shows no exponential growth", sleeps[2])
+	}
+
+	// Same seed, same schedule — the jitter is reproducible.
+	again := run(11)
+	for i := range sleeps {
+		if sleeps[i] != again[i] {
+			t.Fatalf("seeded backoff not deterministic: run1 %v run2 %v", sleeps, again)
+		}
+	}
+}
+
+func TestTaskTimeoutCountsAsFailedAttempt(t *testing.T) {
+	rec := &sleepRecorder{}
+	rt := NewRuntime(Config{Workers: 1, BaseBackoff: time.Millisecond, Seed: 1, Sleep: rec.sleep})
+	defer rt.Shutdown()
+	var attempts int32
+	release := make(chan struct{})
+	def := rt.MustRegister(TaskDef{
+		Name: "slow", Outputs: 1, Retries: 1, Timeout: 20 * time.Millisecond,
+		Fn: func([]any) ([]any, error) {
+			if atomic.AddInt32(&attempts, 1) == 1 {
+				<-release // first attempt hangs well past the deadline
+				return []any{-1}, nil
+			}
+			return []any{42}, nil
+		},
+	})
+	f, err := rt.InvokeOne(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Get()
+	close(release) // let the abandoned first attempt finish and be discarded
+	if err != nil {
+		t.Fatalf("retry after timeout should succeed: %v", err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("got %v: the abandoned attempt's result leaked into the future", v)
+	}
+	if n := atomic.LoadInt32(&attempts); n != 2 {
+		t.Fatalf("attempts = %d, want 2 (timeout must count as a failed attempt)", n)
+	}
+	if len(rec.recorded()) != 1 {
+		t.Fatalf("expected 1 backoff sleep between attempts, got %d", len(rec.recorded()))
+	}
+}
+
+func TestTaskTimeoutErrorTyped(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1, BaseBackoff: time.Millisecond, Seed: 1, Sleep: func(time.Duration) {}})
+	defer rt.Shutdown()
+	block := make(chan struct{})
+	defer close(block)
+	def := rt.MustRegister(TaskDef{
+		Name: "stuck", Outputs: 1, Timeout: 10 * time.Millisecond, OnFailure: Ignore,
+		Fn: func([]any) ([]any, error) {
+			<-block
+			return []any{0}, nil
+		},
+	})
+	f, err := rt.InvokeOne(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(); err != nil {
+		t.Fatalf("Ignore policy should yield nil error, got %v", err)
+	}
+	// FailFast variant surfaces the typed timeout.
+	def2 := rt.MustRegister(TaskDef{
+		Name: "stuck2", Outputs: 1, Timeout: 10 * time.Millisecond, OnFailure: CancelSuccessors,
+		Fn: func([]any) ([]any, error) {
+			<-block
+			return []any{0}, nil
+		},
+	})
+	f2, err := rt.InvokeOne(def2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Get(); !errors.Is(err, ErrTaskTimeout) {
+		t.Fatalf("error %v is not ErrTaskTimeout", err)
+	}
+}
+
+func TestPermanentErrorSkipsRetryBudget(t *testing.T) {
+	rec := &sleepRecorder{}
+	rt := NewRuntime(Config{Workers: 1, Seed: 1, Sleep: rec.sleep})
+	defer rt.Shutdown()
+	var attempts int32
+	def := rt.MustRegister(TaskDef{
+		Name: "doomed", Outputs: 1, Retries: 5, OnFailure: Ignore,
+		Fn: func([]any) ([]any, error) {
+			atomic.AddInt32(&attempts, 1)
+			return nil, Permanent(errors.New("schema mismatch"))
+		},
+	})
+	f, err := rt.InvokeOne(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt32(&attempts); n != 1 {
+		t.Fatalf("permanent error retried %d times; must fail immediately", n)
+	}
+	if len(rec.recorded()) != 0 {
+		t.Fatalf("permanent error slept %d times; must not back off", len(rec.recorded()))
+	}
+}
+
+func TestInjectedTransientFaultIsRetried(t *testing.T) {
+	inj := chaos.NewSeeded(5, chaos.Rule{Site: chaos.SiteTask, Op: "work", Attempt: 0, Kind: chaos.Transient})
+	rt := NewRuntime(Config{Workers: 2, Seed: 5, Sleep: func(time.Duration) {}, Injector: inj})
+	defer rt.Shutdown()
+	var ran int32
+	def := rt.MustRegister(TaskDef{
+		Name: "work", Outputs: 1, Retries: 1,
+		Fn: func([]any) ([]any, error) {
+			atomic.AddInt32(&ran, 1)
+			return []any{"ok"}, nil
+		},
+	})
+	f, err := rt.InvokeOne(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Get()
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("got (%v, %v)", v, err)
+	}
+	// The injected fault replaced attempt 0 entirely: the body ran once.
+	if atomic.LoadInt32(&ran) != 1 {
+		t.Fatalf("body ran %d times", ran)
+	}
+	if inj.CountKind(chaos.Transient) != 1 {
+		t.Fatalf("injector fired %d transient faults, want 1", inj.CountKind(chaos.Transient))
+	}
+}
+
+func TestInjectedPanicGoesThroughRunSafely(t *testing.T) {
+	inj := chaos.NewSeeded(5, chaos.Rule{Site: chaos.SiteTask, Op: "panicky", Attempt: 0, Kind: chaos.PanicKind})
+	rt := NewRuntime(Config{Workers: 1, Seed: 5, Sleep: func(time.Duration) {}, Injector: inj})
+	defer rt.Shutdown()
+	def := rt.MustRegister(TaskDef{
+		Name: "panicky", Outputs: 1, Retries: 1,
+		Fn: func([]any) ([]any, error) { return []any{7}, nil },
+	})
+	f, err := rt.InvokeOne(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Get()
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("panic on attempt 0 should be isolated and retried: (%v, %v)", v, err)
+	}
+}
+
+func TestInjectedPermanentFaultAppliesPolicyImmediately(t *testing.T) {
+	inj := chaos.NewSeeded(5, chaos.Rule{Site: chaos.SiteTask, Op: "fatal", Kind: chaos.PermanentKind})
+	rec := &sleepRecorder{}
+	rt := NewRuntime(Config{Workers: 1, Seed: 5, Sleep: rec.sleep, Injector: inj})
+	defer rt.Shutdown()
+	def := rt.MustRegister(TaskDef{
+		Name: "fatal", Outputs: 1, Retries: 4, OnFailure: CancelSuccessors,
+		Fn: func([]any) ([]any, error) { return []any{0}, nil },
+	})
+	f, err := rt.InvokeOne(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gerr := f.Get()
+	if gerr == nil || !chaos.IsPermanent(gerr) {
+		t.Fatalf("future error %v should carry the permanent marker", gerr)
+	}
+	if !errors.Is(gerr, chaos.ErrInjected) {
+		t.Fatalf("future error %v should identify the injected cause", gerr)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injector fired %d times, want 1 (no retries for permanent)", inj.Injected())
+	}
+	if len(rec.recorded()) != 0 {
+		t.Fatal("permanent fault must not back off")
+	}
+}
+
+func TestInjectedCrashBeforeCheckpointThenResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.log")
+	inj := chaos.NewSeeded(9, chaos.Rule{
+		Site: chaos.SiteCheckpoint, Op: "b", Kind: chaos.Crash, Max: 1,
+	})
+
+	program := func(cp Checkpointer) (*Runtime, []*Future, error) {
+		rt := NewRuntime(Config{Workers: 1, Checkpointer: cp, Seed: 9, Sleep: func(time.Duration) {}, Injector: inj})
+		mk := func(name string, v int) *TaskDef {
+			return rt.MustRegister(TaskDef{
+				Name: name, Outputs: 1,
+				Fn: func(args []any) ([]any, error) {
+					sum := v
+					for _, a := range args {
+						if a != nil {
+							sum += a.(int)
+						}
+					}
+					return []any{sum}, nil
+				},
+			})
+		}
+		a, b, c := mk("a", 1), mk("b", 10), mk("c", 100)
+		fa, err := rt.InvokeOne(a)
+		if err != nil {
+			return rt, nil, err
+		}
+		fb, err := rt.InvokeOne(b, In(fa))
+		if err != nil {
+			return rt, nil, err
+		}
+		fc, err := rt.InvokeOne(c, In(fb))
+		if err != nil {
+			return rt, nil, err
+		}
+		return rt, []*Future{fa, fb, fc}, nil
+	}
+
+	cp1, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1, _, err := program(cp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := rt1.Shutdown()
+	if !errors.Is(werr, chaos.ErrCrash) {
+		t.Fatalf("first run should crash before b's checkpoint, got %v", werr)
+	}
+	if !errors.Is(werr, ErrWorkflowFailed) {
+		t.Fatalf("crash should also be a workflow failure: %v", werr)
+	}
+	if got := cp1.Entries(); got != 1 {
+		t.Fatalf("crash-before-checkpoint must lose b's record: entries = %d, want 1 (only a)", got)
+	}
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: same checkpoint path, same (now-exhausted) injector.
+	cp2, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	rt2, futs, err := program(cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Shutdown(); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	v, err := futs[2].Get()
+	if err != nil || v.(int) != 111 {
+		t.Fatalf("resumed chain = (%v, %v), want 111", v, err)
+	}
+	st := rt2.Stats()
+	if st.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1 (a replayed, b re-ran)", st.Recovered)
+	}
+	if st.Done != 2 {
+		t.Fatalf("Done = %d, want 2 (b and c executed)", st.Done)
+	}
+}
+
+func TestCheckpointerSkipsCorruptMidFileRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.log")
+	cp, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := cp.Record("t", i, []any{i * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the middle record's payload in place: framing survives, the
+	// gob blob does not (a partial-fsync shape of damage).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(raw) / 2
+	for i := mid; i < mid+8 && i < len(raw); i++ {
+		raw[i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Corrupt() == 0 {
+		t.Fatal("corruption went uncounted")
+	}
+	if re.Entries() == 0 {
+		t.Fatal("all records lost: replay must keep the intact ones")
+	}
+	total := 0
+	for i := 1; i <= 3; i++ {
+		if v, ok := re.Lookup("t", i); ok {
+			if v[0].(int) != i*10 {
+				t.Fatalf("record %d decoded to %v", i, v[0])
+			}
+			total++
+		}
+	}
+	if total < 1 || total+re.Corrupt() < 3 {
+		t.Fatalf("recovered %d records with %d corrupt; log lost data beyond the damage", total, re.Corrupt())
+	}
+}
+
+func TestCheckpointerTornTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.log")
+	cp, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cp.Record("t", 1, []any{"keep"})
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn record: a length prefix promising bytes that never
+	// made it to disk.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x80, 0x02, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok := re.Lookup("t", 1); !ok || v[0].(string) != "keep" {
+		t.Fatalf("whole record before the torn tail lost: %v %v", v, ok)
+	}
+	if re.Corrupt() != 1 {
+		t.Fatalf("Corrupt = %d, want 1", re.Corrupt())
+	}
+}
+
+// --- satellite: abort/cancellation coverage under -race ---
+
+func TestConcurrentInvokeDuringAbort(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, Sleep: func(time.Duration) {}})
+	defer rt.Shutdown()
+	def := rt.MustRegister(TaskDef{
+		Name: "spin", Outputs: 1,
+		Fn: func([]any) ([]any, error) {
+			time.Sleep(time.Millisecond)
+			return []any{1}, nil
+		},
+	})
+
+	var wg sync.WaitGroup
+	var invoked, rejected int64
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				if _, err := rt.Invoke(def); err != nil {
+					if !errors.Is(err, ErrWorkflowFailed) {
+						t.Errorf("unexpected Invoke error: %v", err)
+					}
+					atomic.AddInt64(&rejected, 1)
+				} else {
+					atomic.AddInt64(&invoked, 1)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(2 * time.Millisecond)
+		rt.Abort("operator stop")
+	}()
+	close(start)
+	wg.Wait()
+
+	if err := rt.Barrier(); !errors.Is(err, ErrWorkflowFailed) {
+		t.Fatalf("aborted workflow must report failure, got %v", err)
+	}
+	// Every accepted invocation must have resolved its futures one way or
+	// the other — nothing may hang.
+	st := rt.Stats()
+	if got := int64(st.Done+st.Cancelled+st.Failed+st.Ignored) + rejected; got != 400 {
+		t.Fatalf("accounted %d of 400 submissions (stats %+v, rejected %d)", got, st, rejected)
+	}
+	if rejected == 0 {
+		t.Log("abort landed after all submissions; race window not hit this run")
+	}
+}
+
+func TestCancelSuccessorsDeepFanout(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, Sleep: func(time.Duration) {}})
+	defer rt.Shutdown()
+	boom := rt.MustRegister(TaskDef{
+		Name: "boom", Outputs: 1, OnFailure: CancelSuccessors,
+		Fn: func([]any) ([]any, error) { return nil, errors.New("root failure") },
+	})
+	pass := rt.MustRegister(TaskDef{
+		Name: "pass", Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			return []any{args[0]}, nil
+		},
+	})
+
+	root, err := rt.InvokeOne(boom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three levels of fan-out: 1 -> 3 -> 9 -> 27 tasks, all transitively
+	// doomed; plus one independent branch that must survive.
+	level := []*Future{root}
+	var all []*Future
+	for depth := 0; depth < 3; depth++ {
+		var next []*Future
+		for _, parent := range level {
+			for k := 0; k < 3; k++ {
+				f, err := rt.InvokeOne(pass, In(parent))
+				if err != nil {
+					t.Fatal(err)
+				}
+				next = append(next, f)
+				all = append(all, f)
+			}
+		}
+		level = next
+	}
+	indep, err := rt.InvokeOne(pass, In(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, f := range all {
+		if _, err := f.Get(); !errors.Is(err, ErrCancelled) && err == nil {
+			t.Fatalf("descendant %d resolved without error; cancellation did not propagate", i)
+		}
+	}
+	if v, err := indep.Get(); err != nil || v.(int) != 99 {
+		t.Fatalf("independent branch was hit by cancellation: (%v, %v)", v, err)
+	}
+	st := rt.Stats()
+	if st.Cancelled != 39 {
+		t.Fatalf("Cancelled = %d, want 39 (3+9+27 descendants)", st.Cancelled)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatalf("CancelSuccessors must not fail the workflow: %v", err)
+	}
+}
+
+func TestIgnorePolicyYieldsTypedNilOutputs(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, Sleep: func(time.Duration) {}})
+	defer rt.Shutdown()
+	multi := rt.MustRegister(TaskDef{
+		Name: "multi", Outputs: 3, OnFailure: Ignore, Retries: 1,
+		Fn: func([]any) ([]any, error) { return nil, errors.New("always fails") },
+	})
+	consume := rt.MustRegister(TaskDef{
+		Name: "consume", Outputs: 1,
+		Fn: func(args []any) ([]any, error) {
+			for i, a := range args {
+				if a != nil {
+					return nil, fmt.Errorf("arg %d = %v, want nil from ignored producer", i, a)
+				}
+			}
+			return []any{"saw nils"}, nil
+		},
+	})
+	outs, err := rt.Invoke(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("declared 3 outputs, got %d futures", len(outs))
+	}
+	for i, f := range outs {
+		v, gerr := f.Get()
+		if gerr != nil {
+			t.Fatalf("output %d: ignored failure must yield nil error, got %v", i, gerr)
+		}
+		if v != nil {
+			t.Fatalf("output %d: ignored failure must yield nil value, got %v", i, v)
+		}
+	}
+	got, err := rt.InvokeOne(consume, In(outs[0]), In(outs[1]), In(outs[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, gerr := got.Get(); gerr != nil || v.(string) != "saw nils" {
+		t.Fatalf("successor of ignored task: (%v, %v)", v, gerr)
+	}
+	if st := rt.Stats(); st.Ignored != 1 {
+		t.Fatalf("Ignored = %d, want 1", st.Ignored)
+	}
+}

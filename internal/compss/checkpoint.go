@@ -1,6 +1,9 @@
 package compss
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -30,32 +33,67 @@ type ckptRecord struct {
 	Outs []any
 }
 
-// FileCheckpointer is a gob-encoded append-only checkpoint log. Task
-// output values must be gob-encodable (register concrete types with
-// gob.Register); values that fail to encode are skipped silently so that
-// checkpointing stays best-effort, never failing a healthy workflow.
+// maxCkptRecord bounds one framed checkpoint record; a length prefix
+// beyond it means the log is corrupt past repair at that point.
+const maxCkptRecord = 1 << 26 // 64 MiB
+
+// FileCheckpointer is an append-only checkpoint log of length-prefixed,
+// individually gob-encoded records. Framing each record separately (a
+// uvarint byte length followed by a standalone gob blob) buys two kinds
+// of robustness a single gob stream cannot offer:
+//
+//   - an unencodable output value (say, a struct holding a channel or a
+//     live pointer graph) skips exactly one record instead of poisoning
+//     every later write;
+//   - a corrupt record mid-file — a partial fsync after power loss —
+//     skips exactly one record on replay instead of discarding the rest
+//     of the log.
+//
+// Task output values must be gob-encodable (register concrete types
+// with gob.Register); values that fail to encode are skipped, counted
+// in Dropped, and the task simply re-runs on recovery.
 type FileCheckpointer struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	enc  *gob.Encoder
-	mem  map[string][]any
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	mem     map[string][]any
+	corrupt int // records skipped while replaying the log
+	dropped int // records skipped at write time (unencodable)
 }
 
 // OpenFileCheckpointer opens (or creates) the checkpoint log at path and
-// loads any previously recorded results for replay.
+// loads any previously recorded results for replay. Corrupt records are
+// skipped and counted (see Corrupt); a torn tail — the expected shape of
+// a crash mid-write — stops the scan at the last whole record.
 func OpenFileCheckpointer(path string) (*FileCheckpointer, error) {
 	c := &FileCheckpointer{path: path, mem: make(map[string][]any)}
 	if f, err := os.Open(path); err == nil {
-		dec := gob.NewDecoder(f)
+		br := bufio.NewReader(f)
 		for {
-			var rec ckptRecord
-			if err := dec.Decode(&rec); err != nil {
-				if errors.Is(err, io.EOF) {
-					break
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					c.corrupt++ // torn length prefix
 				}
-				// A torn tail write from a crashed run: keep what decoded.
 				break
+			}
+			if n == 0 || n > maxCkptRecord {
+				// Nonsense length: the framing itself is gone and there is
+				// no way to resync, so keep what was already recovered.
+				c.corrupt++
+				break
+			}
+			blob := make([]byte, n)
+			if _, err := io.ReadFull(br, blob); err != nil {
+				c.corrupt++ // torn tail: record length written, bytes not
+				break
+			}
+			var rec ckptRecord
+			if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&rec); err != nil {
+				// One bad record (bit rot, partial overwrite): the length
+				// prefix still lets the scan resync on the next record.
+				c.corrupt++
+				continue
 			}
 			c.mem[ckptKey(rec.Name, rec.Seq)] = rec.Outs
 		}
@@ -70,7 +108,6 @@ func OpenFileCheckpointer(path string) (*FileCheckpointer, error) {
 		return nil, err
 	}
 	c.f = f
-	c.enc = gob.NewEncoder(f)
 	return c, nil
 }
 
@@ -84,18 +121,41 @@ func (c *FileCheckpointer) Record(name string, seq int, outs []any) error {
 	if _, dup := c.mem[key]; dup {
 		return nil
 	}
-	if c.enc == nil {
-		return nil // a previous unencodable value poisoned the stream
-	}
-	if err := c.enc.Encode(ckptRecord{Name: name, Seq: seq, Outs: outs}); err != nil {
-		// Unencodable outputs (e.g. values holding channels): skip rather
-		// than fail the workflow. The gob stream may now be poisoned, so
-		// disable further writes.
-		c.enc = nil
+	if c.f == nil {
 		return nil
+	}
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(ckptRecord{Name: name, Seq: seq, Outs: outs}); err != nil {
+		// Unencodable outputs: drop this one record rather than fail the
+		// workflow; the task re-runs on recovery.
+		c.dropped++
+		return nil
+	}
+	frame := make([]byte, 0, binary.MaxVarintLen64+blob.Len())
+	frame = binary.AppendUvarint(frame, uint64(blob.Len()))
+	frame = append(frame, blob.Bytes()...)
+	if _, err := c.f.Write(frame); err != nil {
+		c.dropped++
+		return nil // best effort: a failing disk must not fail the run
 	}
 	c.mem[key] = outs
 	return nil
+}
+
+// Corrupt reports how many records were skipped while replaying the log
+// (torn tails and mid-file corruption).
+func (c *FileCheckpointer) Corrupt() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupt
+}
+
+// Dropped reports how many records could not be written (unencodable
+// values or write errors).
+func (c *FileCheckpointer) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Lookup implements Checkpointer.

@@ -54,9 +54,24 @@ func TestFileCheckpointerSkipsUnencodable(t *testing.T) {
 	if _, ok := cp.Lookup("bad", 1); ok {
 		t.Fatal("unencodable value must not be recorded")
 	}
-	// further records after a poisoned stream must not crash
+	if cp.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", cp.Dropped())
+	}
+	// Per-record framing: a record after an unencodable one must still be
+	// written durably (the old single-stream format lost it).
 	if err := cp.Record("good", 2, []any{1}); err != nil {
 		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileCheckpointer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok := re.Lookup("good", 2); !ok || v[0].(int) != 1 {
+		t.Fatalf("record after unencodable one lost: %v %v", v, ok)
 	}
 }
 

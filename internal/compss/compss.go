@@ -24,9 +24,11 @@ package compss
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/dag"
 )
@@ -122,8 +124,18 @@ type TaskDef struct {
 	// OnFailure selects the failure policy once retries are exhausted.
 	OnFailure FailurePolicy
 	// Retries is how many times a failed execution is retried before the
-	// failure policy applies.
+	// failure policy applies. Retries are separated by capped exponential
+	// backoff with jitter (Config.BaseBackoff/MaxBackoff); errors marked
+	// Permanent skip the remaining budget.
 	Retries int
+	// Timeout bounds one execution attempt; zero means no deadline. A
+	// timed-out attempt counts as a failed attempt (retryable); the
+	// abandoned attempt's result is discarded safely.
+	Timeout time.Duration
+	// Ephemeral marks a task whose outputs are live in-process values
+	// (pointers, handles) that cannot meaningfully be persisted: the
+	// checkpointer skips it and it always re-runs on recovery.
+	Ephemeral bool
 	// Weight is an abstract cost for critical-path analysis (default 1).
 	Weight float64
 }
@@ -134,6 +146,19 @@ var ErrCancelled = errors.New("compss: task cancelled")
 
 // ErrWorkflowFailed is reported by Barrier when a FailFast task failed.
 var ErrWorkflowFailed = errors.New("compss: workflow failed")
+
+// ErrTaskTimeout marks an attempt that exceeded its TaskDef.Timeout.
+var ErrTaskTimeout = errors.New("compss: task attempt timed out")
+
+// Permanent marks err as non-retryable: the retry loop applies the
+// failure policy immediately instead of burning its budget. It is the
+// shared marker from internal/chaos, re-exported so task bodies do not
+// need to import chaos to classify their own errors.
+func Permanent(err error) error { return chaos.Permanent(err) }
+
+// IsPermanent reports whether err carries the Permanent marker anywhere
+// in its chain.
+func IsPermanent(err error) bool { return chaos.IsPermanent(err) }
 
 // taskState tracks one invocation through its lifecycle.
 type taskState int
@@ -305,6 +330,22 @@ type Config struct {
 	// Checkpointer, when set, records completed tasks and replays them on
 	// the next run.
 	Checkpointer Checkpointer
+	// BaseBackoff is the delay before the first retry of a failed task
+	// attempt; each further retry doubles it. Zero means 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential retry delay. Zero means 2s.
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter; fixed seeds give reproducible
+	// retry schedules.
+	Seed int64
+	// Sleep replaces time.Sleep for backoff and injected latency. Tests
+	// install a recorder here so retry timing is asserted without
+	// wall-clock waits.
+	Sleep func(time.Duration)
+	// Injector, when set, is consulted at the chaos sites (task attempt,
+	// pre-checkpoint) and may inject faults. Nil means production
+	// behaviour.
+	Injector chaos.Injector
 }
 
 // Runtime is the COMPSs-like engine: it owns the task graph, the worker
@@ -321,6 +362,9 @@ type Runtime struct {
 	wg        sync.WaitGroup
 	failed    error
 	aborted   bool
+	crashed   bool // simulated process death: no further checkpoint writes
+	rngMu     sync.Mutex
+	rng       *rand.Rand
 
 	trace   []TraceEvent
 	tracing bool
@@ -339,12 +383,19 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
 	rt := &Runtime{
 		cfg:   cfg,
 		defs:  make(map[string]*TaskDef),
 		graph: dag.New(),
 		inv:   make(map[dag.NodeID]*invocation),
 		slots: make(chan struct{}, cfg.Workers),
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		rt.slots <- struct{}{}
@@ -501,9 +552,11 @@ func (r *Runtime) Invoke(def *TaskDef, params ...Param) ([]*Future, error) {
 		return in.outs, nil
 	}
 
-	// Checkpoint replay.
-	if r.cfg.Checkpointer != nil {
-		if outs, ok := r.cfg.Checkpointer.Lookup(def.Name, in.seq); ok {
+	// Checkpoint replay. Ephemeral tasks are never recorded; a recovered
+	// record with the wrong arity (corrupt or from an older task shape)
+	// is ignored and the task re-runs.
+	if r.cfg.Checkpointer != nil && !def.Ephemeral {
+		if outs, ok := r.cfg.Checkpointer.Lookup(def.Name, in.seq); ok && len(outs) == def.Outputs {
 			in.state = stateRecovered
 			r.mu.Unlock()
 			r.finish(in, outs, nil, stateRecovered)
@@ -583,11 +636,20 @@ func (r *Runtime) dispatch(in *invocation) {
 		args := r.resolveArgs(in)
 		var outs []any
 		var err error
+		// Retry with capped exponential backoff + jitter: an immediate
+		// hot retry hammers whatever made the attempt fail (the thundering
+		// herd the execq queue already avoids); errors marked Permanent
+		// skip the budget because retrying cannot help.
 		for attempt := 0; ; attempt++ {
-			outs, err = runSafely(in.def.Fn, args)
-			if err == nil || attempt >= in.def.Retries {
+			outs, err = r.runAttempt(in, args, attempt)
+			if err == nil || attempt >= in.def.Retries || IsPermanent(err) || r.isAborted() {
 				break
 			}
+			r.sleep(r.backoff(attempt))
+		}
+		if err != nil && errors.Is(err, chaos.ErrCrash) {
+			r.crash(in)
+			return
 		}
 		if err == nil && len(outs) != in.def.Outputs {
 			err = fmt.Errorf("compss: task %q returned %d values, declared %d", in.def.Name, len(outs), in.def.Outputs)
@@ -600,8 +662,22 @@ func (r *Runtime) dispatch(in *invocation) {
 					_ = c.Place(f.key, in.node, sz)
 				}
 			}
-			if cp := r.cfg.Checkpointer; cp != nil {
-				_ = cp.Record(in.def.Name, in.seq, outs) // best effort
+			if cp := r.cfg.Checkpointer; cp != nil && !in.def.Ephemeral {
+				// A Crash fault here models the process dying after the work
+				// but before the checkpoint write: the record is lost, the
+				// run aborts, and recovery must re-execute this task.
+				if inj := r.cfg.Injector; inj != nil {
+					if f := inj.Decide(chaos.SiteCheckpoint, in.def.Name, 0); f.Kind == chaos.Crash {
+						r.crash(in)
+						return
+					}
+				}
+				r.mu.Lock()
+				dead := r.crashed
+				r.mu.Unlock()
+				if !dead {
+					_ = cp.Record(in.def.Name, in.seq, outs) // best effort
+				}
 			}
 			r.finish(in, outs, nil, stateDone)
 			return
@@ -630,6 +706,123 @@ func runSafely(fn TaskFunc, args []any) (outs []any, err error) {
 		}
 	}()
 	return fn(args)
+}
+
+// runAttempt executes one attempt of an invocation: it applies any
+// injected fault, then runs the task body under the per-task deadline.
+func (r *Runtime) runAttempt(in *invocation, args []any, attempt int) ([]any, error) {
+	fn := in.def.Fn
+	if inj := r.cfg.Injector; inj != nil {
+		f := inj.Decide(chaos.SiteTask, in.def.Name, attempt)
+		switch f.Kind {
+		case chaos.Transient, chaos.PermanentKind:
+			return nil, f.Error()
+		case chaos.Crash:
+			// Simulated process death mid-attempt: permanent so the retry
+			// loop hands it straight to the crash path.
+			return nil, chaos.Permanent(fmt.Errorf("task %s: %w", in.def.Name, chaos.ErrCrash))
+		case chaos.PanicKind:
+			// Replace the body with a panicking one so the real
+			// panic-isolation path (runSafely) is exercised end to end.
+			fn = func([]any) ([]any, error) {
+				panic(fmt.Sprintf("chaos: injected panic in task %s", in.def.Name))
+			}
+		case chaos.Latency:
+			// Injected latency runs inside the attempt so it counts against
+			// the task deadline, like a genuinely slow execution would.
+			inner := fn
+			delay := f.Delay
+			fn = func(a []any) ([]any, error) {
+				r.sleep(delay)
+				return inner(a)
+			}
+		}
+	}
+	if in.def.Timeout <= 0 {
+		return runSafely(fn, args)
+	}
+	type result struct {
+		outs []any
+		err  error
+	}
+	// Buffered so an abandoned attempt can always deliver and exit: a
+	// timed-out goroutine never leaks blocked on the send.
+	ch := make(chan result, 1)
+	go func() {
+		outs, err := runSafely(fn, args)
+		ch <- result{outs, err}
+	}()
+	timer := time.NewTimer(in.def.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.outs, res.err
+	case <-timer.C:
+		// The attempt keeps running to completion in its goroutine but its
+		// result is discarded; a timed-out attempt is a failed attempt.
+		return nil, fmt.Errorf("%w: task %s attempt %d exceeded %v", ErrTaskTimeout, in.def.Name, attempt, in.def.Timeout)
+	}
+}
+
+// backoff returns the delay before retrying a failed attempt:
+// min(MaxBackoff, BaseBackoff·2^attempt) scaled by a jitter factor in
+// [0.5, 1.5) drawn from the seeded RNG.
+func (r *Runtime) backoff(attempt int) time.Duration {
+	d := r.cfg.BaseBackoff
+	for i := 0; i < attempt && d < r.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	r.rngMu.Lock()
+	jitter := 0.5 + r.rng.Float64()
+	r.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleep waits for d via the configured Sleep hook (or time.Sleep).
+func (r *Runtime) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if r.cfg.Sleep != nil {
+		r.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (r *Runtime) isAborted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aborted
+}
+
+// crash simulates the whole process dying at this point: no further
+// checkpoint records are written (the real process would not have
+// written them either), every pending task is cancelled, and the
+// workflow error carries chaos.ErrCrash so drivers can distinguish a
+// crash worth resuming from an ordinary task failure.
+func (r *Runtime) crash(in *invocation) {
+	r.mu.Lock()
+	r.crashed = true
+	r.aborted = true
+	if r.failed == nil {
+		r.failed = fmt.Errorf("%w: %w at task %s", ErrWorkflowFailed, chaos.ErrCrash, in.def.Name)
+	}
+	var pending []*invocation
+	for _, p := range r.inv {
+		if p.state == statePending {
+			p.state = stateCancelled
+			pending = append(pending, p)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range pending {
+		r.cancelInvocation(p)
+	}
+	r.finish(in, nil, chaos.ErrCrash, stateFailed)
 }
 
 // resolveArgs materializes parameter values for execution.

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/compss"
+	"repro/internal/ncdf"
+)
+
+// soakRules is the fault mix for the end-to-end soak: a transient error
+// on every first daily-max attempt (absorbed by the retry budget), one
+// panic (absorbed by runSafely + retry), injected latency on the
+// cold-wave count, and one crash right before the first validate_store
+// checkpoint write — the hardest recovery case, because the year's work
+// is done but not durably recorded.
+func soakRules() []chaos.Rule {
+	return []chaos.Rule{
+		{Site: chaos.SiteTask, Op: TaskDailyMax, Attempt: 0, Kind: chaos.Transient},
+		{Site: chaos.SiteTask, Op: TaskHWNumber, Attempt: 0, Kind: chaos.PanicKind, Max: 1},
+		{Site: chaos.SiteTask, Op: TaskCWNumber, Attempt: chaos.AnyAttempt, Kind: chaos.Latency, Delay: 2 * time.Millisecond},
+		{Site: chaos.SiteCheckpoint, Op: TaskValidateStore, Kind: chaos.Crash, Max: 1},
+	}
+}
+
+// soakOutputNames lists every deterministic artifact a run produces for
+// the given years (provenance.json is excluded: it carries timestamps).
+func soakOutputNames(years []int) []string {
+	var names []string
+	for _, y := range years {
+		for _, fam := range []string{"heat_wave", "cold_wave"} {
+			for _, idx := range []string{"duration", "number", "frequency"} {
+				names = append(names, fmt.Sprintf("%s_%s_%d.nc", fam, idx, y))
+			}
+		}
+		names = append(names, fmt.Sprintf("heat_wave_number_%d.ppm", y))
+	}
+	return append(names, "heat_wave_number_all_years.ppm")
+}
+
+// TestChaosSoakCrashResumeByteIdentical is the tentpole soak: the full
+// workflow runs under injected faults, dies mid-run before a checkpoint
+// write, resumes from the checkpoint file, and must reproduce the clean
+// run's outputs byte for byte. It fails if checkpoint replay does not
+// actually happen (Recovered == 0), so silently disabling recovery
+// cannot pass.
+func TestChaosSoakCrashResumeByteIdentical(t *testing.T) {
+	const years = 2
+
+	clean := testConfig(t, years)
+	cleanRes, err := Run(clean)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	faulted := testConfig(t, years)
+	faulted.TaskRetries = 2
+	faulted.TaskTimeout = time.Minute
+	inj := chaos.NewSeeded(42, soakRules()...)
+	faulted.Injector = inj
+
+	ckptPath := filepath.Join(t.TempDir(), "wf.ckpt")
+	cp, err := compss.OpenFileCheckpointer(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted.Checkpointer = cp
+	if _, err := Run(faulted); err == nil {
+		t.Fatal("crash fault did not surface as a run failure")
+	} else if !errors.Is(err, chaos.ErrCrash) {
+		t.Fatalf("crashed run failed with %v, want chaos.ErrCrash", err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.CountKind(chaos.Crash); got != 1 {
+		t.Fatalf("crash faults fired = %d, want 1", got)
+	}
+
+	// Resume into the same output directory with the same checkpoint
+	// file; the injector still carries the transient/latency rules but
+	// its single crash is spent.
+	cp2, err := compss.OpenFileCheckpointer(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	faulted.Checkpointer = cp2
+	res, err := Run(faulted)
+	if err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if res.RuntimeStats.Recovered == 0 {
+		t.Fatal("resume replayed nothing from the checkpoint — recovery is load-bearing for this soak")
+	}
+	if inj.CountKind(chaos.Transient) == 0 {
+		t.Error("no transient fault fired; the soak exercised nothing")
+	}
+	if got := inj.CountKind(chaos.PanicKind); got != 1 {
+		t.Errorf("panic faults fired = %d, want 1", got)
+	}
+
+	if len(res.Years) != len(cleanRes.Years) {
+		t.Fatalf("recovered run produced %d years, clean run %d", len(res.Years), len(cleanRes.Years))
+	}
+	var yearList []int
+	for i, yr := range res.Years {
+		cy := cleanRes.Years[i]
+		if yr.Year != cy.Year || yr.TrackerTracks != cy.TrackerTracks ||
+			yr.HWNumberMean != cy.HWNumberMean || yr.CWNumberMean != cy.CWNumberMean {
+			t.Errorf("year %d diverged after crash/resume: got tracks=%d hw=%v cw=%v, clean tracks=%d hw=%v cw=%v",
+				cy.Year, yr.TrackerTracks, yr.HWNumberMean, yr.CWNumberMean,
+				cy.TrackerTracks, cy.HWNumberMean, cy.CWNumberMean)
+		}
+		yearList = append(yearList, cy.Year)
+	}
+	for _, name := range soakOutputNames(yearList) {
+		a := canonicalOutput(t, filepath.Join(clean.OutputDir, name))
+		b := canonicalOutput(t, filepath.Join(faulted.OutputDir, name))
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between the clean and the crash/resumed run", name)
+		}
+	}
+}
+
+// canonicalOutput reads an artifact for byte comparison. Maps compare
+// raw. NetCDF-like exports are re-serialized without the cube_id and
+// provenance attributes first: both carry run-scoped identity (engine
+// cube counters and operator lineage over them) that legitimately
+// differs across executions — the NetCDF "history" attribute problem.
+// Everything else, dims, data and science metadata, must match exactly.
+func canonicalOutput(t *testing.T, path string) []byte {
+	t.Helper()
+	if filepath.Ext(path) != ".nc" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("output missing: %v", err)
+		}
+		return b
+	}
+	ds, err := ncdf.ReadFile(path)
+	if err != nil {
+		t.Fatalf("output missing or unreadable: %v", err)
+	}
+	delete(ds.Attrs, "cube_id")
+	delete(ds.Attrs, "provenance")
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosTransientFaultsOnlyStillSucceeds runs the workflow under
+// transient-only faults with no checkpointer at all: retries alone must
+// carry it to a clean finish.
+func TestChaosTransientFaultsOnlyStillSucceeds(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.TaskRetries = 2
+	inj := chaos.NewSeeded(7,
+		chaos.Rule{Site: chaos.SiteTask, Op: TaskImportYear, Attempt: 0, Kind: chaos.Transient},
+		chaos.Rule{Site: chaos.SiteTask, Op: TaskTCInference, Attempt: 0, Kind: chaos.Transient},
+	)
+	cfg.Injector = inj
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("transient faults with retry budget must not fail the run: %v", err)
+	}
+	if inj.CountKind(chaos.Transient) < 2 {
+		t.Errorf("transient faults fired = %d, want >= 2", inj.CountKind(chaos.Transient))
+	}
+	if len(res.Years) != 1 {
+		t.Fatalf("years = %d, want 1", len(res.Years))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/compss"
 	"repro/internal/datacube"
 	"repro/internal/esm"
@@ -98,6 +99,17 @@ type Config struct {
 	IndexParams indices.Params
 	// Checkpointer enables task-level checkpointing.
 	Checkpointer compss.Checkpointer
+	// Injector optionally injects deterministic faults into every task
+	// attempt and checkpoint write (see internal/chaos). Nil disables
+	// injection.
+	Injector chaos.Injector
+	// TaskRetries is the per-task retry budget applied to every task
+	// definition that does not set its own (0 = no retries, matching the
+	// pre-chaos behaviour).
+	TaskRetries int
+	// TaskTimeout bounds each task attempt's wall-clock time; a timed-out
+	// attempt counts as a failed attempt. Zero disables deadlines.
+	TaskTimeout time.Duration
 	// Criteria configures the deterministic tracker (zero = defaults).
 	Criteria tctrack.Criteria
 	// ESMDayDelay models the wall-clock time the real coupled model

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/gob"
 	"fmt"
 	"math"
 	"os"
@@ -50,6 +51,18 @@ type yearTC struct {
 // tcVars are the variables the TC branch reads from daily files.
 var tcVars = []string{"PSL", "U850", "V850", "T500", "VORT850"}
 
+// Checkpointable task outputs cross the gob boundary as interface
+// values, so every concrete type a non-ephemeral task emits must be
+// registered. Cube-producing tasks are marked Ephemeral instead: their
+// outputs are live in-memory pointers that cannot outlast the process.
+func init() {
+	gob.Register([]string(nil))
+	gob.Register(stream.YearBatch{})
+	gob.Register([]ml.Detection(nil))
+	gob.Register(yearTC{})
+	gob.Register(YearResult{})
+}
+
 // Run executes the end-to-end workflow and returns its results.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
@@ -63,7 +76,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	engine := datacube.NewEngine(datacube.Config{Servers: cfg.CubeServers, FragmentLatency: cfg.FragmentLatency})
 	defer engine.Close()
-	rt := compss.NewRuntime(compss.Config{Workers: cfg.Workers, Checkpointer: cfg.Checkpointer})
+	rt := compss.NewRuntime(compss.Config{
+		Workers:      cfg.Workers,
+		Checkpointer: cfg.Checkpointer,
+		Injector:     cfg.Injector,
+		Seed:         cfg.Seed,
+	})
 
 	w := &workflow{cfg: cfg, rt: rt, engine: engine}
 	if err := w.register(); err != nil {
@@ -126,8 +144,7 @@ func Run(cfg Config) (*Result, error) {
 			vf, err := w.wireYear(batch, baseMaxFut, baseMinFut)
 			if err != nil {
 				watcher.Stop()
-				_ = rt.Shutdown()
-				return nil, err
+				return nil, shutdownErr(rt, err)
 			}
 			validateFuts = append(validateFuts, vf)
 			dispatched++
@@ -135,8 +152,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	watcher.Stop()
 	if dispatched < cfg.Years {
-		_ = rt.Shutdown()
-		return nil, fmt.Errorf("core: only %d of %d years appeared in %s", dispatched, cfg.Years, cfg.ModelDir)
+		return nil, shutdownErr(rt, fmt.Errorf("core: only %d of %d years appeared in %s", dispatched, cfg.Years, cfg.ModelDir))
 	}
 
 	// Step 6: final maps over all validated years.
@@ -146,8 +162,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	finalFut, err := rt.InvokeOne(w.tFinal, finalParams...)
 	if err != nil {
-		_ = rt.Shutdown()
-		return nil, err
+		return nil, shutdownErr(rt, err)
 	}
 
 	if err := rt.Shutdown(); err != nil {
@@ -201,6 +216,16 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// shutdownErr drains the runtime and prefers its failure — which
+// carries the root cause of an abort, e.g. chaos.ErrCrash on an
+// injected crash — over the caller's invocation error.
+func shutdownErr(rt *compss.Runtime, err error) error {
+	if serr := rt.Shutdown(); serr != nil {
+		return serr
+	}
+	return err
+}
+
 // register declares every task of Figures 2/3 on the runtime.
 func (w *workflow) register() error {
 	cfg := w.cfg
@@ -209,6 +234,12 @@ func (w *workflow) register() error {
 	reg := func(def compss.TaskDef) *compss.TaskDef {
 		if err != nil {
 			return nil
+		}
+		if def.Retries == 0 {
+			def.Retries = cfg.TaskRetries
+		}
+		if def.Timeout == 0 {
+			def.Timeout = cfg.TaskTimeout
 		}
 		var d *compss.TaskDef
 		d, err = w.rt.Register(def)
@@ -249,8 +280,9 @@ func (w *workflow) register() error {
 
 	// #2/#3 — climatology baselines (historical daily extrema).
 	w.tBaseMax = reg(compss.TaskDef{
-		Name:    TaskLoadBaselineMax,
-		Outputs: 1,
+		Name:      TaskLoadBaselineMax,
+		Outputs:   1,
+		Ephemeral: true, // output is a live cube pointer
 		Fn: func([]any) ([]any, error) {
 			b, err := indices.BuildBaseline(engine, cfg.Grid, cfg.DaysPerYear)
 			if err != nil {
@@ -261,8 +293,9 @@ func (w *workflow) register() error {
 		},
 	})
 	w.tBaseMin = reg(compss.TaskDef{
-		Name:    TaskLoadBaselineMin,
-		Outputs: 1,
+		Name:      TaskLoadBaselineMin,
+		Outputs:   1,
+		Ephemeral: true,
 		Fn: func([]any) ([]any, error) {
 			b, err := indices.BuildBaseline(engine, cfg.Grid, cfg.DaysPerYear)
 			if err != nil {
@@ -288,8 +321,9 @@ func (w *workflow) register() error {
 
 	// #5 — import the year's temperature into an in-memory cube.
 	w.tImport = reg(compss.TaskDef{
-		Name:    TaskImportYear,
-		Outputs: 1,
+		Name:      TaskImportYear,
+		Outputs:   1,
+		Ephemeral: true,
 		Fn: func(args []any) ([]any, error) {
 			batch := args[0].(stream.YearBatch)
 			cube, err := engine.ImportFiles(batch.Files, "TREFHT", "time")
@@ -317,8 +351,8 @@ func (w *workflow) register() error {
 			return []any{anom}, nil
 		}
 	}
-	w.tDailyMax = reg(compss.TaskDef{Name: TaskDailyMax, Outputs: 1, Fn: dailyAnomaly("max")})
-	w.tDailyMin = reg(compss.TaskDef{Name: TaskDailyMin, Outputs: 1, Fn: dailyAnomaly("min")})
+	w.tDailyMax = reg(compss.TaskDef{Name: TaskDailyMax, Outputs: 1, Ephemeral: true, Fn: dailyAnomaly("max")})
+	w.tDailyMin = reg(compss.TaskDef{Name: TaskDailyMin, Outputs: 1, Ephemeral: true, Fn: dailyAnomaly("min")})
 
 	// #9..#14 — the six wave indices (Listing 1 operator chains).
 	p := cfg.IndexParams
@@ -362,17 +396,18 @@ func (w *workflow) register() error {
 			return []any{freq}, nil
 		}
 	}
-	w.tHWDur = reg(compss.TaskDef{Name: TaskHWDuration, Outputs: 1, Fn: durationTask("longest_run_above", p.ThresholdK)})
-	w.tHWNum = reg(compss.TaskDef{Name: TaskHWNumber, Outputs: 1, Fn: numberTask("count_runs_above", p.ThresholdK)})
-	w.tHWFreq = reg(compss.TaskDef{Name: TaskHWFrequency, Outputs: 1, Fn: frequencyTask("days_in_runs_above", p.ThresholdK)})
-	w.tCWDur = reg(compss.TaskDef{Name: TaskCWDuration, Outputs: 1, Fn: durationTask("longest_run_below", -p.ThresholdK)})
-	w.tCWNum = reg(compss.TaskDef{Name: TaskCWNumber, Outputs: 1, Fn: numberTask("count_runs_below", -p.ThresholdK)})
-	w.tCWFreq = reg(compss.TaskDef{Name: TaskCWFrequency, Outputs: 1, Fn: frequencyTask("days_in_runs_below", -p.ThresholdK)})
+	w.tHWDur = reg(compss.TaskDef{Name: TaskHWDuration, Outputs: 1, Ephemeral: true, Fn: durationTask("longest_run_above", p.ThresholdK)})
+	w.tHWNum = reg(compss.TaskDef{Name: TaskHWNumber, Outputs: 1, Ephemeral: true, Fn: numberTask("count_runs_above", p.ThresholdK)})
+	w.tHWFreq = reg(compss.TaskDef{Name: TaskHWFrequency, Outputs: 1, Ephemeral: true, Fn: frequencyTask("days_in_runs_above", p.ThresholdK)})
+	w.tCWDur = reg(compss.TaskDef{Name: TaskCWDuration, Outputs: 1, Ephemeral: true, Fn: durationTask("longest_run_below", -p.ThresholdK)})
+	w.tCWNum = reg(compss.TaskDef{Name: TaskCWNumber, Outputs: 1, Ephemeral: true, Fn: numberTask("count_runs_below", -p.ThresholdK)})
+	w.tCWFreq = reg(compss.TaskDef{Name: TaskCWFrequency, Outputs: 1, Ephemeral: true, Fn: frequencyTask("days_in_runs_below", -p.ThresholdK)})
 
 	// #15 — TC pre-processing: read the dynamical fields per instant.
 	w.tTCPre = reg(compss.TaskDef{
-		Name:    TaskTCPreprocess,
-		Outputs: 1,
+		Name:      TaskTCPreprocess,
+		Outputs:   1,
+		Ephemeral: true, // outputs hold live per-instant field maps
 		Fn: func(args []any) ([]any, error) {
 			batch := args[0].(stream.YearBatch)
 			steps, err := loadTCFields(batch.Files, cfg.Grid)

@@ -1,0 +1,119 @@
+package dls
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func TestCopyVerifiedAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.nc")
+	dst := filepath.Join(dir, "dst.nc")
+	if err := os.WriteFile(src, []byte("new contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, sum, err := CopyVerified(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("new contents")) || sum == "" {
+		t.Fatalf("n=%d sum=%q", n, sum)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != "new contents" {
+		t.Fatalf("dst = %q, %v", got, err)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestCopyVerifiedFailureLeavesNoPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "dst.nc")
+	if _, _, err := CopyVerified(filepath.Join(dir, "missing.nc"), dst); err == nil {
+		t.Fatal("copy of a missing source succeeded")
+	}
+	if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed copy left a destination file: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("failed copy left droppings: %v", entries)
+	}
+}
+
+func TestStageInRetriesTransientCopyFaults(t *testing.T) {
+	root := t.TempDir()
+	writeFiles(t, root, map[string]string{"t2m.nc": "temperature"})
+	c := NewCatalog()
+	if err := c.Register(Dataset{Name: "era5", Root: root, Files: []string{"t2m.nc"}}); err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.NewSeeded(3,
+		chaos.Rule{Site: chaos.SiteCopy, Op: "era5/", Attempt: 0, Kind: chaos.Transient},
+		chaos.Rule{Site: chaos.SiteCopy, Op: "era5/", Attempt: 1, Kind: chaos.Latency, Delay: time.Millisecond},
+	)
+	var slept []time.Duration
+	s := NewService(c)
+	s.Injector = inj
+	s.CopyRetries = 2
+	s.sleepFn = func(d time.Duration) { slept = append(slept, d) }
+
+	dst := t.TempDir()
+	paths, err := s.StageIn("era5", dst)
+	if err != nil {
+		t.Fatalf("transient fault should be retried away: %v", err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	got, err := os.ReadFile(paths[0])
+	if err != nil || string(got) != "temperature" {
+		t.Fatalf("staged file = %q, %v", got, err)
+	}
+	if inj.CountKind(chaos.Transient) != 1 || inj.CountKind(chaos.Latency) != 1 {
+		t.Fatalf("unexpected injections: %+v", inj.Events())
+	}
+	// One backoff after the transient failure plus the injected latency.
+	if len(slept) != 2 {
+		t.Fatalf("slept %v, want backoff + injected latency", slept)
+	}
+}
+
+func TestStageInPermanentCopyFaultFailsFast(t *testing.T) {
+	root := t.TempDir()
+	writeFiles(t, root, map[string]string{"t2m.nc": "temperature"})
+	c := NewCatalog()
+	if err := c.Register(Dataset{Name: "era5", Root: root, Files: []string{"t2m.nc"}}); err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.NewSeeded(3, chaos.Rule{Site: chaos.SiteCopy, Kind: chaos.PermanentKind})
+	s := NewService(c)
+	s.Injector = inj
+	s.CopyRetries = 5
+	s.sleepFn = func(time.Duration) { t.Error("permanent fault must not back off") }
+
+	if _, err := s.StageIn("era5", t.TempDir()); err == nil {
+		t.Fatal("permanent fault should fail stage-in")
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injector fired %d times; permanent must not be retried", inj.Injected())
+	}
+}

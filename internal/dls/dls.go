@@ -16,6 +16,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // Dataset is a catalog entry: a named set of files rooted somewhere.
@@ -81,8 +83,16 @@ type Transfer struct {
 // Service executes data pipelines against a catalog.
 type Service struct {
 	Catalog *Catalog
+	// CopyRetries is how many times a failed (or checksum-mismatched)
+	// file copy is retried before stage-in gives up; zero means 2.
+	CopyRetries int
+	// Injector, when set, may inject faults at the chaos.SiteCopy site
+	// before each copy attempt (op is "dataset/relpath").
+	Injector chaos.Injector
+
 	mu      sync.Mutex
 	log     []Transfer
+	sleepFn func(time.Duration) // test hook; nil means time.Sleep
 }
 
 // NewService returns a service over the catalog (nil creates one).
@@ -120,7 +130,7 @@ func (s *Service) StageIn(dataset, dstDir string) ([]string, error) {
 		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 			return out, err
 		}
-		n, sum, err := copyVerify(src, dst)
+		n, sum, err := s.copyWithRetry(dataset, rel, src, dst)
 		if err != nil {
 			return out, fmt.Errorf("dls: stage-in %s/%s: %w", dataset, rel, err)
 		}
@@ -130,6 +140,53 @@ func (s *Service) StageIn(dataset, dstDir string) ([]string, error) {
 		out = append(out, dst)
 	}
 	return out, nil
+}
+
+// copyWithRetry runs one verified copy under the fault injector with a
+// bounded retry budget: a transient failure (including a checksum
+// mismatch, which CopyVerified reports when the landed bytes differ) is
+// retried after a short doubling delay; permanent errors stop at once.
+func (s *Service) copyWithRetry(dataset, rel, src, dst string) (int64, string, error) {
+	retries := s.CopyRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	op := dataset + "/" + rel
+	var n int64
+	var sum string
+	var err error
+	for attempt := 0; ; attempt++ {
+		n, sum, err = s.copyAttempt(op, src, dst, attempt)
+		if err == nil || attempt >= retries || chaos.IsPermanent(err) {
+			return n, sum, err
+		}
+		delay := 10 * time.Millisecond << uint(attempt)
+		if delay > 500*time.Millisecond {
+			delay = 500 * time.Millisecond
+		}
+		if s.sleepFn != nil {
+			s.sleepFn(delay)
+		} else {
+			time.Sleep(delay)
+		}
+	}
+}
+
+func (s *Service) copyAttempt(op, src, dst string, attempt int) (int64, string, error) {
+	if s.Injector != nil {
+		f := s.Injector.Decide(chaos.SiteCopy, op, attempt)
+		if err := f.Error(); err != nil {
+			return 0, "", err
+		}
+		if f.Kind == chaos.Latency {
+			if s.sleepFn != nil {
+				s.sleepFn(f.Delay)
+			} else {
+				time.Sleep(f.Delay)
+			}
+		}
+	}
+	return CopyVerified(src, dst)
 }
 
 // StageOut registers the files under srcDir matching pattern as a new
@@ -167,42 +224,56 @@ func (s *Service) StageOut(dataset, srcDir, pattern string) (Dataset, error) {
 	return d, nil
 }
 
-// copyVerify copies src to dst and returns size and checksum, verifying
-// the written bytes hash identically to the read bytes.
-func copyVerify(src, dst string) (int64, string, error) {
+// CopyVerified copies src to dst atomically and returns size and
+// SHA-256 checksum. The bytes land in a temporary file in dst's
+// directory, are re-read and verified against the source hash, and only
+// then renamed into place — so a crash at any point leaves either the
+// previous dst or no dst, never a partial file a later stage-in could
+// trust. It is the single verified-copy primitive shared by the DLS
+// stage-in path and the multisite federation transfers.
+func CopyVerified(src, dst string) (int64, string, error) {
 	in, err := os.Open(src)
 	if err != nil {
 		return 0, "", err
 	}
 	defer in.Close()
-	out, err := os.Create(dst)
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+filepath.Base(dst)+".tmp-*")
 	if err != nil {
+		return 0, "", err
+	}
+	tmpName := tmp.Name()
+	// On any failure below the temp file is removed; dst is untouched.
+	fail := func(err error) (int64, string, error) {
+		os.Remove(tmpName)
 		return 0, "", err
 	}
 	h := sha256.New()
-	n, err := io.Copy(io.MultiWriter(out, h), in)
-	if cerr := out.Close(); err == nil {
+	n, err := io.Copy(io.MultiWriter(tmp, h), in)
+	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(dst)
-		return 0, "", err
+		return fail(err)
 	}
 	sum := hex.EncodeToString(h.Sum(nil))
-	// verify the landed bytes
-	back, err := os.Open(dst)
+	// Verify the landed bytes before they can become dst.
+	back, err := os.Open(tmpName)
 	if err != nil {
-		return 0, "", err
+		return fail(err)
 	}
-	defer back.Close()
 	h2 := sha256.New()
-	if _, err := io.Copy(h2, back); err != nil {
-		os.Remove(dst)
-		return 0, "", err
+	_, err = io.Copy(h2, back)
+	if cerr := back.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(err)
 	}
 	if got := hex.EncodeToString(h2.Sum(nil)); got != sum {
-		os.Remove(dst)
-		return 0, "", fmt.Errorf("checksum mismatch: %s vs %s", got, sum)
+		return fail(fmt.Errorf("checksum mismatch: %s vs %s", got, sum))
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		return fail(err)
 	}
 	return n, sum, nil
 }

@@ -330,10 +330,12 @@ func New(cfg Config) (*Queue, error) {
 	var pending []Job
 	if cfg.JournalPath != "" {
 		var err error
-		pending, err = replayJournal(cfg.JournalPath)
+		var skipped int
+		pending, skipped, err = replayJournal(cfg.JournalPath)
 		if err != nil {
 			return nil, err
 		}
+		q.counters.journalSkipped = uint64(skipped)
 		q.journal, err = resetJournal(cfg.JournalPath, pending)
 		if err != nil {
 			return nil, err

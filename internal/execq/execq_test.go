@@ -465,7 +465,7 @@ func TestJournalPersistsAcrossLiveCrash(t *testing.T) {
 	}
 	waitStats(t, q, func(s Stats) bool { return s.Running == 1 })
 	// "crash": abandon q without Drain/Close; replay sees all three live.
-	pending, err := replayJournal(path)
+	pending, _, err := replayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,15 +79,23 @@ func (j *journal) close() error {
 }
 
 // replayJournal reads path and returns the jobs still pending (last
-// state live) in original submit order. A missing file means no
-// pending work.
-func replayJournal(path string) ([]Job, error) {
+// state live) in original submit order, plus how many corrupt lines
+// were skipped. A missing file means no pending work.
+//
+// Corruption tolerance: a torn final line is the expected shape of a
+// crash mid-append, but a partial fsync after power loss can also leave
+// garbage or truncated lines mid-file. Either way one record is
+// JSON-undecodable; recovery skips it, counts it (surfaced as
+// Stats.JournalSkipped), and keeps every decodable record — aborting
+// the whole replay over one bad line would trade a little lost state
+// for all of it.
+func replayJournal(path string) ([]Job, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("execq: open journal: %w", err)
+		return nil, 0, fmt.Errorf("execq: open journal: %w", err)
 	}
 	defer f.Close()
 
@@ -98,6 +106,7 @@ func replayJournal(path string) ([]Job, error) {
 	}
 	byID := make(map[string]*entry)
 	var order []string
+	skipped := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
@@ -107,7 +116,8 @@ func replayJournal(path string) ([]Job, error) {
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			continue // torn or corrupt line: skip
+			skipped++ // torn or corrupt line: skip it, keep recovering
+			continue
 		}
 		switch rec.Op {
 		case "submit":
@@ -133,7 +143,7 @@ func replayJournal(path string) ([]Job, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("execq: read journal: %w", err)
+		return nil, skipped, fmt.Errorf("execq: read journal: %w", err)
 	}
 	var pending []Job
 	for _, id := range order {
@@ -142,7 +152,7 @@ func replayJournal(path string) ([]Job, error) {
 			pending = append(pending, e.job)
 		}
 	}
-	return pending, nil
+	return pending, skipped, nil
 }
 
 // resetJournal truncates path to just the pending submits (compaction)

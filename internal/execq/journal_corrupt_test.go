@@ -1,0 +1,79 @@
+package execq
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A partial fsync after power loss can tear lines anywhere in the
+// journal, not just the final append. Replay must skip each bad line
+// with a counted warning and keep every decodable record.
+func TestJournalReplaySkipsCorruptMidFileLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	lines := []string{
+		`{"op":"submit","id":"j1","principal":"a","t":"2026-01-01T00:00:00Z"}`,
+		`{"op":"submit","id":"j2","principal":"a","t":"2026-01-01T00:00:01Z"}`,
+		"\x00\x00garbage not json at all\x7f",                // mid-file garbage
+		`{"op":"state","id":"j2","state":"DONE","t":"2026-0`, // truncated mid-record
+		`{"op":"submit","id":"j3","principal":"b","t":"2026-01-01T00:00:02Z"}`,
+		`{"op":"state","id":"j1","state":"DONE","t":"2026-01-01T00:00:03Z"}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pending, skipped, err := replayJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt mid-file lines must not abort recovery: %v", err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (garbage + truncated)", skipped)
+	}
+	// j1 finished; j2's DONE transition was the torn line, so it is
+	// conservatively still live; j3 never finished.
+	ids := make([]string, len(pending))
+	for i, j := range pending {
+		ids[i] = j.ID
+	}
+	if len(pending) != 2 || ids[0] != "j2" || ids[1] != "j3" {
+		t.Fatalf("pending = %v, want [j2 j3]", ids)
+	}
+}
+
+func TestJournalSkippedSurfacedInStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"op":"submit","id":"live","principal":"a","t":"2026-01-01T00:00:00Z"}` + "\n" +
+		"{{{{not json\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 1)
+	q, err := New(Config{
+		Workers: 1, QueueDepth: 4, JournalPath: path,
+		Handler: func(ctx context.Context, j JobView) error {
+			done <- j.ID
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("recovery aborted on a corrupt line: %v", err)
+	}
+	defer q.Close()
+	if got := <-done; got != "live" {
+		t.Fatalf("recovered job = %q", got)
+	}
+	st := q.Stats()
+	if st.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", st.Recovered)
+	}
+	if st.JournalSkipped != 1 {
+		t.Fatalf("JournalSkipped = %d, want 1", st.JournalSkipped)
+	}
+	if b, err := json.Marshal(st); err != nil || !strings.Contains(string(b), `"journal_skipped":1`) {
+		t.Fatalf("stats JSON should carry the counted warning: %s (%v)", b, err)
+	}
+}

@@ -4,15 +4,16 @@ import "math"
 
 // counters are the queue's monotonic event counts (guarded by Queue.mu).
 type counters struct {
-	submitted     uint64
-	recovered     uint64
-	completed     uint64
-	failed        uint64
-	canceled      uint64
-	retried       uint64
-	rejectedFull  uint64
-	rejectedQuota uint64
-	rejectedRate  uint64
+	submitted      uint64
+	recovered      uint64
+	journalSkipped uint64 // corrupt journal lines skipped during replay
+	completed      uint64
+	failed         uint64
+	canceled       uint64
+	retried        uint64
+	rejectedFull   uint64
+	rejectedQuota  uint64
+	rejectedRate   uint64
 }
 
 // histBounds are the exponential latency bucket upper bounds in seconds.
@@ -72,11 +73,11 @@ func (h *histogram) quantile(q float64) float64 {
 // HistogramSummary is the JSON-friendly snapshot of one latency
 // histogram.
 type HistogramSummary struct {
-	Count       uint64    `json:"count"`
-	MeanSeconds float64   `json:"mean_seconds"`
-	P50Seconds  float64   `json:"p50_seconds"`
-	P90Seconds  float64   `json:"p90_seconds"`
-	P99Seconds  float64   `json:"p99_seconds"`
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
 	// BoundsSeconds[i] is the upper bound of Counts[i]; the final
 	// Counts entry is the overflow bucket.
 	BoundsSeconds []float64 `json:"bounds_seconds"`
@@ -103,22 +104,26 @@ func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
 // Stats is a point-in-time snapshot of queue state, counters and
 // latency histograms (wait = enqueue→dispatch, run = dispatch→finish).
 type Stats struct {
-	Workers       int            `json:"workers"`
-	Capacity      int            `json:"capacity"`
-	Depth         int            `json:"depth"`
-	Running       int            `json:"running"`
-	Retrying      int            `json:"retrying"`
-	Draining      bool           `json:"draining"`
-	PerPrincipal  map[string]int `json:"per_principal,omitempty"`
-	Submitted     uint64         `json:"submitted"`
-	Recovered     uint64         `json:"recovered"`
-	Completed     uint64         `json:"completed"`
-	Failed        uint64         `json:"failed"`
-	Canceled      uint64         `json:"canceled"`
-	Retried       uint64         `json:"retried"`
-	RejectedFull  uint64         `json:"rejected_full"`
-	RejectedQuota uint64         `json:"rejected_quota"`
-	RejectedRate  uint64         `json:"rejected_rate"`
+	Workers      int            `json:"workers"`
+	Capacity     int            `json:"capacity"`
+	Depth        int            `json:"depth"`
+	Running      int            `json:"running"`
+	Retrying     int            `json:"retrying"`
+	Draining     bool           `json:"draining"`
+	PerPrincipal map[string]int `json:"per_principal,omitempty"`
+	Submitted    uint64         `json:"submitted"`
+	Recovered    uint64         `json:"recovered"`
+	// JournalSkipped counts corrupt journal lines skipped during crash
+	// recovery — a non-zero value is the counted warning that some state
+	// transitions were lost to torn or garbled writes.
+	JournalSkipped uint64 `json:"journal_skipped,omitempty"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	Canceled       uint64 `json:"canceled"`
+	Retried        uint64 `json:"retried"`
+	RejectedFull   uint64 `json:"rejected_full"`
+	RejectedQuota  uint64 `json:"rejected_quota"`
+	RejectedRate   uint64 `json:"rejected_rate"`
 
 	Wait HistogramSummary `json:"wait"`
 	Run  HistogramSummary `json:"run"`
@@ -134,23 +139,24 @@ func (q *Queue) Stats() Stats {
 		per[k] = v
 	}
 	return Stats{
-		Workers:       q.cfg.Workers,
-		Capacity:      q.cfg.QueueDepth,
-		Depth:         len(q.heap),
-		Running:       q.running,
-		Retrying:      q.retrying,
-		Draining:      q.draining || q.closed,
-		PerPrincipal:  per,
-		Submitted:     q.counters.submitted,
-		Recovered:     q.counters.recovered,
-		Completed:     q.counters.completed,
-		Failed:        q.counters.failed,
-		Canceled:      q.counters.canceled,
-		Retried:       q.counters.retried,
-		RejectedFull:  q.counters.rejectedFull,
-		RejectedQuota: q.counters.rejectedQuota,
-		RejectedRate:  q.counters.rejectedRate,
-		Wait:          q.waitHist.summary(),
-		Run:           q.runHist.summary(),
+		Workers:        q.cfg.Workers,
+		Capacity:       q.cfg.QueueDepth,
+		Depth:          len(q.heap),
+		Running:        q.running,
+		Retrying:       q.retrying,
+		Draining:       q.draining || q.closed,
+		PerPrincipal:   per,
+		Submitted:      q.counters.submitted,
+		Recovered:      q.counters.recovered,
+		JournalSkipped: q.counters.journalSkipped,
+		Completed:      q.counters.completed,
+		Failed:         q.counters.failed,
+		Canceled:       q.counters.canceled,
+		Retried:        q.counters.retried,
+		RejectedFull:   q.counters.rejectedFull,
+		RejectedQuota:  q.counters.rejectedQuota,
+		RejectedRate:   q.counters.rejectedRate,
+		Wait:           q.waitHist.summary(),
+		Run:            q.runHist.summary(),
 	}
 }

@@ -1,0 +1,141 @@
+package multisite
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func twoSites(t *testing.T) (*Federation, *Site, *Site) {
+	t.Helper()
+	f := NewFederation()
+	a, err := f.AddSite("hpc-a", KindHPC, filepath.Join(t.TempDir(), "a"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AddSite("cloud-b", KindCloud, filepath.Join(t.TempDir(), "b"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, a, b
+}
+
+func seedFile(t *testing.T, s *Site, name, content string) string {
+	t.Helper()
+	p := filepath.Join(s.Dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTransferRetriesTransientFault(t *testing.T) {
+	f, a, b := twoSites(t)
+	p := seedFile(t, a, "y1950.nc", "fields")
+	inj := chaos.NewSeeded(4, chaos.Rule{Site: chaos.SiteTransfer, Attempt: 0, Kind: chaos.Transient})
+	f.SetInjector(inj)
+	var slept []time.Duration
+	f.sleepFn = func(d time.Duration) { slept = append(slept, d) }
+
+	out, err := f.Transfer("y1950", a, b, []string{p})
+	if err != nil {
+		t.Fatalf("transient transfer fault should be retried away: %v", err)
+	}
+	got, err := os.ReadFile(out[0])
+	if err != nil || string(got) != "fields" {
+		t.Fatalf("transferred file = %q, %v", got, err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("expected one backoff sleep, got %v", slept)
+	}
+	if st := f.Stats(); st.Transfers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTransferBackoffGrowsAndCaps(t *testing.T) {
+	pol := TransferPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}.withDefaults()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	for i, w := range want {
+		if got := transferBackoff(pol, i); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	f, a, b := twoSites(t)
+	p := seedFile(t, a, "y1950.nc", "fields")
+
+	// Every attempt fails permanently (no retries consumed), so each
+	// Transfer is one breaker failure.
+	inj := chaos.NewSeeded(4, chaos.Rule{Site: chaos.SiteTransfer, Kind: chaos.PermanentKind, Max: 2})
+	f.SetInjector(inj)
+	now := time.Unix(1_700_000_000, 0)
+	f.nowFn = func() time.Time { return now }
+	f.sleepFn = func(time.Duration) {}
+	f.SetTransferPolicy(TransferPolicy{
+		Retries: 1, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second,
+	})
+
+	for i := 0; i < 2; i++ {
+		if _, err := f.Transfer("y1950", a, b, []string{p}); err == nil {
+			t.Fatalf("transfer %d should fail", i)
+		} else if errors.Is(err, ErrSiteUnavailable) {
+			t.Fatalf("transfer %d rejected before threshold: %v", i, err)
+		}
+	}
+	// Threshold reached: circuit open, typed fast failure.
+	_, err := f.Transfer("y1950", a, b, []string{p})
+	if !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("open circuit should reject with ErrSiteUnavailable, got %v", err)
+	}
+	if inj.Injected() != 2 {
+		t.Fatalf("open circuit still reached the transfer layer (%d injections)", inj.Injected())
+	}
+
+	// Cooldown elapses; the injector's Max=2 budget is spent, so the
+	// probe succeeds and the circuit closes again.
+	now = now.Add(11 * time.Second)
+	out, err := f.Transfer("y1950", a, b, []string{p})
+	if err != nil {
+		t.Fatalf("probe after cooldown should succeed: %v", err)
+	}
+	if got, _ := os.ReadFile(out[0]); string(got) != "fields" {
+		t.Fatalf("probe transferred %q", got)
+	}
+	// Healthy again: immediate next transfer is admitted.
+	if _, err := f.Transfer("y1950-again", a, b, []string{p}); err != nil {
+		t.Fatalf("closed circuit rejected a transfer: %v", err)
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	f, a, b := twoSites(t)
+	p := seedFile(t, a, "y.nc", "x")
+	inj := chaos.NewSeeded(4, chaos.Rule{Site: chaos.SiteTransfer, Kind: chaos.PermanentKind})
+	f.SetInjector(inj)
+	now := time.Unix(1_700_000_000, 0)
+	f.nowFn = func() time.Time { return now }
+	f.sleepFn = func(time.Duration) {}
+	f.SetTransferPolicy(TransferPolicy{Retries: 1, BreakerThreshold: 1, BreakerCooldown: time.Second})
+
+	if _, err := f.Transfer("y", a, b, []string{p}); err == nil {
+		t.Fatal("want failure")
+	}
+	if _, err := f.Transfer("y", a, b, []string{p}); !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("circuit should be open: %v", err)
+	}
+	now = now.Add(2 * time.Second)
+	// Probe admitted but fails: the circuit must reopen immediately.
+	if _, err := f.Transfer("y", a, b, []string{p}); errors.Is(err, ErrSiteUnavailable) || err == nil {
+		t.Fatalf("probe should reach the transfer layer and fail: %v", err)
+	}
+	if _, err := f.Transfer("y", a, b, []string{p}); !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("failed probe should reopen the circuit: %v", err)
+	}
+}

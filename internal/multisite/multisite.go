@@ -14,13 +14,16 @@
 package multisite
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/datacube"
 	"repro/internal/dls"
 	"repro/internal/esm"
@@ -52,11 +55,65 @@ type Site struct {
 	Engine *datacube.Engine
 }
 
+// ErrSiteUnavailable is returned by Transfer while a destination site's
+// circuit breaker is open: the federation degrades to a typed, fast
+// failure instead of hanging on (or hammering) a down site.
+var ErrSiteUnavailable = errors.New("multisite: site unavailable (circuit open)")
+
+// TransferPolicy tunes the fault-tolerance of federation transfers.
+type TransferPolicy struct {
+	// Retries per transfer; each retry is separated by capped exponential
+	// backoff. Zero means 2.
+	Retries int
+	// BaseBackoff before the first retry (doubles per retry); zero means
+	// 20ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the retry delay; zero means 1s.
+	MaxBackoff time.Duration
+	// BreakerThreshold is how many consecutive transfer failures open a
+	// destination site's circuit; zero means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects transfers
+	// before admitting a probe; zero means 5s.
+	BreakerCooldown time.Duration
+}
+
+func (p TransferPolicy) withDefaults() TransferPolicy {
+	if p.Retries <= 0 {
+		p.Retries = 2
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 20 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 5 * time.Second
+	}
+	return p
+}
+
+// breaker tracks one destination site's consecutive transfer failures.
+type breaker struct {
+	consecutive int
+	openUntil   time.Time
+}
+
 // Federation is a set of sites plus the shared Data Logistics Service.
 type Federation struct {
 	mu    sync.Mutex
 	sites map[string]*Site
 	dls   *dls.Service
+
+	policy   TransferPolicy
+	injector chaos.Injector
+	breakers map[string]*breaker
+	nowFn    func() time.Time    // test hook; nil means time.Now
+	sleepFn  func(time.Duration) // test hook; nil means time.Sleep
 
 	bytesMoved int64
 	transfers  int
@@ -65,9 +122,27 @@ type Federation struct {
 // NewFederation starts an empty federation.
 func NewFederation() *Federation {
 	return &Federation{
-		sites: make(map[string]*Site),
-		dls:   dls.NewService(nil),
+		sites:    make(map[string]*Site),
+		dls:      dls.NewService(nil),
+		policy:   TransferPolicy{}.withDefaults(),
+		breakers: make(map[string]*breaker),
 	}
+}
+
+// SetTransferPolicy replaces the transfer fault-tolerance policy.
+func (f *Federation) SetTransferPolicy(p TransferPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policy = p.withDefaults()
+}
+
+// SetInjector installs a fault injector consulted at
+// chaos.SiteTransfer before every transfer attempt (op is the dataset
+// name). Nil restores production behaviour.
+func (f *Federation) SetInjector(inj chaos.Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.injector = inj
 }
 
 // AddSite registers a site, creating its storage directory.
@@ -127,6 +202,13 @@ func (f *Federation) Stats() TransferStats {
 // Transfer moves the named files (paths under the source site's Dir)
 // to the destination site via a DLS stage-in pipeline, preserving the
 // relative layout. It returns the destination paths.
+//
+// Every file lands through dls.CopyVerified — the one verified-copy
+// primitive in the stack — so transfers are checksum-verified and
+// atomic per file. Failed transfers are retried with capped exponential
+// backoff per TransferPolicy; when a destination accumulates
+// BreakerThreshold consecutive failures its circuit opens and Transfer
+// fails fast with ErrSiteUnavailable until the cooldown admits a probe.
 func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([]string, error) {
 	rels := make([]string, len(files))
 	for i, p := range files {
@@ -136,13 +218,33 @@ func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([
 		}
 		rels[i] = rel
 	}
+	if err := f.breakerAllow(to.Name); err != nil {
+		return nil, err
+	}
 	if err := f.dls.Catalog.Register(dls.Dataset{Name: dataset, Root: from.Dir, Files: rels}); err != nil {
 		return nil, err
 	}
-	out, err := f.dls.StageIn(dataset, to.Dir)
-	if err != nil {
-		return nil, err
+
+	f.mu.Lock()
+	pol := f.policy
+	inj := f.injector
+	f.mu.Unlock()
+
+	var out []string
+	var err error
+	for attempt := 0; ; attempt++ {
+		out, err = f.transferAttempt(inj, dataset, to, attempt)
+		if err == nil || attempt >= pol.Retries || chaos.IsPermanent(err) {
+			break
+		}
+		f.sleep(transferBackoff(pol, attempt))
 	}
+	if err != nil {
+		f.breakerFailure(to.Name, pol)
+		return nil, fmt.Errorf("multisite: transfer %s to %s: %w", dataset, to.Name, err)
+	}
+	f.breakerSuccess(to.Name)
+
 	var moved int64
 	for _, p := range out {
 		if fi, err := os.Stat(p); err == nil {
@@ -154,6 +256,93 @@ func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([
 	f.transfers += len(out)
 	f.mu.Unlock()
 	return out, nil
+}
+
+// transferAttempt runs one stage-in under the fault injector.
+func (f *Federation) transferAttempt(inj chaos.Injector, dataset string, to *Site, attempt int) ([]string, error) {
+	if inj != nil {
+		fa := inj.Decide(chaos.SiteTransfer, dataset, attempt)
+		if err := fa.Error(); err != nil {
+			return nil, err
+		}
+		if fa.Kind == chaos.Latency {
+			f.sleep(fa.Delay)
+		}
+	}
+	return f.dls.StageIn(dataset, to.Dir)
+}
+
+func transferBackoff(pol TransferPolicy, attempt int) time.Duration {
+	d := pol.BaseBackoff
+	for i := 0; i < attempt && d < pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	return d
+}
+
+func (f *Federation) now() time.Time {
+	f.mu.Lock()
+	fn := f.nowFn
+	f.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return time.Now()
+}
+
+func (f *Federation) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	fn := f.sleepFn
+	f.mu.Unlock()
+	if fn != nil {
+		fn(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// breakerAllow rejects transfers to a site whose circuit is open.
+func (f *Federation) breakerAllow(site string) error {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.breakers[site]
+	if b == nil || b.openUntil.IsZero() || !now.Before(b.openUntil) {
+		return nil
+	}
+	return fmt.Errorf("%w: site %s cooling down for %s after %d consecutive failures",
+		ErrSiteUnavailable, site, b.openUntil.Sub(now).Round(time.Millisecond), b.consecutive)
+}
+
+func (f *Federation) breakerFailure(site string, pol TransferPolicy) {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.breakers[site]
+	if b == nil {
+		b = &breaker{}
+		f.breakers[site] = b
+	}
+	b.consecutive++
+	if b.consecutive >= pol.BreakerThreshold {
+		// Open (or re-open after a failed probe): reject until cooldown.
+		b.openUntil = now.Add(pol.BreakerCooldown)
+	}
+}
+
+func (f *Federation) breakerSuccess(site string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b := f.breakers[site]; b != nil {
+		b.consecutive = 0
+		b.openUntil = time.Time{}
+	}
 }
 
 // Config parameterizes a distributed workflow run.
