@@ -2,12 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples experiments chaos fuzz-short clean
+.PHONY: all check fmt-check build vet test race bench examples experiments chaos fuzz-short clean
 
 all: build vet test
 
 # tier-1 gate: everything a PR must keep green
-check: build vet test race
+check: fmt-check build vet test race
+
+# gofmt gate: fails listing any file that is not gofmt-clean
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

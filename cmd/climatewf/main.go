@@ -18,6 +18,7 @@ import (
 	"repro/internal/esm"
 	"repro/internal/grid"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		attach   = flag.String("attach", "", "attach to an external producer's model-output directory instead of running the ESM")
 		diag     = flag.Bool("diag", false, "validate online diagnostics during the ESM run")
 		dot      = flag.Bool("dot", false, "print the executed task graph as Graphviz DOT")
+		tracePth = flag.String("trace", "", "write a Chrome trace_event timeline of the run to this JSON file (open in chrome://tracing or Perfetto)")
 		tcmodel  = flag.String("tcmodel", "", "TC localizer model file: loaded when present, trained and saved otherwise (enables the CNN branch)")
 	)
 	flag.Parse()
@@ -82,6 +84,12 @@ func main() {
 		cfg.Localizer = loc
 	}
 
+	var tracer *obs.Tracer
+	if *tracePth != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
+
 	run := core.Run
 	mode := "concurrent"
 	if *attach != "" {
@@ -112,6 +120,25 @@ func main() {
 	if *dot && res.GraphDOT != "" {
 		fmt.Println(res.GraphDOT)
 	}
+	if tracer != nil {
+		if err := writeTrace(*tracePth, tracer); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace timeline: %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *tracePth)
+	}
+}
+
+// writeTrace dumps the recorded spans as a Chrome trace_event file.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // tcPatch is the localizer patch size used by the CLI.

@@ -15,6 +15,12 @@
 // (internal/execq): admission control answers 429 + Retry-After under
 // overload, -journal persists queued/running work across restarts, and
 // SIGINT/SIGTERM trigger a graceful drain before exit.
+//
+// GET /metrics serves the Prometheus text exposition of the whole
+// stack — queue depth and latency histograms, per-task-kind runtime
+// counters, datacube operator timings, federation transfer/breaker
+// state. -debug-addr additionally serves net/http/pprof on a separate
+// loopback listener for live profiling.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -30,12 +37,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/compss"
 	"repro/internal/core"
+	"repro/internal/datacube"
 	"repro/internal/dls"
 	"repro/internal/esm"
 	"repro/internal/grid"
 	"repro/internal/hpcwaas"
 	"repro/internal/imagebuilder"
+	"repro/internal/multisite"
+	"repro/internal/obs"
 	"repro/internal/tosca"
 )
 
@@ -51,6 +62,7 @@ func main() {
 		retention  = flag.Int("retention", 1024, "completed execution records to retain")
 		journal    = flag.String("journal", "", "journal file for crash recovery (default: off)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight executions on shutdown")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; default: off)")
 	)
 	flag.Parse()
 
@@ -63,13 +75,23 @@ func main() {
 		}
 	}
 
+	// One registry carries the whole stack's instruments: execq (wired
+	// by the service), plus the workflow-runtime, datacube, federation
+	// and DLS families, primed here so GET /metrics shows the complete
+	// surface from the first scrape.
+	metrics := obs.NewRegistry()
+	compss.PrimeMetrics(metrics)
+	datacube.PrimeMetrics(metrics)
+	multisite.PrimeMetrics(metrics)
+	dls.PrimeMetrics(metrics)
+
 	registry := hpcwaas.NewRegistry()
 	if err := registry.Register(hpcwaas.Entry{
 		Name:        "climate-extremes",
 		Version:     "1.0",
 		Description: "extreme events analysis on ESM projection data (paper case study)",
 		Topology:    tosca.ClimateTopology("zeus"),
-		App:         app(workDir),
+		App:         app(workDir, metrics),
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -91,9 +113,22 @@ func main() {
 		RatePerSec:        *rate,
 		Retention:         *retention,
 		JournalPath:       *journal,
+		Metrics:           metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		// The pprof mux is http.DefaultServeMux (registered by the
+		// net/http/pprof import); keep it on its own listener so
+		// profiling endpoints never share the API's address.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -127,7 +162,7 @@ func main() {
 	log.Printf("shutdown complete")
 }
 
-func app(workDir string) hpcwaas.AppFunc {
+func app(workDir string, metrics *obs.Registry) hpcwaas.AppFunc {
 	return func(params map[string]string) (map[string]string, error) {
 		atoi := func(s string, def int) int {
 			if n, err := strconv.Atoi(s); err == nil {
@@ -145,6 +180,7 @@ func app(workDir string) hpcwaas.AppFunc {
 			DaysPerYear: atoi(params["days_per_year"], 12),
 			Seed:        int64(atoi(params["seed"], 1)),
 			OutputDir:   outDir,
+			Metrics:     metrics,
 			Events: &esm.EventConfig{
 				HeatWavesPerYear: 1, ColdSpellsPerYear: 1, CyclonesPerYear: 1,
 				WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 7,

@@ -18,6 +18,10 @@
 //	     future work): result equivalence + transfer accounting
 //
 // Usage: wfbench -exp c1|c2|c3|c4|ens|dist|all
+//
+// With -trace out.json, wfbench instead runs one full Figure-2
+// workflow with span tracing attached and writes the timeline as a
+// Chrome trace_event file (open in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -33,12 +37,18 @@ import (
 	"repro/internal/esm"
 	"repro/internal/grid"
 	"repro/internal/indices"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|all")
+	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|all")
+	tracePath := flag.String("trace", "", "run one traced end-to-end workflow and write its Chrome trace JSON here (skips -exp)")
 	flag.Parse()
+	if *tracePath != "" {
+		traceRun(*tracePath)
+		return
+	}
 	switch *exp {
 	case "c1":
 		c1()
@@ -70,6 +80,49 @@ func tmpDir(prefix string) string {
 		log.Fatal(err)
 	}
 	return dir
+}
+
+// traceRun executes one full Figure-2 workflow (simulation, streaming
+// year detection, wave indices, TC branch, maps) with a span tracer
+// attached and writes the Chrome trace timeline to path.
+func traceRun(path string) {
+	fmt.Println("=== traced end-to-end workflow run ===")
+	tr := obs.NewTracer()
+	cfg := core.Config{
+		Grid:            grid.Grid{NLat: 32, NLon: 64},
+		Years:           2,
+		DaysPerYear:     20,
+		Seed:            7,
+		OutputDir:       tmpDir("trace-"),
+		Workers:         6,
+		CubeServers:     2,
+		ESMDayDelay:     5 * time.Millisecond,
+		FragmentLatency: time.Millisecond,
+		Tracer:          tr,
+		Events: &esm.EventConfig{
+			HeatWavesPerYear: 2, ColdSpellsPerYear: 1, CyclonesPerYear: 2,
+			WaveAmplitudeK: 9, WaveMinDays: 6, WaveMaxDays: 8,
+		},
+	}
+	t0 := time.Now()
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d tasks done in %v; %d spans -> %s\n",
+		res.RuntimeStats.Done, time.Since(t0).Round(time.Millisecond), len(tr.Spans()), path)
+	fmt.Println("open in chrome://tracing or https://ui.perfetto.dev")
 }
 
 // c1: concurrent workflow vs sequential two-stage baseline. The ESM

@@ -25,12 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/dag"
+	"repro/internal/obs"
 )
 
 // Direction declares how a task uses a parameter, as the paper's @task
@@ -346,6 +348,13 @@ type Config struct {
 	// pre-checkpoint) and may inject faults. Nil means production
 	// behaviour.
 	Injector chaos.Injector
+	// Metrics, when set, receives the runtime's task counters and
+	// attempt-duration histogram (compss_* families).
+	Metrics *obs.Registry
+	// Tracer, when set, records one span per task with one child span
+	// per execution attempt (timed-out attempts close with an error
+	// status; checkpoint restores appear as recovered spans).
+	Tracer *obs.Tracer
 }
 
 // Runtime is the COMPSs-like engine: it owns the task graph, the worker
@@ -365,6 +374,8 @@ type Runtime struct {
 	crashed   bool // simulated process death: no further checkpoint writes
 	rngMu     sync.Mutex
 	rng       *rand.Rand
+	met       *rtMetrics
+	tracer    *obs.Tracer
 
 	trace   []TraceEvent
 	tracing bool
@@ -390,12 +401,14 @@ func NewRuntime(cfg Config) *Runtime {
 		cfg.MaxBackoff = 2 * time.Second
 	}
 	rt := &Runtime{
-		cfg:   cfg,
-		defs:  make(map[string]*TaskDef),
-		graph: dag.New(),
-		inv:   make(map[dag.NodeID]*invocation),
-		slots: make(chan struct{}, cfg.Workers),
-		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		cfg:    cfg,
+		defs:   make(map[string]*TaskDef),
+		graph:  dag.New(),
+		inv:    make(map[dag.NodeID]*invocation),
+		slots:  make(chan struct{}, cfg.Workers),
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+		met:    newRTMetrics(cfg.Metrics),
+		tracer: cfg.Tracer,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		rt.slots <- struct{}{}
@@ -559,7 +572,11 @@ func (r *Runtime) Invoke(def *TaskDef, params ...Param) ([]*Future, error) {
 		if outs, ok := r.cfg.Checkpointer.Lookup(def.Name, in.seq); ok && len(outs) == def.Outputs {
 			in.state = stateRecovered
 			r.mu.Unlock()
+			sp := r.tracer.Start(def.Name,
+				obs.Attr{Key: "seq", Value: strconv.Itoa(in.seq)},
+				obs.Attr{Key: "state", Value: "recovered"})
 			r.finish(in, outs, nil, stateRecovered)
+			sp.End()
 			return in.outs, nil
 		}
 	}
@@ -640,13 +657,23 @@ func (r *Runtime) dispatch(in *invocation) {
 		// hot retry hammers whatever made the attempt fail (the thundering
 		// herd the execq queue already avoids); errors marked Permanent
 		// skip the budget because retrying cannot help.
+		sp := r.tracer.Start(in.def.Name, obs.Attr{Key: "seq", Value: strconv.Itoa(in.seq)})
 		for attempt := 0; ; attempt++ {
+			att := sp.Start("attempt", obs.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
+			t0 := time.Now()
 			outs, err = r.runAttempt(in, args, attempt)
+			r.met.attempt.Observe(time.Since(t0).Seconds())
+			if err != nil && errors.Is(err, ErrTaskTimeout) {
+				r.met.timedOut.Inc()
+			}
+			att.EndErr(err)
 			if err == nil || attempt >= in.def.Retries || IsPermanent(err) || r.isAborted() {
 				break
 			}
+			r.met.retried.Inc()
 			r.sleep(r.backoff(attempt))
 		}
+		sp.EndErr(err)
 		if err != nil && errors.Is(err, chaos.ErrCrash) {
 			r.crash(in)
 			return
@@ -858,6 +885,16 @@ func (r *Runtime) finish(in *invocation, outs []any, err error, final taskState)
 		r.trace = append(r.trace, TraceEvent{Task: in.def.Name, ID: in.id, State: final.String(), Node: in.node})
 	}
 	r.mu.Unlock()
+	switch final {
+	case stateDone:
+		r.met.succeeded.Inc()
+	case stateFailed:
+		r.met.failed.Inc()
+	case stateIgnored:
+		r.met.ignored.Inc()
+	case stateRecovered:
+		r.met.recovered.Inc()
+	}
 
 	// Write back INOUT/OUT shared parameters: convention is that the
 	// task's outputs are matched to shared write parameters in order.
@@ -899,6 +936,7 @@ func (r *Runtime) cancelInvocation(in *invocation) {
 	if already {
 		return
 	}
+	r.met.cancelled.Inc()
 	for _, f := range in.outs {
 		if !f.Done() {
 			f.resolve(nil, ErrCancelled)

@@ -1,0 +1,39 @@
+package compss
+
+import "repro/internal/obs"
+
+// attemptBounds bucket task-attempt durations; workflow tasks range
+// from sub-millisecond index reductions to multi-second ESM runs.
+var attemptBounds = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300,
+}
+
+// rtMetrics holds the runtime's instruments. With a nil registry they
+// are detached no-ops, so the hot path records unconditionally.
+type rtMetrics struct {
+	succeeded *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	ignored   *obs.Counter
+	recovered *obs.Counter
+	retried   *obs.Counter
+	timedOut  *obs.Counter
+	attempt   *obs.Histogram
+}
+
+func newRTMetrics(reg *obs.Registry) *rtMetrics {
+	return &rtMetrics{
+		succeeded: reg.Counter("compss_tasks_succeeded_total", "Tasks that finished successfully."),
+		failed:    reg.Counter("compss_tasks_failed_total", "Tasks that failed terminally (after retries)."),
+		cancelled: reg.Counter("compss_tasks_cancelled_total", "Tasks cancelled by failure propagation or abort."),
+		ignored:   reg.Counter("compss_tasks_ignored_total", "Failed tasks resolved to nil under the Ignore policy."),
+		recovered: reg.Counter("compss_tasks_recovered_total", "Tasks replayed from a checkpoint instead of executing."),
+		retried:   reg.Counter("compss_tasks_retried_total", "Failed attempts that were retried."),
+		timedOut:  reg.Counter("compss_tasks_timed_out_total", "Attempts that exceeded their per-task deadline."),
+		attempt:   reg.Histogram("compss_task_attempt_seconds", "Wall-clock duration of one task attempt.", attemptBounds),
+	}
+}
+
+// PrimeMetrics registers the runtime's metric families on reg so a
+// scrape shows the full surface before any workflow has executed.
+func PrimeMetrics(reg *obs.Registry) { newRTMetrics(reg) }

@@ -1,0 +1,114 @@
+package compss
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSpanNestingUnderRetries is the satellite-5 tracing contract: a
+// task whose first attempt times out must produce one task span with
+// one child span per attempt, the timed-out attempt closed with an
+// error status, and the final span closed clean.
+func TestSpanNestingUnderRetries(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	rt := NewRuntime(Config{
+		Workers:     2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Metrics:     reg,
+		Tracer:      tr,
+	})
+	t.Cleanup(func() { _ = rt.Shutdown() })
+
+	var attempts int64
+	slow := rt.MustRegister(TaskDef{
+		Name:    "sometimes-slow",
+		Outputs: 1,
+		Retries: 2,
+		Timeout: 20 * time.Millisecond,
+		Fn: func(args []any) ([]any, error) {
+			if atomic.AddInt64(&attempts, 1) == 1 {
+				time.Sleep(200 * time.Millisecond) // blow the attempt deadline
+			}
+			return []any{"ok"}, nil
+		},
+	})
+	f, err := rt.InvokeOne(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := f.Get(); err != nil || v != "ok" {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	var task obs.SpanData
+	var atts []obs.SpanData
+	for _, s := range spans {
+		switch s.Name {
+		case "sometimes-slow":
+			task = s
+		case "attempt":
+			atts = append(atts, s)
+		}
+	}
+	if task.ID == 0 {
+		t.Fatalf("no task span recorded; spans = %+v", spans)
+	}
+	if task.Err != "" {
+		t.Errorf("task span ended with error %q despite eventual success", task.Err)
+	}
+	if len(atts) != 2 {
+		t.Fatalf("want 2 attempt spans, got %d", len(atts))
+	}
+	for _, a := range atts {
+		if a.Parent != task.ID || a.Root != task.ID {
+			t.Errorf("attempt span %d not nested under task span %d: parent=%d root=%d",
+				a.ID, task.ID, a.Parent, a.Root)
+		}
+	}
+	// Attempts are published in completion order: the timed-out first
+	// attempt carries the timeout error, the retry is clean.
+	var timedOut, clean int
+	for _, a := range atts {
+		switch {
+		case strings.Contains(a.Err, "timed out"):
+			timedOut++
+			if got := a.Attr("attempt"); got != "0" {
+				t.Errorf("timed-out span is attempt %q, want 0", got)
+			}
+		case a.Err == "":
+			clean++
+		default:
+			t.Errorf("attempt span has unexpected error %q", a.Err)
+		}
+	}
+	if timedOut != 1 || clean != 1 {
+		t.Errorf("attempt errors: %d timed out / %d clean, want 1/1", timedOut, clean)
+	}
+
+	// Counters must agree with the trace.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"compss_tasks_timed_out_total 1",
+		"compss_tasks_retried_total 1",
+		"compss_tasks_succeeded_total 1",
+		"compss_task_attempt_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/indices"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/tctrack"
 )
 
@@ -127,6 +128,13 @@ type Config struct {
 	// ESM task (and therefore the workflow) immediately instead of
 	// letting a corrupted simulation burn its allocation.
 	OnlineDiagnostics bool
+	// Metrics, when set, registers the run's datacube and task-runtime
+	// instruments on the shared observability registry (see
+	// internal/obs); nil disables metric recording.
+	Metrics *obs.Registry
+	// Tracer, when set, records one span per task attempt so the run
+	// can be exported as a Chrome trace timeline; nil disables tracing.
+	Tracer *obs.Tracer
 	// AttachOnly skips the ESM task and instead watches ModelDir for
 	// daily files written by an external producer (a real model run, or
 	// esmgen in another process) — the decoupled operational deployment

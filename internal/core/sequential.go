@@ -32,7 +32,11 @@ func RunSequential(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	engine := datacube.NewEngine(datacube.Config{Servers: cfg.CubeServers, FragmentLatency: cfg.FragmentLatency})
+	engine := datacube.NewEngine(datacube.Config{
+		Servers:         cfg.CubeServers,
+		FragmentLatency: cfg.FragmentLatency,
+		Metrics:         cfg.Metrics,
+	})
 	defer engine.Close()
 
 	// Stage 1: the whole simulation.

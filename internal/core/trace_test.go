@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunTraceCoversAllTasks runs a small Figure-2 workflow with a
+// tracer attached and asserts the resulting Chrome trace timeline
+// covers every executed task: one task span per completed invocation,
+// spanning all task kinds, plus nested attempt spans.
+func TestRunTraceCoversAllTasks(t *testing.T) {
+	cfg := testConfig(t, 1)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	byName := map[string]int{}
+	attempts := 0
+	for _, s := range spans {
+		if s.Name == "attempt" {
+			attempts++
+			continue
+		}
+		byName[s.Name]++
+		if s.Err != "" {
+			t.Errorf("task span %s ended with error %q in a clean run", s.Name, s.Err)
+		}
+	}
+	kinds := append([]string{TaskESMRun, TaskLoadBaselineMax, TaskLoadBaselineMin, TaskFinalMaps}, PerYearKinds...)
+	for _, k := range kinds {
+		if byName[k] == 0 {
+			t.Errorf("no span for task kind %q", k)
+		}
+	}
+	taskSpans := 0
+	for _, n := range byName {
+		taskSpans += n
+	}
+	if taskSpans != res.RuntimeStats.Done {
+		t.Errorf("task spans = %d, runtime Done = %d", taskSpans, res.RuntimeStats.Done)
+	}
+	if attempts < taskSpans {
+		t.Errorf("attempt spans = %d, want at least one per task span (%d)", attempts, taskSpans)
+	}
+
+	// The exported timeline must round-trip and keep every task event.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("ParseChromeTrace: %v", err)
+	}
+	evNames := map[string]int{}
+	for _, ev := range events {
+		evNames[ev.Name]++
+		if ev.Ph != "X" || ev.Dur <= 0 {
+			t.Errorf("event %s has ph=%q dur=%d", ev.Name, ev.Ph, ev.Dur)
+		}
+	}
+	for _, k := range kinds {
+		if evNames[k] != byName[k] {
+			t.Errorf("trace JSON has %d %q events, want %d", evNames[k], k, byName[k])
+		}
+	}
+
+	// Metrics agree with the run: every task succeeded.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"compss_tasks_succeeded_total",
+		"datacube_operator_seconds_bucket",
+		"datacube_cells_processed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if strings.Contains(text, "compss_tasks_succeeded_total 0\n") {
+		t.Error("compss_tasks_succeeded_total stayed 0")
+	}
+}

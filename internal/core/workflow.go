@@ -74,13 +74,19 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	engine := datacube.NewEngine(datacube.Config{Servers: cfg.CubeServers, FragmentLatency: cfg.FragmentLatency})
+	engine := datacube.NewEngine(datacube.Config{
+		Servers:         cfg.CubeServers,
+		FragmentLatency: cfg.FragmentLatency,
+		Metrics:         cfg.Metrics,
+	})
 	defer engine.Close()
 	rt := compss.NewRuntime(compss.Config{
 		Workers:      cfg.Workers,
 		Checkpointer: cfg.Checkpointer,
 		Injector:     cfg.Injector,
 		Seed:         cfg.Seed,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
 	})
 
 	w := &workflow{cfg: cfg, rt: rt, engine: engine}

@@ -138,7 +138,7 @@ func (c *Cube) Apply(exprSrc string) (*Cube, error) {
 	e := c.engine
 	out := e.newCube(c.explicit, c.implicit)
 	out.measure = c.measure
-	err = e.mapFragments(out, func(fr *fragment) error {
+	err = e.mapFragments("apply", out, func(fr *fragment) error {
 		n := c.implicit.Size
 		for r := 0; r < fr.rowCount; r++ {
 			src := c.rowSlice(fr.rowStart + r)
@@ -147,7 +147,7 @@ func (c *Cube) Apply(exprSrc string) (*Cube, error) {
 				dst[t] = float32(expr.Eval(float64(v)))
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {
@@ -179,7 +179,7 @@ func (c *Cube) ReduceGroup(op string, group int, params ...float64) (*Cube, erro
 	outLen := c.implicit.Size / group
 	out := e.newCube(c.explicit, Dimension{Name: c.implicit.Name, Size: outLen})
 	out.measure = c.measure
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("reduce", out, func(fr *fragment) error {
 		for r := 0; r < fr.rowCount; r++ {
 			src := c.rowSlice(fr.rowStart + r)
 			dst := fr.data[r*outLen : (r+1)*outLen]
@@ -187,7 +187,7 @@ func (c *Cube) ReduceGroup(op string, group int, params ...float64) (*Cube, erro
 				dst[gidx] = float32(rop(src[gidx*group:(gidx+1)*group], params))
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * c.implicit.Size))
+		e.addCells(int64(fr.rowCount * c.implicit.Size))
 		return nil
 	})
 	if err != nil {
@@ -215,7 +215,7 @@ func (c *Cube) ReduceStride(op string, stride int, params ...float64) (*Cube, er
 	groups := c.implicit.Size / stride
 	out := e.newCube(c.explicit, Dimension{Name: c.implicit.Name, Size: stride})
 	out.measure = c.measure
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("reducestride", out, func(fr *fragment) error {
 		buf := make([]float32, groups)
 		for r := 0; r < fr.rowCount; r++ {
 			src := c.rowSlice(fr.rowStart + r)
@@ -227,7 +227,7 @@ func (c *Cube) ReduceStride(op string, stride int, params ...float64) (*Cube, er
 				dst[k] = float32(rop(buf, params))
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * c.implicit.Size))
+		e.addCells(int64(fr.rowCount * c.implicit.Size))
 		return nil
 	})
 	if err != nil {
@@ -247,12 +247,12 @@ func (c *Cube) Subset(lo, hi int) (*Cube, error) {
 	out := e.newCube(c.explicit, Dimension{Name: c.implicit.Name, Size: hi - lo})
 	out.measure = c.measure
 	n := hi - lo
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("subset", out, func(fr *fragment) error {
 		for r := 0; r < fr.rowCount; r++ {
 			src := c.rowSlice(fr.rowStart + r)
 			copy(fr.data[r*n:(r+1)*n], src[lo:hi])
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {
@@ -280,12 +280,12 @@ func (c *Cube) SubsetRows(lo, hi int) (*Cube, error) {
 	out.measure = c.measure
 	n := c.implicit.Size
 	base := lo * rowsPer
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("subsetrows", out, func(fr *fragment) error {
 		for r := 0; r < fr.rowCount; r++ {
 			src := c.rowSlice(base + fr.rowStart + r)
 			copy(fr.data[r*n:(r+1)*n], src)
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {
@@ -318,7 +318,7 @@ func (c *Cube) Intercube(o *Cube, op string) (*Cube, error) {
 	out := e.newCube(c.explicit, c.implicit)
 	out.measure = c.measure
 	n := c.implicit.Size
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("intercube", out, func(fr *fragment) error {
 		for r := 0; r < fr.rowCount; r++ {
 			row := fr.rowStart + r
 			a := c.rowSlice(row)
@@ -328,7 +328,7 @@ func (c *Cube) Intercube(o *Cube, op string) (*Cube, error) {
 				dst[t] = f(a[t], b[t])
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {
@@ -357,7 +357,7 @@ func (c *Cube) AggregateTrailing(op string, params ...float64) (*Cube, error) {
 	n := c.implicit.Size
 	out := e.newCube(lead, c.implicit)
 	out.measure = c.measure
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("aggtrailing", out, func(fr *fragment) error {
 		col := make([]float32, trail.Size)
 		for r := 0; r < fr.rowCount; r++ {
 			group := fr.rowStart + r // index over the leading dims
@@ -369,7 +369,7 @@ func (c *Cube) AggregateTrailing(op string, params ...float64) (*Cube, error) {
 				dst[t] = float32(rop(col, params))
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * n * trail.Size))
+		e.addCells(int64(fr.rowCount * n * trail.Size))
 		return nil
 	})
 	if err != nil {
@@ -391,7 +391,7 @@ func (c *Cube) AggregateRows(op string, params ...float64) (*Cube, error) {
 	out := e.newCube([]Dimension{{Name: "all", Size: 1}}, c.implicit)
 	out.measure = c.measure
 	// gather column-wise; small output, do it on one server via mapFragments
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("aggrows", out, func(fr *fragment) error {
 		col := make([]float32, c.rows)
 		for t := 0; t < n; t++ {
 			for r := 0; r < c.rows; r++ {
@@ -399,7 +399,7 @@ func (c *Cube) AggregateRows(op string, params ...float64) (*Cube, error) {
 			}
 			fr.data[t] = float32(rop(col, params))
 		}
-		e.cells.Add(int64(c.rows * n))
+		e.addCells(int64(c.rows * n))
 		return nil
 	})
 	if err != nil {

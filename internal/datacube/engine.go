@@ -1,6 +1,7 @@
 package datacube
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ncdf"
+	"repro/internal/obs"
 )
 
 // Config sizes an Engine.
@@ -26,7 +28,13 @@ type Config struct {
 	// the server count the way the real multi-node deployment does —
 	// even on hosts without spare cores. Zero disables it.
 	FragmentLatency time.Duration
+	// Metrics, when set, receives per-operator wall-time histograms and
+	// cell/fragment throughput counters (datacube_* families).
+	Metrics *obs.Registry
 }
+
+// ErrEngineClosed is returned by operators invoked after Engine.Close.
+var ErrEngineClosed = errors.New("datacube: engine closed")
 
 // Stats counts engine activity; its deltas drive the paper's
 // data-reuse experiment (C2).
@@ -53,6 +61,10 @@ type Engine struct {
 	nextID  int64
 	servers []*ioServer
 	closed  bool
+	// inflight tracks operators that may still send fragment tasks;
+	// Close waits for it before closing the server channels.
+	inflight sync.WaitGroup
+	met      *dcMetrics
 
 	fileReads atomic.Int64
 	cells     atomic.Int64
@@ -86,21 +98,28 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.FragmentsPerCube <= 0 {
 		cfg.FragmentsPerCube = 2 * cfg.Servers
 	}
-	e := &Engine{cfg: cfg, cubes: make(map[string]*Cube)}
+	e := &Engine{cfg: cfg, cubes: make(map[string]*Cube), met: newDCMetrics(cfg.Metrics)}
 	for i := 0; i < cfg.Servers; i++ {
 		e.servers = append(e.servers, newIOServer())
 	}
 	return e
 }
 
-// Close stops the I/O servers. Operators must not be used afterwards.
+// Close stops the I/O servers after draining in-flight operators.
+// Operators invoked afterwards fail with ErrEngineClosed instead of
+// panicking on the closed task channels.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return
 	}
 	e.closed = true
+	e.mu.Unlock()
+	// Operators that passed the closed check have registered in
+	// inflight; once they return, no further sends can happen and the
+	// channels are safe to close.
+	e.inflight.Wait()
 	for _, s := range e.servers {
 		close(s.tasks)
 	}
@@ -111,6 +130,13 @@ func (e *Engine) Close() {
 
 // Servers reports the configured parallelism.
 func (e *Engine) Servers() int { return e.cfg.Servers }
+
+// addCells accounts processed array elements in both the Stats counter
+// and the exported throughput metric.
+func (e *Engine) addCells(n int64) {
+	e.cells.Add(n)
+	e.met.cells.Add(float64(n))
+}
 
 // Stats returns a snapshot of activity counters.
 func (e *Engine) Stats() Stats {
@@ -223,32 +249,48 @@ func (e *Engine) newCube(explicit []Dimension, implicit Dimension) *Cube {
 }
 
 // mapFragments runs fn over every fragment of c on the fragment's
-// owning I/O server and waits for completion, returning the first
-// error.
-func (e *Engine) mapFragments(c *Cube, fn func(fr *fragment) error) error {
+// owning I/O server and waits for completion. All fragment errors are
+// aggregated with errors.Join so a multi-fragment failure is fully
+// reported, not reduced to one arbitrary member. op labels the
+// operator's wall-time histogram.
+func (e *Engine) mapFragments(op string, c *Cube, fn func(fr *fragment) error) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("%s: %w", op, ErrEngineClosed)
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+
+	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(c.frags))
 	for _, fr := range c.frags {
 		fr := fr
 		wg.Add(1)
 		e.fragTasks.Add(1)
+		e.met.fragTasks.Inc()
 		e.servers[fr.server].tasks <- func() {
 			defer wg.Done()
+			t0 := time.Now()
 			if e.cfg.FragmentLatency > 0 {
 				time.Sleep(e.cfg.FragmentLatency)
 			}
 			if err := fn(fr); err != nil {
-				errCh <- err
+				errCh <- fmt.Errorf("%s: rows [%d,%d): %w", op, fr.rowStart, fr.rowStart+fr.rowCount, err)
 			}
+			e.met.fragSeconds.Observe(time.Since(t0).Seconds())
 		}
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
 	}
+	e.met.opSeconds.With(op).Observe(time.Since(start).Seconds())
+	return errors.Join(errs...)
 }
 
 // NewCubeFromFunc materializes a cube from a generator function
@@ -265,7 +307,7 @@ func (e *Engine) NewCubeFromFunc(measure string, explicit []Dimension, implicit 
 	}
 	c := e.newCube(explicit, implicit)
 	c.measure = measure
-	err := e.mapFragments(c, func(fr *fragment) error {
+	err := e.mapFragments("from_func", c, func(fr *fragment) error {
 		n := implicit.Size
 		for r := 0; r < fr.rowCount; r++ {
 			row := fr.rowStart + r
@@ -273,7 +315,7 @@ func (e *Engine) NewCubeFromFunc(measure string, explicit []Dimension, implicit 
 				fr.data[r*n+t] = f(row, t)
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {
@@ -326,7 +368,7 @@ func (e *Engine) ImportDataset(ds *ncdf.Dataset, varName, implicitDim string) (*
 			expAxes = append(expAxes, i)
 		}
 	}
-	err = e.mapFragments(c, func(fr *fragment) error {
+	err = e.mapFragments("import", c, func(fr *fragment) error {
 		n := implicit.Size
 		idx := make([]int, len(expAxes))
 		for r := 0; r < fr.rowCount; r++ {
@@ -347,7 +389,7 @@ func (e *Engine) ImportDataset(ds *ncdf.Dataset, varName, implicitDim string) (*
 				fr.data[r*n+t] = v.Data[base+t*st]
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {
@@ -364,6 +406,7 @@ func (e *Engine) ImportFile(path, varName, implicitDim string) (*Cube, error) {
 		return nil, err
 	}
 	e.fileReads.Add(1)
+	e.met.fileReads.Inc()
 	// Rebuild a minimal dataset holding just this variable.
 	sub := ncdf.NewDataset()
 	for _, d := range ds.Dims {
@@ -428,7 +471,7 @@ func (e *Engine) Concat(cubes []*Cube) (*Cube, error) {
 		offsets[i] = off
 		off += c.implicit.Size
 	}
-	err := e.mapFragments(out, func(fr *fragment) error {
+	err := e.mapFragments("concat", out, func(fr *fragment) error {
 		n := total
 		for r := 0; r < fr.rowCount; r++ {
 			row := fr.rowStart + r
@@ -437,7 +480,7 @@ func (e *Engine) Concat(cubes []*Cube) (*Cube, error) {
 				copy(fr.data[r*n+offsets[ci]:r*n+offsets[ci]+len(src)], src)
 			}
 		}
-		e.cells.Add(int64(fr.rowCount * n))
+		e.addCells(int64(fr.rowCount * n))
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,138 @@
+package datacube
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseDuringOperatorDoesNotPanic is the regression test for the
+// use-after-Close panic: an operator whose fragment count exceeds the
+// I/O-server channel buffer blocks in mapFragments' send loop; closing
+// the engine concurrently used to close the channel under the sender,
+// panicking with "send on closed channel". Close must instead wait for
+// the in-flight operator to drain.
+func TestCloseDuringOperatorDoesNotPanic(t *testing.T) {
+	// One server, many more fragments than the 64-slot task buffer, and
+	// enough per-fragment latency that the producer is still sending
+	// when Close lands.
+	e := NewEngine(Config{Servers: 1, FragmentsPerCube: 256, FragmentLatency: 200 * time.Microsecond})
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- fmt.Errorf("operator panicked: %v", p)
+			}
+		}()
+		_, err := e.NewCubeFromFunc("m",
+			[]Dimension{{Name: "cell", Size: 256}}, Dimension{Name: "t", Size: 4},
+			func(row, t int) float32 { return float32(row + t) })
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the send loop fill the channel
+	e.Close()
+	err := <-done
+	// The in-flight operator either completed before Close drained it
+	// (nil) — never a panic.
+	if err != nil {
+		t.Fatalf("concurrent Close broke the operator: %v", err)
+	}
+}
+
+// TestOperatorsAfterCloseReturnTyped verifies that operators started
+// after Close fail with ErrEngineClosed instead of panicking.
+func TestOperatorsAfterCloseReturnTyped(t *testing.T) {
+	e := NewEngine(Config{Servers: 2})
+	c, err := e.NewCubeFromFunc("m",
+		[]Dimension{{Name: "cell", Size: 8}}, Dimension{Name: "t", Size: 4},
+		func(row, t int) float32 { return 1 })
+	if err != nil {
+		t.Fatalf("NewCubeFromFunc: %v", err)
+	}
+	e.Close()
+	e.Close() // idempotent
+
+	if _, err := e.NewCubeFromFunc("m2",
+		[]Dimension{{Name: "cell", Size: 8}}, Dimension{Name: "t", Size: 4},
+		func(row, t int) float32 { return 2 }); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("NewCubeFromFunc after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := c.Apply("x+1"); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Apply after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := c.Reduce("max"); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Reduce after Close = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestCloseConcurrentWithManyOperators hammers Close against a burst of
+// operators from several goroutines; every operator must either succeed
+// or fail with ErrEngineClosed.
+func TestCloseConcurrentWithManyOperators(t *testing.T) {
+	e := NewEngine(Config{Servers: 2, FragmentsPerCube: 128, FragmentLatency: 50 * time.Microsecond})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("panic: %v", p)
+				}
+			}()
+			_, err := e.NewCubeFromFunc("m",
+				[]Dimension{{Name: "cell", Size: 128}}, Dimension{Name: "t", Size: 2},
+				func(row, t int) float32 { return 0 })
+			if err != nil && !errors.Is(err, ErrEngineClosed) {
+				errs <- err
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	e.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("operator under concurrent Close: %v", err)
+	}
+}
+
+// TestMapFragmentsJoinsAllErrors is the regression test for the
+// dropped-error bug: mapFragments used to report only one
+// nondeterministically-chosen fragment error. All fragment failures
+// must now surface through errors.Join.
+func TestMapFragmentsJoinsAllErrors(t *testing.T) {
+	e := newTestEngine(t)
+	c := e.newCube([]Dimension{{Name: "cell", Size: 5}}, Dimension{Name: "t", Size: 1})
+	errA := errors.New("fragment failure A")
+	errB := errors.New("fragment failure B")
+	var n int32
+	var mu sync.Mutex
+	err := e.mapFragments("test", c, func(fr *fragment) error {
+		mu.Lock()
+		n++
+		k := n
+		mu.Unlock()
+		switch k {
+		case 1:
+			return errA
+		case 2:
+			return errB
+		default:
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatalf("expected aggregated error")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Errorf("aggregated error lost a member: %v", err)
+	}
+	if !strings.Contains(err.Error(), "failure A") || !strings.Contains(err.Error(), "failure B") {
+		t.Errorf("aggregated message incomplete: %v", err)
+	}
+}

@@ -92,7 +92,19 @@ type Service struct {
 
 	mu      sync.Mutex
 	log     []Transfer
+	met     *dlsMetrics
 	sleepFn func(time.Duration) // test hook; nil means time.Sleep
+}
+
+// metrics returns the instrument set, creating a detached one on first
+// use so zero-value Services stay safe.
+func (s *Service) metrics() *dlsMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.met == nil {
+		s.met = newDLSMetrics(nil)
+	}
+	return s.met
 }
 
 // NewService returns a service over the catalog (nil creates one).
@@ -134,6 +146,9 @@ func (s *Service) StageIn(dataset, dstDir string) ([]string, error) {
 		if err != nil {
 			return out, fmt.Errorf("dls: stage-in %s/%s: %w", dataset, rel, err)
 		}
+		met := s.metrics()
+		met.copies.Inc()
+		met.bytes.Add(float64(n))
 		s.mu.Lock()
 		s.log = append(s.log, Transfer{Dataset: dataset, File: rel, Bytes: n, Checksum: sum, When: time.Now()})
 		s.mu.Unlock()
@@ -160,6 +175,7 @@ func (s *Service) copyWithRetry(dataset, rel, src, dst string) (int64, string, e
 		if err == nil || attempt >= retries || chaos.IsPermanent(err) {
 			return n, sum, err
 		}
+		s.metrics().retries.Inc()
 		delay := 10 * time.Millisecond << uint(attempt)
 		if delay > 500*time.Millisecond {
 			delay = 500 * time.Millisecond

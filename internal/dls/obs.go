@@ -1,0 +1,34 @@
+package dls
+
+import "repro/internal/obs"
+
+// dlsMetrics holds the service's instruments. With no registry they are
+// detached no-ops and the provenance log stays authoritative.
+type dlsMetrics struct {
+	copies  *obs.Counter
+	retries *obs.Counter
+	bytes   *obs.Counter
+}
+
+func newDLSMetrics(reg *obs.Registry) *dlsMetrics {
+	return &dlsMetrics{
+		copies: reg.Counter("dls_copies_total",
+			"Verified file copies completed by the Data Logistics Service."),
+		retries: reg.Counter("dls_copy_retries_total",
+			"Copy attempts retried after a transient failure or checksum mismatch."),
+		bytes: reg.Counter("dls_bytes_copied_total",
+			"Bytes landed by verified copies."),
+	}
+}
+
+// SetMetrics attaches the service's instruments to reg. Call before the
+// first stage-in; passing nil detaches them.
+func (s *Service) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = newDLSMetrics(reg)
+}
+
+// PrimeMetrics registers the DLS metric families on reg so a scrape
+// shows the full surface before any pipeline runs.
+func PrimeMetrics(reg *obs.Registry) { newDLSMetrics(reg) }

@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"encoding/json"
+
+	"repro/internal/obs"
 )
 
 // State is the lifecycle of one job.
@@ -167,6 +169,10 @@ type Config struct {
 	// OnChange observes every state transition, delivered in order from
 	// a single goroutine. It may call back into the queue.
 	OnChange func(JobView)
+	// Metrics, when non-nil, receives the queue's counters, latency
+	// histograms and live-state gauges (execq_* families). One queue per
+	// registry. Nil keeps the instruments private to Stats().
+	Metrics *obs.Registry
 
 	// nowFn overrides the clock in tests.
 	nowFn func() time.Time
@@ -259,9 +265,7 @@ type Queue struct {
 	draining     bool
 	closed       bool
 	rng          *rand.Rand
-	counters     counters
-	waitHist     histogram
-	runHist      histogram
+	met          *qmetrics
 	journal      *journal
 
 	baseCtx    context.Context
@@ -319,10 +323,10 @@ func New(cfg Config) (*Queue, error) {
 		perPrincipal: make(map[string]int),
 		buckets:      make(map[string]*bucket),
 		rng:          rand.New(rand.NewSource(seed)),
-		waitHist:     newHistogram(),
-		runHist:      newHistogram(),
+		met:          newQMetrics(cfg.Metrics),
 		evDone:       make(chan struct{}),
 	}
+	q.registerGauges(cfg.Metrics)
 	q.cond = sync.NewCond(&q.mu)
 	q.evCond = sync.NewCond(&q.emu)
 	q.baseCtx, q.cancelBase = context.WithCancel(context.Background())
@@ -335,7 +339,7 @@ func New(cfg Config) (*Queue, error) {
 		if err != nil {
 			return nil, err
 		}
-		q.counters.journalSkipped = uint64(skipped)
+		q.met.journalSkipped.Add(float64(skipped))
 		q.journal, err = resetJournal(cfg.JournalPath, pending)
 		if err != nil {
 			return nil, err
@@ -372,18 +376,18 @@ func (q *Queue) Submit(j Job) (JobView, error) {
 		return JobView{}, ErrDraining
 	}
 	if len(q.heap) >= q.cfg.QueueDepth {
-		q.counters.rejectedFull++
+		q.met.rejectedFull.Inc()
 		q.mu.Unlock()
 		return JobView{}, &admissionError{err: ErrQueueFull, retryAfter: q.cfg.RetryAfterHint}
 	}
 	if q.cfg.PerPrincipalLimit > 0 && q.perPrincipal[j.Principal] >= q.cfg.PerPrincipalLimit {
-		q.counters.rejectedQuota++
+		q.met.rejectedQuota.Inc()
 		q.mu.Unlock()
 		return JobView{}, &admissionError{err: ErrQuotaExceeded, retryAfter: q.cfg.RetryAfterHint}
 	}
 	if q.cfg.RatePerSec > 0 {
 		if wait := q.takeTokenLocked(j.Principal); wait > 0 {
-			q.counters.rejectedRate++
+			q.met.rejectedRate.Inc()
 			q.mu.Unlock()
 			return JobView{}, &admissionError{err: ErrRateLimited, retryAfter: wait}
 		}
@@ -397,7 +401,7 @@ func (q *Queue) Submit(j Job) (JobView, error) {
 		return JobView{}, fmt.Errorf("%w: %s", ErrDuplicateID, j.ID)
 	}
 	it := q.enqueueLocked(j)
-	q.counters.submitted++
+	q.met.submitted.Inc()
 	if q.journal != nil {
 		q.journal.append(submitRecord(j, it.submitted))
 	}
@@ -415,7 +419,7 @@ func (q *Queue) enqueueRecovered(j Job) {
 		return
 	}
 	q.enqueueLocked(j)
-	q.counters.recovered++
+	q.met.recovered.Inc()
 	q.mu.Unlock()
 }
 
@@ -489,7 +493,7 @@ func (q *Queue) worker() {
 			continue
 		}
 		now := q.now()
-		q.waitHist.observe(now.Sub(it.enqueued).Seconds())
+		q.met.wait.Observe(now.Sub(it.enqueued).Seconds())
 		it.attempt++
 		it.state = StateRunning
 		it.started = now
@@ -545,7 +549,7 @@ func (q *Queue) scheduleRetryLocked(it *item, cause error) {
 	it.state = StateRetrying
 	it.errMsg = cause.Error()
 	q.retrying++
-	q.counters.retried++
+	q.met.retried.Inc()
 	delay := q.backoffLocked(it.attempt)
 	if q.journal != nil {
 		q.journal.append(stateRecord(it.ID, StateRetrying, it.errMsg, q.now()))
@@ -596,15 +600,15 @@ func (q *Queue) finalizeLocked(it *item, state State, cause error) {
 		it.errMsg = cause.Error()
 	}
 	if !it.started.IsZero() {
-		q.runHist.observe(it.finished.Sub(it.started).Seconds())
+		q.met.run.Observe(it.finished.Sub(it.started).Seconds())
 	}
 	switch state {
 	case StateDone:
-		q.counters.completed++
+		q.met.completed.Inc()
 	case StateFailed:
-		q.counters.failed++
+		q.met.failed.Inc()
 	case StateCanceled:
-		q.counters.canceled++
+		q.met.canceled.Inc()
 	}
 	delete(q.items, it.ID)
 	if n := q.perPrincipal[it.Principal] - 1; n > 0 {

@@ -1,20 +1,10 @@
 package execq
 
-import "math"
+import (
+	"math"
 
-// counters are the queue's monotonic event counts (guarded by Queue.mu).
-type counters struct {
-	submitted      uint64
-	recovered      uint64
-	journalSkipped uint64 // corrupt journal lines skipped during replay
-	completed      uint64
-	failed         uint64
-	canceled       uint64
-	retried        uint64
-	rejectedFull   uint64
-	rejectedQuota  uint64
-	rejectedRate   uint64
-}
+	"repro/internal/obs"
+)
 
 // histBounds are the exponential latency bucket upper bounds in seconds.
 var histBounds = []float64{
@@ -22,52 +12,100 @@ var histBounds = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
-// histogram is a fixed-bucket latency histogram (guarded by Queue.mu).
-type histogram struct {
-	counts []uint64 // len(histBounds)+1; last bucket is overflow
-	total  uint64
-	sum    float64
+// qmetrics holds the queue's instruments on the obs registry. With a
+// nil registry the instruments are detached but still record, so
+// Stats() works for an unexported queue too.
+type qmetrics struct {
+	submitted      *obs.Counter
+	recovered      *obs.Counter
+	journalSkipped *obs.Counter
+	completed      *obs.Counter
+	failed         *obs.Counter
+	canceled       *obs.Counter
+	retried        *obs.Counter
+	rejectedFull   *obs.Counter
+	rejectedQuota  *obs.Counter
+	rejectedRate   *obs.Counter
+	wait           *obs.Histogram
+	run            *obs.Histogram
 }
 
-func newHistogram() histogram {
-	return histogram{counts: make([]uint64, len(histBounds)+1)}
-}
-
-func (h *histogram) observe(seconds float64) {
-	i := 0
-	for i < len(histBounds) && seconds > histBounds[i] {
-		i++
+func newQMetrics(reg *obs.Registry) *qmetrics {
+	rejected := reg.CounterVec("execq_rejected_total",
+		"Jobs rejected at admission, by reason.", "reason")
+	return &qmetrics{
+		submitted:      reg.Counter("execq_submitted_total", "Jobs accepted by Submit."),
+		recovered:      reg.Counter("execq_recovered_total", "Jobs re-enqueued from the journal at startup."),
+		journalSkipped: reg.Counter("execq_journal_skipped_total", "Corrupt journal lines skipped during crash recovery."),
+		completed:      reg.Counter("execq_completed_total", "Jobs finished successfully."),
+		failed:         reg.Counter("execq_failed_total", "Jobs failed terminally."),
+		canceled:       reg.Counter("execq_canceled_total", "Jobs canceled."),
+		retried:        reg.Counter("execq_retried_total", "Transient failures scheduled for retry."),
+		rejectedFull:   rejected.With("full"),
+		rejectedQuota:  rejected.With("quota"),
+		rejectedRate:   rejected.With("rate"),
+		wait:           reg.Histogram("execq_wait_seconds", "Enqueue-to-dispatch latency.", histBounds),
+		run:            reg.Histogram("execq_run_seconds", "Dispatch-to-finish latency.", histBounds),
 	}
-	h.counts[i]++
-	h.total++
-	h.sum += seconds
 }
 
-// quantile approximates the q-th quantile (0..1) by linear
-// interpolation within the containing bucket.
-func (h *histogram) quantile(q float64) float64 {
-	if h.total == 0 {
+// registerGauges exposes live queue state on the registry. One queue
+// per registry: a second queue would overwrite these gauge functions.
+func (q *Queue) registerGauges(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("execq_queue_depth", "Jobs queued, not yet dispatched.",
+		locked(func() float64 { return float64(len(q.heap)) }))
+	reg.GaugeFunc("execq_running", "Jobs currently executing.",
+		locked(func() float64 { return float64(q.running) }))
+	reg.GaugeFunc("execq_retrying", "Jobs waiting out a retry backoff.",
+		locked(func() float64 { return float64(q.retrying) }))
+	reg.GaugeFunc("execq_draining", "1 while the queue refuses new work.",
+		locked(func() float64 {
+			if q.draining || q.closed {
+				return 1
+			}
+			return 0
+		}))
+	reg.GaugeFunc("execq_workers", "Configured worker-pool size.",
+		func() float64 { return float64(q.cfg.Workers) })
+	reg.GaugeFunc("execq_queue_capacity", "Configured queue depth bound.",
+		func() float64 { return float64(q.cfg.QueueDepth) })
+}
+
+// quantileOf approximates the q-th quantile (0..1) of a histogram
+// snapshot by linear interpolation within the containing bucket.
+func quantileOf(s obs.HistogramSnapshot, q float64) float64 {
+	if s.Count == 0 {
 		return 0
 	}
-	rank := q * float64(h.total)
+	rank := q * float64(s.Count)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range s.Counts {
 		next := cum + float64(c)
 		if rank <= next && c > 0 {
 			lo := 0.0
 			if i > 0 {
-				lo = histBounds[i-1]
+				lo = s.Bounds[i-1]
 			}
 			hi := lo
-			if i < len(histBounds) {
-				hi = histBounds[i]
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
 			}
 			frac := (rank - cum) / float64(c)
 			return lo + frac*(hi-lo)
 		}
 		cum = next
 	}
-	return histBounds[len(histBounds)-1]
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // HistogramSummary is the JSON-friendly snapshot of one latency
@@ -84,17 +122,18 @@ type HistogramSummary struct {
 	Counts        []uint64  `json:"counts"`
 }
 
-func (h *histogram) summary() HistogramSummary {
+func summarize(h *obs.Histogram) HistogramSummary {
+	snap := h.Snapshot()
 	s := HistogramSummary{
-		Count:         h.total,
-		P50Seconds:    round6(h.quantile(0.50)),
-		P90Seconds:    round6(h.quantile(0.90)),
-		P99Seconds:    round6(h.quantile(0.99)),
-		BoundsSeconds: histBounds,
-		Counts:        append([]uint64(nil), h.counts...),
+		Count:         snap.Count,
+		P50Seconds:    round6(quantileOf(snap, 0.50)),
+		P90Seconds:    round6(quantileOf(snap, 0.90)),
+		P99Seconds:    round6(quantileOf(snap, 0.99)),
+		BoundsSeconds: snap.Bounds,
+		Counts:        snap.Counts,
 	}
-	if h.total > 0 {
-		s.MeanSeconds = round6(h.sum / float64(h.total))
+	if snap.Count > 0 {
+		s.MeanSeconds = round6(snap.Sum / float64(snap.Count))
 	}
 	return s
 }
@@ -129,6 +168,8 @@ type Stats struct {
 	Run  HistogramSummary `json:"run"`
 }
 
+func count(c *obs.Counter) uint64 { return uint64(c.Value()) }
+
 // Stats returns a snapshot of the queue's gauges, counters and latency
 // histograms.
 func (q *Queue) Stats() Stats {
@@ -146,17 +187,17 @@ func (q *Queue) Stats() Stats {
 		Retrying:       q.retrying,
 		Draining:       q.draining || q.closed,
 		PerPrincipal:   per,
-		Submitted:      q.counters.submitted,
-		Recovered:      q.counters.recovered,
-		JournalSkipped: q.counters.journalSkipped,
-		Completed:      q.counters.completed,
-		Failed:         q.counters.failed,
-		Canceled:       q.counters.canceled,
-		Retried:        q.counters.retried,
-		RejectedFull:   q.counters.rejectedFull,
-		RejectedQuota:  q.counters.rejectedQuota,
-		RejectedRate:   q.counters.rejectedRate,
-		Wait:           q.waitHist.summary(),
-		Run:            q.runHist.summary(),
+		Submitted:      count(q.met.submitted),
+		Recovered:      count(q.met.recovered),
+		JournalSkipped: count(q.met.journalSkipped),
+		Completed:      count(q.met.completed),
+		Failed:         count(q.met.failed),
+		Canceled:       count(q.met.canceled),
+		Retried:        count(q.met.retried),
+		RejectedFull:   count(q.met.rejectedFull),
+		RejectedQuota:  count(q.met.rejectedQuota),
+		RejectedRate:   count(q.met.rejectedRate),
+		Wait:           summarize(q.met.wait),
+		Run:            summarize(q.met.run),
 	}
 }

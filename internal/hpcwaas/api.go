@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/execq"
 	"repro/internal/imagebuilder"
+	"repro/internal/obs"
 )
 
 // ExecStatus is the lifecycle of one workflow execution.
@@ -69,6 +70,10 @@ type ServiceConfig struct {
 	Retention int
 	// JournalPath persists queued/running executions across restarts.
 	JournalPath string
+	// Metrics is the observability registry the execution queue's
+	// instruments register on; nil creates a private one. Exposed at
+	// GET /metrics and via Service.Metrics.
+	Metrics *obs.Registry
 }
 
 // Service is the HPCWaaS front-end: it binds the registry, the deployer
@@ -81,6 +86,7 @@ type Service struct {
 
 	cfg   ServiceConfig
 	queue *execq.Queue
+	met   *obs.Registry
 
 	mu     sync.Mutex
 	nextID int
@@ -160,10 +166,14 @@ func NewServiceWith(reg *Registry, dep *Deployer, cfg ServiceConfig) (*Service, 
 	if cfg.Retention <= 0 {
 		cfg.Retention = 1024
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s := &Service{
 		Registry: reg,
 		Deployer: dep,
 		cfg:      cfg,
+		met:      cfg.Metrics,
 		execs:    make(map[string]*Execution),
 	}
 	q, err := execq.New(execq.Config{
@@ -173,6 +183,7 @@ func NewServiceWith(reg *Registry, dep *Deployer, cfg ServiceConfig) (*Service, 
 		RatePerSec:        cfg.RatePerSec,
 		Burst:             cfg.Burst,
 		JournalPath:       cfg.JournalPath,
+		Metrics:           cfg.Metrics,
 		Handler:           s.runJob,
 		OnChange:          s.onJobChange,
 	})
@@ -390,6 +401,11 @@ func (s *Service) Close() error { return s.queue.Close() }
 // counters and latency histograms.
 func (s *Service) QueueStats() execq.Stats { return s.queue.Stats() }
 
+// Metrics returns the service's observability registry so callers can
+// register further instruments (core workflow, datacube, multisite)
+// that then show up on the same GET /metrics scrape.
+func (s *Service) Metrics() *obs.Registry { return s.met }
+
 // LookupStatus distinguishes "never existed" from "existed but was
 // evicted by the retention bound".
 type LookupStatus int
@@ -502,6 +518,7 @@ type principalKey struct{}
 //	DELETE /api/executions/{id}            cancel a queued/running execution
 //	GET    /api/queue                      queue depth, usage, latency histograms
 //	GET    /api/health                     liveness probe
+//	GET    /metrics                        Prometheus text exposition
 //
 // POST /api/executions answers 202 on admission and 429 with a
 // Retry-After header when the queue, the principal's quota or the
@@ -675,7 +692,20 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.QueueStats())
 	})
 
+	// The scrape endpoint sits outside the bearer-token wrapper:
+	// monitoring systems poll it without tenant credentials, and it
+	// exposes no per-tenant data.
+	metrics := obs.Handler(s.met)
+
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			if r.Method != http.MethodGet {
+				httpError(w, http.StatusMethodNotAllowed, "metrics is read-only")
+				return
+			}
+			metrics.ServeHTTP(w, r)
+			return
+		}
 		principal, ok := s.authenticate(r)
 		if !ok {
 			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")

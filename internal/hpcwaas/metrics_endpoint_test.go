@@ -1,0 +1,99 @@
+package hpcwaas
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsEndpoint drives one execution through the REST API and
+// asserts GET /metrics serves the execq instrument surface in
+// Prometheus text format — without a bearer token, even when the rest
+// of the API requires one.
+func TestMetricsEndpoint(t *testing.T) {
+	d := newTestDeployer(t)
+	reg := NewRegistry()
+	reg.Register(demoEntry("climate", nil))
+	mreg := obs.NewRegistry()
+	svc, err := NewServiceWith(reg, d, ServiceConfig{Metrics: mreg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.Metrics() != mreg {
+		t.Fatal("Metrics() does not return the configured registry")
+	}
+	if err := svc.AuthorizeToken("s3cret", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Lookup("climate")
+	if _, err := d.Deploy(e, "zeus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ExecuteAs("alice", "climate", map[string]string{"msg": "hi"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	svc.Wait()
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// API routes demand the token...
+	resp, err := srv.Client().Get(srv.URL + "/api/queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /api/queue = %d, want 401", resp.StatusCode)
+	}
+
+	// ...but the scrape endpoint does not.
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE execq_submitted_total counter",
+		"execq_submitted_total 1",
+		"execq_completed_total 1",
+		"# TYPE execq_queue_depth gauge",
+		"execq_queue_depth 0",
+		"# TYPE execq_wait_seconds histogram",
+		`execq_wait_seconds_bucket{le="+Inf"} 1`,
+		"execq_wait_seconds_count 1",
+		"# TYPE execq_run_seconds histogram",
+		"execq_run_seconds_count 1",
+		`execq_rejected_total{reason="full"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+
+	// Writes to the scrape endpoint are refused.
+	resp, err = srv.Client().Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+}

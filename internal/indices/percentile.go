@@ -16,6 +16,33 @@ import (
 // against a calendar-day percentile climatology estimated from a
 // historical simulation period.
 
+// mixSeed derives the per-year noise seed. The previous expression,
+// seed ^ int64(year)*99991, degenerated to the raw seed for year 0 and
+// left adjacent years correlated in the low bits; the SplitMix64
+// finalizer scrambles every bit of both inputs.
+func mixSeed(seed int64, year int) int64 {
+	z := uint64(seed) + (uint64(year)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// yearNoise precomputes one historical year's AR(1) day-offset stream
+// (coarse weather noise shared by all cells of that day). Computing it
+// up front keeps all RNG use serial, which is what makes the
+// fragment-parallel cube generator race-free.
+func yearNoise(seed int64, year, daysPerYear int) []float64 {
+	rng := rand.New(rand.NewSource(mixSeed(seed, year)))
+	offsets := make([]float64, daysPerYear)
+	for d := 1; d < daysPerYear; d++ {
+		offsets[d] = 0.7*offsets[d-1] + rng.NormFloat64()*1.2
+	}
+	return offsets
+}
+
 // PercentileBaseline holds calendar-day percentile climatologies.
 type PercentileBaseline struct {
 	// TX90 is the 90th percentile of daily maximum temperature per cell
@@ -39,23 +66,21 @@ func BuildPercentileBaseline(e *datacube.Engine, g grid.Grid, daysPerYear, histY
 		return nil, fmt.Errorf("indices: need at least 2 historical years, got %d", histYears)
 	}
 	// Generate the historical daily extrema directly into year cubes.
-	// Each year uses an independent deterministic noise stream.
-	mkYear := func(year int, daily func(rng *rand.Rand, row, day int) float32) (*datacube.Cube, error) {
-		rng := rand.New(rand.NewSource(seed ^ int64(year)*99991))
-		// per-row/day smooth noise: coarse AR(1)-like draw per day
-		offsets := make([]float64, daysPerYear)
-		for d := 1; d < daysPerYear; d++ {
-			offsets[d] = 0.7*offsets[d-1] + rng.NormFloat64()*1.2
-		}
+	// Each year uses an independent deterministic noise stream,
+	// precomputed serially by yearNoise: the generator closure handed to
+	// NewCubeFromFunc runs concurrently across fragments on different
+	// I/O servers and therefore must not touch a shared *rand.Rand.
+	mkYear := func(year int, daily func(row, day int) float32) (*datacube.Cube, error) {
+		offsets := yearNoise(seed, year, daysPerYear)
 		return e.NewCubeFromFunc("hist",
 			[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
 			datacube.Dimension{Name: "time", Size: daysPerYear},
 			func(row, day int) float32 {
-				return daily(rng, row, day) + float32(offsets[day])
+				return daily(row, day) + float32(offsets[day])
 			})
 	}
 
-	build := func(q float64, extremum func(rng *rand.Rand, row, day int) float32, measure string) (*datacube.Cube, error) {
+	build := func(q float64, extremum func(row, day int) float32, measure string) (*datacube.Cube, error) {
 		var years []*datacube.Cube
 		defer func() {
 			for _, y := range years {
@@ -85,7 +110,7 @@ func BuildPercentileBaseline(e *datacube.Engine, g grid.Grid, daysPerYear, histY
 	}
 
 	maxD := maxDiurnal()
-	tx90, err := build(0.9, func(rng *rand.Rand, row, day int) float32 {
+	tx90, err := build(0.9, func(row, day int) float32 {
 		i, j := g.RowCol(row)
 		return float32(esm.Climatology(g, i, j, day, daysPerYear) + maxD)
 	}, "TX90_CLIM")
@@ -93,7 +118,7 @@ func BuildPercentileBaseline(e *datacube.Engine, g grid.Grid, daysPerYear, histY
 		return nil, err
 	}
 	minD := minDiurnal()
-	tn10, err := build(0.1, func(rng *rand.Rand, row, day int) float32 {
+	tn10, err := build(0.1, func(row, day int) float32 {
 		i, j := g.RowCol(row)
 		return float32(esm.Climatology(g, i, j, day, daysPerYear) + minD)
 	}, "TN10_CLIM")

@@ -112,6 +112,7 @@ type Federation struct {
 	policy   TransferPolicy
 	injector chaos.Injector
 	breakers map[string]*breaker
+	met      *msMetrics
 	nowFn    func() time.Time    // test hook; nil means time.Now
 	sleepFn  func(time.Duration) // test hook; nil means time.Sleep
 
@@ -126,6 +127,7 @@ func NewFederation() *Federation {
 		dls:      dls.NewService(nil),
 		policy:   TransferPolicy{}.withDefaults(),
 		breakers: make(map[string]*breaker),
+		met:      newMSMetrics(nil),
 	}
 }
 
@@ -228,6 +230,7 @@ func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([
 	f.mu.Lock()
 	pol := f.policy
 	inj := f.injector
+	met := f.met
 	f.mu.Unlock()
 
 	var out []string
@@ -237,9 +240,11 @@ func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([
 		if err == nil || attempt >= pol.Retries || chaos.IsPermanent(err) {
 			break
 		}
+		met.retries.Inc()
 		f.sleep(transferBackoff(pol, attempt))
 	}
 	if err != nil {
+		met.failures.Inc()
 		f.breakerFailure(to.Name, pol)
 		return nil, fmt.Errorf("multisite: transfer %s to %s: %w", dataset, to.Name, err)
 	}
@@ -251,6 +256,8 @@ func (f *Federation) Transfer(dataset string, from, to *Site, files []string) ([
 			moved += fi.Size()
 		}
 	}
+	met.transfers.Add(float64(len(out)))
+	met.bytes.Add(float64(moved))
 	f.mu.Lock()
 	f.bytesMoved += moved
 	f.transfers += len(out)
@@ -333,7 +340,9 @@ func (f *Federation) breakerFailure(site string, pol TransferPolicy) {
 	if b.consecutive >= pol.BreakerThreshold {
 		// Open (or re-open after a failed probe): reject until cooldown.
 		b.openUntil = now.Add(pol.BreakerCooldown)
+		f.met.breakerOpen.With(site).Set(1)
 	}
+	f.met.breakerCons.With(site).Set(float64(b.consecutive))
 }
 
 func (f *Federation) breakerSuccess(site string) {
@@ -342,6 +351,8 @@ func (f *Federation) breakerSuccess(site string) {
 	if b := f.breakers[site]; b != nil {
 		b.consecutive = 0
 		b.openUntil = time.Time{}
+		f.met.breakerOpen.With(site).Set(0)
+		f.met.breakerCons.With(site).Set(0)
 	}
 }
 

@@ -1,0 +1,46 @@
+package multisite
+
+import "repro/internal/obs"
+
+// msMetrics holds the federation's instruments. With no registry they
+// are detached no-ops and Stats() stays authoritative.
+type msMetrics struct {
+	transfers   *obs.Counter
+	bytes       *obs.Counter
+	retries     *obs.Counter
+	failures    *obs.Counter
+	breakerOpen *obs.GaugeVec // 1 while the site's circuit is open
+	breakerCons *obs.GaugeVec // consecutive failures per site
+}
+
+func newMSMetrics(reg *obs.Registry) *msMetrics {
+	return &msMetrics{
+		transfers: reg.Counter("multisite_transfers_total",
+			"Files successfully transferred between federation sites."),
+		bytes: reg.Counter("multisite_transfer_bytes_total",
+			"Bytes moved between federation sites."),
+		retries: reg.Counter("multisite_transfer_retries_total",
+			"Transfer attempts retried after a transient failure."),
+		failures: reg.Counter("multisite_transfer_failures_total",
+			"Transfers that exhausted retries and failed."),
+		breakerOpen: reg.GaugeVec("multisite_breaker_open",
+			"1 while the destination site's circuit breaker is open.", "site"),
+		breakerCons: reg.GaugeVec("multisite_breaker_consecutive_failures",
+			"Consecutive transfer failures recorded against the site.", "site"),
+	}
+}
+
+// SetMetrics attaches the federation's instruments (and those of its
+// embedded Data Logistics Service) to reg. Call before the first
+// Transfer; passing nil detaches them.
+func (f *Federation) SetMetrics(reg *obs.Registry) {
+	f.mu.Lock()
+	f.met = newMSMetrics(reg)
+	svc := f.dls
+	f.mu.Unlock()
+	svc.SetMetrics(reg)
+}
+
+// PrimeMetrics registers the federation metric families on reg so a
+// scrape shows the full surface before any transfer happens.
+func PrimeMetrics(reg *obs.Registry) { newMSMetrics(reg) }

@@ -1,0 +1,87 @@
+package multisite
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// scrape renders the registry to Prometheus text.
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestTransferMetricsAndBreakerGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	f, a, b := twoSites(t)
+	f.SetMetrics(reg)
+	p := seedFile(t, a, "y1950.nc", "fields")
+
+	// One transient fault, retried away: transfers and bytes move, one
+	// retry is counted, and the breaker stays closed.
+	f.SetInjector(chaos.NewSeeded(4, chaos.Rule{Site: chaos.SiteTransfer, Attempt: 0, Kind: chaos.Transient}))
+	f.sleepFn = func(time.Duration) {}
+	if _, err := f.Transfer("y1950", a, b, []string{p}); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	text := scrape(t, reg)
+	for _, want := range []string{
+		"multisite_transfers_total 1",
+		"multisite_transfer_bytes_total 6",
+		"multisite_transfer_retries_total 1",
+		"multisite_transfer_failures_total 0",
+		// DLS metrics ride along via the embedded service.
+		"dls_copies_total 1",
+		"dls_bytes_copied_total 6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// Hammer the destination until its circuit opens: the failure
+	// counter and per-site breaker gauges must reflect it.
+	f.SetInjector(chaos.NewSeeded(4, chaos.Rule{Site: chaos.SiteTransfer, Kind: chaos.PermanentKind, Max: 2}))
+	f.SetTransferPolicy(TransferPolicy{Retries: 1, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second})
+	now := time.Unix(1_700_000_000, 0)
+	f.nowFn = func() time.Time { return now }
+	for i := 0; i < 2; i++ {
+		if _, err := f.Transfer("y1950", a, b, []string{p}); err == nil {
+			t.Fatalf("transfer %d should fail", i)
+		}
+	}
+	text = scrape(t, reg)
+	for _, want := range []string{
+		"multisite_transfer_failures_total 2",
+		`multisite_breaker_open{site="cloud-b"} 1`,
+		`multisite_breaker_consecutive_failures{site="cloud-b"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// After the cooldown a successful probe closes the circuit and the
+	// gauges reset.
+	now = now.Add(11 * time.Second)
+	if _, err := f.Transfer("y1950", a, b, []string{p}); err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	text = scrape(t, reg)
+	for _, want := range []string{
+		`multisite_breaker_open{site="cloud-b"} 0`,
+		`multisite_breaker_consecutive_failures{site="cloud-b"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package obs is the dependency-free observability substrate shared by
+// every runtime layer: a metrics registry (counters, gauges,
+// fixed-bucket histograms, plus labeled "vec" variants) with Prometheus
+// text exposition, and lightweight span tracing with a Chrome
+// trace_event JSON export (trace.go).
+//
+// Design points:
+//
+//   - Instruments are cheap atomics; recording never takes the registry
+//     lock, so hot paths (per-fragment timings, per-attempt counters)
+//     can record unconditionally.
+//   - Constructors are idempotent: asking for the same family name
+//     returns the same instrument, so independent subsystems can share
+//     a registry without coordination. Re-registering a name with a
+//     different kind, label set or bucket layout panics — that is a
+//     programming error, not a runtime condition.
+//   - All constructors are nil-receiver safe: a nil *Registry hands
+//     back detached instruments that record into the void, so
+//     subsystems take an optional registry without nil checks.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format 0.0.4.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with a fixed kind and label schema; its
+// children are the per-label-value instruments.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+type child struct {
+	values []string
+	num    *value         // counter / gauge
+	fn     func() float64 // gauge func
+	hist   *Histogram
+}
+
+// value is an atomically-updated float64.
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(d float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (v *value) set(f float64) { v.bits.Store(math.Float64bits(f)) }
+func (v *value) get() float64  { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v *value }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(d float64) {
+	if c == nil || c.v == nil || d < 0 {
+		return
+	}
+	c.v.add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil || c.v == nil {
+		return 0
+	}
+	return c.v.get()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v *value }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(f float64) {
+	if g == nil || g.v == nil {
+		return
+	}
+	g.v.set(f)
+}
+
+// Add adjusts the gauge by d (negative allowed).
+func (g *Gauge) Add(d float64) {
+	if g == nil || g.v == nil {
+		return
+	}
+	g.v.add(d)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil || g.v == nil {
+		return 0
+	}
+	return g.v.get()
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are inclusive upper
+// bounds in ascending order; observations above the last bound land in
+// the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf overflow
+	count  atomic.Uint64
+	sum    value
+}
+
+func newHistogramInst(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(x)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry
+	// for the +Inf overflow bucket. Counts are per-bucket, not
+	// cumulative.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's buckets, total count and sum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.get(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (created on
+// first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return &Counter{v: v.fam.child(values).num}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return &Gauge{v: v.fam.child(values).num}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(values).hist
+}
+
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// child finds or creates the instrument for one label-value tuple.
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{values: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			c.hist = newHistogramInst(f.bounds)
+		} else {
+			c.num = &value{}
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// lookup finds or creates a family, validating schema consistency.
+func (r *Registry) lookup(name, help string, k kind, labels []string, bounds []float64) *family {
+	if r == nil {
+		// Detached family: records are kept but never exported.
+		return &family{name: name, help: help, kind: k, labels: labels, bounds: bounds, children: make(map[string]*child)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:     name,
+			help:     help,
+			kind:     k,
+			labels:   append([]string(nil), labels...),
+			bounds:   append([]float64(nil), bounds...),
+			children: make(map[string]*child),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, k, f.kind))
+	}
+	if len(f.labels) != len(labels) || labelKey(f.labels) != labelKey(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, labels, f.labels))
+	}
+	if k == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	return f
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{v: r.lookup(name, help, kindCounter, nil, nil).child(nil).num}
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{v: r.lookup(name, help, kindGauge, nil, nil).child(nil).num}
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time. fn must be safe to call concurrently and must not
+// re-enter the registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	c := f.child(nil)
+	f.mu.Lock()
+	c.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram
+// with the given bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.lookup(name, help, kindHistogram, nil, bounds).child(nil).hist
+}
+
+// HistogramVec registers a histogram family with the given bounds and
+// label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.lookup(name, help, kindHistogram, labels, bounds)}
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPairs renders {k="v",...} from parallel name/value slices, with
+// optional extra pairs appended (used for histogram le).
+func labelPairs(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, n := range names {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(extra[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in text exposition format
+// 0.0.4, families sorted by name, children by label values. Families
+// with no samples yet still emit their HELP/TYPE header so the full
+// metric surface is visible from boot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kids := make([]*child, 0, len(keys))
+		for _, k := range keys {
+			kids = append(kids, f.children[k])
+		}
+		f.mu.Unlock()
+
+		for _, c := range kids {
+			switch f.kind {
+			case kindHistogram:
+				s := c.hist.Snapshot()
+				var cum uint64
+				for i, bound := range s.Bounds {
+					cum += s.Counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelPairs(f.labels, c.values, "le", formatFloat(bound)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelPairs(f.labels, c.values, "le", "+Inf"), s.Count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelPairs(f.labels, c.values), strconv.FormatFloat(s.Sum, 'g', -1, 64))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelPairs(f.labels, c.values), s.Count)
+			default:
+				v := c.num.get()
+				if c.fn != nil {
+					v = c.fn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelPairs(f.labels, c.values), formatFloat(v))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry in Prometheus text format; the standard
+// scrape target for GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

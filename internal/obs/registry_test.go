@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs seen.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(7)
+	g.Dec()
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs seen.\n",
+		"# TYPE jobs_total counter\n",
+		"jobs_total 3\n",
+		"# TYPE depth gauge\n",
+		"depth 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 {
+		t.Errorf("counter value = %v, want 3", c.Value())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("weird_total", "Help with \\ backslash\nand newline.", "path").
+		With(`a\b"c` + "\nd").Inc()
+
+	out := render(t, r)
+	if !strings.Contains(out, `# HELP weird_total Help with \\ backslash\nand newline.`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `weird_total{path="a\\b\"c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`lat_seconds_bucket{le="1"} 3` + "\n",
+		`lat_seconds_bucket{le="10"} 4` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 5` + "\n",
+		"lat_seconds_sum 56.05\n",
+		"lat_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Counts[0] != 1 || s.Counts[1] != 2 || s.Counts[2] != 1 || s.Counts[3] != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// An observation exactly on a bound lands in that bound's bucket.
+	h2 := r.Histogram("edge_seconds", "Edge.", []float64{1, 2})
+	h2.Observe(1)
+	if s2 := h2.Snapshot(); s2.Counts[0] != 1 {
+		t.Errorf("boundary observation in bucket %v, want bucket 0", s2.Counts)
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("op_seconds", "Per-op time.", []float64{1}, "op")
+	hv.With("apply").Observe(0.5)
+	hv.With("reduce").Observe(2)
+	out := render(t, r)
+	for _, want := range []string{
+		`op_seconds_bucket{op="apply",le="1"} 1`,
+		`op_seconds_bucket{op="apply",le="+Inf"} 1`,
+		`op_seconds_bucket{op="reduce",le="1"} 0`,
+		`op_seconds_count{op="reduce"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 3
+	r.GaugeFunc("live_depth", "Computed at scrape.", func() float64 { return float64(depth) })
+	if out := render(t, r); !strings.Contains(out, "live_depth 3\n") {
+		t.Errorf("gauge func not rendered:\n%s", out)
+	}
+	depth = 9
+	if out := render(t, r); !strings.Contains(out, "live_depth 9\n") {
+		t.Errorf("gauge func not re-evaluated:\n%s", out)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h")
+	b := r.Counter("same_total", "h")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("same-name counters not shared: %v", b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("same_total", "h")
+}
+
+func TestZeroSampleFamilyEmitsHeader(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("sparse_total", "No children yet.", "site")
+	out := render(t, r)
+	if !strings.Contains(out, "# TYPE sparse_total counter\n") {
+		t.Errorf("zero-child vec lost its header:\n%s", out)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	c.Inc() // must not panic
+	r.Gauge("g", "h").Set(1)
+	r.Histogram("h", "h", []float64{1}).Observe(2)
+	r.HistogramVec("hv", "h", []float64{1}, "l").With("v").Observe(2)
+	r.GaugeFunc("gf", "h", func() float64 { return 1 })
+	var nilC *Counter
+	nilC.Inc()
+	var nilG *Gauge
+	nilG.Set(1)
+	var nilH *Histogram
+	nilH.Observe(1)
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Errorf("nil histogram snapshot = %+v", s)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry exposition = %q, %v", b.String(), err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Errorf("handler body:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	h := r.Histogram("conc_seconds", "h", []float64{0.5})
+	gv := r.GaugeVec("conc_gauge", "h", "worker")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 2))
+				gv.With("w").Set(float64(j))
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 {
+		t.Errorf("concurrent counter = %v, want 8000", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("concurrent histogram count = %v, want 8000", s.Count)
+	}
+}

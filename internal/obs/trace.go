@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Tracer collects finished spans. A nil *Tracer is a valid no-op: it
+// hands out nil spans whose methods all no-op, so instrumented code
+// never checks for it.
+type Tracer struct {
+	nextID atomic.Int64
+	base   time.Time
+
+	mu   sync.Mutex
+	done []SpanData
+}
+
+// NewTracer returns an empty tracer; span timestamps in the Chrome
+// export are relative to this call.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Span is one in-progress operation. Spans are owned by the goroutine
+// that started them until End/EndErr, which publishes the finished
+// record to the tracer.
+type Span struct {
+	tracer *Tracer
+	id     int64
+	parent int64
+	root   int64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// SpanData is one finished span.
+type SpanData struct {
+	ID     int64
+	Parent int64 // 0 for root spans
+	Root   int64 // ID of the span's root ancestor (itself for roots)
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+	Err    string // non-empty when the span closed with an error status
+}
+
+// Duration is the span's wall-clock extent.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Attr returns the value of the named attribute ("" when absent).
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID.Add(1)
+	return &Span{tracer: t, id: id, root: id, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Start begins a child span sharing the receiver's root (and therefore
+// its timeline row in the Chrome export). Safe on a nil span.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	id := s.tracer.nextID.Add(1)
+	return &Span{tracer: s.tracer, id: id, parent: s.id, root: s.root, name: name, start: time.Now(), attrs: attrs}
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span successfully.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr closes the span; a non-nil err marks it with an error status.
+// Only the first End/EndErr takes effect.
+func (s *Span) EndErr(err error) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := SpanData{
+		ID:     s.id,
+		Parent: s.parent,
+		Root:   s.root,
+		Name:   s.name,
+		Start:  s.start,
+		End:    time.Now(),
+		Attrs:  s.attrs,
+	}
+	if err != nil {
+		d.Err = err.Error()
+	}
+	s.tracer.mu.Lock()
+	s.tracer.done = append(s.tracer.done, d)
+	s.tracer.mu.Unlock()
+}
+
+// Spans returns a copy of all finished spans, in completion order.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanData(nil), t.done...)
+}
+
+// ChromeEvent is one complete ("ph":"X") event of the Chrome
+// trace_event format, loadable in chrome://tracing or Perfetto.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`  // microseconds since trace start
+	Dur  int64             `json:"dur"` // microseconds
+	Pid  int64             `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders every finished span as a complete event.
+// Spans sharing a root land on the same tid, so a task and its retry
+// attempts stack on one timeline row.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	spans := t.Spans()
+	events := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := ChromeEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   s.Start.Sub(t.base).Microseconds(),
+			Dur:  s.End.Sub(s.Start).Microseconds(),
+			Pid:  1,
+			Tid:  s.Root,
+		}
+		if ev.Dur < 1 {
+			ev.Dur = 1
+		}
+		if len(s.Attrs) > 0 || s.Err != "" || s.Parent != 0 {
+			ev.Args = make(map[string]string, len(s.Attrs)+2)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			if s.Err != "" {
+				ev.Args["error"] = s.Err
+			}
+			if s.Parent != 0 {
+				ev.Args["parent"] = fmt.Sprint(s.Parent)
+			}
+		}
+		events = append(events, ev)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Tid < events[j].Tid
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+// ParseChromeTrace decodes a trace produced by WriteChromeTrace (used
+// by tests and tooling to verify timeline coverage).
+func ParseChromeTrace(r io.Reader) ([]ChromeEvent, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, err
+	}
+	return ct.TraceEvents, nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpanNestingAndError(t *testing.T) {
+	tr := NewTracer()
+	task := tr.Start("daily_tmax", Attr{Key: "year", Value: "2040"})
+	a0 := task.Start("attempt", Attr{Key: "attempt", Value: "0"})
+	a0.EndErr(errors.New("task timed out"))
+	a1 := task.Start("attempt", Attr{Key: "attempt", Value: "1"})
+	a1.End()
+	task.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Completion order: attempt 0, attempt 1, task.
+	att0, att1, root := spans[0], spans[1], spans[2]
+	if root.Name != "daily_tmax" || root.Parent != 0 || root.Root != root.ID {
+		t.Errorf("root span = %+v", root)
+	}
+	if att0.Parent != root.ID || att1.Parent != root.ID {
+		t.Errorf("attempts not parented to task: %+v %+v", att0, att1)
+	}
+	if att0.Root != root.ID || att1.Root != root.ID {
+		t.Errorf("attempts not sharing root: %+v %+v", att0, att1)
+	}
+	if att0.Err == "" || !strings.Contains(att0.Err, "timed out") {
+		t.Errorf("timed-out attempt span err = %q, want error status", att0.Err)
+	}
+	if att1.Err != "" {
+		t.Errorf("successful attempt span has err %q", att1.Err)
+	}
+	if att0.Attr("attempt") != "0" || root.Attr("year") != "2040" {
+		t.Errorf("attrs lost: %+v %+v", att0, root)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	task := tr.Start("esm_run")
+	att := task.Start("attempt")
+	att.EndErr(errors.New("boom"))
+	task.End()
+	open := tr.Start("never_ended")
+	_ = open
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events, err := ParseChromeTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseChromeTrace: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (open span must be excluded)", len(events))
+	}
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Pid != 1 || ev.Dur < 1 {
+			t.Errorf("malformed event %+v", ev)
+		}
+	}
+	if events[0].Tid != events[1].Tid {
+		t.Errorf("task and attempt on different rows: %+v", events)
+	}
+	var sawErr bool
+	for _, ev := range events {
+		if ev.Name == "attempt" && ev.Args["error"] == "boom" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Errorf("attempt error not exported: %+v", events)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatalf("nil tracer returned non-nil span")
+	}
+	child := sp.Start("y")
+	if child != nil {
+		t.Fatalf("nil span returned non-nil child")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.EndErr(errors.New("x"))
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer spans = %v", got)
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+	if events, err := ParseChromeTrace(strings.NewReader(b.String())); err != nil || len(events) != 0 {
+		t.Errorf("nil tracer export = %q (%v)", b.String(), err)
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("once")
+	sp.End()
+	sp.End()
+	sp.EndErr(errors.New("late"))
+	if spans := tr.Spans(); len(spans) != 1 || spans[0].Err != "" {
+		t.Errorf("double End produced %+v", spans)
+	}
+}

@@ -11,6 +11,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 	"os"
@@ -269,18 +270,50 @@ func (b *YearBatcher) Incomplete() map[int]int {
 	return out
 }
 
-// WaitForFile blocks until path exists or the timeout elapses.
-func WaitForFile(path string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+// Poll backoff for WaitForFileCtx: start fast so freshly written files
+// are picked up promptly, back off to a cap so a long wait does not
+// spin the CPU the way the old fixed 2 ms loop did.
+const (
+	waitPollMin = time.Millisecond
+	waitPollMax = 50 * time.Millisecond
+)
+
+// WaitForFileCtx blocks until path exists or ctx ends. Cancellation is
+// reported as context.Canceled and an expired deadline as
+// context.DeadlineExceeded, so callers can distinguish "gave up" from
+// "was told to stop". Stat failures other than non-existence are
+// returned immediately.
+func WaitForFileCtx(ctx context.Context, path string) error {
+	delay := waitPollMin
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		if _, err := os.Stat(path); err == nil {
 			return nil
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
-		if time.Now().After(deadline) {
-			return os.ErrDeadlineExceeded
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
 		}
-		time.Sleep(2 * time.Millisecond)
+		if delay *= 2; delay > waitPollMax {
+			delay = waitPollMax
+		}
+		timer.Reset(delay)
 	}
+}
+
+// WaitForFile blocks until path exists or the timeout elapses. It keeps
+// the historical os.ErrDeadlineExceeded contract on timeout; use
+// WaitForFileCtx directly for cancellation support.
+func WaitForFile(path string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := WaitForFileCtx(ctx, path)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return os.ErrDeadlineExceeded
+	}
+	return err
 }

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWaitForFileCtxSuccess(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "late.nc")
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		os.WriteFile(p, []byte("x"), 0o644)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := WaitForFileCtx(ctx, p); err != nil {
+		t.Fatalf("WaitForFileCtx = %v, want nil", err)
+	}
+}
+
+func TestWaitForFileCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- WaitForFileCtx(ctx, filepath.Join(t.TempDir(), "never")) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled wait did not return")
+	}
+}
+
+func TestWaitForFileCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := WaitForFileCtx(ctx, filepath.Join(t.TempDir(), "never"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline wait = %v, want context.DeadlineExceeded", err)
+	}
+	// The wrapper must keep its historical error contract.
+	if err := WaitForFile(filepath.Join(t.TempDir(), "never"), 20*time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("WaitForFile timeout = %v, want os.ErrDeadlineExceeded", err)
+	}
+}
