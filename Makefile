@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check build vet test race bench examples experiments chaos fuzz-short clean
+.PHONY: all check fmt-check build vet test race bench bench-smoke examples experiments chaos fuzz-short clean
 
 all: build vet test
 
@@ -28,6 +28,11 @@ race:
 # one benchmark per reproduced figure/claim (see EXPERIMENTS.md)
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# CI smoke: every benchmark runs once so the harnesses can't rot; no
+# timing claims, just "still compiles and executes"
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
 # runnable demonstrations of the public API
 examples:

@@ -104,6 +104,50 @@ func BenchmarkFig4Pipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedVsEagerPipeline isolates the fused data plane's win on
+// the Figure-4 workload: the same heat-wave chain on the same resident
+// cube, executed operator-at-a-time (eager) vs as one fused
+// multi-output pass (datacube.Plan). The import is hoisted out so the
+// numbers compare pure pipeline execution.
+func BenchmarkFusedVsEagerPipeline(b *testing.B) {
+	g := grid.Grid{NLat: 32, NLon: 64}
+	const days = 20
+	model := esm.NewModel(esm.Config{Grid: g, Years: 1, DaysPerYear: days, Seed: 7, Events: benchEvents})
+	files, err := model.Run(esm.RunOptions{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := datacube.NewEngine(datacube.Config{Servers: 2})
+	defer engine.Close()
+	baseline, err := indices.BuildBaseline(engine, g, days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	temp, err := engine.ImportFiles(files, "TREFHT", "time")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		eager bool
+	}{{"eager", true}, {"fused", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			params := indices.Params{DaysPerYear: days, Eager: mode.eager}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := indices.HeatWavesFromCube(temp, baseline, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res.Duration.Delete()
+				_ = res.Number.Delete()
+				_ = res.Frequency.Delete()
+			}
+		})
+	}
+}
+
 // BenchmarkE2EConcurrentVsSequential is experiment C1: the integrated
 // workflow overlaps analysis with the (latency-dominated) simulation.
 func BenchmarkE2EConcurrentVsSequential(b *testing.B) {

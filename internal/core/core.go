@@ -135,6 +135,12 @@ type Config struct {
 	// Tracer, when set, records one span per task attempt so the run
 	// can be exported as a Chrome trace timeline; nil disables tracing.
 	Tracer *obs.Tracer
+	// FuseOperators controls whether the datacube index tasks compile
+	// their operator chains into fused per-fragment passes
+	// (datacube.Plan) instead of materializing every intermediate cube.
+	// Nil means on (the default); point at false to force the eager
+	// operator-at-a-time execution for comparison runs.
+	FuseOperators *bool
 	// AttachOnly skips the ESM task and instead watches ModelDir for
 	// daily files written by an external producer (a real model run, or
 	// esmgen in another process) — the decoupled operational deployment
@@ -177,6 +183,10 @@ func (c Config) withDefaults() Config {
 	c.IndexParams = c.IndexParams.Defaults()
 	return c
 }
+
+// fuse reports whether the datacube tasks should use fused plan
+// execution (the default; see Config.FuseOperators).
+func (c Config) fuse() bool { return c.FuseOperators == nil || *c.FuseOperators }
 
 func (c Config) esmConfig() esm.Config {
 	return esm.Config{

@@ -25,16 +25,25 @@ func TestRunTraceCoversAllTasks(t *testing.T) {
 
 	spans := tr.Spans()
 	byName := map[string]int{}
-	attempts := 0
+	attempts, fusedPasses := 0, 0
 	for _, s := range spans {
 		if s.Name == "attempt" {
 			attempts++
+			continue
+		}
+		if s.Name == "datacube.fused_pass" {
+			// engine-level spans emitted by the fused data plane, nested
+			// inside the index task spans
+			fusedPasses++
 			continue
 		}
 		byName[s.Name]++
 		if s.Err != "" {
 			t.Errorf("task span %s ended with error %q in a clean run", s.Name, s.Err)
 		}
+	}
+	if fusedPasses == 0 {
+		t.Error("no datacube.fused_pass spans; fusion should be on by default")
 	}
 	kinds := append([]string{TaskESMRun, TaskLoadBaselineMax, TaskLoadBaselineMin, TaskFinalMaps}, PerYearKinds...)
 	for _, k := range kinds {

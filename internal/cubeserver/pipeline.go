@@ -40,60 +40,59 @@ type PipelineRequest struct {
 	Steps  []PipelineStep
 }
 
-// runPipeline executes the chain on the engine.
+// runPipeline compiles the request into a datacube.Plan and executes
+// it: consecutive row-local steps run as one fused per-fragment pass,
+// and only kept steps (plus the final result) materialize as registered
+// cubes — a Keep is the client's explicit materialization boundary.
+// Failed pipelines leave no unkept intermediates behind (the plan
+// executor deletes its temporaries on error).
 func runPipeline(engine *datacube.Engine, req *PipelineRequest) (*datacube.Cube, error) {
 	if len(req.Steps) == 0 {
 		return nil, fmt.Errorf("cubeserver: empty pipeline")
 	}
-	cur, err := engine.Get(req.CubeID)
+	src, err := engine.Get(req.CubeID)
 	if err != nil {
 		return nil, err
 	}
-	var intermediates []*datacube.Cube
-	defer func() {
-		for _, c := range intermediates {
-			_ = c.Delete()
-		}
-	}()
+	plan := src.Lazy()
 	for i, st := range req.Steps {
-		var next *datacube.Cube
 		switch st.Op {
 		case "apply":
-			next, err = cur.Apply(st.Expr)
+			plan.Apply(st.Expr)
 		case "reduce":
-			next, err = cur.Reduce(st.RowOp, st.Params...)
+			plan.Reduce(st.RowOp, st.Params...)
 		case "reducegroup":
-			next, err = cur.ReduceGroup(st.RowOp, st.Group, st.Params...)
+			plan.ReduceGroup(st.RowOp, st.Group, st.Params...)
 		case "reducestride":
-			next, err = cur.ReduceStride(st.RowOp, st.Group, st.Params...)
+			plan.ReduceStride(st.RowOp, st.Group, st.Params...)
 		case "subset":
-			next, err = cur.Subset(st.Lo, st.Hi)
+			plan.Subset(st.Lo, st.Hi)
 		case "subsetrows":
-			next, err = cur.SubsetRows(st.Lo, st.Hi)
+			plan.SubsetRows(st.Lo, st.Hi)
 		case "intercube":
-			var other *datacube.Cube
-			other, err = engine.Get(st.OtherID)
-			if err == nil {
-				next, err = cur.Intercube(other, st.RowOp)
+			other, err := engine.Get(st.OtherID)
+			if err != nil {
+				return nil, fmt.Errorf("cubeserver: pipeline step %d (%s): %w", i, st.Op, err)
 			}
+			plan.Intercube(other, st.RowOp)
 		case "aggrows":
-			next, err = cur.AggregateRows(st.RowOp, st.Params...)
+			plan.AggregateRows(st.RowOp, st.Params...)
 		case "aggtrailing":
-			next, err = cur.AggregateTrailing(st.RowOp, st.Params...)
+			plan.AggregateTrailing(st.RowOp, st.Params...)
 		default:
-			err = fmt.Errorf("cubeserver: unknown pipeline op %q", st.Op)
+			return nil, fmt.Errorf("cubeserver: pipeline step %d: unknown pipeline op %q", i, st.Op)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("cubeserver: pipeline step %d (%s): %w", i, st.Op, err)
+		// The last step's output is the pipeline result and is always
+		// retained, so Keep on it is moot — same as the eager semantics.
+		if st.Keep && i < len(req.Steps)-1 {
+			plan.Keep()
 		}
-		// intermediates (every step output except the last) are deleted
-		// unless kept
-		if i < len(req.Steps)-1 && !st.Keep {
-			intermediates = append(intermediates, next)
-		}
-		cur = next
 	}
-	return cur, nil
+	out, err := plan.Execute()
+	if err != nil {
+		return nil, fmt.Errorf("cubeserver: pipeline: %w", err)
+	}
+	return out, nil
 }
 
 // Pipeline executes an operator chain server-side and returns the

@@ -1,0 +1,80 @@
+package cubeserver
+
+import (
+	"testing"
+)
+
+// TestPipelineFusionResidency pins the materialization contract of the
+// fused pipeline executor: Keep is the only way an intermediate
+// survives, and unkept stage outputs never become registered cubes —
+// they exist only as per-fragment scratch during the fused pass, so
+// List() and MemoryBytes() account for exactly source + kept + result.
+func TestPipelineFusionResidency(t *testing.T) {
+	client, engine := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, err := client.ImportFiles([]string{path}, "T", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIDs := make(map[string]bool)
+	for _, id := range engine.List() {
+		baseIDs[id] = true
+	}
+	baseMem := engine.MemoryBytes()
+	srcCube, err := engine.Get(cube.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellBytes := int64(srcCube.Rows()) * 4 // implicit length 1 per row downstream
+
+	// Four steps, Keep on the second: the apply and reduce outputs must
+	// not register; the kept reducegroup output and the result must.
+	out, err := cube.Pipeline(
+		PipelineStep{Op: "apply", Expr: "x+1"},
+		PipelineStep{Op: "reducegroup", RowOp: "max", Group: 2, Keep: true},
+		PipelineStep{Op: "apply", Expr: "x*10"},
+		PipelineStep{Op: "reduce", RowOp: "sum"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var newIDs []string
+	for _, id := range engine.List() {
+		if !baseIDs[id] {
+			newIDs = append(newIDs, id)
+		}
+	}
+	if len(newIDs) != 2 {
+		t.Fatalf("new cubes = %v, want exactly kept intermediate + result", newIDs)
+	}
+	foundResult := false
+	var kept string
+	for _, id := range newIDs {
+		if id == out.ID() {
+			foundResult = true
+		} else {
+			kept = id
+		}
+	}
+	if !foundResult {
+		t.Fatalf("result %s not registered (have %v)", out.ID(), newIDs)
+	}
+	keptCube, err := engine.Get(kept)
+	if err != nil {
+		t.Fatalf("kept intermediate not resident: %v", err)
+	}
+	// kept cube is the reducegroup(max,2) output: half the source length
+	if keptCube.ImplicitLen() != srcCube.ImplicitLen()/2 {
+		t.Fatalf("kept cube implicit len = %d, want %d", keptCube.ImplicitLen(), srcCube.ImplicitLen()/2)
+	}
+
+	// Memory accounts exactly for base + kept + result payloads — any
+	// leaked unkept intermediate would show up here.
+	wantMem := baseMem +
+		int64(keptCube.Rows()*keptCube.ImplicitLen())*4 + // kept intermediate
+		cellBytes // result: one float32 per row
+	if got := engine.MemoryBytes(); got != wantMem {
+		t.Fatalf("MemoryBytes = %d, want %d (unkept intermediate resident?)", got, wantMem)
+	}
+}

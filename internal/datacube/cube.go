@@ -32,7 +32,10 @@ type Cube struct {
 	implicit Dimension
 	rows     int
 	frags    []*fragment
-	meta     map[string]string
+	// metadata: the first key lives inline (metaK/metaV); meta is
+	// allocated only once a second distinct key arrives.
+	metaK, metaV string
+	meta         map[string]string
 }
 
 // ID returns the cube's engine-assigned identifier (Ophidia's PID).
@@ -66,15 +69,28 @@ func (c *Cube) ImplicitDim() Dimension { return c.implicit }
 func (c *Cube) Fragments() int { return len(c.frags) }
 
 // SetMeta attaches a metadata key/value (Ophidia metadata management).
+// The first key is stored inline; the map is only allocated when a cube
+// carries more than one key, since index pipelines tag every output
+// cube with exactly one entry.
 func (c *Cube) SetMeta(k, v string) {
+	if c.meta == nil && (c.metaK == "" || c.metaK == k) {
+		c.metaK, c.metaV = k, v
+		return
+	}
 	if c.meta == nil {
-		c.meta = make(map[string]string)
+		c.meta = map[string]string{c.metaK: c.metaV}
 	}
 	c.meta[k] = v
 }
 
 // Meta reads a metadata value.
 func (c *Cube) Meta(k string) (string, bool) {
+	if c.meta == nil {
+		if k != "" && k == c.metaK {
+			return c.metaV, true
+		}
+		return "", false
+	}
 	v, ok := c.meta[k]
 	return v, ok
 }
@@ -102,13 +118,32 @@ func (c *Cube) Row(row int) ([]float32, error) {
 	return out, nil
 }
 
-// Values returns a full copy of the cube as [row][t].
+// Values returns a full copy of the cube as [row][t]. All rows share
+// one backing allocation (each row slice is capacity-clipped, so
+// appending to one cannot clobber its neighbor).
 func (c *Cube) Values() [][]float32 {
+	n := c.implicit.Size
+	flat := make([]float32, c.rows*n)
+	for _, fr := range c.frags {
+		copy(flat[fr.rowStart*n:], fr.data)
+	}
 	out := make([][]float32, c.rows)
 	for r := 0; r < c.rows; r++ {
-		out[r], _ = c.Row(r)
+		out[r] = flat[r*n : (r+1)*n : (r+1)*n]
 	}
 	return out
+}
+
+// CopyRow copies one row's array into dst without allocating and
+// reports how many values were written (min of len(dst) and the
+// implicit length). Hot readers — viz map rendering, per-cell index
+// export — reuse one buffer across rows instead of paying Row's
+// per-call allocation.
+func (c *Cube) CopyRow(dst []float32, row int) (int, error) {
+	if row < 0 || row >= c.rows {
+		return 0, fmt.Errorf("datacube: row %d out of range [0,%d)", row, c.rows)
+	}
+	return copy(dst, c.rowSlice(row)), nil
 }
 
 // Scalar returns the single value of a 1×1 cube.
@@ -131,7 +166,7 @@ func (c *Cube) sameShape(o *Cube) error {
 // Apply evaluates an elementwise expression over x (every stored value)
 // and returns the resulting cube — Ophidia's oph_apply/oph_predicate.
 func (c *Cube) Apply(exprSrc string) (*Cube, error) {
-	expr, err := Compile(exprSrc)
+	expr, err := compileCached(exprSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -216,15 +251,24 @@ func (c *Cube) ReduceStride(op string, stride int, params ...float64) (*Cube, er
 	out := e.newCube(c.explicit, Dimension{Name: c.implicit.Name, Size: stride})
 	out.measure = c.measure
 	err := e.mapFragments("reducestride", out, func(fr *fragment) error {
-		buf := make([]float32, groups)
+		// One sequential pass over src per row transposes all groups into
+		// contiguous runs; the old layout gathered each output position
+		// with stride-sized jumps, re-streaming the row `stride` times
+		// and thrashing the cache for wide strides (e.g. 365-day years).
+		sb := e.getScratch(c.implicit.Size)
+		defer e.putScratch(sb)
+		tb := sb.buf
 		for r := 0; r < fr.rowCount; r++ {
 			src := c.rowSlice(fr.rowStart + r)
 			dst := fr.data[r*stride : (r+1)*stride]
-			for k := 0; k < stride; k++ {
-				for gidx := 0; gidx < groups; gidx++ {
-					buf[gidx] = src[gidx*stride+k]
+			for gidx := 0; gidx < groups; gidx++ {
+				base := gidx * stride
+				for k := 0; k < stride; k++ {
+					tb[k*groups+gidx] = src[base+k]
 				}
-				dst[k] = float32(rop(buf, params))
+			}
+			for k := 0; k < stride; k++ {
+				dst[k] = float32(rop(tb[k*groups:(k+1)*groups], params))
 			}
 		}
 		e.addCells(int64(fr.rowCount * c.implicit.Size))
@@ -301,24 +345,15 @@ func (c *Cube) Intercube(o *Cube, op string) (*Cube, error) {
 	if err := c.sameShape(o); err != nil {
 		return nil, err
 	}
-	var f func(a, b float32) float32
-	switch op {
-	case "add":
-		f = func(a, b float32) float32 { return a + b }
-	case "sub":
-		f = func(a, b float32) float32 { return a - b }
-	case "mul":
-		f = func(a, b float32) float32 { return a * b }
-	case "div":
-		f = func(a, b float32) float32 { return a / b }
-	default:
-		return nil, fmt.Errorf("datacube: unknown intercube op %q", op)
+	f, err := intercubeFunc(op)
+	if err != nil {
+		return nil, err
 	}
 	e := c.engine
 	out := e.newCube(c.explicit, c.implicit)
 	out.measure = c.measure
 	n := c.implicit.Size
-	err := e.mapFragments("intercube", out, func(fr *fragment) error {
+	err = e.mapFragments("intercube", out, func(fr *fragment) error {
 		for r := 0; r < fr.rowCount; r++ {
 			row := fr.rowStart + r
 			a := c.rowSlice(row)
@@ -439,8 +474,14 @@ func (c *Cube) ExportNC() (*ncdf.Dataset, error) {
 	if _, err := ds.AddVar(name, dims, data); err != nil {
 		return nil, err
 	}
-	for k, v := range c.meta {
-		ds.Attrs[k] = ncdf.String(v)
+	if c.meta == nil {
+		if c.metaK != "" {
+			ds.Attrs[c.metaK] = ncdf.String(c.metaV)
+		}
+	} else {
+		for k, v := range c.meta {
+			ds.Attrs[k] = ncdf.String(v)
+		}
 	}
 	ds.Attrs["cube_id"] = ncdf.String(c.id)
 	ds.Attrs["provenance"] = ncdf.String(c.desc)

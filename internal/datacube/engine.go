@@ -31,6 +31,10 @@ type Config struct {
 	// Metrics, when set, receives per-operator wall-time histograms and
 	// cell/fragment throughput counters (datacube_* families).
 	Metrics *obs.Registry
+	// Tracer, when set, records one span per fused plan pass
+	// (datacube.fused_pass) so operator fusion shows up on -trace
+	// timelines. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // ErrEngineClosed is returned by operators invoked after Engine.Close.
@@ -228,6 +232,10 @@ func (e *Engine) newCube(explicit []Dimension, implicit Dimension) *Cube {
 	}
 	base := rows / nfrag
 	rem := rows % nfrag
+	// one backing allocation for the whole cube, sliced per fragment:
+	// fragments stay independently addressable but an operator costs one
+	// allocation instead of one per fragment
+	backing := make([]float32, rows*implicit.Size)
 	start := 0
 	for f := 0; f < nfrag; f++ {
 		cnt := base
@@ -240,7 +248,7 @@ func (e *Engine) newCube(explicit []Dimension, implicit Dimension) *Cube {
 		c.frags = append(c.frags, &fragment{
 			rowStart: start,
 			rowCount: cnt,
-			data:     make([]float32, cnt*implicit.Size),
+			data:     backing[start*implicit.Size : (start+cnt)*implicit.Size : (start+cnt)*implicit.Size],
 			server:   f % e.cfg.Servers,
 		})
 		start += cnt
@@ -254,6 +262,14 @@ func (e *Engine) newCube(explicit []Dimension, implicit Dimension) *Cube {
 // reported, not reduced to one arbitrary member. op labels the
 // operator's wall-time histogram.
 func (e *Engine) mapFragments(op string, c *Cube, fn func(fr *fragment) error) error {
+	return e.mapFragmentsIdx(op, c, func(_ int, fr *fragment) error { return fn(fr) })
+}
+
+// mapFragmentsIdx is mapFragments with the fragment's index passed to
+// fn; fused multi-output passes use it to address the aligned fragments
+// of sibling output cubes (all outputs of one pass share the same row
+// partitioning).
+func (e *Engine) mapFragmentsIdx(op string, c *Cube, fn func(i int, fr *fragment) error) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -266,8 +282,8 @@ func (e *Engine) mapFragments(op string, c *Cube, fn func(fr *fragment) error) e
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(c.frags))
-	for _, fr := range c.frags {
-		fr := fr
+	for i, fr := range c.frags {
+		i, fr := i, fr
 		wg.Add(1)
 		e.fragTasks.Add(1)
 		e.met.fragTasks.Inc()
@@ -277,7 +293,7 @@ func (e *Engine) mapFragments(op string, c *Cube, fn func(fr *fragment) error) e
 			if e.cfg.FragmentLatency > 0 {
 				time.Sleep(e.cfg.FragmentLatency)
 			}
-			if err := fn(fr); err != nil {
+			if err := fn(i, fr); err != nil {
 				errCh <- fmt.Errorf("%s: rows [%d,%d): %w", op, fr.rowStart, fr.rowStart+fr.rowCount, err)
 			}
 			e.met.fragSeconds.Observe(time.Since(t0).Seconds())

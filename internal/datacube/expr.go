@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 )
 
 // Expr is a compiled elementwise expression over the variable x, the
@@ -56,6 +57,40 @@ func MustCompile(src string) *Expr {
 		panic(err)
 	}
 	return e
+}
+
+// The workflow applies a small fixed set of expressions (masks,
+// thresholds, scalings) once per year and branch; caching the compiled
+// program keeps repeat compilation off the hot path. Compiled Exprs are
+// immutable and Eval is concurrency-safe, so sharing is sound. The
+// cache is bounded: past the cap, callers compile fresh (correctness is
+// unaffected, only the shortcut is skipped).
+const exprCacheMax = 256
+
+var (
+	exprCacheMu sync.RWMutex
+	exprCache   = make(map[string]*Expr)
+)
+
+// compileCached is Compile with memoization; Apply and the fused plan
+// compiler use it.
+func compileCached(src string) (*Expr, error) {
+	exprCacheMu.RLock()
+	e, ok := exprCache[src]
+	exprCacheMu.RUnlock()
+	if ok {
+		return e, nil
+	}
+	e, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	exprCacheMu.Lock()
+	if len(exprCache) < exprCacheMax {
+		exprCache[src] = e
+	}
+	exprCacheMu.Unlock()
+	return e, nil
 }
 
 // Eval computes the expression at x.

@@ -17,6 +17,13 @@ type dcMetrics struct {
 	cells       *obs.Counter
 	fileReads   *obs.Counter
 	fragTasks   *obs.Counter
+
+	// fusion instruments (see plan.go/exec.go)
+	fusedPasses   *obs.Counter   // fused passes executed
+	fusedStages   *obs.Counter   // logical operator stages folded into them
+	fusedSeconds  *obs.Histogram // whole fused-pass wall time
+	scratchHits   *obs.Counter   // scratch-pool gets served from the pool
+	scratchMisses *obs.Counter   // scratch-pool gets that had to allocate
 }
 
 func newDCMetrics(reg *obs.Registry) *dcMetrics {
@@ -31,6 +38,16 @@ func newDCMetrics(reg *obs.Registry) *dcMetrics {
 			"Storage read operations (one per file and variable import)."),
 		fragTasks: reg.Counter("datacube_fragment_tasks_total",
 			"Per-fragment work units dispatched to I/O servers."),
+		fusedPasses: reg.Counter("datacube_fused_passes_total",
+			"Fused plan passes executed (one fragment fan-out each)."),
+		fusedStages: reg.Counter("datacube_fused_stages_total",
+			"Logical operator stages executed inside fused passes."),
+		fusedSeconds: reg.Histogram("datacube_fused_pass_seconds",
+			"Wall-clock duration of one fused plan pass.", opBounds),
+		scratchHits: reg.Counter("datacube_scratch_pool_hits_total",
+			"Fused-pass scratch buffers served from the pool."),
+		scratchMisses: reg.Counter("datacube_scratch_pool_misses_total",
+			"Fused-pass scratch buffers that had to be allocated."),
 	}
 }
 

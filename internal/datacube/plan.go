@@ -1,0 +1,158 @@
+package datacube
+
+import "fmt"
+
+// This file implements the lazy query-plan layer over the eager
+// operator API. A Plan records the same operator vocabulary the Cube
+// methods and cubeserver.PipelineStep expose, without executing
+// anything; Plan.Execute compiles maximal runs of row-local operators
+// into fused per-fragment passes (see exec.go), so an n-stage index
+// chain does one fragment fan-out and one output allocation instead of
+// n of each — the operator-pipelining pattern the related work names as
+// the recurring HPC→analytics optimization.
+//
+// Operator classification:
+//
+//   - row-local (fusible): apply, reduce, reducegroup, reducestride,
+//     subset, intercube. Output row r depends only on input row r, so
+//     consecutive stages chain through per-row scratch buffers.
+//   - barrier (materializing): subsetrows, aggrows, aggtrailing. These
+//     re-shape or combine rows, so the plan materializes the pending
+//     fused prefix into a cube and runs the eager operator.
+//
+// Keep marks the preceding step's output as a materialization boundary:
+// the cube is computed, registered and retained, exactly as the eager
+// path would leave it.
+
+// planStep is one recorded operator application.
+type planStep struct {
+	op     string // apply|reduce|reducegroup|reducestride|subset|subsetrows|intercube|aggrows|aggtrailing
+	expr   string
+	rowOp  string
+	params []float64
+	group  int // group for reducegroup, stride for reducestride
+	lo, hi int
+	other  *Cube
+	keep   bool
+}
+
+// Plan is a lazily-recorded operator chain over a source cube. Build
+// one with Cube.Lazy (or Branch for ExecuteBranches sub-chains), append
+// steps with the builder methods, and run it with Execute. Plans are
+// single-use value builders, not thread-safe.
+type Plan struct {
+	src   *Cube
+	steps []planStep
+}
+
+// Lazy starts a plan whose first step consumes the cube. Nothing
+// executes until Execute/ExecuteBranches.
+func (c *Cube) Lazy() *Plan { return &Plan{src: c} }
+
+// Branch starts a source-less sub-chain for Plan.ExecuteBranches; its
+// input is the shared prefix's per-row output.
+func Branch() *Plan { return &Plan{} }
+
+func (p *Plan) add(s planStep) *Plan {
+	if p.steps == nil {
+		// index chains are short; one right-sized allocation instead of
+		// append doubling keeps plan building off the hot path's profile
+		p.steps = make([]planStep, 0, 4)
+	}
+	p.steps = append(p.steps, s)
+	return p
+}
+
+// Apply records an elementwise expression stage (Cube.Apply).
+func (p *Plan) Apply(expr string) *Plan {
+	return p.add(planStep{op: "apply", expr: expr})
+}
+
+// Reduce records a full-row reduction (Cube.Reduce).
+func (p *Plan) Reduce(op string, params ...float64) *Plan {
+	return p.add(planStep{op: "reduce", rowOp: op, params: params})
+}
+
+// ReduceGroup records a grouped reduction (Cube.ReduceGroup).
+func (p *Plan) ReduceGroup(op string, group int, params ...float64) *Plan {
+	return p.add(planStep{op: "reducegroup", rowOp: op, params: params, group: group})
+}
+
+// ReduceStride records a strided reduction (Cube.ReduceStride).
+func (p *Plan) ReduceStride(op string, stride int, params ...float64) *Plan {
+	return p.add(planStep{op: "reducestride", rowOp: op, params: params, group: stride})
+}
+
+// Subset records an implicit-axis subset (Cube.Subset).
+func (p *Plan) Subset(lo, hi int) *Plan {
+	return p.add(planStep{op: "subset", lo: lo, hi: hi})
+}
+
+// SubsetRows records a leading-dimension row subset (Cube.SubsetRows).
+// Row subsetting re-indexes rows, so it is a fusion barrier.
+func (p *Plan) SubsetRows(lo, hi int) *Plan {
+	return p.add(planStep{op: "subsetrows", lo: lo, hi: hi})
+}
+
+// Intercube records an elementwise combination with an already
+// materialized cube (Cube.Intercube).
+func (p *Plan) Intercube(other *Cube, op string) *Plan {
+	return p.add(planStep{op: "intercube", rowOp: op, other: other})
+}
+
+// AggregateRows records a row-collapsing aggregation (fusion barrier).
+func (p *Plan) AggregateRows(op string, params ...float64) *Plan {
+	return p.add(planStep{op: "aggrows", rowOp: op, params: params})
+}
+
+// AggregateTrailing records a trailing-dimension aggregation (fusion
+// barrier).
+func (p *Plan) AggregateTrailing(op string, params ...float64) *Plan {
+	return p.add(planStep{op: "aggtrailing", rowOp: op, params: params})
+}
+
+// Keep marks the most recent step's output as a materialization
+// boundary: its cube is registered on the engine and retained after
+// Execute, exactly like the eager path's intermediate. Keep on an
+// empty plan is an Execute-time error.
+func (p *Plan) Keep() *Plan {
+	if len(p.steps) > 0 {
+		p.steps[len(p.steps)-1].keep = true
+	} else {
+		// recorded as an invalid step so Execute reports it instead of
+		// silently ignoring the call
+		p.steps = append(p.steps, planStep{op: "keep-without-step"})
+	}
+	return p
+}
+
+// Len reports the number of recorded steps.
+func (p *Plan) Len() int { return len(p.steps) }
+
+// Execute compiles the plan and runs it, returning the final cube.
+// Maximal runs of row-local steps execute as single fused passes;
+// barrier steps and Keep boundaries materialize. Each fused segment is
+// shape-validated before it runs, and a failing plan deletes every
+// unkept intermediate it produced, so errors leave no temporaries
+// behind (cubes already materialized by Keep remain, matching the
+// eager path's semantics).
+func (p *Plan) Execute() (*Cube, error) {
+	outs, err := p.run(nil)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// ExecuteBranches runs the plan's steps as a shared row-local prefix
+// and then fans out into the branch chains, all in ONE fused pass: the
+// prefix is computed once per row into scratch and each branch writes
+// its own output cube. Branches must be built with Branch() and may
+// contain only row-local steps. The returned cubes align with the
+// branches argument.
+func (p *Plan) ExecuteBranches(branches ...*Plan) ([]*Cube, error) {
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("datacube: ExecuteBranches needs at least one branch")
+	}
+	return p.run(branches)
+}

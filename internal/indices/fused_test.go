@@ -1,0 +1,168 @@
+package indices
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/grid"
+)
+
+// These tests pin the tentpole guarantee of the fused data plane: every
+// index pipeline must produce byte-for-byte the same cubes whether it
+// runs operator-at-a-time (eager) or as fused plan passes.
+
+func requireBitIdentical(t *testing.T, name string, fused, eager *datacube.Cube) {
+	t.Helper()
+	if fused == nil || eager == nil {
+		t.Fatalf("%s: nil cube (fused=%v eager=%v)", name, fused != nil, eager != nil)
+	}
+	if fused.Rows() != eager.Rows() || fused.ImplicitLen() != eager.ImplicitLen() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name,
+			fused.Rows(), fused.ImplicitLen(), eager.Rows(), eager.ImplicitLen())
+	}
+	fv := fused.Values()
+	ev := eager.Values()
+	for r := range fv {
+		for i := range fv[r] {
+			if math.Float32bits(fv[r][i]) != math.Float32bits(ev[r][i]) {
+				t.Fatalf("%s: row %d elem %d: fused %v != eager %v", name, r, i, fv[r][i], ev[r][i])
+			}
+		}
+	}
+}
+
+// seededAnomaly returns a deterministic per-(row,day) anomaly stream
+// with enough spread to trigger waves, quiet spells and dry runs.
+func seededAnomaly(seed int64, rows, days int) func(row, day int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, rows*days)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 4
+	}
+	return func(row, day int) float64 { return vals[row*days+day] }
+}
+
+func TestWaveFusedMatchesEager(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, err := BuildBaseline(e, g, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := syntheticTempCube(t, e, g, days, seededAnomaly(20260805, g.Size(), days))
+	p := Params{ThresholdK: 3, MinDays: 3, DaysPerYear: days}
+
+	for _, tc := range []struct {
+		name string
+		run  func(p Params) (*Result, error)
+	}{
+		{"heat", func(p Params) (*Result, error) { return HeatWavesFromCube(temp, b, p) }},
+		{"cold", func(p Params) (*Result, error) { return ColdWavesFromCube(temp, b, p) }},
+	} {
+		pf, pe := tc.run, tc.run
+		p.Eager = false
+		fused, err := pf(p)
+		if err != nil {
+			t.Fatalf("%s fused: %v", tc.name, err)
+		}
+		p.Eager = true
+		eager, err := pe(p)
+		if err != nil {
+			t.Fatalf("%s eager: %v", tc.name, err)
+		}
+		requireBitIdentical(t, tc.name+"/duration", fused.Duration, eager.Duration)
+		requireBitIdentical(t, tc.name+"/number", fused.Number, eager.Number)
+		requireBitIdentical(t, tc.name+"/frequency", fused.Frequency, eager.Frequency)
+		for _, c := range []*datacube.Cube{fused.Duration, fused.Number, fused.Frequency} {
+			if got, ok := c.Meta("index"); !ok || got == "" {
+				t.Fatalf("%s: fused cube missing index meta", tc.name)
+			}
+		}
+	}
+}
+
+func TestETCCDIFusedMatchesEager(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, err := BuildPercentileBaseline(e, g, days, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := syntheticTempCube(t, e, g, days, seededAnomaly(7, g.Size(), days))
+	p := Params{MinDays: 3, DaysPerYear: days}
+
+	fused, err := ETCCDI(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eager = true
+	eager, err := ETCCDI(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "TX90p", fused.TX90p, eager.TX90p)
+	requireBitIdentical(t, "TN10p", fused.TN10p, eager.TN10p)
+	requireBitIdentical(t, "WSDI", fused.WSDI, eager.WSDI)
+	requireBitIdentical(t, "CSDI", fused.CSDI, eager.CSDI)
+}
+
+func TestPrecipFusedMatchesEager(t *testing.T) {
+	e := testEngine(t)
+	g := grid.Grid{NLat: 5, NLon: 7}
+	const days = 24
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]float32, g.Size()*days)
+	for i := range vals {
+		// mix of dry days and heavy rain so CDD and R95pTOT are non-trivial
+		if rng.Float64() < 0.4 {
+			vals[i] = float32(rng.Float64() * 0.9)
+		} else {
+			vals[i] = float32(rng.ExpFloat64() * 8)
+		}
+	}
+	daily, err := e.NewCubeFromFunc("PR_DAILY",
+		[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
+		datacube.Dimension{Name: "time", Size: days},
+		func(row, d int) float32 { return vals[row*days+d] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p95, err := e.NewCubeFromFunc("PR95_CLIM",
+		[]datacube.Dimension{{Name: "lat", Size: g.NLat}, {Name: "lon", Size: g.NLon}},
+		datacube.Dimension{Name: "time", Size: days},
+		func(row, d int) float32 { return 4 + float32(row%3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fused, err := PrecipIndices(daily, p95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := precipIndicesEager(daily, p95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "PRCPTOT", fused.PRCPTOT, eager.PRCPTOT)
+	requireBitIdentical(t, "Rx1day", fused.Rx1day, eager.Rx1day)
+	requireBitIdentical(t, "CDD", fused.CDD, eager.CDD)
+	requireBitIdentical(t, "R95pTOT", fused.R95pTOT, eager.R95pTOT)
+
+	// nil baseline skips R95pTOT on both paths
+	fusedNo, err := PrecipIndices(daily, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerNo, err := precipIndicesEager(daily, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fusedNo.R95pTOT != nil || eagerNo.R95pTOT != nil {
+		t.Fatal("R95pTOT should be nil without a baseline")
+	}
+	requireBitIdentical(t, "PRCPTOT/no95", fusedNo.PRCPTOT, eagerNo.PRCPTOT)
+}

@@ -88,6 +88,12 @@ type Params struct {
 	StepsPerDay int
 	// DaysPerYear is the length of one year of input in days.
 	DaysPerYear int
+	// Eager forces the original operator-at-a-time execution of the
+	// index pipelines. The default (false) compiles each chain into
+	// fused per-fragment passes (datacube.Plan); both paths produce
+	// byte-for-byte identical cubes and the eager one is kept for
+	// cross-checking and benchmarking the fusion win.
+	Eager bool
 }
 
 // Defaults fills zero fields with the paper's definitions.
@@ -200,7 +206,11 @@ func ColdWavesFromCube(temp *datacube.Cube, b *Baseline, p Params) (*Result, err
 
 // wavePipeline is the shared operator chain of the paper's Listing 1:
 // daily extremum → anomaly vs baseline → duration / count / frequency
-// reductions, all fragment-parallel on the datacube engine.
+// reductions, all fragment-parallel on the datacube engine. By default
+// the chain runs as ONE fused multi-output pass (the shared
+// daily-extremum/anomaly prefix is computed per row into scratch and
+// the three index reductions branch off it); p.Eager selects the
+// original operator-at-a-time execution.
 func wavePipeline(temp *datacube.Cube, baseline *datacube.Cube, p Params, hot bool) (*Result, error) {
 	if temp.ImplicitLen() != p.StepsPerDay*p.DaysPerYear {
 		return nil, fmt.Errorf("indices: input has %d samples, want %d days × %d steps",
@@ -212,7 +222,45 @@ func wavePipeline(temp *datacube.Cube, baseline *datacube.Cube, p Params, hot bo
 	if temp.Rows() != baseline.Rows() {
 		return nil, fmt.Errorf("indices: input rows %d != baseline rows %d", temp.Rows(), baseline.Rows())
 	}
+	if p.Eager {
+		return wavePipelineEager(temp, baseline, p, hot)
+	}
+	return wavePipelineFused(temp, baseline, p, hot)
+}
 
+// waveOps resolves the direction-dependent operator names.
+func waveOps(hot bool, p Params) (extremum, runOp, countOp, daysOp string, th float64) {
+	if hot {
+		return "max", "longest_run_above", "count_runs_above", "days_in_runs_above", p.ThresholdK
+	}
+	return "min", "longest_run_below", "count_runs_below", "days_in_runs_below", -p.ThresholdK
+}
+
+// wavePipelineFused runs the whole Listing-1 chain as one fused pass:
+// daily/anomaly intermediates never materialize as cubes.
+func wavePipelineFused(temp *datacube.Cube, baseline *datacube.Cube, p Params, hot bool) (*Result, error) {
+	op, runOp, countOp, daysOp, th := waveOps(hot, p)
+	outs, err := temp.Lazy().
+		ReduceGroup(op, p.StepsPerDay).
+		Intercube(baseline, "sub").
+		ExecuteBranches(
+			datacube.Branch().Reduce(runOp, th).Apply(fmt.Sprintf("x>=%d ? x : 0", p.MinDays)),
+			datacube.Branch().Reduce(countOp, th, float64(p.MinDays)),
+			datacube.Branch().Reduce(daysOp, th, float64(p.MinDays)).Apply(fmt.Sprintf("x/%d", p.DaysPerYear)),
+		)
+	if err != nil {
+		return nil, err
+	}
+	duration, number, frequency := outs[0], outs[1], outs[2]
+	duration.SetMeta("index", indexName(hot, "duration"))
+	number.SetMeta("index", indexName(hot, "number"))
+	frequency.SetMeta("index", indexName(hot, "frequency"))
+	return &Result{Duration: duration, Number: number, Frequency: frequency}, nil
+}
+
+// wavePipelineEager is the original operator-at-a-time chain, retained
+// as the fused path's cross-check oracle.
+func wavePipelineEager(temp *datacube.Cube, baseline *datacube.Cube, p Params, hot bool) (*Result, error) {
 	// Daily extremum over the sub-daily steps (oph_reduce2).
 	op := "max"
 	if !hot {
@@ -311,12 +359,12 @@ func CubeToField(c *datacube.Cube, g grid.Grid) (*grid.Field, error) {
 			c.Rows(), c.ImplicitLen(), g.NLat, g.NLon)
 	}
 	f := grid.NewField(g)
+	var buf [1]float32
 	for r := 0; r < c.Rows(); r++ {
-		row, err := c.Row(r)
-		if err != nil {
+		if _, err := c.CopyRow(buf[:], r); err != nil {
 			return nil, err
 		}
-		f.Data[r] = row[0]
+		f.Data[r] = buf[0]
 	}
 	return f, nil
 }
@@ -336,13 +384,13 @@ func Validate(r *Result, p Params) error {
 		{r.Number, 0, float64(p.DaysPerYear) / float64(p.MinDays), "number"},
 		{r.Frequency, 0, 1, "frequency"},
 	}
+	var buf [1]float32
 	for _, c := range checks {
 		for rIdx := 0; rIdx < c.cube.Rows(); rIdx++ {
-			row, err := c.cube.Row(rIdx)
-			if err != nil {
+			if _, err := c.cube.CopyRow(buf[:], rIdx); err != nil {
 				return err
 			}
-			v := float64(row[0])
+			v := float64(buf[0])
 			if v < c.lo || v > c.hi {
 				return fmt.Errorf("indices: %s[%d] = %v outside [%v,%v]", c.name, rIdx, v, c.lo, c.hi)
 			}

@@ -144,7 +144,10 @@ type PercentileResult struct {
 }
 
 // ETCCDI computes the percentile indices from a sub-daily temperature
-// cube, following the standard definitions (6-day minimum spells).
+// cube, following the standard definitions (6-day minimum spells). Like
+// wavePipeline it defaults to fused execution — one multi-output pass
+// per temperature side, with the daily-extremum/anomaly prefix kept in
+// scratch — and p.Eager selects the operator-at-a-time original.
 func ETCCDI(temp *datacube.Cube, b *PercentileBaseline, p Params) (*PercentileResult, error) {
 	p = p.Defaults()
 	if temp.ImplicitLen() != p.StepsPerDay*p.DaysPerYear {
@@ -154,7 +157,47 @@ func ETCCDI(temp *datacube.Cube, b *PercentileBaseline, p Params) (*PercentileRe
 	if b.TX90.ImplicitLen() != p.DaysPerYear {
 		return nil, fmt.Errorf("indices: percentile baseline has %d days, want %d", b.TX90.ImplicitLen(), p.DaysPerYear)
 	}
+	if p.Eager {
+		return etccdiEager(temp, b, p)
+	}
+	return etccdiFused(temp, b, p)
+}
 
+// etccdiFused runs each temperature side (warm vs TX90, cold vs TN10)
+// as one fused two-output pass.
+func etccdiFused(temp *datacube.Cube, b *PercentileBaseline, p Params) (*PercentileResult, error) {
+	out := &PercentileResult{}
+	side := func(extremum string, pct *datacube.Cube, countOp, runsOp string) (frac, sdi *datacube.Cube, err error) {
+		outs, err := temp.Lazy().
+			ReduceGroup(extremum, p.StepsPerDay).
+			Intercube(pct, "sub").
+			ExecuteBranches(
+				datacube.Branch().Reduce(countOp, 0).Apply(fmt.Sprintf("x/%d", p.DaysPerYear)),
+				datacube.Branch().Reduce(runsOp, 0, float64(p.MinDays)),
+			)
+		if err != nil {
+			return nil, nil, err
+		}
+		return outs[0], outs[1], nil
+	}
+	var err error
+	if out.TX90p, out.WSDI, err = side("max", b.TX90, "count_above", "days_in_runs_above"); err != nil {
+		return nil, err
+	}
+	out.TX90p.SetMeta("index", "TX90p")
+	out.WSDI.SetMeta("index", "WSDI")
+	if out.TN10p, out.CSDI, err = side("min", b.TN10, "count_below", "days_in_runs_below"); err != nil {
+		out.Delete()
+		return nil, err
+	}
+	out.TN10p.SetMeta("index", "TN10p")
+	out.CSDI.SetMeta("index", "CSDI")
+	return out, nil
+}
+
+// etccdiEager is the original operator-at-a-time chain, retained as the
+// fused path's cross-check oracle.
+func etccdiEager(temp *datacube.Cube, b *PercentileBaseline, p Params) (*PercentileResult, error) {
 	out := &PercentileResult{}
 	// warm side: daily max vs TX90
 	dmax, err := temp.ReduceGroup("max", p.StepsPerDay)

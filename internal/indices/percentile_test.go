@@ -37,6 +37,48 @@ func TestReduceStrideAcrossYears(t *testing.T) {
 	}
 }
 
+// TestReduceStrideWide pins the cache-friendly transpose rewrite of
+// ReduceStride on a wide stride (many output positions, few groups):
+// avg and quantile must match a direct per-position computation.
+func TestReduceStrideWide(t *testing.T) {
+	e := testEngine(t)
+	const rows, stride, groups = 3, 96, 5
+	val := func(row, tt int) float32 {
+		return float32(row*1000) + float32((tt*7919)%251) - 125
+	}
+	c, err := e.NewCubeFromFunc("wide",
+		[]datacube.Dimension{{Name: "r", Size: rows}},
+		datacube.Dimension{Name: "t", Size: stride * groups},
+		val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := c.ReduceStride("avg", stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.ReduceStride("quantile", stride, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.ImplicitLen() != stride || q.ImplicitLen() != stride {
+		t.Fatalf("stride result len = %d / %d, want %d", avg.ImplicitLen(), q.ImplicitLen(), stride)
+	}
+	for r := 0; r < rows; r++ {
+		got, _ := avg.Row(r)
+		for d := 0; d < stride; d++ {
+			sum := 0.0
+			for g := 0; g < groups; g++ {
+				sum += float64(val(r, g*stride+d))
+			}
+			want := float32(sum / groups)
+			if got[d] != want {
+				t.Fatalf("avg row %d pos %d = %v, want %v", r, d, got[d], want)
+			}
+		}
+	}
+}
+
 func TestBuildPercentileBaseline(t *testing.T) {
 	e := testEngine(t)
 	g := smallGrid()

@@ -106,8 +106,48 @@ func (r *PrecipResult) Delete() {
 }
 
 // PrecipIndices computes the precipitation extremes from a daily-mean
-// precipitation cube. p95 may be nil to skip R95pTOT.
+// precipitation cube. p95 may be nil to skip R95pTOT. The three
+// unconditional reductions run as one fused three-output pass over
+// daily, and R95pTOT as one fused linear chain (its mask/wet-day
+// intermediates never materialize); precipIndicesEager is the
+// operator-at-a-time original, kept as the cross-check oracle.
 func PrecipIndices(daily *datacube.Cube, p95 *datacube.Cube) (*PrecipResult, error) {
+	out := &PrecipResult{}
+	outs, err := daily.Lazy().ExecuteBranches(
+		datacube.Branch().Reduce("sum"),
+		datacube.Branch().Reduce("max"),
+		datacube.Branch().Reduce("longest_run_below", WetDayThresholdMMDay),
+	)
+	if err != nil {
+		return nil, err
+	}
+	out.PRCPTOT, out.Rx1day, out.CDD = outs[0], outs[1], outs[2]
+	out.PRCPTOT.SetMeta("index", "PRCPTOT")
+	out.Rx1day.SetMeta("index", "Rx1day")
+	out.CDD.SetMeta("index", "CDD")
+
+	if p95 != nil {
+		if daily.ImplicitLen() != p95.ImplicitLen() {
+			out.Delete()
+			return nil, fmt.Errorf("indices: daily has %d days, baseline %d", daily.ImplicitLen(), p95.ImplicitLen())
+		}
+		// very-wet-day mask times precipitation, totaled — one fused chain
+		if out.R95pTOT, err = daily.Lazy().
+			Intercube(p95, "sub").
+			Apply("x>0 ? 1 : 0").
+			Intercube(daily, "mul").
+			Reduce("sum").
+			Execute(); err != nil {
+			out.Delete()
+			return nil, err
+		}
+		out.R95pTOT.SetMeta("index", "R95pTOT")
+	}
+	return out, nil
+}
+
+// precipIndicesEager is the original operator-at-a-time implementation.
+func precipIndicesEager(daily *datacube.Cube, p95 *datacube.Cube) (*PrecipResult, error) {
 	out := &PrecipResult{}
 	var err error
 	if out.PRCPTOT, err = daily.Reduce("sum"); err != nil {
