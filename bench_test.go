@@ -10,6 +10,9 @@
 //	BenchmarkRuntimeThroughput        C4 — task-graph parallelism
 //	BenchmarkSchedulerOverhead        C4 — per-task runtime overhead
 //	BenchmarkCNNInference             C5 — ML localizer inference cost
+//	BenchmarkCNNInferenceBatched      C5 — reference vs compiled batched engine
+//	BenchmarkCNNTrainStep             C5 — one training step (layer path)
+//	BenchmarkDetectStep               C5 — full per-step patch sweep
 //	BenchmarkCheckpointOverhead       C6 — checkpointing cost
 //	BenchmarkStreamDetectLatency      C7 — year-completion detection
 //	BenchmarkLocalityPlacement        ablation — locality-aware placement
@@ -381,6 +384,113 @@ func BenchmarkCNNInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = loc.Predict(x)
+	}
+}
+
+// BenchmarkCNNInferenceBatched compares the layer-by-layer reference
+// with the compiled im2col/GEMM engine at a realistic per-step patch
+// count (the 48×96 grid tiles into 32 12×12 patches). Per-patch cost
+// is reported as ns/patch; the batched path must be zero-alloc.
+func BenchmarkCNNInferenceBatched(b *testing.B) {
+	const patches = 32
+	rng := rand.New(rand.NewSource(1))
+	x := ml.NewTensor(patches, len(ml.Channels), 12, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	perPatch := len(ml.Channels) * 12 * 12
+
+	b.Run("reference", func(b *testing.B) {
+		loc, err := ml.NewLocalizer(12, 12, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loc.Configure(ml.Params{Reference: true})
+		one := ml.NewTensor(len(ml.Channels), 12, 12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < patches; p++ {
+				copy(one.Data, x.Data[p*perPatch:(p+1)*perPatch])
+				_ = loc.Predict(one)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*patches), "ns/patch")
+	})
+	b.Run("batched", func(b *testing.B) {
+		loc, err := ml.NewLocalizer(12, 12, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := loc.Compile(ml.Params{MaxBatch: patches})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.PredictBatch(x) // warm the session buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.PredictBatch(x)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*patches), "ns/patch")
+	})
+}
+
+// BenchmarkCNNTrainStep is one forward+backward pass through the layer
+// path (the ReLU/MaxPool buffer-reuse beneficiary).
+func BenchmarkCNNTrainStep(b *testing.B) {
+	loc, err := ml.NewLocalizer(12, 12, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := ml.NewTensor(len(ml.Channels), 12, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	grad := ml.NewTensor(3)
+	grad.Data[0], grad.Data[1], grad.Data[2] = 0.5, 0.1, -0.1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = loc.Net.Forward(x)
+		loc.Net.Backward(grad)
+	}
+}
+
+// BenchmarkDetectStep is the end-to-end per-step sweep on real model
+// fields: channel extraction, standardization, batched parallel
+// inference and geo-referencing.
+func BenchmarkDetectStep(b *testing.B) {
+	m := esm.NewModel(esm.Config{
+		Grid: grid.Grid{NLat: 48, NLon: 96}, StartYear: 2040, Years: 1, DaysPerYear: 30, Seed: 42,
+		Events: &esm.EventConfig{CyclonesPerYear: 4, WaveAmplitudeK: 8, WaveMinDays: 6, WaveMaxDays: 6},
+	})
+	var day *esm.DayOutput
+	for i := 0; i < 5; i++ {
+		day = m.StepDay()
+	}
+	for _, mode := range []struct {
+		name string
+		p    ml.Params
+	}{
+		{"reference", ml.Params{Reference: true}},
+		{"engine", ml.Params{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			loc, err := ml.NewLocalizer(12, 12, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			loc.Configure(mode.p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := loc.DetectStep(day, 0, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -29,6 +29,8 @@ func main() {
 		patch      = flag.Int("patch", 12, "CNN patch size")
 		threshold  = flag.Float64("threshold", 0.5, "CNN presence threshold")
 		minDrop    = flag.Float64("mindrop", 1500, "minimum truth pressure drop [Pa] counted in skill")
+		reference  = flag.Bool("reference", false, "evaluate with the layer-by-layer reference path instead of the compiled engine")
+		workers    = flag.Int("mlworkers", 0, "inference session pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %d patches, epoch losses %.4f -> %.4f\n\n", len(samples), losses[0], losses[len(losses)-1])
+
+	// evaluation runs through the compiled inference engine (im2col/GEMM
+	// sessions, batched patch sweep) unless -reference asks for the
+	// layer path; both produce identical detections.
+	loc.Configure(ml.Params{Reference: *reference, Workers: *workers})
+	if !*reference {
+		if _, err := loc.Compile(ml.Params{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("inference: compiled engine (im2col/GEMM, batched patch sweep)")
+	} else {
+		fmt.Println("inference: layer-by-layer reference path")
+	}
 
 	// evaluate
 	fmt.Printf("%-10s %8s %8s %8s %12s %8s\n", "detector", "POD", "FAR", "err km", "hits/miss", "falarm")

@@ -95,6 +95,10 @@ type Config struct {
 	Localizer *ml.Localizer
 	// TCThreshold is the CNN presence threshold (default 0.5).
 	TCThreshold float64
+	// ML configures the localizer's inference engine (batch size,
+	// session-pool width, Reference escape hatch — see ml.Params). The
+	// run's Metrics/Tracer are wired in unless ML sets its own.
+	ML ml.Params
 	// IndexParams overrides wave-index parameters; DaysPerYear and
 	// StepsPerDay are always taken from the model configuration.
 	IndexParams indices.Params
@@ -181,6 +185,16 @@ func (c Config) withDefaults() Config {
 	c.IndexParams.DaysPerYear = c.DaysPerYear
 	c.IndexParams.StepsPerDay = esm.StepsPerDay
 	c.IndexParams = c.IndexParams.Defaults()
+	if c.Localizer != nil {
+		p := c.ML
+		if p.Metrics == nil {
+			p.Metrics = c.Metrics
+		}
+		if p.Tracer == nil {
+			p.Tracer = c.Tracer
+		}
+		c.Localizer.Configure(p)
+	}
 	return c
 }
 

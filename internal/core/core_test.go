@@ -350,6 +350,9 @@ func TestWorkflowWithLocalizerRunsMLBranch(t *testing.T) {
 	}
 	cfg.Localizer = loc
 	cfg.TCThreshold = 0.999 // untrained net: keep detections sparse
+	// exercise the parallel engine sweep (chunked sessions) inside the
+	// task graph — go test -race covers the pool
+	cfg.ML = ml.Params{Workers: 3, MaxBatch: 8}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -358,6 +361,30 @@ func TestWorkflowWithLocalizerRunsMLBranch(t *testing.T) {
 	// the inference task must have completed)
 	if res.RuntimeStats.Done != res.RuntimeStats.Invoked {
 		t.Fatalf("stats = %+v", res.RuntimeStats)
+	}
+	if !loc.Compiled() {
+		t.Fatal("workflow did not compile the inference engine")
+	}
+}
+
+func TestWorkflowMLReferenceEscapeHatch(t *testing.T) {
+	cfg := testConfig(t, 1)
+	loc, err := ml.NewLocalizer(12, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Localizer = loc
+	cfg.TCThreshold = 0.999
+	cfg.ML = ml.Params{Reference: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeStats.Done != res.RuntimeStats.Invoked {
+		t.Fatalf("stats = %+v", res.RuntimeStats)
+	}
+	if loc.Compiled() {
+		t.Fatal("reference mode still compiled an engine")
 	}
 }
 

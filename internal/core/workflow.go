@@ -467,13 +467,19 @@ func (w *workflow) register() error {
 			if cfg.Localizer == nil {
 				return []any{[]ml.Detection(nil)}, nil
 			}
-			// every goroutine needs its own network instance
-			loc := cfg.Localizer
-			net, err := loc.Net.Clone()
-			if err != nil {
-				return nil, err
+			// the compiled engine is safe to share across per-year tasks
+			// (each sweep borrows pooled sessions); only the reference
+			// layer path keeps per-goroutine state and needs its own
+			// network instance
+			local := cfg.Localizer
+			if !local.Compiled() {
+				net, err := local.Net.Clone()
+				if err != nil {
+					return nil, err
+				}
+				local = &ml.Localizer{Net: net, PatchH: local.PatchH, PatchW: local.PatchW}
+				local.Configure(ml.Params{Reference: true})
 			}
-			local := &ml.Localizer{Net: net, PatchH: loc.PatchH, PatchW: loc.PatchW}
 			var dets []ml.Detection
 			for _, sf := range steps {
 				if sf.Step%2 != 0 {

@@ -1,0 +1,94 @@
+package ml
+
+// The GEMM kernel behind the compiled inference plan (infer.go). Both
+// Conv2D (after im2col) and Dense lower to the same primitive:
+//
+//	C (m×n) += A (m×k) · B (k×n)       all row-major, fp64
+//
+// with C pre-initialized to the layer bias. The kernel guarantees that
+// the contributions to every output element are accumulated in
+// ascending-k order into a single fp64 accumulator chain — exactly the
+// summation order of the scalar reference layers — so a compiled plan
+// is bit-for-bit identical to the layer-by-layer path, not merely
+// close. Blocking therefore happens over k and n panels (which only
+// reorders independent elements, never the additions within one), and
+// the inner loop is a contiguous axpy that streams one row of B into
+// one row of C.
+
+// gemm panel sizes: a kc×nc panel of B (≤ 64 KiB) stays cache-resident
+// while every row of A sweeps it.
+const (
+	gemmKC = 64
+	gemmNC = 512
+)
+
+// gemmAcc accumulates A·B into C (see package comment above for the
+// ordering contract). Slices may be larger than the used extents.
+// Output rows are register-blocked four at a time: the four rows share
+// each streamed B row, which quarters the panel traffic and runs four
+// independent accumulation chains per iteration — every individual
+// element still sums its terms in ascending-k order.
+func gemmAcc(m, n, k int, a, b, c []float64) {
+	for kk := 0; kk < k; kk += gemmKC {
+		kMax := min(kk+gemmKC, k)
+		for jj := 0; jj < n; jj += gemmNC {
+			jMax := min(jj+gemmNC, n)
+			i := 0
+			for ; i+4 <= m; i += 4 {
+				a0, a1 := a[i*k:(i+1)*k], a[(i+1)*k:(i+2)*k]
+				a2, a3 := a[(i+2)*k:(i+3)*k], a[(i+3)*k:(i+4)*k]
+				c0, c1 := c[i*n+jj:i*n+jMax], c[(i+1)*n+jj:(i+1)*n+jMax]
+				c2, c3 := c[(i+2)*n+jj:(i+2)*n+jMax], c[(i+3)*n+jj:(i+3)*n+jMax]
+				for p := kk; p < kMax; p++ {
+					axpy4(a0[p], a1[p], a2[p], a3[p], b[p*n+jj:p*n+jMax], c0, c1, c2, c3)
+				}
+			}
+			for ; i < m; i++ {
+				ar := a[i*k : i*k+k]
+				cr := c[i*n+jj : i*n+jMax]
+				for p := kk; p < kMax; p++ {
+					axpy(ar[p], b[p*n+jj:p*n+jMax], cr)
+				}
+			}
+		}
+	}
+}
+
+// axpy computes y += alpha*x over equal-length slices. No zero-alpha
+// fast path: skipping terms would diverge from the reference summation
+// when x holds non-finite values.
+func axpy(alpha float64, x, y []float64) {
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// axpy4 is axpy over four output rows sharing one x row. The four
+// accumulator chains are independent, so per-element summation order
+// is unchanged.
+func axpy4(al0, al1, al2, al3 float64, x, y0, y1, y2, y3 []float64) {
+	y0 = y0[:len(x)]
+	y1 = y1[:len(x)]
+	y2 = y2[:len(x)]
+	y3 = y3[:len(x)]
+	for i, v := range x {
+		y0[i] += al0 * v
+		y1[i] += al1 * v
+		y2[i] += al2 * v
+		y3[i] += al3 * v
+	}
+}
+
+// fillRows initializes each of the m rows of C (row length n) with the
+// corresponding bias value — the "sum := B[o]" seed of the reference
+// layers, hoisted out of the GEMM.
+func fillRows(m, n int, bias, c []float64) {
+	for i := 0; i < m; i++ {
+		row := c[i*n : (i+1)*n]
+		v := bias[i]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}

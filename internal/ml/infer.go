@@ -1,0 +1,595 @@
+package ml
+
+// The batched, zero-alloc inference engine behind the TC localizer.
+//
+// Training keeps the Layer path: Forward caches whatever Backward
+// needs, which couples one layer instance to one goroutine and
+// allocates fresh tensors per call. Inference has the opposite needs —
+// the paper's workflow (§5.4) runs the pre-trained CNN over every
+// tiled patch of every 6-hourly step, so the hot path wants batching,
+// reuse and parallelism. Compile lowers the network once into a
+// forward-only plan whose stages are:
+//
+//   - Conv2D  → im2col + blocked GEMM (gemm.go), one GEMM for the
+//     whole batch instead of one small matmul per patch;
+//   - Dense   → the same GEMM over a feature-major activation matrix;
+//   - ReLU    → an in-place elementwise pass (no masks);
+//   - MaxPool2→ a direct strided pass (no argmax arrays);
+//
+// executed over per-session preallocated buffers, so steady-state
+// PredictBatch performs zero allocations. Activations are kept
+// channel-major — (C, N, H, W) through the spatial stages, (features,
+// N) after flatten — which is what lets every layer be a single GEMM
+// per step and keeps the GEMM's ascending-k accumulation order
+// identical to the scalar reference layers: predictions are
+// bit-for-bit the same, patch by patch (infer_test.go proves it).
+//
+// A Localizer lazily owns an engine: a pool of up to Params.Workers
+// independent sessions that DetectFields fans a step's patch sweep
+// across. Params{Reference: true} is the escape hatch back to the
+// layer-by-layer path.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// Params configures the localizer's inference engine.
+type Params struct {
+	// Reference forces the layer-by-layer scalar path (the numerical
+	// reference the compiled engine is tested against).
+	Reference bool
+	// Workers sizes the session pool DetectFields fans patch sweeps
+	// across; 0 means GOMAXPROCS.
+	Workers int
+	// MaxBatch pre-sizes each session's buffers for this many patches;
+	// larger batches still work (buffers grow once and stay). 0 means 32.
+	MaxBatch int
+	// Metrics, when set, registers ml_infer_* instruments (see
+	// internal/obs); nil records into the void.
+	Metrics *obs.Registry
+	// Tracer, when set, emits ml.predict_batch / ml.im2col / ml.gemm
+	// spans per batch; nil disables span recording entirely.
+	Tracer *obs.Tracer
+}
+
+func (p Params) withDefaults() Params {
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 32
+	}
+	return p
+}
+
+// inferObs bundles the engine's instruments; shared by every session
+// of one engine.
+type inferObs struct {
+	patches      *obs.Counter
+	batchSeconds *obs.Histogram
+	tracer       *obs.Tracer
+}
+
+func newInferObs(p Params) *inferObs {
+	return &inferObs{
+		patches: p.Metrics.Counter("ml_infer_patches_total",
+			"Patches predicted by the compiled CNN inference engine."),
+		batchSeconds: p.Metrics.Histogram("ml_infer_batch_seconds",
+			"Wall-clock time of one batched CNN forward pass.",
+			[]float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5}),
+		tracer: p.Tracer,
+	}
+}
+
+// --- plan lowering -------------------------------------------------------
+
+type opKind int
+
+const (
+	opConv opKind = iota
+	opReLU
+	opPool
+	opGather // channel-major (C,N,h,w) → feature-major (C*h*w, N)
+	opDense
+)
+
+// planOp is one lowered stage with its per-sample input/output extents
+// resolved at compile time. Weight-bearing ops point at the live layer
+// parameters, so a session picks up in-place weight updates without
+// recompiling.
+type planOp struct {
+	kind  opKind
+	conv  *Conv2D
+	dense *Dense
+	// input extents per sample (flat stages: c = features, h = w = 1)
+	c, h, w int
+	// output extents per sample
+	oc, oh, ow int
+}
+
+// inferPlan is the compiled forward-only program; immutable and shared
+// by every session of an engine.
+type inferPlan struct {
+	ops           []planOp
+	inC, inH, inW int
+	maxAct        int // widest per-sample activation across stages
+	maxCol        int // widest per-sample im2col matrix across convs
+}
+
+// lower compiles the layer stack for a patchH×patchW input.
+func lower(net *Network, patchH, patchW int) (*inferPlan, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return nil, fmt.Errorf("ml: compile: empty network")
+	}
+	inC := len(Channels)
+	if cv, ok := net.Layers[0].(*Conv2D); ok {
+		inC = cv.InC
+	}
+	p := &inferPlan{inC: inC, inH: patchH, inW: patchW}
+	c, h, w := inC, patchH, patchW
+	flat := false
+	bump := func(sz int) {
+		if sz > p.maxAct {
+			p.maxAct = sz
+		}
+	}
+	bump(c * h * w)
+	for li, layer := range net.Layers {
+		switch v := layer.(type) {
+		case *Conv2D:
+			if flat {
+				return nil, fmt.Errorf("ml: compile: conv layer %d after flatten", li)
+			}
+			if v.InC != c {
+				return nil, fmt.Errorf("ml: compile: conv layer %d wants %d channels, has %d", li, v.InC, c)
+			}
+			oh, ow := h-v.K+1, w-v.K+1
+			if oh < 1 || ow < 1 {
+				return nil, fmt.Errorf("ml: compile: conv layer %d underflows %dx%d input", li, h, w)
+			}
+			p.ops = append(p.ops, planOp{kind: opConv, conv: v, c: c, h: h, w: w, oc: v.OutC, oh: oh, ow: ow})
+			if col := c * v.K * v.K * oh * ow; col > p.maxCol {
+				p.maxCol = col
+			}
+			c, h, w = v.OutC, oh, ow
+		case *ReLU:
+			p.ops = append(p.ops, planOp{kind: opReLU, c: c, h: h, w: w})
+		case *MaxPool2:
+			if flat {
+				return nil, fmt.Errorf("ml: compile: pool layer %d after flatten", li)
+			}
+			oh, ow := h/2, w/2
+			if oh < 1 || ow < 1 {
+				return nil, fmt.Errorf("ml: compile: pool layer %d underflows %dx%d input", li, h, w)
+			}
+			p.ops = append(p.ops, planOp{kind: opPool, c: c, h: h, w: w, oc: c, oh: oh, ow: ow})
+			h, w = oh, ow
+		case *Flatten:
+			if !flat {
+				p.ops = append(p.ops, planOp{kind: opGather, c: c, h: h, w: w, oc: c * h * w, oh: 1, ow: 1})
+				flat, c, h, w = true, c*h*w, 1, 1
+			}
+		case *Dense:
+			if !flat {
+				p.ops = append(p.ops, planOp{kind: opGather, c: c, h: h, w: w, oc: c * h * w, oh: 1, ow: 1})
+				flat, c, h, w = true, c*h*w, 1, 1
+			}
+			if v.In != c {
+				return nil, fmt.Errorf("ml: compile: dense layer %d wants %d inputs, has %d", li, v.In, c)
+			}
+			p.ops = append(p.ops, planOp{kind: opDense, dense: v, c: c, h: 1, w: 1, oc: v.Out, oh: 1, ow: 1})
+			c = v.Out
+		default:
+			return nil, fmt.Errorf("ml: compile: unsupported layer %T", layer)
+		}
+		bump(c * h * w)
+	}
+	if !flat || c != 3 {
+		return nil, fmt.Errorf("ml: compile: network head emits %d values, want (presence, row, col)", c)
+	}
+	return p, nil
+}
+
+// --- sessions ------------------------------------------------------------
+
+// InferSession executes a compiled plan over preallocated buffers. One
+// session serves one goroutine at a time; acquire independent sessions
+// (or let the Localizer's engine pool do it) for concurrent inference.
+type InferSession struct {
+	plan *inferPlan
+	obs  *inferObs
+
+	cap        int // allocated batch capacity
+	actA, actB []float64
+	col        []float64
+	preds      []Prediction
+}
+
+// Compile lowers the localizer network into a forward-only execution
+// plan and returns a session sized for p.MaxBatch patches. The session
+// reads the live layer weights, so training the localizer between
+// batches is picked up without recompiling (but not concurrently with
+// inference).
+func (l *Localizer) Compile(p Params) (*InferSession, error) {
+	plan, err := lower(l.Net, l.PatchH, l.PatchW)
+	if err != nil {
+		return nil, err
+	}
+	s := &InferSession{plan: plan, obs: newInferObs(p)}
+	s.ensure(p.withDefaults().MaxBatch)
+	return s, nil
+}
+
+// ensure grows the session buffers to hold an n-patch batch.
+func (s *InferSession) ensure(n int) {
+	if n <= s.cap {
+		return
+	}
+	s.cap = n
+	s.actA = make([]float64, s.plan.maxAct*n)
+	s.actB = make([]float64, s.plan.maxAct*n)
+	s.col = make([]float64, s.plan.maxCol*n)
+	s.preds = make([]Prediction, n)
+}
+
+// PredictBatch runs every patch of x — an (N,C,H,W) batch tensor, or a
+// single (C,H,W) patch — through the compiled plan and returns one
+// prediction per patch. The result slice is backed by session memory
+// and valid until the next call. Steady-state calls allocate nothing.
+// Shape mismatches panic (programmer error), like the reference
+// layers.
+func (s *InferSession) PredictBatch(x *Tensor) []Prediction {
+	p := s.plan
+	n := 1
+	switch len(x.Shape) {
+	case 4:
+		n = x.Shape[0]
+		if x.Shape[1] != p.inC || x.Shape[2] != p.inH || x.Shape[3] != p.inW {
+			panic(fmt.Sprintf("ml: batch shape %v, want (N,%d,%d,%d)", x.Shape, p.inC, p.inH, p.inW))
+		}
+	case 3:
+		if x.Shape[0] != p.inC || x.Shape[1] != p.inH || x.Shape[2] != p.inW {
+			panic(fmt.Sprintf("ml: patch shape %v, want (%d,%d,%d)", x.Shape, p.inC, p.inH, p.inW))
+		}
+	default:
+		panic(fmt.Sprintf("ml: batch tensor rank %d, want 3 or 4", len(x.Shape)))
+	}
+	s.ensure(n)
+	// (N,C,H,W) → channel-major (C,N,H,W): contiguous H·W block moves
+	hw := p.inH * p.inW
+	for smp := 0; smp < n; smp++ {
+		for c := 0; c < p.inC; c++ {
+			copy(s.actA[(c*n+smp)*hw:(c*n+smp+1)*hw], x.Data[(smp*p.inC+c)*hw:(smp*p.inC+c+1)*hw])
+		}
+	}
+	return s.forward(n)
+}
+
+// forward executes the plan over the n-patch batch already loaded into
+// actA and returns the head predictions.
+func (s *InferSession) forward(n int) []Prediction {
+	start := time.Now()
+	var sp *obs.Span
+	if s.obs.tracer != nil {
+		sp = s.obs.tracer.Start("ml.predict_batch", obs.Attr{Key: "batch", Value: strconv.Itoa(n)})
+	}
+	cur, nxt := s.actA, s.actB
+	for i := range s.plan.ops {
+		op := &s.plan.ops[i]
+		switch op.kind {
+		case opConv:
+			s.convForward(op, n, cur, nxt, sp)
+			cur, nxt = nxt, cur
+		case opReLU:
+			buf := cur[:op.c*op.h*op.w*n]
+			for j, v := range buf {
+				if !(v > 0) {
+					buf[j] = 0
+				}
+			}
+		case opPool:
+			poolForward(op, n, cur, nxt)
+			cur, nxt = nxt, cur
+		case opGather:
+			gatherForward(op, n, cur, nxt)
+			cur, nxt = nxt, cur
+		case opDense:
+			d := op.dense
+			g := sp.Start("ml.gemm")
+			fillRows(d.Out, n, d.B, nxt)
+			gemmAcc(d.Out, n, d.In, d.W, cur, nxt)
+			g.End()
+			cur, nxt = nxt, cur
+		}
+	}
+	preds := s.preds[:n]
+	for i := range preds {
+		preds[i] = Prediction{
+			Presence: Sigmoid(cur[i]),
+			Row:      clamp01(cur[n+i]),
+			Col:      clamp01(cur[2*n+i]),
+		}
+	}
+	sp.End()
+	s.obs.patches.Add(float64(n))
+	s.obs.batchSeconds.Observe(time.Since(start).Seconds())
+	return preds
+}
+
+// convForward lowers one conv stage: im2col gathers every receptive
+// field column-wise, then one GEMM computes all output channels for
+// the whole batch. Column index is (sample, out-row, out-col); row
+// index is (in-channel, kernel-row, kernel-col) — the reference
+// layer's summation order.
+func (s *InferSession) convForward(op *planOp, n int, src, dst []float64, parent *obs.Span) {
+	cv := op.conv
+	k := op.c * cv.K * cv.K
+	patchPix := op.oh * op.ow
+	cols := n * patchPix
+	ic2 := parent.Start("ml.im2col")
+	col := s.col[:k*cols]
+	rowBase := 0
+	for ic := 0; ic < op.c; ic++ {
+		for a := 0; a < cv.K; a++ {
+			for b := 0; b < cv.K; b++ {
+				for smp := 0; smp < n; smp++ {
+					srcBase := ((ic*n+smp)*op.h+a)*op.w + b
+					dstBase := rowBase + smp*patchPix
+					for i := 0; i < op.oh; i++ {
+						copy(col[dstBase+i*op.ow:dstBase+(i+1)*op.ow],
+							src[srcBase+i*op.w:srcBase+i*op.w+op.ow])
+					}
+				}
+				rowBase += cols
+			}
+		}
+	}
+	ic2.End()
+	g := parent.Start("ml.gemm")
+	fillRows(op.oc, cols, cv.B, dst)
+	gemmAcc(op.oc, cols, k, cv.W, col, dst)
+	g.End()
+}
+
+// poolForward is the 2×2 stride-2 max pool over channel-major
+// activations, with the reference layer's exact comparison order.
+func poolForward(op *planOp, n int, src, dst []float64) {
+	di := 0
+	for c := 0; c < op.c; c++ {
+		for smp := 0; smp < n; smp++ {
+			base := (c*n + smp) * op.h * op.w
+			for i := 0; i < op.oh; i++ {
+				for j := 0; j < op.ow; j++ {
+					best := math.Inf(-1)
+					for a := 0; a < 2; a++ {
+						row := src[base+(2*i+a)*op.w+2*j:]
+						for b := 0; b < 2; b++ {
+							if v := row[b]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[di] = best
+					di++
+				}
+			}
+		}
+	}
+}
+
+// gatherForward transposes channel-major (C,N,h,w) activations into
+// the feature-major (C·h·w, N) matrix the dense GEMM consumes, with
+// feature order (c, i, j) — the reference Flatten's layout.
+func gatherForward(op *planOp, n int, src, dst []float64) {
+	hw := op.h * op.w
+	for c := 0; c < op.c; c++ {
+		for smp := 0; smp < n; smp++ {
+			srcBase := (c*n + smp) * hw
+			for p := 0; p < hw; p++ {
+				dst[(c*hw+p)*n+smp] = src[srcBase+p]
+			}
+		}
+	}
+}
+
+// fieldMoments is one channel's standardization statistics.
+type fieldMoments struct{ mean, std float64 }
+
+// fieldStats computes the mean and population standard deviation of
+// data in a single pass (Welford's algorithm) — the feature-scaling
+// statistics of §5.4 without the extra sweep or the field copy.
+func fieldStats(data []float32) fieldMoments {
+	var m, m2 float64
+	for i, v := range data {
+		x := float64(v)
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	if len(data) == 0 {
+		return fieldMoments{}
+	}
+	return fieldMoments{mean: m, std: math.Sqrt(m2 / float64(len(data)))}
+}
+
+// standardizeRow writes (src-mean)/std into dst through a float32
+// round-trip — the same per-element rounding grid.Field.Standardize
+// applies — so engine and reference activations are bit-identical.
+func standardizeRow(dst []float64, src []float32, mean, std float64) {
+	dst = dst[:len(src)]
+	for j, v := range src {
+		dst[j] = float64(float32((float64(v) - mean) / std))
+	}
+}
+
+// loadPatch fills dst — one (C,H,W) patch tensor — from the raw
+// channel fields through the shared standardization: row-slice copies,
+// no intermediate field clone or per-element accessor calls.
+func loadPatch(dst []float64, chF []*grid.Field, stats []fieldMoments, row0, col0, patchH, patchW int) {
+	hw := patchH * patchW
+	for ci, f := range chF {
+		mean, std := stats[ci].mean, stats[ci].std
+		d := dst[ci*hw : (ci+1)*hw]
+		if std == 0 {
+			for i := range d {
+				d[i] = 0
+			}
+			continue
+		}
+		g := f.Grid
+		for r := 0; r < patchH; r++ {
+			base := g.Index(row0+r, col0)
+			standardizeRow(d[r*patchW:(r+1)*patchW], f.Data[base:base+patchW], mean, std)
+		}
+	}
+}
+
+// loadPatchRange fills the session input with patches [lo,hi) of the
+// standardized channel fields — the batched preprocessing stage:
+// values move straight from the raw field rows into the (C,N,H,W)
+// batch tensor through the shared float32 standardization.
+func (s *InferSession) loadPatchRange(chF []*grid.Field, stats []fieldMoments, nJ, lo, hi int) {
+	p := s.plan
+	n := hi - lo
+	s.ensure(n)
+	hw := p.inH * p.inW
+	for ci, f := range chF {
+		mean, std := stats[ci].mean, stats[ci].std
+		g := f.Grid
+		for pi := lo; pi < hi; pi++ {
+			row0 := (pi / nJ) * p.inH
+			col0 := (pi % nJ) * p.inW
+			dst := s.actA[(ci*n+(pi-lo))*hw : (ci*n+(pi-lo)+1)*hw]
+			if std == 0 {
+				for i := range dst {
+					dst[i] = 0
+				}
+				continue
+			}
+			for r := 0; r < p.inH; r++ {
+				base := g.Index(row0+r, col0)
+				standardizeRow(dst[r*p.inW:(r+1)*p.inW], f.Data[base:base+p.inW], mean, std)
+			}
+		}
+	}
+}
+
+// --- engine: the session pool -------------------------------------------
+
+// engine is a Localizer's session pool: up to Params.Workers compiled
+// sessions shared by concurrent patch sweeps. Sessions are created on
+// demand and reused LIFO; acquire blocks when all are busy, which is
+// deadlock-free because every holder returns its session after one
+// bounded batch.
+type engine struct {
+	plan *inferPlan
+	p    Params
+	obs  *inferObs
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	free    []*InferSession
+	created int
+}
+
+func newEngine(l *Localizer, p Params) (*engine, error) {
+	p = p.withDefaults()
+	plan, err := lower(l.Net, l.PatchH, l.PatchW)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{plan: plan, p: p, obs: newInferObs(p)}
+	e.cond = sync.NewCond(&e.mu)
+	return e, nil
+}
+
+func (e *engine) acquire() *InferSession {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if n := len(e.free); n > 0 {
+			s := e.free[n-1]
+			e.free = e.free[:n-1]
+			return s
+		}
+		if e.created < e.p.Workers {
+			e.created++
+			s := &InferSession{plan: e.plan, obs: e.obs}
+			s.ensure(e.p.MaxBatch)
+			return s
+		}
+		e.cond.Wait()
+	}
+}
+
+func (e *engine) release(s *InferSession) {
+	e.mu.Lock()
+	e.free = append(e.free, s)
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// detect is the batched, parallel patch sweep: standardization
+// statistics are computed once per channel, the patch list is split
+// across the session pool, and every chunk runs as one PredictBatch.
+// Per-patch results are written into slots indexed by patch, so the
+// pre-sort detection order — and every floating-point operation within
+// a patch — matches the reference path exactly.
+func (e *engine) detect(l *Localizer, fields map[string]*grid.Field, g grid.Grid, threshold float64) ([]Detection, error) {
+	chF, stats, err := prepFields(fields, l.PatchH, l.PatchW)
+	if err != nil {
+		return nil, err
+	}
+	fg := chF[0].Grid
+	nJ := fg.NLon / l.PatchW
+	total := (fg.NLat / l.PatchH) * nJ
+	slots := make([]Detection, total)
+	valid := make([]bool, total)
+	sweep := func(lo, hi int) {
+		s := e.acquire()
+		defer e.release(s)
+		s.loadPatchRange(chF, stats, nJ, lo, hi)
+		for i, pr := range s.forward(hi - lo) {
+			if pr.Presence < threshold {
+				continue
+			}
+			pi := lo + i
+			slots[pi] = georeference(g, (pi/nJ)*l.PatchH, (pi%nJ)*l.PatchW, l.PatchH, l.PatchW, pr)
+			valid[pi] = true
+		}
+	}
+	if chunks := min(e.p.Workers, total); chunks <= 1 {
+		sweep(0, total)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < chunks; w++ {
+			lo, hi := total*w/chunks, total*(w+1)/chunks
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sweep(lo, hi)
+			}()
+		}
+		wg.Wait()
+	}
+	var out []Detection
+	for pi, ok := range valid {
+		if ok {
+			out = append(out, slots[pi])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}

@@ -123,11 +123,14 @@ type ReLU struct{ mask []bool }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor) *Tensor {
 	out := x.Clone()
-	r.mask = make([]bool, len(x.Data))
+	if len(r.mask) != len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
 	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
 		} else {
+			r.mask[i] = false
 			out.Data[i] = 0
 		}
 	}
@@ -161,9 +164,11 @@ type MaxPool2 struct {
 func (p *MaxPool2) Forward(x *Tensor) *Tensor {
 	ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := h/2, w/2
-	p.inShape = append([]int(nil), x.Shape...)
+	p.inShape = append(p.inShape[:0], x.Shape...)
 	out := NewTensor(ch, oh, ow)
-	p.argmax = make([]int, out.Len())
+	if len(p.argmax) != out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
 	oi := 0
 	for c := 0; c < ch; c++ {
 		for i := 0; i < oh; i++ {
@@ -208,7 +213,7 @@ type Flatten struct{ inShape []int }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *Tensor) *Tensor {
-	f.inShape = append([]int(nil), x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...)
 	out := x.Clone()
 	out.Shape = []int{len(out.Data)}
 	return out

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/esm"
 	"repro/internal/grid"
@@ -16,11 +17,51 @@ import (
 var Channels = []string{"PSL", "WSPD", "VORT850", "T500"}
 
 // Localizer is the pre-trained TC patch localizer plus its
-// preprocessing contract (patch size and channel stack).
+// preprocessing contract (patch size and channel stack). Inference
+// goes through a lazily compiled engine (infer.go) unless configured
+// with Params{Reference: true}; training always uses the layer path.
 type Localizer struct {
 	Net    *Network
 	PatchH int
 	PatchW int
+
+	mu     sync.Mutex
+	prm    Params
+	eng    *engine
+	engErr error
+}
+
+// Configure sets the inference-engine parameters (worker count,
+// batching, observability, reference escape hatch). It drops any
+// previously compiled engine, so it also serves as "recompile after
+// swapping Net".
+func (l *Localizer) Configure(p Params) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prm = p
+	l.eng = nil
+	l.engErr = nil
+}
+
+// Compiled reports whether inference runs through the compiled engine
+// (false in reference mode or when the network cannot be lowered).
+// Callers that share one Localizer across goroutines must clone the
+// network when this is false: the layer path caches per-call state.
+func (l *Localizer) Compiled() bool { return l.engineOrNil() != nil }
+
+// engineOrNil returns the compiled engine, lazily building it, or nil
+// when the localizer is in reference mode or the network cannot be
+// lowered (custom layer stacks keep working through the layer path).
+func (l *Localizer) engineOrNil() *engine {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prm.Reference {
+		return nil
+	}
+	if l.eng == nil && l.engErr == nil {
+		l.eng, l.engErr = newEngine(l, l.prm)
+	}
+	return l.eng
 }
 
 // NewLocalizer builds an untrained localizer for the given patch size.
@@ -41,8 +82,20 @@ type Prediction struct {
 	Row, Col float64
 }
 
-// Predict runs one preprocessed patch tensor through the network.
+// Predict runs one preprocessed patch tensor through the network,
+// via a pooled engine session when the network is compilable.
 func (l *Localizer) Predict(x *Tensor) Prediction {
+	if e := l.engineOrNil(); e != nil {
+		s := e.acquire()
+		defer e.release(s)
+		return s.PredictBatch(x)[0]
+	}
+	return l.predictReference(x)
+}
+
+// predictReference is the layer-by-layer forward pass — the numerical
+// reference the compiled engine is tested against bit-for-bit.
+func (l *Localizer) predictReference(x *Tensor) Prediction {
 	out := l.Net.Forward(x)
 	return Prediction{
 		Presence: Sigmoid(out.Data[0]),
@@ -70,41 +123,36 @@ type Sample struct {
 	Row, Col float64
 }
 
-// stackPatches builds the preprocessed channel patches of one
-// instantaneous field set: each channel field is standardized over the
-// full domain (feature scaling), then tiled into non-overlapping
-// patches (§5.4 pre-processing).
-func stackPatches(fields map[string]*grid.Field, patchH, patchW int) ([][]grid.Patch, error) {
-	chPatches := make([][]grid.Patch, len(Channels))
+// prepFields validates the channel stack of one instantaneous field
+// set and computes the per-channel standardization statistics (§5.4
+// feature scaling) in a single Welford pass — no full-field copy. The
+// returned fields are ordered like Channels; the actual scaling
+// happens on the way into the patch tensor (loadPatch /
+// InferSession.loadPatchRange).
+func prepFields(fields map[string]*grid.Field, patchH, patchW int) ([]*grid.Field, []fieldMoments, error) {
+	chF := make([]*grid.Field, len(Channels))
 	for ci, name := range Channels {
 		f, ok := fields[name]
 		if !ok {
-			return nil, fmt.Errorf("ml: missing channel field %q", name)
+			return nil, nil, fmt.Errorf("ml: missing channel field %q", name)
 		}
-		scaled := &grid.Field{Grid: f.Grid, Data: append([]float32(nil), f.Data...)}
-		scaled.Standardize()
-		ps, err := scaled.Tile(patchH, patchW)
-		if err != nil {
-			return nil, err
-		}
-		chPatches[ci] = ps
+		chF[ci] = f
 	}
-	return chPatches, nil
-}
-
-// patchTensor assembles the pi-th patch of every channel into a CNN
-// input tensor.
-func patchTensor(chPatches [][]grid.Patch, pi, patchH, patchW int) *Tensor {
-	x := NewTensor(len(Channels), patchH, patchW)
-	for ci := range chPatches {
-		p := chPatches[ci][pi]
-		for r := 0; r < patchH; r++ {
-			for c := 0; c < patchW; c++ {
-				x.Set3(ci, r, c, float64(p.Data[p.Index(r, c)]))
-			}
+	fg := chF[0].Grid
+	for ci, f := range chF[1:] {
+		if f.Grid != fg {
+			return nil, nil, fmt.Errorf("ml: channel %q grid %dx%d does not match %q grid %dx%d",
+				Channels[ci+1], f.Grid.NLat, f.Grid.NLon, Channels[0], fg.NLat, fg.NLon)
 		}
 	}
-	return x
+	if patchH > fg.NLat || patchW > fg.NLon {
+		return nil, nil, fmt.Errorf("ml: patch %dx%d larger than grid %dx%d", patchH, patchW, fg.NLat, fg.NLon)
+	}
+	stats := make([]fieldMoments, len(chF))
+	for ci, f := range chF {
+		stats[ci] = fieldStats(f.Data)
+	}
+	return chF, stats, nil
 }
 
 // ChannelFields extracts and derives the localizer input fields from a
@@ -141,7 +189,7 @@ func BuildSamples(day *esm.DayOutput, step int, storms []esm.Cyclone, patchH, pa
 	if err != nil {
 		return nil, err
 	}
-	chPatches, err := stackPatches(fields, patchH, patchW)
+	chF, stats, err := prepFields(fields, patchH, patchW)
 	if err != nil {
 		return nil, err
 	}
@@ -159,14 +207,18 @@ func BuildSamples(day *esm.DayOutput, step int, storms []esm.Cyclone, patchH, pa
 		}
 	}
 	var out []Sample
-	for pi := range chPatches[0] {
-		p := chPatches[0][pi]
-		s := Sample{X: patchTensor(chPatches, pi, patchH, patchW)}
+	nJ := g.NLon / patchW
+	total := (g.NLat / patchH) * nJ
+	for pi := 0; pi < total; pi++ {
+		row0, col0 := (pi/nJ)*patchH, (pi%nJ)*patchW
+		x := NewTensor(len(Channels), patchH, patchW)
+		loadPatch(x.Data, chF, stats, row0, col0, patchH, patchW)
+		s := Sample{X: x}
 		for _, c := range centers {
-			if c.row >= p.Row0 && c.row < p.Row0+patchH && c.col >= p.Col0 && c.col < p.Col0+patchW {
+			if c.row >= row0 && c.row < row0+patchH && c.col >= col0 && c.col < col0+patchW {
 				s.HasTC = true
-				s.Row = (float64(c.row-p.Row0) + 0.5) / float64(patchH)
-				s.Col = (float64(c.col-p.Col0) + 0.5) / float64(patchW)
+				s.Row = (float64(c.row-row0) + 0.5) / float64(patchH)
+				s.Col = (float64(c.col-col0) + 0.5) / float64(patchW)
 				break
 			}
 		}
@@ -321,27 +373,54 @@ func (l *Localizer) DetectStep(day *esm.DayOutput, step int, threshold float64) 
 	return l.DetectFields(fields, day.Grid, threshold)
 }
 
-// DetectFields is DetectStep on pre-extracted channel fields.
+// DetectFields is DetectStep on pre-extracted channel fields. With a
+// compilable network it runs the batched, parallel engine sweep (safe
+// to call from many goroutines on one Localizer); otherwise — or under
+// Params{Reference: true} — the sequential layer-by-layer reference.
+// Both produce identical detections.
 func (l *Localizer) DetectFields(fields map[string]*grid.Field, g grid.Grid, threshold float64) ([]Detection, error) {
-	chPatches, err := stackPatches(fields, l.PatchH, l.PatchW)
+	if e := l.engineOrNil(); e != nil {
+		return e.detect(l, fields, g, threshold)
+	}
+	return l.detectFieldsReference(fields, g, threshold)
+}
+
+// detectFieldsReference is the per-patch, single-goroutine sweep.
+func (l *Localizer) detectFieldsReference(fields map[string]*grid.Field, g grid.Grid, threshold float64) ([]Detection, error) {
+	chF, stats, err := prepFields(fields, l.PatchH, l.PatchW)
 	if err != nil {
 		return nil, err
 	}
+	nJ := chF[0].Grid.NLon / l.PatchW
+	total := (chF[0].Grid.NLat / l.PatchH) * nJ
+	x := NewTensor(len(Channels), l.PatchH, l.PatchW)
 	var out []Detection
-	for pi := range chPatches[0] {
-		p := chPatches[0][pi]
-		pred := l.Predict(patchTensor(chPatches, pi, l.PatchH, l.PatchW))
+	for pi := 0; pi < total; pi++ {
+		row0, col0 := (pi/nJ)*l.PatchH, (pi%nJ)*l.PatchW
+		loadPatch(x.Data, chF, stats, row0, col0, l.PatchH, l.PatchW)
+		pred := l.predictReference(x)
 		if pred.Presence < threshold {
 			continue
 		}
-		row := float64(p.Row0) + pred.Row*float64(l.PatchH)
-		col := float64(p.Col0) + pred.Col*float64(l.PatchW)
-		out = append(out, Detection{
-			Lat:   g.Lat(int(row)),
-			Lon:   g.Lon(int(col) % g.NLon),
-			Score: pred.Presence,
-		})
+		out = append(out, georeference(g, row0, col0, l.PatchH, l.PatchW, pred))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	return out, nil
+}
+
+// georeference maps one patch-local prediction onto the global map
+// (workflow step "geo-referencing predicted TC center coordinates").
+// The latitude index is clamped: pred.Row == 1.0 on the last patch row
+// lands exactly on NLat, one past the final cell. Longitude wraps
+// because the domain is periodic.
+func georeference(g grid.Grid, row0, col0, patchH, patchW int, pred Prediction) Detection {
+	ri := int(float64(row0) + pred.Row*float64(patchH))
+	if ri >= g.NLat {
+		ri = g.NLat - 1
+	}
+	return Detection{
+		Lat:   g.Lat(ri),
+		Lon:   g.Lon(int(float64(col0)+pred.Col*float64(patchW)) % g.NLon),
+		Score: pred.Presence,
+	}
 }
