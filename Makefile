@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check build vet test race bench bench-smoke examples experiments chaos fuzz-short clean
+.PHONY: all check fmt-check build vet test race race-exchange bench bench-smoke examples experiments chaos fuzz-short clean
 
 all: build vet test
 
@@ -24,6 +24,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# focused race gate over the tensor-exchange handoff, weight hot-swap,
+# online training and directory-watcher lifecycle — the concurrency-
+# heavy paths; -count=1 defeats the test cache so CI always re-races
+race-exchange:
+	$(GO) test -race -count=1 -run 'Exchange|HotSwap|Online|SeededDeterminism|DirWatcher' \
+		./internal/texchange/ ./internal/ml/ ./internal/core/ ./internal/stream/
 
 # one benchmark per reproduced figure/claim (see EXPERIMENTS.md)
 bench:

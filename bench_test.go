@@ -15,6 +15,7 @@
 //	BenchmarkDetectStep               C5 — full per-step patch sweep
 //	BenchmarkCheckpointOverhead       C6 — checkpointing cost
 //	BenchmarkStreamDetectLatency      C7 — year-completion detection
+//	BenchmarkESMHandoff               C8 — file vs tensor-exchange handoff
 //	BenchmarkLocalityPlacement        ablation — locality-aware placement
 //
 // Run with: go test -bench=. -benchmem .
@@ -38,8 +39,10 @@ import (
 	"repro/internal/grid"
 	"repro/internal/indices"
 	"repro/internal/ml"
+	"repro/internal/ncdf"
 	"repro/internal/stream"
 	"repro/internal/tctrack"
+	"repro/internal/texchange"
 )
 
 // benchEvents keeps every branch of the workflow active.
@@ -665,6 +668,121 @@ func BenchmarkTrackerDetect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkESMHandoff measures the ESM→consumer handoff of one
+// simulated day's TC-branch variables three ways: through the file
+// system (write the daily NetCDF, read it back, decode the variables —
+// the pre-texchange hot path), through the in-memory tensor exchange
+// (zero-copy publish + wait), and through an exchange squeezed under a
+// tiny memory budget so every tensor round-trips the spill file. The
+// gap between "file" and "exchange" is the latency the SmartSim-style
+// handoff removes; "exchange-spill" bounds the worst case when the
+// budget is exhausted.
+func BenchmarkESMHandoff(b *testing.B) {
+	g := grid.Grid{NLat: 48, NLon: 96}
+	handoffVars := []string{"PSL", "U850", "V850", "VORT850", "T500"}
+	model := esm.NewModel(esm.Config{
+		Grid: g, Years: 1, DaysPerYear: 4, Seed: 7,
+		Events: &esm.EventConfig{CyclonesPerYear: 2, WaveAmplitudeK: 8, WaveMinDays: 6, WaveMaxDays: 6},
+	})
+	var days []*esm.DayOutput
+	var datasets []*ncdf.Dataset
+	for {
+		d := model.StepDay()
+		if d == nil {
+			break
+		}
+		ds, err := d.ToDataset()
+		if err != nil {
+			b.Fatal(err)
+		}
+		days, datasets = append(days, d), append(datasets, ds)
+	}
+	dayBytes := int64(len(handoffVars) * esm.StepsPerDay * g.NLat * g.NLon * 4)
+	perOp := dayBytes * int64(len(days))
+
+	consume := func(perVar map[string][]float32) float32 {
+		var s float32
+		for _, v := range handoffVars {
+			s += perVar[v][0]
+		}
+		return s
+	}
+
+	b.Run("file", func(b *testing.B) {
+		dir := b.TempDir()
+		b.SetBytes(perOp)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range days {
+				path, err := d.WriteDay(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds, err := ncdf.ReadFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perVar := make(map[string][]float32, len(handoffVars))
+				for _, v := range handoffVars {
+					vv, err := ds.Var(v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					perVar[v] = vv.Data
+				}
+				_ = consume(perVar)
+			}
+		}
+	})
+
+	runExchange := func(b *testing.B, cfg texchange.Config) {
+		x := texchange.New(cfg)
+		defer x.Close()
+		ctx := context.Background()
+		b.SetBytes(perOp)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for di, d := range days {
+				for _, v := range handoffVars {
+					vv, err := datasets[di].Var(v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					t := texchange.Tensor{
+						Name:  fmt.Sprintf("bench/d%03d/%s", d.DayOfYear, v),
+						Shape: []int{esm.StepsPerDay, g.NLat, g.NLon},
+						Data:  vv.Data,
+					}
+					if _, err := x.Publish(t); err != nil {
+						b.Fatal(err)
+					}
+				}
+				perVar := make(map[string][]float32, len(handoffVars))
+				for _, v := range handoffVars {
+					t, err := x.Wait(ctx, fmt.Sprintf("bench/d%03d/%s", d.DayOfYear, v), 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					perVar[v] = t.Data
+				}
+				_ = consume(perVar)
+				for _, v := range handoffVars {
+					x.Remove(fmt.Sprintf("bench/d%03d/%s", d.DayOfYear, v))
+				}
+			}
+		}
+	}
+
+	b.Run("exchange", func(b *testing.B) {
+		runExchange(b, texchange.Config{})
+	})
+	b.Run("exchange-spill", func(b *testing.B) {
+		// Budget below one tensor's payload: every publish evicts, every
+		// wait loads the payload back from the spill file.
+		runExchange(b, texchange.Config{Budget: 1, SpillDir: b.TempDir()})
+	})
 }
 
 // BenchmarkExecQueueThroughput measures the HPCWaaS execution queue's

@@ -31,6 +31,8 @@ func main() {
 		minDrop    = flag.Float64("mindrop", 1500, "minimum truth pressure drop [Pa] counted in skill")
 		reference  = flag.Bool("reference", false, "evaluate with the layer-by-layer reference path instead of the compiled engine")
 		workers    = flag.Int("mlworkers", 0, "inference session pool width (0 = GOMAXPROCS)")
+		online     = flag.Bool("online", false, "train online from the tensor exchange with live weight hot-swap instead of offline pre-training")
+		swapEvery  = flag.Int("swapevery", 8, "online mode: hot-swap weights into the live localizer every N optimizer steps")
 	)
 	flag.Parse()
 
@@ -40,6 +42,11 @@ func main() {
 			CyclonesPerYear: *cyclones,
 			WaveAmplitudeK:  8, WaveMinDays: 6, WaveMaxDays: 6,
 		},
+	}
+
+	if *online {
+		runOnline(cfg, *trainSeeds, *patch, *swapEvery, *threshold, *minDrop, *workers)
+		return
 	}
 
 	// train

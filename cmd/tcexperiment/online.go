@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/esm"
+	"repro/internal/grid"
+	"repro/internal/ml"
+	"repro/internal/tctrack"
+	"repro/internal/texchange"
+)
+
+// runOnline is the -online mode: instead of pre-training the localizer
+// offline, it starts from random weights and learns while the
+// "simulation" runs. Training years are published step by step into an
+// in-memory tensor exchange; a consumer drains the exchange and feeds
+// an OnlineTrainer, which hot-swaps improved weights into the live
+// localizer. A fixed held-out probe set is re-evaluated at checkpoints
+// so the printed table shows detection quality as a function of
+// completed training steps and weight generation.
+func runOnline(cfg esm.Config, trainSeeds, patch, swapEvery int, threshold, minDrop float64, workers int) {
+	loc, err := ml.NewLocalizer(patch, patch, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loc.Configure(ml.Params{Workers: workers})
+	if _, err := loc.Compile(ml.Params{}); err != nil {
+		log.Fatal(err)
+	}
+	const replay = 4
+	tr, err := ml.NewOnlineTrainer(ml.OnlineConfig{
+		Target: loc, SwapEvery: swapEvery, Balance: true, Queue: 1024,
+		LR: 2e-3, BatchSize: 32, Replay: replay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := texchange.New(texchange.Config{})
+	defer x.Close()
+
+	probe := buildProbe(cfg, 99, minDrop)
+	if len(probe) == 0 {
+		log.Fatal("online: probe year produced no active-storm instants")
+	}
+	sampled := (esm.StepsPerDay + 1) / 2
+	total := trainSeeds * cfg.DaysPerYear * sampled
+	fmt.Printf("online training: %d years x %d days, %d instants via exchange, swap every %d steps\n",
+		trainSeeds, cfg.DaysPerYear, total, swapEvery)
+	fmt.Printf("%8s %8s %5s %8s %8s %8s\n", "fed", "steps", "gen", "POD", "FAR", "err km")
+	report := func(fed int) {
+		st := tr.Stats()
+		sk := evalProbe(loc, probe, cfg.Grid, threshold)
+		fmt.Printf("%8d %8d %5d %8.2f %8.2f %8.0f\n",
+			fed, st.Steps, loc.WeightsGeneration(), sk.POD, sk.FAR, sk.MeanErrorKm)
+	}
+	report(0)
+
+	// Producer: simulate the training years, publishing every sampled
+	// step's channel fields zero-copy into the exchange with the
+	// ground-truth centers riding along in tensor metadata.
+	prodErr := make(chan error, 1)
+	go func() {
+		prodErr <- produceOnline(x, cfg, trainSeeds, minDrop)
+	}()
+
+	// Consumer: drain the exchange in publish order and feed the
+	// trainer. Names are sequence-numbered, so the consumer needs no
+	// knowledge of the simulation calendar.
+	ckpt := total / 5
+	if ckpt < 1 {
+		ckpt = 1
+	}
+	for seq := 0; seq < total; seq++ {
+		fields, centers, err := consumeItem(x, cfg.Grid, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !tr.Feed(fields, centers) {
+			log.Fatalf("online: trainer dropped item %d (queue full)", seq)
+		}
+		if fed := seq + 1; fed%ckpt == 0 && fed < total {
+			// Let the trainer drain its queue before probing, so the row
+			// reflects weights trained on everything fed so far.
+			waitProcessed(tr, uint64(fed), time.Minute)
+			report(fed)
+		}
+	}
+	if err := <-prodErr; err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		log.Fatal(err)
+	}
+	report(total)
+
+	st, xs := tr.Stats(), x.Stats()
+	fmt.Printf("\ntrainer: %d fed, %d samples, %d steps, %d swaps, last loss %.4f\n",
+		st.Fed, st.Samples, st.Steps, st.Swaps, st.LastLoss)
+	fmt.Printf("exchange: %d publishes, %d blocking waits, %d spills (%d B resident at end)\n",
+		xs.Publishes, xs.Waits, xs.Spills, xs.ResidentBytes)
+	fmt.Println("\nshape check: POD rises and center error falls as generations land —")
+	fmt.Println("the localizer improves mid-run without ever being taken offline.")
+}
+
+// onlineName is the exchange naming scheme for the training feed:
+// sequence-numbered instants, one tensor per CNN input channel.
+func onlineName(seq int, channel string) string {
+	return fmt.Sprintf("online/%06d/%s", seq, channel)
+}
+
+// produceOnline simulates trainSeeds years and publishes every other
+// model step's channel fields. The tensor data aliases the simulator's
+// field buffers — no copies on the producer side.
+func produceOnline(x *texchange.Exchange, cfg esm.Config, trainSeeds int, minDrop float64) error {
+	seq := 0
+	for e := 0; e < trainSeeds; e++ {
+		m := esm.NewModel(withSeed(cfg, int64(11+e)))
+		gt := m.GroundTruth()
+		for {
+			day := m.StepDay()
+			if day == nil {
+				break
+			}
+			for s := 0; s < esm.StepsPerDay; s += 2 {
+				fields, err := ml.ChannelFields(day, s)
+				if err != nil {
+					return err
+				}
+				var centers []string
+				for _, c := range gt.Cyclones {
+					if p, ok := c.Active(day.DayOfYear, s); ok && p.PressureDrop >= minDrop {
+						ci, cj := day.Grid.CellOf(p.Lat, p.Lon)
+						centers = append(centers, fmt.Sprintf("%d:%d", ci, cj))
+					}
+				}
+				meta := map[string]string{"centers": strings.Join(centers, " ")}
+				for _, ch := range ml.Channels {
+					t := texchange.Tensor{
+						Name:  onlineName(seq, ch),
+						Shape: []int{day.Grid.NLat, day.Grid.NLon},
+						Data:  fields[ch].Data,
+						Meta:  meta,
+					}
+					if _, err := x.Publish(t); err != nil {
+						return err
+					}
+				}
+				seq++
+			}
+		}
+	}
+	return nil
+}
+
+// consumeItem waits for one sequence-numbered instant's channel tensors
+// and rebuilds the field map plus decoded truth centers.
+func consumeItem(x *texchange.Exchange, g grid.Grid, seq int) (map[string]*grid.Field, []ml.Center, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fields := make(map[string]*grid.Field, len(ml.Channels))
+	var centers []ml.Center
+	for i, ch := range ml.Channels {
+		t, err := x.Wait(ctx, onlineName(seq, ch), 1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("online: waiting for instant %d channel %s: %w", seq, ch, err)
+		}
+		fields[ch] = &grid.Field{Grid: g, Data: t.Data}
+		if i == 0 && t.Meta["centers"] != "" {
+			for _, tok := range strings.Fields(t.Meta["centers"]) {
+				var r, c int
+				if _, err := fmt.Sscanf(tok, "%d:%d", &r, &c); err != nil {
+					return nil, nil, fmt.Errorf("online: bad center token %q: %w", tok, err)
+				}
+				centers = append(centers, ml.Center{Row: r, Col: c})
+			}
+		}
+	}
+	for _, ch := range ml.Channels {
+		x.Remove(onlineName(seq, ch))
+	}
+	return fields, centers, nil
+}
+
+// probeInstant is one held-out evaluation instant: the CNN input
+// fields plus the active ground-truth storms at that moment.
+type probeInstant struct {
+	fields map[string]*grid.Field
+	truth  []esm.TrackPoint
+}
+
+// buildProbe samples active-storm instants from one held-out year. The
+// same instants are re-scored at every checkpoint, so rows in the
+// quality table differ only by the weights in effect.
+func buildProbe(cfg esm.Config, seed int64, minDrop float64) []probeInstant {
+	const maxInstants = 48
+	m := esm.NewModel(withSeed(cfg, seed))
+	gt := m.GroundTruth()
+	var out []probeInstant
+	for len(out) < maxInstants {
+		day := m.StepDay()
+		if day == nil {
+			break
+		}
+		for s := 0; s < esm.StepsPerDay; s += 2 {
+			var truth []esm.TrackPoint
+			for _, c := range gt.Cyclones {
+				if p, ok := c.Active(day.DayOfYear, s); ok && p.PressureDrop >= minDrop {
+					truth = append(truth, p)
+				}
+			}
+			if len(truth) == 0 {
+				continue
+			}
+			fields, err := ml.ChannelFields(day, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, probeInstant{fields: fields, truth: truth})
+			if len(out) == maxInstants {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// evalProbe scores the live localizer (current weight generation) on
+// the fixed probe set.
+func evalProbe(loc *ml.Localizer, probe []probeInstant, g grid.Grid, threshold float64) tctrack.Skill {
+	var instants []tctrack.Instant
+	for _, p := range probe {
+		dets, err := loc.DetectFields(p.fields, g, threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var asDet []tctrack.Detection
+		for _, d := range dets {
+			asDet = append(asDet, tctrack.Detection{Lat: d.Lat, Lon: d.Lon})
+		}
+		instants = append(instants, tctrack.Instant{Truth: p.truth, Dets: asDet})
+	}
+	return tctrack.Evaluate(instants, 2000)
+}
+
+// waitProcessed polls until the trainer has fully trained on the first
+// target fed items or the timeout elapses.
+func waitProcessed(tr *ml.OnlineTrainer, target uint64, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for tr.Stats().Processed < target && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

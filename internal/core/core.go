@@ -33,6 +33,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/tctrack"
+	"repro/internal/texchange"
 )
 
 // Task kind names, numbered as in the paper's Figure 3. One graph node
@@ -145,6 +146,26 @@ type Config struct {
 	// Nil means on (the default); point at false to force the eager
 	// operator-at-a-time execution for comparison runs.
 	FuseOperators *bool
+	// Exchange, when non-nil, routes daily model output through the
+	// in-memory tensor exchange: the ESM task publishes each day's
+	// variables as it writes the file, and the per-year consumers
+	// (tc_preprocess, import_year) read the published tensors instead of
+	// re-reading the files — the SmartSim-style in-memory handoff that
+	// removes the file write→watch→read round-trip from the hot path.
+	// Files are still written (they remain the durable record and the
+	// fallback: a consumer that misses the exchange reads them), so
+	// results are identical with or without an exchange. Ignored in
+	// AttachOnly mode, where no in-process producer exists. The caller
+	// owns the exchange's lifecycle (Close after the run).
+	Exchange *texchange.Exchange
+	// OnlineTrainer, when non-nil, closes the ML-in-the-loop gap: the
+	// tc_georeference task feeds each processed year's field sets —
+	// pseudo-labelled by the deterministic tracker — to the trainer,
+	// which hot-swaps improved weights into Localizer while later years
+	// are still simulating. Detections then depend on task timing, so
+	// leave this nil for reproducibility-sensitive runs. The caller owns
+	// the trainer's lifecycle (Close after the run).
+	OnlineTrainer *ml.OnlineTrainer
 	// AttachOnly skips the ESM task and instead watches ModelDir for
 	// daily files written by an external producer (a real model run, or
 	// esmgen in another process) — the decoupled operational deployment

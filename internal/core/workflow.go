@@ -262,6 +262,11 @@ func (w *workflow) register() error {
 			model := args[0].(*esm.Model)
 			var diagErr error
 			opts := esm.RunOptions{Dir: cfg.ModelDir, InterDayDelay: cfg.ESMDayDelay}
+			if x := cfg.Exchange; x != nil {
+				opts.OnDataset = func(_ string, d *esm.DayOutput, ds *ncdf.Dataset) error {
+					return publishDay(x, d, ds)
+				}
+			}
 			if cfg.OnlineDiagnostics {
 				opts.OnDay = func(_ string, d *esm.DayOutput) {
 					if diagErr != nil {
@@ -333,6 +338,12 @@ func (w *workflow) register() error {
 		Ephemeral: true,
 		Fn: func(args []any) ([]any, error) {
 			batch := args[0].(stream.YearBatch)
+			if x := cfg.Exchange; x != nil && !cfg.AttachOnly {
+				if cube, err := importYearExchange(engine, x, batch, cfg.Grid); err == nil {
+					return []any{cube}, nil
+				}
+				// any exchange miss: the files hold the same bytes
+			}
 			cube, err := engine.ImportFiles(batch.Files, "TREFHT", "time")
 			if err != nil {
 				return nil, err
@@ -450,7 +461,13 @@ func (w *workflow) register() error {
 		Ephemeral: true, // outputs hold live per-instant field maps
 		Fn: func(args []any) ([]any, error) {
 			batch := args[0].(stream.YearBatch)
-			steps, err := loadTCFields(batch.Files, cfg.Grid)
+			var steps []stepFields
+			var err error
+			if x := cfg.Exchange; x != nil && !cfg.AttachOnly {
+				steps, err = loadTCFieldsExchange(x, batch.Files, cfg.Grid)
+			} else {
+				steps, err = loadTCFields(batch.Files, cfg.Grid)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -507,6 +524,19 @@ func (w *workflow) register() error {
 			for _, sf := range steps {
 				cand := tctrack.DetectFields(sf.Fields["PSL"], sf.Fields["VORT850"], sf.Fields["T500"], sf.Day, sf.Step, cfg.Criteria)
 				tracker.Advance(cand)
+				// Close the ML loop: feed the deterministic detections as
+				// pseudo-labels so the trainer improves the localizer on
+				// exactly the data the simulation is producing. Inference
+				// cadence (even steps) keeps training and inference inputs
+				// aligned; a full queue just drops the step.
+				if tr := cfg.OnlineTrainer; tr != nil && sf.Step%2 == 0 {
+					centers := make([]ml.Center, 0, len(cand))
+					for _, c := range cand {
+						ci, cj := cfg.Grid.CellOf(c.Lat, c.Lon)
+						centers = append(centers, ml.Center{Row: ci, Col: cj})
+					}
+					tr.Feed(sf.Fields, centers)
+				}
 			}
 			tracks := tracker.Finish()
 			return []any{yearTC{
@@ -727,39 +757,71 @@ func loadTCFields(files []string, g grid.Grid) ([]stepFields, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: unparseable model file %q", path)
 		}
-		perVar := make(map[string][]float32, len(tcVars))
-		for _, v := range tcVars {
-			_, vv, err := ncdf.ReadVariableFile(path, v)
-			if err != nil {
-				return nil, err
-			}
-			perVar[v] = vv.Data
+		perVar, err := readDayVars(path)
+		if err != nil {
+			return nil, err
 		}
-		size := g.Size()
-		for s := 0; s < esm.StepsPerDay; s++ {
-			fields := make(map[string]*grid.Field, len(tcVars)+1)
-			for _, v := range tcVars {
-				f := grid.NewField(g)
-				copy(f.Data, perVar[v][s*size:(s+1)*size])
-				fields[v] = f
-			}
-			// derived wind speed channel for the CNN
-			w := grid.NewField(g)
-			u, vv := fields["U850"], fields["V850"]
-			for i := range w.Data {
-				w.Data[i] = float32(math.Hypot(float64(u.Data[i]), float64(vv.Data[i])))
-			}
-			fields["WSPD"] = w
-			out = append(out, stepFields{Day: dayOfYear, Step: s, Fields: fields})
+		steps, err := dayStepFields(perVar, g, dayOfYear)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, steps...)
+	}
+	sortStepFields(out)
+	return out, nil
+}
+
+// readDayVars reads one daily file's TC variables.
+func readDayVars(path string) (map[string][]float32, error) {
+	perVar := make(map[string][]float32, len(tcVars))
+	for _, v := range tcVars {
+		_, vv, err := ncdf.ReadVariableFile(path, v)
+		if err != nil {
+			return nil, err
+		}
+		perVar[v] = vv.Data
+	}
+	return perVar, nil
+}
+
+// dayStepFields slices one day's step-major variable arrays into
+// per-instant field sets, deriving the wind-speed channel. The source
+// arrays are only read — exchange tensors stay intact for other
+// consumers.
+func dayStepFields(perVar map[string][]float32, g grid.Grid, dayOfYear int) ([]stepFields, error) {
+	size := g.Size()
+	out := make([]stepFields, 0, esm.StepsPerDay)
+	for _, v := range tcVars {
+		if len(perVar[v]) != esm.StepsPerDay*size {
+			return nil, fmt.Errorf("core: day %d variable %s holds %d values, want %d", dayOfYear, v, len(perVar[v]), esm.StepsPerDay*size)
 		}
 	}
+	for s := 0; s < esm.StepsPerDay; s++ {
+		fields := make(map[string]*grid.Field, len(tcVars)+1)
+		for _, v := range tcVars {
+			f := grid.NewField(g)
+			copy(f.Data, perVar[v][s*size:(s+1)*size])
+			fields[v] = f
+		}
+		// derived wind speed channel for the CNN
+		w := grid.NewField(g)
+		u, vv := fields["U850"], fields["V850"]
+		for i := range w.Data {
+			w.Data[i] = float32(math.Hypot(float64(u.Data[i]), float64(vv.Data[i])))
+		}
+		fields["WSPD"] = w
+		out = append(out, stepFields{Day: dayOfYear, Step: s, Fields: fields})
+	}
+	return out, nil
+}
+
+func sortStepFields(out []stepFields) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Day != out[j].Day {
 			return out[i].Day < out[j].Day
 		}
 		return out[i].Step < out[j].Step
 	})
-	return out, nil
 }
 
 // agreement is the mean distance from each CNN detection to the

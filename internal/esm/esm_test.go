@@ -1,6 +1,7 @@
 package esm
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -369,6 +370,66 @@ func TestRunWritesFilesInOrder(t *testing.T) {
 	}
 	if len(ds.Vars) != len(Vars) {
 		t.Fatalf("file vars = %d", len(ds.Vars))
+	}
+}
+
+// TestRunOnDatasetSharesWrittenData: the OnDataset hook hands back the
+// exact in-memory dataset the file was written from — same variable
+// backing slices, same bytes on disk — so exchange publishers never
+// re-read what they just produced.
+func TestRunOnDatasetSharesWrittenData(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	cfg.DaysPerYear = 3
+	m := NewModel(cfg)
+	type tap struct {
+		path string
+		ds   *ncdf.Dataset
+	}
+	var taps []tap
+	_, err := m.Run(RunOptions{Dir: dir, OnDataset: func(p string, d *DayOutput, ds *ncdf.Dataset) error {
+		taps = append(taps, tap{p, ds})
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taps) != 3 {
+		t.Fatalf("OnDataset calls = %d", len(taps))
+	}
+	for _, tp := range taps {
+		onDisk, err := ncdf.ReadFile(tp.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range Vars {
+			mem, err := tp.ds.Var(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disk, err := onDisk.Var(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mem.Data) != len(disk.Data) {
+				t.Fatalf("%s: in-memory %d values, on-disk %d", name, len(mem.Data), len(disk.Data))
+			}
+			for i := range mem.Data {
+				if mem.Data[i] != disk.Data[i] {
+					t.Fatalf("%s[%d]: memory %v != disk %v", name, i, mem.Data[i], disk.Data[i])
+				}
+			}
+		}
+	}
+	// An OnDataset error aborts the run after the failing day.
+	m2 := NewModel(cfg)
+	calls := 0
+	_, err = m2.Run(RunOptions{Dir: t.TempDir(), OnDataset: func(string, *DayOutput, *ncdf.Dataset) error {
+		calls++
+		return fmt.Errorf("boom")
+	}})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
 	}
 }
 

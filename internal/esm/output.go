@@ -73,15 +73,29 @@ func (d *DayOutput) ToDataset() (*ncdf.Dataset, error) {
 // WriteDay writes the day's output into dir using the canonical name
 // and returns the file path.
 func (d *DayOutput) WriteDay(dir string) (string, error) {
+	path, _, err := d.writeDay(dir, nil)
+	return path, err
+}
+
+// writeDay builds the day's dataset once, writes it to disk, and hands
+// the same in-memory dataset to onDataset — so an in-memory consumer
+// (the tensor-exchange publisher) never re-reads the file it just
+// watched land.
+func (d *DayOutput) writeDay(dir string, onDataset func(path string, d *DayOutput, ds *ncdf.Dataset) error) (string, *ncdf.Dataset, error) {
 	ds, err := d.ToDataset()
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	path := filepath.Join(dir, FileName(d.Year, d.DayOfYear))
 	if err := ncdf.WriteFile(path, ds); err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return path, nil
+	if onDataset != nil {
+		if err := onDataset(path, d, ds); err != nil {
+			return "", nil, err
+		}
+	}
+	return path, ds, nil
 }
 
 // RunOptions controls a full simulation-to-disk run.
@@ -93,6 +107,12 @@ type RunOptions struct {
 	InterDayDelay time.Duration
 	// OnDay, when non-nil, is called with each file path after it lands.
 	OnDay func(path string, d *DayOutput)
+	// OnDataset, when non-nil, receives each day's in-memory dataset
+	// right after its file lands — the zero-copy tap for publishing
+	// model output to an in-memory exchange without re-reading the file.
+	// The dataset's variable slices are shared with what was written;
+	// consumers must treat them as read-only. An error aborts the run.
+	OnDataset func(path string, d *DayOutput, ds *ncdf.Dataset) error
 }
 
 // Run executes the whole configured span, writing one file per day, and
@@ -107,7 +127,7 @@ func (m *Model) Run(opt RunOptions) ([]string, error) {
 		if d == nil {
 			return paths, nil
 		}
-		p, err := d.WriteDay(opt.Dir)
+		p, _, err := d.writeDay(opt.Dir, opt.OnDataset)
 		if err != nil {
 			return paths, err
 		}

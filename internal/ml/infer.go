@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
@@ -229,16 +230,24 @@ func (l *Localizer) Compile(p Params) (*InferSession, error) {
 	return s, nil
 }
 
-// ensure grows the session buffers to hold an n-patch batch.
+// ensure grows the session buffers to hold an n-patch batch under the
+// session's current plan. Buffers also regrow when a hot-swapped plan
+// needs wider activations; steady-state calls only compare lengths and
+// allocate nothing.
 func (s *InferSession) ensure(n int) {
-	if n <= s.cap {
-		return
+	if n > s.cap {
+		s.cap = n
 	}
-	s.cap = n
-	s.actA = make([]float64, s.plan.maxAct*n)
-	s.actB = make([]float64, s.plan.maxAct*n)
-	s.col = make([]float64, s.plan.maxCol*n)
-	s.preds = make([]Prediction, n)
+	if need := s.plan.maxAct * s.cap; need > len(s.actA) {
+		s.actA = make([]float64, need)
+		s.actB = make([]float64, need)
+	}
+	if need := s.plan.maxCol * s.cap; need > len(s.col) {
+		s.col = make([]float64, need)
+	}
+	if s.cap > len(s.preds) {
+		s.preds = make([]Prediction, s.cap)
+	}
 }
 
 // PredictBatch runs every patch of x — an (N,C,H,W) batch tensor, or a
@@ -490,8 +499,14 @@ func (s *InferSession) loadPatchRange(chF []*grid.Field, stats []fieldMoments, n
 // demand and reused LIFO; acquire blocks when all are busy, which is
 // deadlock-free because every holder returns its session after one
 // bounded batch.
+//
+// The plan pointer is atomic so SwapWeights can publish a freshly
+// lowered plan while sweeps are in flight: a session binds the current
+// plan at acquire time and keeps it for its whole batch, so a batch
+// never mixes weight generations, while every batch acquired after the
+// swap runs the new weights.
 type engine struct {
-	plan *inferPlan
+	plan atomic.Pointer[inferPlan]
 	p    Params
 	obs  *inferObs
 
@@ -507,7 +522,8 @@ func newEngine(l *Localizer, p Params) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{plan: plan, p: p, obs: newInferObs(p)}
+	e := &engine{p: p, obs: newInferObs(p)}
+	e.plan.Store(plan)
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
 }
@@ -519,11 +535,13 @@ func (e *engine) acquire() *InferSession {
 		if n := len(e.free); n > 0 {
 			s := e.free[n-1]
 			e.free = e.free[:n-1]
+			s.plan = e.plan.Load()
+			s.ensure(0)
 			return s
 		}
 		if e.created < e.p.Workers {
 			e.created++
-			s := &InferSession{plan: e.plan, obs: e.obs}
+			s := &InferSession{plan: e.plan.Load(), obs: e.obs}
 			s.ensure(e.p.MaxBatch)
 			return s
 		}

@@ -29,6 +29,7 @@ type Localizer struct {
 	prm    Params
 	eng    *engine
 	engErr error
+	gen    uint64 // successful SwapWeights count
 }
 
 // Configure sets the inference-engine parameters (worker count,
@@ -64,6 +65,57 @@ func (l *Localizer) engineOrNil() *engine {
 	return l.eng
 }
 
+// SwapWeights atomically replaces the localizer's network — the model
+// hot-swap of the ML-in-the-loop pattern: an online trainer improves a
+// copy of the weights while inference runs, then publishes them here
+// without stopping the sweep. In-flight batches keep the compiled plan
+// (and therefore exactly the weights) they started with — a swap never
+// tears a batch — while every batch acquired afterwards runs the new
+// weights. net must fit the localizer's patch geometry; when the
+// compiled engine is active the swap fails (leaving the old weights in
+// effect) if net cannot be lowered.
+//
+// Ownership of net transfers to the localizer: the caller must not
+// train or mutate it afterwards. Train a clone and swap again instead.
+func (l *Localizer) SwapWeights(net *Network) error {
+	if net == nil || len(net.Layers) == 0 {
+		return fmt.Errorf("ml: SwapWeights: empty network")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.eng != nil {
+		plan, err := lower(net, l.PatchH, l.PatchW)
+		if err != nil {
+			return err
+		}
+		l.eng.plan.Store(plan)
+	} else {
+		// Engine not built yet (or previously uncompilable): clear the
+		// cached compile error so the next inference lowers the new net.
+		l.engErr = nil
+	}
+	l.Net = net
+	l.gen++
+	return nil
+}
+
+// WeightsGeneration counts successful SwapWeights calls. Batches
+// started after the counter reads g run weights of generation >= g.
+func (l *Localizer) WeightsGeneration() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// refNet snapshots the current network for a reference-path pass, so a
+// concurrent SwapWeights flips between consistent weight sets instead
+// of racing the sweep mid-patch.
+func (l *Localizer) refNet() *Network {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.Net
+}
+
 // NewLocalizer builds an untrained localizer for the given patch size.
 func NewLocalizer(patchH, patchW int, seed int64) (*Localizer, error) {
 	net, err := NewCNN(len(Channels), patchH, patchW, seed)
@@ -96,7 +148,12 @@ func (l *Localizer) Predict(x *Tensor) Prediction {
 // predictReference is the layer-by-layer forward pass — the numerical
 // reference the compiled engine is tested against bit-for-bit.
 func (l *Localizer) predictReference(x *Tensor) Prediction {
-	out := l.Net.Forward(x)
+	return predictNet(l.refNet(), x)
+}
+
+// predictNet runs one patch through net's layer stack.
+func predictNet(net *Network, x *Tensor) Prediction {
+	out := net.Forward(x)
 	return Prediction{
 		Presence: Sigmoid(out.Data[0]),
 		Row:      clamp01(out.Data[1]),
@@ -182,6 +239,41 @@ func ChannelFields(day *esm.DayOutput, step int) (map[string]*grid.Field, error)
 	return out, nil
 }
 
+// Center is one labelled TC center in grid-cell coordinates.
+type Center struct{ Row, Col int }
+
+// SamplesFromFields labels every patch of one instantaneous field set
+// against known storm centers: a patch is positive when a center falls
+// inside it. This is the label-agnostic core of BuildSamples — callers
+// supply centers from seeded ground truth, tracker pseudo-labels, or
+// any other source.
+func SamplesFromFields(fields map[string]*grid.Field, centers []Center, patchH, patchW int) ([]Sample, error) {
+	chF, stats, err := prepFields(fields, patchH, patchW)
+	if err != nil {
+		return nil, err
+	}
+	fg := chF[0].Grid
+	var out []Sample
+	nJ := fg.NLon / patchW
+	total := (fg.NLat / patchH) * nJ
+	for pi := 0; pi < total; pi++ {
+		row0, col0 := (pi/nJ)*patchH, (pi%nJ)*patchW
+		x := NewTensor(len(Channels), patchH, patchW)
+		loadPatch(x.Data, chF, stats, row0, col0, patchH, patchW)
+		s := Sample{X: x}
+		for _, c := range centers {
+			if c.Row >= row0 && c.Row < row0+patchH && c.Col >= col0 && c.Col < col0+patchW {
+				s.HasTC = true
+				s.Row = (float64(c.Row-row0) + 0.5) / float64(patchH)
+				s.Col = (float64(c.Col-col0) + 0.5) / float64(patchW)
+				break
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
 // BuildSamples labels every patch of one model step against the seeded
 // ground truth: positive when a storm center falls inside the patch.
 func BuildSamples(day *esm.DayOutput, step int, storms []esm.Cyclone, patchH, patchW int) ([]Sample, error) {
@@ -189,42 +281,19 @@ func BuildSamples(day *esm.DayOutput, step int, storms []esm.Cyclone, patchH, pa
 	if err != nil {
 		return nil, err
 	}
-	chF, stats, err := prepFields(fields, patchH, patchW)
-	if err != nil {
-		return nil, err
-	}
 	g := day.Grid
 	// active storm centers at this instant
-	type center struct{ row, col int }
-	var centers []center
+	var centers []Center
 	for i := range storms {
 		if storms[i].Year != day.Year {
 			continue
 		}
 		if p, ok := storms[i].Active(day.DayOfYear, step); ok {
 			ci, cj := g.CellOf(p.Lat, p.Lon)
-			centers = append(centers, center{ci, cj})
+			centers = append(centers, Center{ci, cj})
 		}
 	}
-	var out []Sample
-	nJ := g.NLon / patchW
-	total := (g.NLat / patchH) * nJ
-	for pi := 0; pi < total; pi++ {
-		row0, col0 := (pi/nJ)*patchH, (pi%nJ)*patchW
-		x := NewTensor(len(Channels), patchH, patchW)
-		loadPatch(x.Data, chF, stats, row0, col0, patchH, patchW)
-		s := Sample{X: x}
-		for _, c := range centers {
-			if c.row >= row0 && c.row < row0+patchH && c.col >= col0 && c.col < col0+patchW {
-				s.HasTC = true
-				s.Row = (float64(c.row-row0) + 0.5) / float64(patchH)
-				s.Col = (float64(c.col-col0) + 0.5) / float64(patchW)
-				break
-			}
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return SamplesFromFields(fields, centers, patchH, patchW)
 }
 
 // TrainConfig controls localizer training.
@@ -273,26 +342,7 @@ func (l *Localizer) Train(samples []Sample, cfg TrainConfig) ([]float64, error) 
 		var epochLoss float64
 		inBatch := 0
 		for _, si := range idx {
-			s := train[si]
-			out := l.Net.Forward(s.X)
-			logit, pr, pc := out.Data[0], out.Data[1], out.Data[2]
-			y := 0.0
-			if s.HasTC {
-				y = 1
-			}
-			p := Sigmoid(logit)
-			// BCE + masked coordinate MSE
-			loss := -(y*math.Log(p+1e-12) + (1-y)*math.Log(1-p+1e-12))
-			grad := NewTensor(3)
-			grad.Data[0] = p - y
-			if s.HasTC {
-				dr, dc := pr-s.Row, pc-s.Col
-				loss += cfg.CoordWeight * (dr*dr + dc*dc)
-				grad.Data[1] = 2 * cfg.CoordWeight * dr
-				grad.Data[2] = 2 * cfg.CoordWeight * dc
-			}
-			epochLoss += loss
-			l.Net.Backward(grad)
+			epochLoss += trainSample(l.Net, train[si], cfg.CoordWeight)
 			inBatch++
 			if inBatch == cfg.BatchSize {
 				opt.Step(inBatch)
@@ -305,6 +355,31 @@ func (l *Localizer) Train(samples []Sample, cfg TrainConfig) ([]float64, error) 
 		losses = append(losses, epochLoss/float64(len(train)))
 	}
 	return losses, nil
+}
+
+// trainSample runs one labelled sample forward and backward through
+// net, accumulating gradients, and returns its loss — BCE on presence
+// plus masked coordinate MSE. Shared by Train and the OnlineTrainer.
+func trainSample(net *Network, s Sample, coordWeight float64) float64 {
+	out := net.Forward(s.X)
+	logit, pr, pc := out.Data[0], out.Data[1], out.Data[2]
+	y := 0.0
+	if s.HasTC {
+		y = 1
+	}
+	p := Sigmoid(logit)
+	// BCE + masked coordinate MSE
+	loss := -(y*math.Log(p+1e-12) + (1-y)*math.Log(1-p+1e-12))
+	grad := NewTensor(3)
+	grad.Data[0] = p - y
+	if s.HasTC {
+		dr, dc := pr-s.Row, pc-s.Col
+		loss += coordWeight * (dr*dr + dc*dc)
+		grad.Data[1] = 2 * coordWeight * dr
+		grad.Data[2] = 2 * coordWeight * dc
+	}
+	net.Backward(grad)
+	return loss
 }
 
 // balance oversamples positives to roughly match negatives.
@@ -394,11 +469,14 @@ func (l *Localizer) detectFieldsReference(fields map[string]*grid.Field, g grid.
 	nJ := chF[0].Grid.NLon / l.PatchW
 	total := (chF[0].Grid.NLat / l.PatchH) * nJ
 	x := NewTensor(len(Channels), l.PatchH, l.PatchW)
+	// One net snapshot for the whole sweep: a concurrent SwapWeights
+	// takes effect at the next call, never mid-sweep.
+	net := l.refNet()
 	var out []Detection
 	for pi := 0; pi < total; pi++ {
 		row0, col0 := (pi/nJ)*l.PatchH, (pi%nJ)*l.PatchW
 		loadPatch(x.Data, chF, stats, row0, col0, l.PatchH, l.PatchW)
-		pred := l.predictReference(x)
+		pred := predictNet(net, x)
 		if pred.Presence < threshold {
 			continue
 		}

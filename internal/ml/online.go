@@ -1,0 +1,291 @@
+package ml
+
+// The online trainer closes the paper's ML-in-the-loop gap: instead of
+// training the TC localizer once on historical runs and freezing it,
+// a trainer goroutine consumes labelled field sets streamed out of the
+// running simulation (via internal/texchange), improves a private copy
+// of the network, and periodically hot-swaps the result into the live
+// Localizer (SwapWeights) — detection quality improves while the ESM
+// is still producing years, with no pipeline stall.
+//
+// The trainer owns a student network cloned from the target at start;
+// the target's weights are only ever replaced wholesale by SwapWeights
+// with a clone of the student, so inference never observes a network
+// mid-update. Training is strictly sequential over the feed order with
+// no random shuffling, which makes the weight trajectory a pure
+// function of the fed (fields, centers) sequence — reproducible runs
+// stay reproducible.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// OnlineConfig configures an OnlineTrainer.
+type OnlineConfig struct {
+	// Target is the live localizer whose weights the trainer improves.
+	Target *Localizer
+	// BatchSize samples per optimizer step; 0 means 16.
+	BatchSize int
+	// LR is the Adam learning rate; 0 means 1e-3.
+	LR float64
+	// CoordWeight scales the localization loss term; 0 means 2.
+	CoordWeight float64
+	// SwapEvery hot-swaps the target weights after this many optimizer
+	// steps; 0 means 8.
+	SwapEvery int
+	// Queue bounds the feed channel; producers never block — a full
+	// queue drops the step (counted in Stats). 0 means 32.
+	Queue int
+	// Balance interleaves positive patches 1:1 with negatives, drawing
+	// positives round-robin from a buffer of every positive seen so far
+	// — the deterministic stand-in for TrainConfig.Balance + shuffle:
+	// batches stay class-balanced AND storm-diverse even though the
+	// stream arrives one instant at a time.
+	Balance bool
+	// Replay trains each fed item this many times before moving on,
+	// recovering offline training's multiple epochs over scarce labelled
+	// data; 0 means 1 (single pass).
+	Replay int
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-3
+	}
+	if c.CoordWeight == 0 {
+		c.CoordWeight = 2
+	}
+	if c.SwapEvery <= 0 {
+		c.SwapEvery = 8
+	}
+	if c.Queue <= 0 {
+		c.Queue = 32
+	}
+	if c.Replay <= 0 {
+		c.Replay = 1
+	}
+	return c
+}
+
+// posBufCap bounds the Balance positive-replay buffer (FIFO eviction).
+const posBufCap = 1024
+
+// OnlineStats is a snapshot of trainer progress.
+type OnlineStats struct {
+	// Fed and Dropped count Feed calls accepted and rejected (full
+	// queue or closed trainer). Processed counts fed items fully
+	// trained on — Fed-Processed is the queue backlog, and a caller
+	// that pauses feeding can poll Processed to let the trainer catch
+	// up before probing the target's quality.
+	Fed, Dropped, Processed uint64
+	// Samples, Steps and Swaps count labelled patches trained on,
+	// optimizer steps taken and successful weight hot-swaps.
+	Samples, Steps, Swaps uint64
+	// LastLoss is the mean loss of the most recent optimizer step.
+	LastLoss float64
+}
+
+type feedItem struct {
+	fields  map[string]*grid.Field
+	centers []Center
+}
+
+// OnlineTrainer trains a private copy of the target localizer's
+// network on streamed field sets and periodically publishes improved
+// weights via Localizer.SwapWeights. Feed never blocks; Close drains
+// the queue, performs a final swap, and reports the first error.
+type OnlineTrainer struct {
+	cfg    OnlineConfig
+	patchH int
+	patchW int
+
+	feed chan feedItem
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	stats  OnlineStats
+	err    error
+}
+
+// NewOnlineTrainer starts the training goroutine. The target must be
+// set; its current weights seed the student copy.
+func NewOnlineTrainer(cfg OnlineConfig) (*OnlineTrainer, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("ml: online trainer needs a target localizer")
+	}
+	cfg = cfg.withDefaults()
+	student, err := cfg.Target.refNet().Clone()
+	if err != nil {
+		return nil, fmt.Errorf("ml: online trainer: clone target: %w", err)
+	}
+	t := &OnlineTrainer{
+		cfg:    cfg,
+		patchH: cfg.Target.PatchH,
+		patchW: cfg.Target.PatchW,
+		feed:   make(chan feedItem, cfg.Queue),
+		done:   make(chan struct{}),
+	}
+	go t.run(student)
+	return t, nil
+}
+
+// Feed offers one labelled instantaneous field set (the localizer
+// channel stack plus known TC centers in grid coordinates) to the
+// trainer. It never blocks: when the queue is full or the trainer is
+// closed the step is dropped and Feed returns false. The trainer keeps
+// a reference to fields — callers must not mutate them afterwards.
+func (t *OnlineTrainer) Feed(fields map[string]*grid.Field, centers []Center) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		t.stats.Dropped++
+		return false
+	}
+	select {
+	case t.feed <- feedItem{fields: fields, centers: centers}:
+		t.stats.Fed++
+		return true
+	default:
+		t.stats.Dropped++
+		return false
+	}
+}
+
+// Close stops accepting feeds, drains the queue, hot-swaps the final
+// student weights into the target, and returns the first error the
+// trainer hit (labelling or swapping). Safe to call more than once.
+func (t *OnlineTrainer) Close() error {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		close(t.feed)
+	}
+	t.mu.Unlock()
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Stats returns a snapshot of trainer progress.
+func (t *OnlineTrainer) Stats() OnlineStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *OnlineTrainer) run(student *Network) {
+	defer close(t.done)
+	opt := NewAdam(student, t.cfg.LR)
+	inBatch, steps := 0, 0
+	var batchLoss float64
+	step := func() {
+		opt.Step(inBatch)
+		steps++
+		t.mu.Lock()
+		t.stats.Steps++
+		t.stats.LastLoss = batchLoss / float64(inBatch)
+		t.mu.Unlock()
+		inBatch, batchLoss = 0, 0
+	}
+	var posBuf []Sample
+	posCursor := 0
+	for it := range t.feed {
+		samples, err := SamplesFromFields(it.fields, it.centers, t.patchH, t.patchW)
+		if err != nil {
+			t.fail(err)
+			t.mu.Lock()
+			t.stats.Processed++
+			t.mu.Unlock()
+			continue
+		}
+		if t.cfg.Balance {
+			samples, posBuf, posCursor = balanceFromBuffer(samples, posBuf, posCursor)
+		}
+		for r := 0; r < t.cfg.Replay; r++ {
+			for _, s := range samples {
+				batchLoss += trainSample(student, s, t.cfg.CoordWeight)
+				if inBatch++; inBatch == t.cfg.BatchSize {
+					step()
+					if steps%t.cfg.SwapEvery == 0 {
+						t.swap(student)
+					}
+				}
+			}
+		}
+		t.mu.Lock()
+		t.stats.Samples += uint64(len(samples) * t.cfg.Replay)
+		t.stats.Processed++
+		t.mu.Unlock()
+	}
+	if inBatch > 0 {
+		step()
+	}
+	if steps > 0 {
+		t.swap(student)
+	}
+}
+
+// balanceFromBuffer is the online counterpart of balance + epoch
+// shuffling, with no randomness. The current item's positives join a
+// bounded FIFO buffer of every positive patch seen so far; the training
+// sequence then alternates the item's negatives with positives drawn
+// round-robin from that buffer. Two failure modes of naive streaming
+// are closed at once: batches never degenerate to all-negative (class
+// balance), and the positives inside a batch span many past storms
+// instead of one (the diversity a global shuffle provides offline), so
+// sequential Adam stops forgetting earlier storms as new ones stream
+// in. Returns the training sequence plus the updated buffer state.
+func balanceFromBuffer(samples, posBuf []Sample, posCursor int) ([]Sample, []Sample, int) {
+	var neg []Sample
+	for _, s := range samples {
+		if s.HasTC {
+			posBuf = append(posBuf, s)
+		} else {
+			neg = append(neg, s)
+		}
+	}
+	if over := len(posBuf) - posBufCap; over > 0 {
+		posBuf = append(posBuf[:0], posBuf[over:]...)
+	}
+	if len(posBuf) == 0 {
+		return samples, posBuf, posCursor
+	}
+	out := make([]Sample, 0, 2*len(neg))
+	for _, n := range neg {
+		out = append(out, n, posBuf[posCursor%len(posBuf)])
+		posCursor++
+	}
+	return out, posBuf, posCursor
+}
+
+// swap publishes a clone of the student into the target, so continued
+// training never mutates weights the inference engine is reading.
+func (t *OnlineTrainer) swap(student *Network) {
+	clone, err := student.Clone()
+	if err == nil {
+		err = t.cfg.Target.SwapWeights(clone)
+	}
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	t.mu.Lock()
+	t.stats.Swaps++
+	t.mu.Unlock()
+}
+
+func (t *OnlineTrainer) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}

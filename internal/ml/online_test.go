@@ -1,0 +1,390 @@
+package ml
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// patchTensor builds a deterministic (C,12,12) input patch.
+func patchTensor() *Tensor {
+	x := NewTensor(len(Channels), 12, 12)
+	for i := range x.Data {
+		x.Data[i] = float64(i%13)/6.5 - 1
+	}
+	return x
+}
+
+// twoNets builds two materially different networks for the same patch
+// geometry.
+func twoNets(t *testing.T) (*Network, *Network) {
+	t.Helper()
+	a, err := NewCNN(len(Channels), 12, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomizeBiases(a, 17)
+	b, err := NewCNN(len(Channels), 12, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomizeBiases(b, 29)
+	return a, b
+}
+
+func sameDetections(a, b []Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHotSwapTakesEffect proves a swap is picked up by the compiled
+// engine bit-for-bit: post-swap detections equal the reference sweep of
+// the new network exactly.
+func TestHotSwapTakesEffect(t *testing.T) {
+	netA, netB := twoNets(t)
+	fields, g := stormFields(t, 21)
+
+	loc := &Localizer{Net: netA, PatchH: 12, PatchW: 12}
+	loc.Configure(Params{Workers: 2})
+	refB := &Localizer{Net: netB, PatchH: 12, PatchW: 12}
+	refB.Configure(Params{Reference: true})
+
+	if gen := loc.WeightsGeneration(); gen != 0 {
+		t.Fatalf("initial generation = %d", gen)
+	}
+	before, err := loc.DetectFields(fields, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loc.Compiled() {
+		t.Fatal("engine did not compile")
+	}
+	if err := loc.SwapWeights(netB); err != nil {
+		t.Fatal(err)
+	}
+	if gen := loc.WeightsGeneration(); gen != 1 {
+		t.Fatalf("generation after swap = %d", gen)
+	}
+	after, err := loc.DetectFields(fields, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refB.DetectFields(fields, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameDetections(before, after) {
+		t.Fatal("detections unchanged after swap")
+	}
+	if !sameDetections(after, want) {
+		t.Fatalf("post-swap engine sweep differs from new-net reference:\n%v\n%v", after, want)
+	}
+}
+
+// TestHotSwapInvalidNet: bad swaps fail loudly and leave the live
+// weights untouched.
+func TestHotSwapInvalidNet(t *testing.T) {
+	netA, _ := twoNets(t)
+	fields, g := stormFields(t, 5)
+	loc := &Localizer{Net: netA, PatchH: 12, PatchW: 12}
+	loc.Configure(Params{Workers: 1})
+	before, err := loc.DetectFields(fields, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.SwapWeights(nil); err == nil {
+		t.Fatal("nil swap accepted")
+	}
+	if err := loc.SwapWeights(&Network{Layers: []Layer{badLayer{}}}); err == nil {
+		t.Fatal("uncompilable swap accepted while engine active")
+	}
+	if gen := loc.WeightsGeneration(); gen != 0 {
+		t.Fatalf("failed swaps bumped generation to %d", gen)
+	}
+	after, err := loc.DetectFields(fields, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDetections(before, after) {
+		t.Fatal("failed swap changed live weights")
+	}
+}
+
+// TestHotSwapReferenceMode: swaps also apply on the layer-by-layer
+// path, where each sweep snapshots one consistent network.
+func TestHotSwapReferenceMode(t *testing.T) {
+	netA, netB := twoNets(t)
+	x := patchTensor()
+	loc := &Localizer{Net: netA, PatchH: 12, PatchW: 12}
+	loc.Configure(Params{Reference: true})
+	p1 := loc.Predict(x)
+	if err := loc.SwapWeights(netB); err != nil {
+		t.Fatal(err)
+	}
+	p2 := loc.Predict(x)
+	if p1 == p2 {
+		t.Fatal("reference prediction unchanged after swap")
+	}
+	if want := predictNet(netB, x); p2 != want {
+		t.Fatalf("post-swap prediction %+v, want %+v", p2, want)
+	}
+}
+
+// TestHotSwapNeverTearsBatch hammers DetectFields while another
+// goroutine swaps weights back and forth. With one worker each sweep is
+// a single batch bound to one plan, so every result must exactly equal
+// one network's sweep or the other's — any mix means a torn batch.
+func TestHotSwapNeverTearsBatch(t *testing.T) {
+	netA, netB := twoNets(t)
+	fields, g := stormFields(t, 33)
+
+	refDet := func(net *Network) []Detection {
+		ref := &Localizer{Net: net, PatchH: 12, PatchW: 12}
+		ref.Configure(Params{Reference: true})
+		det, err := ref.DetectFields(fields, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	wantA, wantB := refDet(netA), refDet(netB)
+	if sameDetections(wantA, wantB) {
+		t.Fatal("test nets produce identical sweeps; cannot observe tearing")
+	}
+
+	loc := &Localizer{Net: netA, PatchH: 12, PatchW: 12}
+	loc.Configure(Params{Workers: 1, MaxBatch: 8})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			net := netA
+			if i%2 == 0 {
+				net = netB
+			}
+			if err := loc.SwapWeights(net); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		got, err := loc.DetectFields(fields, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDetections(got, wantA) && !sameDetections(got, wantB) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("sweep %d matches neither weight generation — torn batch:\n%v", i, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHotSwapConcurrentSweeps exercises swaps against a multi-worker
+// engine under the race detector: parallel chunks of one sweep may span
+// generations, but each chunk's batch stays internally consistent and
+// nothing races.
+func TestHotSwapConcurrentSweeps(t *testing.T) {
+	netA, netB := twoNets(t)
+	fields, g := stormFields(t, 9)
+	loc := &Localizer{Net: netA, PatchH: 12, PatchW: 12}
+	loc.Configure(Params{Workers: 4, MaxBatch: 4})
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			net := netA
+			if i%2 == 0 {
+				net = netB
+			}
+			if err := loc.SwapWeights(net); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := loc.DetectFields(fields, g, 0.5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-swapperDone
+}
+
+// TestOnlineTrainerDeterministic: two trainers fed the identical
+// sequence from identical starting weights converge to byte-identical
+// networks — the online loop keeps reproducible runs reproducible.
+func TestOnlineTrainerDeterministic(t *testing.T) {
+	fields, g := stormFields(t, 11)
+	centers := []Center{{Row: g.NLat / 3, Col: g.NLon / 4}}
+	run := func() []byte {
+		loc, err := NewLocalizer(12, 12, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewOnlineTrainer(OnlineConfig{Target: loc, BatchSize: 8, SwapEvery: 2, Queue: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if !tr.Feed(fields, centers) {
+				t.Fatal("feed dropped")
+			}
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := tr.Stats()
+		if st.Fed != 6 || st.Steps == 0 || st.Swaps == 0 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if loc.WeightsGeneration() == 0 {
+			t.Fatal("trainer never swapped weights in")
+		}
+		raw, err := loc.Net.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical feeds produced different final weights")
+	}
+}
+
+// TestOnlineTrainerChangesWeights: feeding real labelled fields moves
+// the target away from its initial weights and drops the training loss.
+func TestOnlineTrainerChangesWeights(t *testing.T) {
+	fields, g := stormFields(t, 13)
+	loc, err := NewLocalizer(12, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := loc.Net.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewOnlineTrainer(OnlineConfig{Target: loc, BatchSize: 8, SwapEvery: 4, Queue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := []Center{{Row: g.NLat / 2, Col: g.NLon / 2}}
+	for i := 0; i < 8; i++ {
+		if !tr.Feed(fields, centers) {
+			t.Fatal("feed dropped")
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Feed(fields, centers) {
+		t.Fatal("feed accepted after close")
+	}
+	final, err := loc.Net.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(initial, final) {
+		t.Fatal("training left the target weights untouched")
+	}
+	if st := tr.Stats(); st.Samples == 0 || st.LastLoss <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOnlineTrainerBadFeed: an unlabelable field set surfaces as the
+// Close error instead of killing the goroutine.
+func TestOnlineTrainerBadFeed(t *testing.T) {
+	loc, err := NewLocalizer(12, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewOnlineTrainer(OnlineConfig{Target: loc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Feed(nil, nil) // missing every channel
+	if err := tr.Close(); err == nil {
+		t.Fatal("labelling error swallowed")
+	}
+}
+
+// TestTrainSeededDeterminism: Localizer.Train with a fixed seed is a
+// pure function of (weights, samples, config) — identical loss
+// trajectories and final weights across runs.
+func TestTrainSeededDeterminism(t *testing.T) {
+	m := stormModel(t, 3, 19)
+	gt := m.GroundTruth()
+	var samples []Sample
+	for i := 0; i < 8; i++ {
+		d := m.StepDay()
+		s, err := BuildSamples(d, 0, gt.Cyclones, 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s...)
+	}
+	cfg := TrainConfig{Epochs: 3, BatchSize: 8, LR: 2e-3, Seed: 41, Balance: true}
+	run := func() ([]float64, []byte) {
+		loc, err := NewLocalizer(12, 12, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses, err := loc.Train(samples, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := loc.Net.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses, raw
+	}
+	l1, w1 := run()
+	l2, w2 := run()
+	if len(l1) != len(l2) {
+		t.Fatalf("loss trajectory lengths %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("epoch %d loss %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	if !bytes.Equal(w1, w2) {
+		t.Fatal("same seed and samples produced different weights")
+	}
+}

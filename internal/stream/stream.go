@@ -115,7 +115,10 @@ type DirWatcher struct {
 	seen map[string]bool
 	stop chan struct{}
 	done chan struct{}
-	once sync.Once
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
 }
 
 // NewDirWatcher builds a watcher over dir with an optional filename
@@ -142,8 +145,16 @@ func NewDirWatcher(dir, pattern string) (*DirWatcher, error) {
 // Stream returns the output stream of newly detected file names.
 func (w *DirWatcher) Stream() *Stream[string] { return w.out }
 
-// Start begins polling in a background goroutine.
+// Start begins polling in a background goroutine. Repeated calls are
+// no-ops, as is a call after Stop.
 func (w *DirWatcher) Start() {
+	w.mu.Lock()
+	if w.started || w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	w.mu.Unlock()
 	interval := w.Interval
 	if interval <= 0 {
 		interval = 5 * time.Millisecond
@@ -166,8 +177,29 @@ func (w *DirWatcher) Start() {
 }
 
 // Stop terminates polling after one final scan and closes the stream.
+// Every file that landed in the directory before Stop was called is
+// published before it returns. Safe to call repeatedly, and safe
+// without a prior Start — the final scan still runs, so the stream
+// always ends closed with everything on disk published.
 func (w *DirWatcher) Stop() {
-	w.once.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		<-w.done
+		return
+	}
+	w.stopped = true
+	started := w.started
+	w.mu.Unlock()
+	close(w.stop)
+	if !started {
+		// No polling goroutine exists (Start was never called), so the
+		// shutdown scan runs inline; Start is a no-op from here on.
+		w.scan()
+		w.out.Close()
+		close(w.done)
+		return
+	}
 	<-w.done
 }
 

@@ -183,6 +183,91 @@ func TestDirWatcherFinalScanBeforeStop(t *testing.T) {
 	}
 }
 
+// TestDirWatcherStopWithoutStart: Stop on a never-started watcher must
+// not hang waiting for a goroutine that does not exist; it still runs
+// the final scan so files already on disk are published, and the
+// stream ends closed. (Regression: Stop used to block forever on the
+// done channel.)
+func TestDirWatcherStopWithoutStart(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "pre.nc"), []byte("x"), 0o644)
+	w, _ := NewDirWatcher(dir, `\.nc$`)
+	done := make(chan struct{})
+	go func() {
+		w.Stop()
+		w.Stop() // repeated Stop stays safe
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+	items, _ := w.Stream().Poll()
+	if len(items) != 1 || filepath.Base(items[0]) != "pre.nc" {
+		t.Fatalf("final scan items = %v", items)
+	}
+	if !w.Stream().Closed() {
+		t.Fatal("stream not closed after Stop")
+	}
+	w.Start() // after Stop: must be a no-op, not a new goroutine
+	if _, ok := w.Stream().Next(); ok {
+		t.Fatal("stream reopened by Start after Stop")
+	}
+}
+
+// TestDirWatcherStartIdempotent: repeated Start must not spawn a second
+// poller (which would race the seen map and double-close the done
+// channel on Stop).
+func TestDirWatcherStartIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewDirWatcher(dir, "")
+	w.Interval = time.Millisecond
+	w.Start()
+	w.Start()
+	os.WriteFile(filepath.Join(dir, "a.nc"), []byte("x"), 0o644)
+	time.Sleep(15 * time.Millisecond)
+	w.Stop()
+	n := 0
+	for {
+		if _, ok := w.Stream().Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("file reported %d times, want 1", n)
+	}
+}
+
+// TestDirWatcherIgnoresTmpUntilRename documents the atomic-handoff
+// contract with ncdf.WriteFile: a half-written temporary never matches
+// the `\.nc$` pattern, so consumers only ever observe complete files —
+// the file appears exactly once, after the rename.
+func TestDirWatcherIgnoresTmpUntilRename(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewDirWatcher(dir, `\.nc$`)
+	w.Interval = time.Millisecond
+	w.Start()
+	tmp := filepath.Join(dir, "day3.nc.tmp")
+	os.WriteFile(tmp, []byte("partial"), 0o644)
+	time.Sleep(15 * time.Millisecond)
+	if n := w.Stream().Len(); n != 0 {
+		t.Fatalf("temporary file published (%d items)", n)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "day3.nc")); err != nil {
+		t.Fatal(err)
+	}
+	item, ok := w.Stream().Next()
+	if !ok || filepath.Base(item) != "day3.nc" {
+		t.Fatalf("renamed file not published: %q ok=%v", item, ok)
+	}
+	w.Stop()
+	if items, _ := w.Stream().Poll(); len(items) != 0 {
+		t.Fatalf("duplicate publish after rename: %v", items)
+	}
+}
+
 func yearFromName(p string) (int, bool) {
 	base := filepath.Base(p)
 	parts := strings.SplitN(base, "-", 2)

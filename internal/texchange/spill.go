@@ -1,0 +1,115 @@
+package texchange
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Spill files follow the dls.CopyVerified discipline: the payload
+// lands in a temporary file in the spill directory, is re-read and
+// verified against the in-flight checksum, and only then renamed into
+// place — a crash or torn write leaves no spill file a later load
+// could trust. The format is a tiny header (magic, element count)
+// followed by little-endian float32 payload bytes.
+
+const spillMagic = "TXS1"
+
+// writeSpill atomically writes data to path.
+func writeSpill(path string, data []float32) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	h := sha256.New()
+	w := bufio.NewWriterSize(io.MultiWriter(tmp, h), 1<<18)
+	if _, err := w.WriteString(spillMagic); err != nil {
+		return fail(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	var buf [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Re-read and verify the landed bytes before the rename makes them
+	// addressable.
+	back, err := os.Open(tmpName)
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	h2 := sha256.New()
+	_, err = io.Copy(h2, back)
+	if cerr := back.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if got, want := fmt.Sprintf("%x", h2.Sum(nil)), fmt.Sprintf("%x", h.Sum(nil)); got != want {
+		os.Remove(tmpName)
+		return fmt.Errorf("texchange: spill checksum mismatch: %s vs %s", got, want)
+	}
+	return os.Rename(tmpName, path)
+}
+
+// readSpill loads a spill file written by writeSpill, checking the
+// element count against what the exchange expects.
+func readSpill(path string, want int) ([]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<18)
+	magic := make([]byte, len(spillMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != spillMagic {
+		return nil, fmt.Errorf("texchange: bad spill magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[:]))
+	if n != want {
+		return nil, fmt.Errorf("texchange: spill holds %d elements, want %d", n, want)
+	}
+	out := make([]float32, n)
+	var buf [4]byte
+	for i := range out {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,485 @@
+// Package texchange is the in-memory tensor exchange between the
+// simulation, analytics and ML stages of the workflow — the SmartSim
+// pattern (Partee et al.): instead of handing every field through a
+// NetCDF file on disk (write → directory watch → read), producers
+// publish named, versioned float32 tensors and consumers block on
+// stream-style readiness signaling, so the ESM→inference hot path is a
+// zero-copy in-memory handoff.
+//
+// The exchange is bounded: resident tensor payloads are tracked
+// against a configurable memory budget and, when it is exceeded, the
+// least-recently-used tensors spill to disk with dls.CopyVerified-grade
+// atomic writes (temp file, re-read verification, rename — see
+// spill.go). A spilled tensor stays addressable; the next Get/Wait
+// transparently loads it back. Occupancy, publishes, spills, loads and
+// wait latency are all observable through internal/obs.
+package texchange
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// ErrClosed is returned by operations on a closed exchange.
+var ErrClosed = errors.New("texchange: closed")
+
+// ErrNotFound is returned by Take for names never published.
+var ErrNotFound = errors.New("texchange: not found")
+
+// Tensor is one named, versioned array. Data is handed off zero-copy:
+// the publisher must not mutate it after Publish, and consumers must
+// treat it as read-only (many consumers may share the same backing
+// slice).
+type Tensor struct {
+	// Name addresses the tensor; republishing a name replaces the
+	// previous version.
+	Name string
+	// Version is assigned by Publish: 1 on the first publish of a name,
+	// incrementing on each replacement.
+	Version uint64
+	// Shape is the logical extent, outermost first. Kept resident even
+	// when the payload spills.
+	Shape []int
+	// Data is the row-major payload.
+	Data []float32
+	// Meta carries small producer annotations (kept resident on spill).
+	Meta map[string]string
+}
+
+// SizeBytes is the payload size counted against the memory budget.
+func (t *Tensor) SizeBytes() int64 { return int64(len(t.Data)) * 4 }
+
+// Elems returns the element count implied by Shape.
+func (t *Tensor) Elems() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Config parameterizes an Exchange.
+type Config struct {
+	// Budget bounds resident payload bytes; when exceeded, LRU tensors
+	// spill to SpillDir. Zero or negative means 256 MiB.
+	Budget int64
+	// SpillDir receives spilled payloads (created on demand). Empty
+	// disables spilling, which makes Budget advisory: the exchange then
+	// holds everything published in memory.
+	SpillDir string
+	// Metrics, when set, registers texchange_* instruments; nil records
+	// into the void.
+	Metrics *obs.Registry
+	// Tracer, when set, emits texchange.publish/spill/load spans.
+	Tracer *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 256 << 20
+	}
+	return c
+}
+
+// entry is one resident or spilled tensor.
+type entry struct {
+	t       Tensor
+	size    int64
+	spilled bool
+	spill   string        // payload file when spilled
+	elem    *list.Element // position in the LRU list (front = hottest)
+}
+
+// Stats is a point-in-time snapshot of the exchange counters.
+type Stats struct {
+	// Tensors is the number of addressable names (resident + spilled).
+	Tensors int
+	// ResidentBytes is the in-memory payload occupancy.
+	ResidentBytes int64
+	// SpilledBytes is the payload volume currently on disk.
+	SpilledBytes int64
+	// Publishes counts Publish calls; Replaced counts publishes that
+	// overwrote an existing name.
+	Publishes, Replaced uint64
+	// Spills / Loads count payload round-trips to and from SpillDir.
+	Spills, Loads uint64
+	// Waits counts Wait calls that had to block.
+	Waits uint64
+}
+
+// Exchange is the bounded in-memory tensor store. All methods are safe
+// for concurrent use.
+type Exchange struct {
+	cfg Config
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // *entry; front = most recently touched
+	resident int64
+	spilledB int64
+	stats    Stats
+	waiters  map[string][]chan struct{}
+	subs     []*stream.Stream[string]
+	closed   bool
+	spillSeq int
+
+	met struct {
+		occupancy *obs.Gauge
+		tensors   *obs.Gauge
+		publishes *obs.Counter
+		spills    *obs.Counter
+		spillB    *obs.Counter
+		loads     *obs.Counter
+		waitSec   *obs.Histogram
+	}
+	tracer *obs.Tracer
+}
+
+// New builds an exchange.
+func New(cfg Config) *Exchange {
+	cfg = cfg.withDefaults()
+	x := &Exchange{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		waiters: make(map[string][]chan struct{}),
+		tracer:  cfg.Tracer,
+	}
+	x.met.occupancy = cfg.Metrics.Gauge("texchange_occupancy_bytes",
+		"Resident tensor payload bytes held by the exchange.")
+	x.met.tensors = cfg.Metrics.Gauge("texchange_tensors",
+		"Addressable tensors (resident plus spilled).")
+	x.met.publishes = cfg.Metrics.Counter("texchange_publishes_total",
+		"Tensors published to the exchange.")
+	x.met.spills = cfg.Metrics.Counter("texchange_spills_total",
+		"Tensor payloads spilled to disk under memory pressure.")
+	x.met.spillB = cfg.Metrics.Counter("texchange_spill_bytes_total",
+		"Bytes written to the spill directory.")
+	x.met.loads = cfg.Metrics.Counter("texchange_loads_total",
+		"Tensor payloads loaded back from the spill directory.")
+	x.met.waitSec = cfg.Metrics.Histogram("texchange_wait_seconds",
+		"Time consumers spent blocked in Wait for a tensor to appear.",
+		[]float64{1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1, 5})
+	return x
+}
+
+// Publish stores t under t.Name, replacing any previous version, and
+// returns the assigned version. The payload slice is taken over
+// zero-copy; the caller must not mutate it afterwards.
+func (x *Exchange) Publish(t Tensor) (uint64, error) {
+	if t.Name == "" {
+		return 0, fmt.Errorf("texchange: tensor needs a name")
+	}
+	sp := x.tracer.Start("texchange.publish", obs.Attr{Key: "tensor", Value: t.Name})
+	defer sp.End()
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return 0, ErrClosed
+	}
+	e, ok := x.entries[t.Name]
+	if ok {
+		t.Version = e.t.Version + 1
+		x.dropPayloadLocked(e)
+		e.t = t
+		e.size = t.SizeBytes()
+		e.spilled = false
+		x.resident += e.size
+		x.lru.MoveToFront(e.elem)
+		x.stats.Replaced++
+	} else {
+		t.Version = 1
+		e = &entry{t: t, size: t.SizeBytes()}
+		e.elem = x.lru.PushFront(e)
+		x.entries[t.Name] = e
+		x.resident += e.size
+	}
+	x.stats.Publishes++
+	x.met.publishes.Inc()
+	x.notifyLocked(t.Name)
+	subs := append([]*stream.Stream[string](nil), x.subs...)
+	err := x.enforceBudgetLocked()
+	x.gaugesLocked()
+	x.mu.Unlock()
+	for _, s := range subs {
+		_ = s.Publish(t.Name)
+	}
+	if err != nil {
+		return t.Version, err
+	}
+	return t.Version, nil
+}
+
+// Get returns the current version of name without blocking, loading the
+// payload back from spill if needed. ok is false when the name has
+// never been published (or was removed).
+func (x *Exchange) Get(name string) (Tensor, bool, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.entries[name]
+	if !ok {
+		return Tensor{}, false, nil
+	}
+	if err := x.materializeLocked(e); err != nil {
+		return Tensor{}, true, err
+	}
+	return e.t, true, nil
+}
+
+// Wait blocks until name has been published with at least minVersion
+// (0 and 1 are equivalent), the context ends, or the exchange closes.
+func (x *Exchange) Wait(ctx context.Context, name string, minVersion uint64) (Tensor, error) {
+	start := time.Now()
+	blocked := false
+	x.mu.Lock()
+	for {
+		if e, ok := x.entries[name]; ok && e.t.Version >= minVersion {
+			err := x.materializeLocked(e)
+			t := e.t
+			x.mu.Unlock()
+			if blocked {
+				x.met.waitSec.Observe(time.Since(start).Seconds())
+			}
+			return t, err
+		}
+		if x.closed {
+			x.mu.Unlock()
+			return Tensor{}, ErrClosed
+		}
+		ch := make(chan struct{})
+		x.waiters[name] = append(x.waiters[name], ch)
+		if !blocked {
+			blocked = true
+			x.stats.Waits++
+		}
+		x.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Tensor{}, ctx.Err()
+		case <-ch:
+		}
+		x.mu.Lock()
+	}
+}
+
+// Take returns the current version of name and removes it from the
+// exchange — the single-consumer handoff pattern. It does not block;
+// an unpublished name reports ErrNotFound.
+func (x *Exchange) Take(name string) (Tensor, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.entries[name]
+	if !ok {
+		return Tensor{}, ErrNotFound
+	}
+	if err := x.materializeLocked(e); err != nil {
+		return Tensor{}, err
+	}
+	t := e.t
+	x.removeLocked(e)
+	x.gaugesLocked()
+	return t, nil
+}
+
+// Remove deletes name (and any spill file) and reports whether it
+// existed.
+func (x *Exchange) Remove(name string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.entries[name]
+	if !ok {
+		return false
+	}
+	x.removeLocked(e)
+	x.gaugesLocked()
+	return true
+}
+
+// Subscribe returns a stream that receives the name of every tensor
+// published from now on, in publish order. The stream closes with the
+// exchange.
+func (x *Exchange) Subscribe() *stream.Stream[string] {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s := stream.New[string]()
+	if x.closed {
+		s.Close()
+		return s
+	}
+	x.subs = append(x.subs, s)
+	return s
+}
+
+// Names lists the addressable tensor names (unsorted).
+func (x *Exchange) Names() []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]string, 0, len(x.entries))
+	for n := range x.entries {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Stats snapshots the exchange counters.
+func (x *Exchange) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s := x.stats
+	s.Tensors = len(x.entries)
+	s.ResidentBytes = x.resident
+	s.SpilledBytes = x.spilledB
+	return s
+}
+
+// Close rejects further publishes, wakes every waiter with ErrClosed,
+// closes subscriber streams, and deletes spill files.
+func (x *Exchange) Close() {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return
+	}
+	x.closed = true
+	for name, chans := range x.waiters {
+		for _, ch := range chans {
+			close(ch)
+		}
+		delete(x.waiters, name)
+	}
+	subs := x.subs
+	x.subs = nil
+	var spills []string
+	for _, e := range x.entries {
+		if e.spilled {
+			spills = append(spills, e.spill)
+		}
+	}
+	x.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+	for _, p := range spills {
+		_ = os.Remove(p)
+	}
+}
+
+// --- locked internals ----------------------------------------------------
+
+// notifyLocked wakes every Wait blocked on name.
+func (x *Exchange) notifyLocked(name string) {
+	for _, ch := range x.waiters[name] {
+		close(ch)
+	}
+	delete(x.waiters, name)
+}
+
+// removeLocked unlinks e and frees its payload.
+func (x *Exchange) removeLocked(e *entry) {
+	x.dropPayloadLocked(e)
+	x.lru.Remove(e.elem)
+	delete(x.entries, e.t.Name)
+}
+
+// dropPayloadLocked releases e's payload accounting (memory or spill
+// file), leaving the entry itself linked.
+func (x *Exchange) dropPayloadLocked(e *entry) {
+	if e.spilled {
+		_ = os.Remove(e.spill)
+		x.spilledB -= e.size
+		e.spilled = false
+		e.spill = ""
+	} else {
+		x.resident -= e.size
+	}
+	e.t.Data = nil
+}
+
+// materializeLocked ensures e's payload is resident, loading it back
+// from the spill file when needed, and touches the LRU position.
+func (x *Exchange) materializeLocked(e *entry) error {
+	x.lru.MoveToFront(e.elem)
+	if !e.spilled {
+		return nil
+	}
+	sp := x.tracer.Start("texchange.load", obs.Attr{Key: "tensor", Value: e.t.Name})
+	data, err := readSpill(e.spill, int(e.size/4))
+	sp.EndErr(err)
+	if err != nil {
+		return fmt.Errorf("texchange: load %q: %w", e.t.Name, err)
+	}
+	_ = os.Remove(e.spill)
+	e.spilled = false
+	e.spill = ""
+	e.t.Data = data
+	x.spilledB -= e.size
+	x.resident += e.size
+	x.stats.Loads++
+	x.met.loads.Inc()
+	return x.enforceBudgetLocked()
+}
+
+// enforceBudgetLocked spills least-recently-touched payloads until the
+// resident set fits the budget. The hottest entry is never spilled, so
+// a single tensor larger than the budget stays usable.
+func (x *Exchange) enforceBudgetLocked() error {
+	if x.cfg.SpillDir == "" {
+		return nil
+	}
+	for x.resident > x.cfg.Budget {
+		var victim *entry
+		for el := x.lru.Back(); el != nil && el != x.lru.Front(); el = el.Prev() {
+			if e := el.Value.(*entry); !e.spilled && len(e.t.Data) > 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		if err := x.spillLocked(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spillLocked writes e's payload to the spill directory atomically and
+// drops the resident copy.
+func (x *Exchange) spillLocked(e *entry) error {
+	if err := os.MkdirAll(x.cfg.SpillDir, 0o755); err != nil {
+		return fmt.Errorf("texchange: spill dir: %w", err)
+	}
+	x.spillSeq++
+	path := filepath.Join(x.cfg.SpillDir, fmt.Sprintf("t%06d.spill", x.spillSeq))
+	sp := x.tracer.Start("texchange.spill", obs.Attr{Key: "tensor", Value: e.t.Name})
+	err := writeSpill(path, e.t.Data)
+	sp.EndErr(err)
+	if err != nil {
+		return fmt.Errorf("texchange: spill %q: %w", e.t.Name, err)
+	}
+	e.spilled = true
+	e.spill = path
+	e.t.Data = nil
+	x.resident -= e.size
+	x.spilledB += e.size
+	x.stats.Spills++
+	x.met.spills.Inc()
+	x.met.spillB.Add(float64(e.size))
+	return nil
+}
+
+// gaugesLocked refreshes the occupancy gauges.
+func (x *Exchange) gaugesLocked() {
+	x.met.occupancy.Set(float64(x.resident))
+	x.met.tensors.Set(float64(len(x.entries)))
+}

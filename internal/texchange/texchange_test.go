@@ -1,0 +1,340 @@
+package texchange
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func mkTensor(name string, n int, base float32) Tensor {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = base + float32(i)
+	}
+	return Tensor{Name: name, Shape: []int{n}, Data: data}
+}
+
+func TestExchangePublishGetVersioning(t *testing.T) {
+	x := New(Config{})
+	defer x.Close()
+	v, err := x.Publish(mkTensor("a", 8, 1))
+	if err != nil || v != 1 {
+		t.Fatalf("first publish: v=%d err=%v", v, err)
+	}
+	v, err = x.Publish(mkTensor("a", 8, 2))
+	if err != nil || v != 2 {
+		t.Fatalf("republish: v=%d err=%v", v, err)
+	}
+	got, ok, err := x.Get("a")
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if got.Version != 2 || got.Data[0] != 2 {
+		t.Fatalf("got version %d data[0]=%v, want latest", got.Version, got.Data[0])
+	}
+	if _, ok, _ := x.Get("missing"); ok {
+		t.Fatal("missing name reported ok")
+	}
+	st := x.Stats()
+	if st.Publishes != 2 || st.Replaced != 1 || st.Tensors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExchangeZeroCopyHandoff(t *testing.T) {
+	x := New(Config{})
+	defer x.Close()
+	in := mkTensor("z", 16, 0)
+	if _, err := x.Publish(in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := x.Get("z")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if &out.Data[0] != &in.Data[0] {
+		t.Fatal("resident Get did not hand back the published backing slice")
+	}
+}
+
+func TestExchangeWaitBlocksUntilPublish(t *testing.T) {
+	x := New(Config{})
+	defer x.Close()
+	done := make(chan Tensor, 1)
+	go func() {
+		got, err := x.Wait(context.Background(), "later", 1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Wait returned before publish")
+	default:
+	}
+	if _, err := x.Publish(mkTensor("later", 4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got.Data[0] != 7 {
+			t.Fatalf("waited tensor data[0]=%v", got.Data[0])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on publish")
+	}
+}
+
+func TestExchangeWaitMinVersion(t *testing.T) {
+	x := New(Config{})
+	defer x.Close()
+	if _, err := x.Publish(mkTensor("v", 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := x.Wait(ctx, "v", 2); err != context.DeadlineExceeded {
+		t.Fatalf("Wait(minVersion=2) on v1 = %v, want deadline", err)
+	}
+	if _, err := x.Publish(mkTensor("v", 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.Wait(context.Background(), "v", 2)
+	if err != nil || got.Version != 2 {
+		t.Fatalf("Wait v2: %+v %v", got, err)
+	}
+}
+
+func TestExchangeWaitContextAndClose(t *testing.T) {
+	x := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 2)
+	go func() {
+		_, err := x.Wait(ctx, "never", 1)
+		errc <- err
+	}()
+	go func() {
+		_, err := x.Wait(context.Background(), "never2", 1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Wait = %v", err)
+	}
+	x.Close()
+	if err := <-errc; err != ErrClosed {
+		t.Fatalf("Wait across Close = %v", err)
+	}
+	if _, err := x.Publish(mkTensor("late", 1, 0)); err != ErrClosed {
+		t.Fatalf("publish after close = %v", err)
+	}
+}
+
+func TestExchangeLRUSpillAndReload(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	// Budget fits two 1 KiB tensors but not three.
+	x := New(Config{Budget: 2 * 1024, SpillDir: dir, Metrics: reg})
+	defer x.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := x.Publish(mkTensor(fmt.Sprintf("t%d", i), 256, float32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := x.Stats()
+	if st.Spills != 1 || st.ResidentBytes > 2*1024 {
+		t.Fatalf("stats after third publish = %+v", st)
+	}
+	// The least recently used tensor (t0) must be the spilled one.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("spill dir entries = %v err=%v", ents, err)
+	}
+	// Reload transparently; payload identical; spill file gone after.
+	got, ok, err := x.Get("t0")
+	if err != nil || !ok {
+		t.Fatalf("get spilled: ok=%v err=%v", ok, err)
+	}
+	for i, v := range got.Data {
+		if v != float32(i) {
+			t.Fatalf("reloaded data[%d]=%v", i, v)
+		}
+	}
+	st = x.Stats()
+	if st.Loads != 1 {
+		t.Fatalf("loads = %d", st.Loads)
+	}
+	// Loading t0 pushed occupancy back over budget: another entry
+	// spilled to make room, so the budget holds.
+	if st.ResidentBytes > 2*1024 {
+		t.Fatalf("resident %d over budget after reload", st.ResidentBytes)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"texchange_publishes_total 3", "texchange_spills_total 2", "texchange_loads_total 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestExchangeHottestEntryNeverSpills(t *testing.T) {
+	dir := t.TempDir()
+	// A single tensor larger than the whole budget must stay resident.
+	x := New(Config{Budget: 16, SpillDir: dir})
+	defer x.Close()
+	if _, err := x.Publish(mkTensor("big", 1024, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := x.Get("big")
+	if err != nil || !ok || len(got.Data) != 1024 {
+		t.Fatalf("oversized tensor unusable: ok=%v err=%v", ok, err)
+	}
+	if st := x.Stats(); st.Spills != 0 {
+		t.Fatalf("oversized hot tensor spilled: %+v", st)
+	}
+}
+
+func TestExchangeRemoveAndTake(t *testing.T) {
+	dir := t.TempDir()
+	x := New(Config{Budget: 1024, SpillDir: dir})
+	defer x.Close()
+	if _, err := x.Publish(mkTensor("a", 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.Take("a")
+	if err != nil || got.Data[2] != 5 {
+		t.Fatalf("take: %+v %v", got, err)
+	}
+	if _, err := x.Take("a"); err != ErrNotFound {
+		t.Fatalf("second take = %v, want ErrNotFound", err)
+	}
+	// Remove of a spilled entry deletes its spill file.
+	if _, err := x.Publish(mkTensor("b", 512, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Publish(mkTensor("c", 512, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := x.Stats(); st.Spills == 0 {
+		t.Fatalf("expected a spill, got %+v", st)
+	}
+	if !x.Remove("b") {
+		t.Fatal("remove b")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".spill" {
+			t.Fatalf("spill file %s survived Remove", e.Name())
+		}
+	}
+}
+
+func TestExchangeSubscribe(t *testing.T) {
+	x := New(Config{})
+	sub := x.Subscribe()
+	for i := 0; i < 3; i++ {
+		if _, err := x.Publish(mkTensor(fmt.Sprintf("s%d", i), 4, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name, ok := sub.Next()
+		if !ok || name != fmt.Sprintf("s%d", i) {
+			t.Fatalf("sub[%d] = %q ok=%v", i, name, ok)
+		}
+	}
+	x.Close()
+	if _, ok := sub.Next(); ok {
+		t.Fatal("subscriber stream still open after Close")
+	}
+}
+
+func TestExchangeConcurrentPublishWaitRace(t *testing.T) {
+	dir := t.TempDir()
+	x := New(Config{Budget: 4 * 1024, SpillDir: dir})
+	defer x.Close()
+	const producers, perProducer = 4, 32
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				name := fmt.Sprintf("p%d/i%d", p, i)
+				if _, err := x.Publish(mkTensor(name, 64, float32(p*1000+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			for i := 0; i < perProducer; i++ {
+				name := fmt.Sprintf("p%d/i%d", p, i)
+				got, err := x.Wait(ctx, name, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Data == nil || got.Data[0] != float32(p*1000+i) {
+					t.Errorf("%s: bad payload", name)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func TestSpillWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.spill")
+	data := []float32{0, -1.5, 3.25, 1e-30, 6.02e23}
+	if err := writeSpill(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSpill(path, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, got[i], data[i])
+		}
+	}
+	if _, err := readSpill(path, len(data)+1); err == nil {
+		t.Fatal("element-count mismatch accepted")
+	}
+	// A truncated file must be rejected, not half-read.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSpill(path, len(data)); err == nil {
+		t.Fatal("truncated spill accepted")
+	}
+}
