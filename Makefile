@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check build vet test race race-exchange bench bench-smoke examples experiments chaos fuzz-short clean
+.PHONY: all check fmt-check build vet test race race-exchange race-replica soak-smoke bench bench-smoke examples experiments chaos fuzz-short clean
 
 all: build vet test
 
 # tier-1 gate: everything a PR must keep green
-check: fmt-check build vet test race
+check: fmt-check build vet test race soak-smoke
 
 # gofmt gate: fails listing any file that is not gofmt-clean
 fmt-check:
@@ -31,6 +31,18 @@ race:
 race-exchange:
 	$(GO) test -race -count=1 -run 'Exchange|HotSwap|Online|SeededDeterminism|DirWatcher' \
 		./internal/texchange/ ./internal/ml/ ./internal/core/ ./internal/stream/
+
+# focused race gate over the replicated control plane: lease fencing,
+# fair-share dispatch, shed taxonomy, replica kill/restart soak and the
+# stateless HTTP frontends sharing one store
+race-replica:
+	$(GO) test -race -count=1 -run 'Lease|Fenc|Reclaim|Shed|FairShare|Starvation|WeightedShares|IdleTenant|Replica|Frontend|Journal' \
+		./internal/execstore/ ./internal/hpcwaas/
+
+# short-mode replica soak in the tier-1 gate: one kill/reclaim cycle,
+# exactly-once and byte-identical outputs still asserted
+soak-smoke:
+	$(GO) test -race -count=1 -short -run 'TestReplicaSoakKillRestart' ./internal/execstore/
 
 # one benchmark per reproduced figure/claim (see EXPERIMENTS.md)
 bench:
@@ -58,8 +70,9 @@ experiments:
 # race detector, then the end-to-end crash/resume driver (see DESIGN.md
 # "Failure model & recovery")
 chaos:
-	$(GO) test -race -run 'Chaos|Injected|Retry|Timeout|Breaker|Corrupt|Torn' ./internal/chaos/ ./internal/compss/ ./internal/dls/ ./internal/multisite/ ./internal/execq/ ./internal/core/
+	$(GO) test -race -run 'Chaos|Injected|Retry|Timeout|Breaker|Corrupt|Torn' ./internal/chaos/ ./internal/compss/ ./internal/dls/ ./internal/multisite/ ./internal/execq/ ./internal/execstore/ ./internal/core/
 	$(GO) run ./cmd/chaosrun
+	$(GO) run ./cmd/chaosrun -mode replica
 
 # opt-in short fuzz pass over the binary-format parsers
 fuzz-short:

@@ -11,6 +11,12 @@
 //
 //	chaosrun -out ./chaos_out -years 2 -days 12 -seed 5 -chaos-seed 42
 //
+// -mode replica instead soaks the replicated control plane (DESIGN.md
+// §13): a clean single-replica run vs a 3-replica run with executors
+// killed mid-task and the lease sweeper itself perturbed through the
+// chaos.SiteLease injection site, verifying every task completes
+// exactly once with byte-identical outputs.
+//
 // Exit status is non-zero when the crash does not fire, the resume does
 // not recover checkpointed work, or any output diverges.
 package main
@@ -45,8 +51,21 @@ func main() {
 		timeout   = flag.Duration("timeout", time.Minute, "per-task attempt deadline")
 		workers   = flag.Int("workers", 4, "task runtime worker slots")
 		keep      = flag.Bool("keep", false, "keep the output directory even on success")
+		mode      = flag.String("mode", "workflow", "workflow (checkpoint crash/resume) or replica (control-plane lease soak)")
+		tasks     = flag.Int("tasks", 300, "task count for -mode replica")
+		killEvery = flag.Duration("kill-every", 60*time.Millisecond, "replica kill cadence for -mode replica")
 	)
 	flag.Parse()
+
+	if *mode == "replica" {
+		if err := replicaRun(*tasks, *workers, *chaosSeed, *killEvery); err != nil {
+			log.Fatalf("chaosrun: FAIL: %v", err)
+		}
+		log.Printf("chaosrun: PASS (exactly-once completion under replica kill/restart + lease chaos)")
+		return
+	} else if *mode != "workflow" {
+		log.Fatalf("chaosrun: unknown -mode %q", *mode)
+	}
 
 	dir := *out
 	if dir == "" {

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/execstore"
+)
+
+// replicaRun is chaosrun -mode replica: the control-plane counterpart
+// of the checkpoint/crash/resume story. A clean single-replica run
+// produces reference outputs; the chaotic run drains the same task set
+// through a replica set while (a) a kill loop crashes executors
+// mid-task and (b) a seeded chaos.SiteLease injector perturbs the lease
+// sweeper itself (force-expiry = holder with a slow clock, deferral =
+// fast clock). Exit is non-zero unless every task completes exactly
+// once with outputs byte-identical to the clean run.
+func replicaRun(tasks, workers int, chaosSeed int64, killEvery time.Duration) error {
+	handler := func(ctx context.Context, t execstore.TaskView) (json.RawMessage, error) {
+		h := fnv.New64a()
+		h.Write([]byte(t.ID))
+		h.Write(t.Payload)
+		sum := h.Sum64()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(sum%15+5) * time.Millisecond):
+		}
+		out, _ := json.Marshal(map[string]any{"id": t.ID, "digest": fmt.Sprintf("%016x", sum)})
+		return out, nil
+	}
+	set := make([]execstore.Task, tasks)
+	for i := range set {
+		set[i] = execstore.Task{
+			ID:      fmt.Sprintf("ct-%04d", i),
+			Tenant:  fmt.Sprintf("tenant-%d", i%7),
+			Kind:    []string{"sim", "post", "ml"}[i%3],
+			Payload: json.RawMessage(fmt.Sprintf(`{"seed":%d}`, i*104729)),
+		}
+	}
+	collect := func(s *execstore.Store) (map[string]string, error) {
+		outs := make(map[string]string, tasks)
+		for _, t := range set {
+			v, ok := s.Get(t.ID)
+			if !ok {
+				return nil, fmt.Errorf("task %s lost", t.ID)
+			}
+			if v.State != execstore.StateDone {
+				return nil, fmt.Errorf("task %s ended %s (err %q), want DONE", t.ID, v.State, v.Err)
+			}
+			outs[t.ID] = string(v.Output)
+		}
+		return outs, nil
+	}
+
+	log.Printf("chaosrun: [1/2] clean reference run (%d tasks, 1 replica)", tasks)
+	cleanStore, err := execstore.Open(execstore.Config{MaxPending: tasks + 1, LeaseTTL: time.Second})
+	if err != nil {
+		return err
+	}
+	defer cleanStore.Close()
+	cleanRep, err := execstore.NewReplica(execstore.ReplicaConfig{
+		ID: "clean-1", Store: cleanStore, Workers: 8, Handler: handler,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanRep.Kill()
+	for _, t := range set {
+		if _, err := cleanStore.Submit(t); err != nil {
+			return fmt.Errorf("clean submit %s: %w", t.ID, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := cleanStore.WaitIdle(ctx); err != nil {
+		return fmt.Errorf("clean run did not finish: %w", err)
+	}
+	reference, err := collect(cleanStore)
+	if err != nil {
+		return fmt.Errorf("clean run: %w", err)
+	}
+
+	log.Printf("chaosrun: [2/2] chaotic run (3 replicas, kill every %v, lease chaos seed %d)", killEvery, chaosSeed)
+	inj := chaos.NewSeeded(chaosSeed,
+		// Force-expire ~2% of held leases (a holder whose clock ran slow)
+		// and defer another ~2% (a holder ahead of the sweeper).
+		chaos.Rule{Site: chaos.SiteLease, Attempt: chaos.AnyAttempt, Kind: chaos.Transient, Prob: 0.02},
+		chaos.Rule{Site: chaos.SiteLease, Attempt: chaos.AnyAttempt, Kind: chaos.Latency, Prob: 0.02, Delay: 30 * time.Millisecond},
+	)
+	s, err := execstore.Open(execstore.Config{
+		MaxPending: tasks + 1,
+		LeaseTTL:   250 * time.Millisecond,
+		SweepEvery: 20 * time.Millisecond,
+		Injector:   inj,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	newRep := func(id string) (*execstore.Replica, error) {
+		return execstore.NewReplica(execstore.ReplicaConfig{
+			ID: id, Store: s, Workers: workers, Handler: handler,
+		})
+	}
+	var mu sync.Mutex
+	reps := make([]*execstore.Replica, 3)
+	for i := range reps {
+		if reps[i], err = newRep(fmt.Sprintf("rep-%d", i)); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range reps {
+			r.Kill()
+		}
+	}()
+
+	stopChaos := make(chan struct{})
+	killsCh := make(chan int)
+	go func() {
+		kills, gen := 0, len(reps)
+		for {
+			select {
+			case <-stopChaos:
+				killsCh <- kills
+				return
+			case <-time.After(killEvery):
+			}
+			mu.Lock()
+			reps[kills%len(reps)].Kill() // crash: leases silently abandoned
+			r, err := newRep(fmt.Sprintf("rep-%d", gen))
+			if err == nil {
+				reps[kills%len(reps)] = r
+			}
+			kills++
+			gen++
+			mu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var submitErr error
+	var errOnce sync.Once
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < tasks; i += 4 {
+				for {
+					_, err := s.Submit(set[i])
+					if err == nil {
+						break
+					}
+					se, ok := execstore.AsShed(err)
+					if !ok {
+						errOnce.Do(func() { submitErr = fmt.Errorf("submit %s: %w", set[i].ID, err) })
+						return
+					}
+					time.Sleep(se.RetryAfter)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return submitErr
+	}
+
+	if err := s.WaitIdle(ctx); err != nil {
+		return fmt.Errorf("chaotic run did not converge: %w (stats %+v)", err, s.Stats())
+	}
+	close(stopChaos)
+	kills := <-killsCh
+
+	got, err := collect(s)
+	if err != nil {
+		return fmt.Errorf("chaotic run: %w", err)
+	}
+	for id, want := range reference {
+		if got[id] != want {
+			return fmt.Errorf("task %s output diverged:\n  clean: %s\n  chaos: %s", id, want, got[id])
+		}
+	}
+	st := s.Stats()
+	if int(st.Completed) != tasks {
+		return fmt.Errorf("Completed = %d, want exactly %d (lost or double-completed work)", st.Completed, tasks)
+	}
+	if st.Failed != 0 || st.Canceled != 0 {
+		return fmt.Errorf("failed=%d canceled=%d, want 0/0", st.Failed, st.Canceled)
+	}
+	log.Printf("chaosrun: %d replica kills, %d lease reclaims, %d fenced stale reports, epoch %d",
+		kills, st.Reclaimed, st.Fenced, st.Epoch)
+	log.Printf("chaosrun: injected %-9s x %d (forced lease expiry)", chaos.Transient, inj.CountKind(chaos.Transient))
+	log.Printf("chaosrun: injected %-9s x %d (deferred lease expiry)", chaos.Latency, inj.CountKind(chaos.Latency))
+	if kills == 0 {
+		return errors.New("kill loop never fired; run too short to prove anything")
+	}
+	if st.Reclaimed == 0 && inj.CountKind(chaos.Transient) == 0 {
+		return errors.New("no lease was ever reclaimed or force-expired; chaos did not bite")
+	}
+	log.Printf("chaosrun: all %d task outputs byte-identical to the clean run", tasks)
+	return nil
+}

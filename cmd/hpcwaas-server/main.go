@@ -63,6 +63,9 @@ func main() {
 		journal    = flag.String("journal", "", "journal file for crash recovery (default: off)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight executions on shutdown")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; default: off)")
+		replicas   = flag.Int("replicas", 1, "API replicas over a shared execution store; replica i listens on the -addr port + i (1 = classic single service)")
+		leaseTTL   = flag.Duration("lease-ttl", 3*time.Second, "work-lease TTL in replica mode; a dead replica's tasks are reclaimed after this")
+		maxWait    = flag.Duration("max-wait", 0, "replica mode: shed submissions whose estimated queue wait exceeds this (0 = off)")
 	)
 	flag.Parse()
 
@@ -94,6 +97,12 @@ func main() {
 		App:         app(workDir, metrics),
 	}); err != nil {
 		log.Fatal(err)
+	}
+
+	if *replicas > 1 {
+		runReplicated(*addr, *replicas, registry, metrics, *leaseTTL, *maxWait,
+			*workers, *queueDepth, *quota, *retention, *rate, *journal, *drainWait)
+		return
 	}
 
 	deployer := hpcwaas.NewDeployer(nil, nil, imagebuilder.Platform{Arch: "x86_64", MPI: "openmpi4"})

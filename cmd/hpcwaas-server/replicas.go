@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/execstore"
+	"repro/internal/hpcwaas"
+	"repro/internal/obs"
+)
+
+// runReplicated serves the registry through N stateless API replicas
+// (DESIGN.md §13) over one shared epoch-fenced execution store instead
+// of the single execq-backed service. Replica i listens on the -addr
+// port plus i, each embeds an executor, and any replica can answer for
+// any execution: kill one mid-run and its leases expire, are reclaimed
+// by a survivor, and the execution still completes exactly once.
+func runReplicated(addr string, replicas int, registry *hpcwaas.Registry,
+	metrics *obs.Registry, leaseTTL time.Duration, maxWait time.Duration,
+	workers, queueDepth, quota, retention int, rate float64,
+	journalPath string, drainWait time.Duration) {
+
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Fatalf("-addr %q: %v", addr, err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("-addr %q: replica mode needs a numeric port: %v", addr, err)
+	}
+
+	store, err := execstore.Open(execstore.Config{
+		MaxPending:       queueDepth,
+		PerTenantLimit:   quota,
+		RatePerSec:       rate,
+		MaxEstimatedWait: maxWait,
+		LeaseTTL:         leaseTTL,
+		Retention:        retention,
+		JournalPath:      journalPath,
+		Metrics:          metrics,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	servers := make([]*http.Server, replicas)
+	fronts := make([]*hpcwaas.Frontend, replicas)
+	errCh := make(chan error, replicas)
+	for i := 0; i < replicas; i++ {
+		f, err := hpcwaas.NewFrontend(hpcwaas.FrontendConfig{
+			ID:       fmt.Sprintf("replica-%d", i),
+			Store:    store,
+			Registry: registry,
+			Workers:  workers,
+			Metrics:  metrics,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fronts[i] = f
+		replicaAddr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		srv := &http.Server{Addr: replicaAddr, Handler: f.Handler()}
+		servers[i] = srv
+		go func() { errCh <- srv.ListenAndServe() }()
+		fmt.Printf("HPCWaaS replica %d on http://%s (%d workers, lease TTL %s)\n",
+			i, replicaAddr, workers, leaseTTL)
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("signal received: draining %d replicas (up to %s)", replicas, drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	for i, srv := range servers {
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("replica %d http shutdown: %v", i, err)
+		}
+	}
+	for i, f := range fronts {
+		if err := f.Drain(ctx); err != nil {
+			log.Printf("replica %d drain: %v", i, err)
+		}
+	}
+	store.Drain()
+	if err := store.WaitIdle(ctx); err != nil {
+		log.Printf("store drain incomplete: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("store close: %v", err)
+	}
+	log.Printf("shutdown complete")
+	os.Exit(0)
+}

@@ -16,8 +16,12 @@
 //	     cross-member index statistics (§3's ensemble workloads)
 //	dist distributed multi-site execution with DLS data movement (§7
 //	     future work): result equivalence + transfer accounting
+//	soak replicated control-plane soak: concurrent HTTP clients vs N
+//	     API replicas while chaos kills/restarts executors; verifies
+//	     exactly-once completion and reports latency quantiles
+//	     (DESIGN.md §13; not part of "all")
 //
-// Usage: wfbench -exp c1|c2|c3|c4|ens|dist|all
+// Usage: wfbench -exp c1|c2|c3|c4|ens|dist|soak|all
 //
 // With -trace out.json, wfbench instead runs one full Figure-2
 // workflow with span tracing attached and writes the timeline as a
@@ -42,7 +46,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|all")
+	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|soak|all")
 	tracePath := flag.String("trace", "", "run one traced end-to-end workflow and write its Chrome trace JSON here (skips -exp)")
 	flag.Parse()
 	if *tracePath != "" {
@@ -62,6 +66,8 @@ func main() {
 		ens()
 	case "dist":
 		dist()
+	case "soak":
+		soak()
 	case "all":
 		c1()
 		c2()

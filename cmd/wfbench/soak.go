@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/execstore"
+	"repro/internal/hpcwaas"
+	"repro/internal/obs"
+	"repro/internal/tosca"
+)
+
+// Soak mode (wfbench -exp soak) drives the replicated HPCWaaS control
+// plane the way DESIGN.md §13 describes it running in production:
+// N stateless API replicas over one epoch-fenced execution store,
+// concurrent clients submitting workflow executions over HTTP, and a
+// chaos loop killing and replacing executor replicas mid-run. The soak
+// asserts the exactly-once contract (zero lost, zero double-completed
+// tasks) and reports admission and completion latency quantiles from
+// the obs histograms — the numbers EXPERIMENTS.md's soak row records.
+var (
+	soakTasks     = flag.Int("soak-tasks", 600, "executions to submit in -exp soak")
+	soakReplicas  = flag.Int("soak-replicas", 3, "API replicas (each with an embedded executor) in -exp soak")
+	soakClients   = flag.Int("soak-clients", 6, "concurrent submitting clients in -exp soak")
+	soakKillEvery = flag.Duration("soak-kill-every", 50*time.Millisecond, "executor kill/replace cadence in -exp soak")
+)
+
+// soakWorkflow is a deterministic stand-in application: output depends
+// only on the parameters, so re-executions after a kill are
+// byte-identical and the exactly-once check can compare outputs.
+func soakWorkflow(params map[string]string) (map[string]string, error) {
+	h := fnv.New64a()
+	h.Write([]byte(params["msg"]))
+	sum := h.Sum64()
+	time.Sleep(time.Duration(sum%6+2) * time.Millisecond)
+	return map[string]string{
+		"echo":   params["msg"],
+		"digest": fmt.Sprintf("%016x", sum),
+	}, nil
+}
+
+func soak() {
+	fmt.Println("=== SOAK: replicated control plane, kill/restart chaos over HTTP ===")
+	fmt.Printf("(%d tasks, %d API replicas, %d clients, executor killed every %v)\n",
+		*soakTasks, *soakReplicas, *soakClients, *soakKillEvery)
+
+	metrics := obs.NewRegistry()
+	admBounds := []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+	admHist := metrics.Histogram("wfbench_admission_seconds",
+		"Client-observed submit latency including shed retries.", admBounds)
+
+	store, err := execstore.Open(execstore.Config{
+		MaxPending:       1 << 13,
+		LeaseTTL:         250 * time.Millisecond,
+		SweepEvery:       20 * time.Millisecond,
+		MaxEstimatedWait: 2 * time.Second,
+		Metrics:          metrics,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	registry := hpcwaas.NewRegistry()
+	if err := registry.Register(hpcwaas.Entry{
+		Name: "soak", Version: "1.0", Description: "deterministic soak workload",
+		Topology: tosca.ClimateTopology("zeus"), App: soakWorkflow,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// API replicas, each embedding a 4-worker executor, on real sockets.
+	fronts := make([]*hpcwaas.Frontend, *soakReplicas)
+	urls := make([]string, *soakReplicas)
+	for i := range fronts {
+		f, err := hpcwaas.NewFrontend(hpcwaas.FrontendConfig{
+			ID: fmt.Sprintf("api-%d", i), Store: store, Registry: registry, Workers: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fronts[i] = f
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		urls[i] = "http://" + ln.Addr().String()
+		srv := &http.Server{Handler: f.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	// Chaos: kill one executor per tick and replace its capacity with a
+	// fresh headless replica (a frontend that serves no HTTP).
+	stopChaos := make(chan struct{})
+	killsCh := make(chan int)
+	go func() {
+		kills := 0
+		var spares []*hpcwaas.Frontend
+		defer func() {
+			for _, sp := range spares {
+				sp.KillExecutor()
+			}
+			killsCh <- kills
+		}()
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(*soakKillEvery):
+			}
+			fronts[kills%len(fronts)].KillExecutor()
+			sp, err := hpcwaas.NewFrontend(hpcwaas.FrontendConfig{
+				ID:    fmt.Sprintf("spare-%d", kills),
+				Store: store, Registry: registry, Workers: 4,
+			})
+			if err == nil {
+				spares = append(spares, sp)
+			}
+			kills++
+		}
+	}()
+
+	// Concurrent clients: spread across replicas, retry on shed using
+	// the precise retry_after_ms hint, record admission latency.
+	ids := make([]string, *soakTasks)
+	var shedRetries int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < *soakClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < *soakTasks; i += *soakClients {
+				url := urls[i%len(urls)]
+				body, _ := json.Marshal(map[string]any{
+					"workflow": "soak",
+					"params":   map[string]string{"msg": fmt.Sprintf("m-%d", i)},
+				})
+				start := time.Now()
+				for {
+					resp, err := http.Post(url+"/api/executions", "application/json", bytes.NewReader(body))
+					if err != nil {
+						log.Fatal(err)
+					}
+					if resp.StatusCode == http.StatusAccepted {
+						var ex struct {
+							ID string `json:"id"`
+						}
+						json.NewDecoder(resp.Body).Decode(&ex)
+						resp.Body.Close()
+						ids[i] = ex.ID
+						break
+					}
+					var shed struct {
+						RetryAfterMS float64 `json:"retry_after_ms"`
+					}
+					json.NewDecoder(resp.Body).Decode(&shed)
+					resp.Body.Close()
+					if shed.RetryAfterMS <= 0 {
+						log.Fatalf("submit %d: status %d without retry_after_ms", i, resp.StatusCode)
+					}
+					mu.Lock()
+					shedRetries++
+					mu.Unlock()
+					time.Sleep(time.Duration(shed.RetryAfterMS) * time.Millisecond)
+				}
+				admHist.Observe(time.Since(start).Seconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := store.WaitIdle(ctx); err != nil {
+		log.Fatalf("soak did not converge: %v (stats %+v)", err, store.Stats())
+	}
+	wall := time.Since(t0)
+	close(stopChaos)
+	kills := <-killsCh
+	for _, f := range fronts {
+		f.KillExecutor()
+	}
+
+	// Exactly-once verification over HTTP: every accepted execution is
+	// DONE on a replica other than the accepting one, outputs intact.
+	for i, id := range ids {
+		resp, err := http.Get(urls[(i+1)%len(urls)] + "/api/executions/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ex struct {
+			Status  string            `json:"status"`
+			Results map[string]string `json:"results"`
+			Error   string            `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ex)
+		resp.Body.Close()
+		if ex.Status != "DONE" {
+			log.Fatalf("execution %s: %s (err %q), want DONE — task lost or failed", id, ex.Status, ex.Error)
+		}
+		if want := fmt.Sprintf("m-%d", i); ex.Results["echo"] != want {
+			log.Fatalf("execution %s results corrupted: %v", id, ex.Results)
+		}
+	}
+	st := store.Stats()
+	if int(st.Completed) != *soakTasks {
+		log.Fatalf("completed %d of %d: double or lost completions", st.Completed, *soakTasks)
+	}
+	if st.Failed != 0 || st.Canceled != 0 {
+		log.Fatalf("failed=%d canceled=%d, want 0/0", st.Failed, st.Canceled)
+	}
+
+	if kills == 0 {
+		fmt.Println("warning: backlog drained before any kill landed; raise -soak-tasks or lower -soak-kill-every")
+	}
+	adm := admHist.Snapshot()
+	ms := func(s float64) float64 { return s * 1000 }
+	fmt.Printf("\nexactly-once verified: %d/%d tasks DONE, 0 lost, 0 double-completed\n", st.Completed, *soakTasks)
+	fmt.Printf("chaos: %d executor kills, %d lease reclaims, %d fenced stale reports, %d shed retries\n",
+		kills, st.Reclaimed, st.Fenced, shedRetries)
+	fmt.Printf("wall clock: %v (%.0f tasks/s)\n", wall.Round(time.Millisecond), float64(*soakTasks)/wall.Seconds())
+	fmt.Printf("%-28s %10s %10s %10s\n", "latency (ms)", "p50", "p99", "p999")
+	fmt.Printf("%-28s %10.2f %10.2f %10.2f\n", "admission (client, w/ shed)",
+		ms(adm.Quantile(0.50)), ms(adm.Quantile(0.99)), ms(adm.Quantile(0.999)))
+	fmt.Printf("%-28s %10.2f %10.2f %10.2f\n", "completion (submit->done)",
+		ms(st.E2E.P50Seconds), ms(st.E2E.P99Seconds), ms(st.E2E.P999Seconds))
+	fmt.Println()
+}

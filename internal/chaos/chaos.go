@@ -48,6 +48,14 @@ const (
 	// SiteTransfer is consulted before every federation transfer attempt;
 	// op is the dataset name.
 	SiteTransfer Site = "multisite.transfer"
+	// SiteLease is consulted by the execstore lease sweeper for every
+	// held lease; op is the holding replica's ID and attempt is the
+	// task's attempt count. A Transient fault force-expires the lease
+	// immediately (the holder's clock is skewed slow: it believes the
+	// lease is live while the store has already reclaimed the task, so
+	// its eventual completion is fenced out); a Latency fault extends
+	// the expiry check by Delay (the holder's clock is skewed fast).
+	SiteLease Site = "execstore.lease"
 )
 
 // Kind enumerates the injectable fault classes.

@@ -1,0 +1,417 @@
+package execq
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalCompactionBoundsFile proves a long submit/complete churn
+// cannot grow the journal without bound: size-triggered compaction
+// rewrites it down to the live jobs, recovery still works afterwards,
+// and the existing corrupt-line skip path survives a compacted file.
+func TestJournalCompactionBoundsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.journal")
+	q, err := New(Config{
+		Workers:         2,
+		QueueDepth:      64,
+		JournalPath:     path,
+		JournalMaxBytes: 2048,
+		Handler:         func(ctx context.Context, j JobView) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		for {
+			_, err := q.Submit(Job{ID: fmt.Sprintf("churn-%d", i)})
+			if err == nil {
+				break
+			}
+			if _, ok := RetryAfter(err); !ok {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			time.Sleep(100 * time.Microsecond) // backlogged: let workers drain
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := q.Stats()
+	if st.JournalCompactions == 0 {
+		t.Fatal("500 completed jobs with a 2 KiB bound never triggered a compaction")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live set is tiny at idle, so the file must sit well under the
+	// worst case of one full uncompacted churn (500 jobs ≈ 60 KiB). The
+	// bound is loose because up to ~2 KiB of terminal records may have
+	// accumulated since the last compaction.
+	if fi.Size() > 3*2048 {
+		t.Fatalf("journal is %d bytes after churn; compaction should keep it near the 2048 bound", fi.Size())
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A compacted journal must still recover live work. Re-open with a
+	// blocked handler, park pending jobs, crash (close without drain),
+	// corrupt one mid-file line, and recover.
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	q2, err := New(Config{
+		Workers:         1,
+		QueueDepth:      64,
+		JournalPath:     path,
+		JournalMaxBytes: 2048,
+		Handler: func(ctx context.Context, j JobView) error {
+			started <- struct{}{}
+			select {
+			case <-block:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := q2.Submit(Job{ID: fmt.Sprintf("pending-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: abandon q2 without Drain/Close (Close would cancel the
+	// queued jobs and journal them terminal). The parked worker and open
+	// journal handle leak for the remainder of the test, as in a real
+	// kill -9 the file simply stops receiving appends. Wait for the
+	// single worker to park first: its RUNNING record is journaled
+	// before the handler runs, so after this signal nothing can append
+	// concurrently with the corruption rewrite below.
+	<-started
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append([]byte("{garbage\n"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	ran := map[string]int{}
+	q3, err := New(Config{
+		Workers:         2,
+		QueueDepth:      64,
+		JournalPath:     path,
+		JournalMaxBytes: 2048,
+		Handler: func(ctx context.Context, j JobView) error {
+			mu.Lock()
+			ran[j.ID]++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	if err := q3.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st3 := q3.Stats()
+	if st3.JournalSkipped != 1 {
+		t.Fatalf("JournalSkipped = %d, want 1 (the injected garbage line)", st3.JournalSkipped)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("pending-%d", i)
+		if ran[id] != 1 {
+			t.Fatalf("recovered job %s ran %d times, want exactly 1 (ran: %v)", id, ran[id], ran)
+		}
+	}
+}
+
+// TestConcurrentStatsDuringDrain races Stats readers against a drain:
+// the regression target is any lock-ordering or snapshot bug that only
+// a concurrent Stats during teardown exposes (previously covered only
+// incidentally by the stress test).
+func TestConcurrentStatsDuringDrain(t *testing.T) {
+	q, err := New(Config{
+		Workers:    4,
+		QueueDepth: 256,
+		Handler: func(ctx context.Context, j JobView) error {
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := q.Submit(Job{Principal: fmt.Sprintf("p%d", i%7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := q.Stats()
+				if st.Depth < 0 || st.Running < 0 || st.Running > st.Workers {
+					t.Errorf("inconsistent stats snapshot: %+v", st)
+					return
+				}
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	st := q.Stats()
+	if !st.Draining {
+		t.Fatal("queue not draining after Drain returned")
+	}
+	if st.Completed != 200 {
+		t.Fatalf("completed %d of 200", st.Completed)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalReplayRacesNewSubmissions starts a queue over a journal
+// full of pending work and immediately fires concurrent submissions at
+// it: recovered and fresh jobs must each execute exactly once, and a
+// fresh submission reusing a recovered ID must be rejected as a
+// duplicate, not silently doubled.
+func TestJournalReplayRacesNewSubmissions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.journal")
+	const recovered, fresh = 40, 40
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for i := 0; i < recovered; i++ {
+		rec := submitRecord(Job{ID: fmt.Sprintf("old-%d", i)}, time.Now())
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	ran := map[string]int{}
+	q, err := New(Config{
+		Workers:     4,
+		QueueDepth:  256,
+		JournalPath: path,
+		Handler: func(ctx context.Context, j JobView) error {
+			mu.Lock()
+			ran[j.ID]++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	dupErrs := make(chan error, recovered)
+	for i := 0; i < fresh; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := q.Submit(Job{ID: fmt.Sprintf("new-%d", i)}); err != nil {
+				t.Errorf("submit new-%d: %v", i, err)
+			}
+			// Colliding with a recovered ID must fail cleanly while the
+			// recovered job may already be running or done.
+			if _, err := q.Submit(Job{ID: fmt.Sprintf("old-%d", i)}); err != nil {
+				dupErrs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < recovered; i++ {
+		id := fmt.Sprintf("old-%d", i)
+		// A resubmit that lost the duplicate check because the recovered
+		// job already finished legitimately runs the ID a second time;
+		// what must never happen is a double run without a finished first
+		// one, i.e. more runs than (1 + accepted resubmits for that ID).
+		if ran[id] < 1 || ran[id] > 2 {
+			t.Fatalf("recovered job %s ran %d times", id, ran[id])
+		}
+	}
+	for i := 0; i < fresh; i++ {
+		id := fmt.Sprintf("new-%d", i)
+		if ran[id] != 1 {
+			t.Fatalf("fresh job %s ran %d times, want 1", id, ran[id])
+		}
+	}
+	if q.Stats().Recovered != recovered {
+		t.Fatalf("recovered %d, want %d", q.Stats().Recovered, recovered)
+	}
+}
+
+// TestRateLimitRetryAfterExact asserts the admission hint is the
+// rate-limiter's actual next-token time: a client sleeping exactly
+// Retry-After is admitted on its next attempt.
+func TestRateLimitRetryAfterExact(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	q, err := New(Config{
+		Workers: 1, QueueDepth: 16,
+		RatePerSec: 3, Burst: 1,
+		Handler: func(ctx context.Context, j JobView) error { return nil },
+		nowFn:   clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	if _, err := q.Submit(Job{Principal: "u"}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err = q.Submit(Job{Principal: "u"})
+	wait, ok := RetryAfter(err)
+	if !ok {
+		t.Fatalf("second submit: want rate-limit rejection with hint, got %v", err)
+	}
+	// The hint must be the actual next-token time at rate 3/s: one token
+	// every ~333ms, not the 1s default constant.
+	if wait <= 0 || wait > 400*time.Millisecond {
+		t.Fatalf("Retry-After hint %v; want the ~333ms next-token time", wait)
+	}
+	// Sleeping any less than the hint must still be rejected…
+	advance(wait - time.Millisecond)
+	if _, err := q.Submit(Job{Principal: "u"}); err == nil {
+		t.Fatal("admitted before the advertised Retry-After elapsed")
+	}
+	// …and sleeping exactly the remaining time must be admitted.
+	advance(time.Millisecond)
+	if _, err := q.Submit(Job{Principal: "u"}); err != nil {
+		t.Fatalf("client that slept exactly Retry-After was rejected: %v", err)
+	}
+}
+
+// TestAdmitHintAdapts checks queue-full rejections derive their hint
+// from observed run latency once data exists, instead of the fixed
+// constant.
+func TestAdmitHintAdapts(t *testing.T) {
+	var gateMu sync.Mutex
+	gate := make(chan struct{})
+	swapGate := func(c chan struct{}) {
+		gateMu.Lock()
+		gate = c
+		gateMu.Unlock()
+	}
+	q, err := New(Config{
+		Workers: 1, QueueDepth: 1,
+		RetryAfterHint: 7 * time.Second,
+		Handler: func(ctx context.Context, j JobView) error {
+			gateMu.Lock()
+			g := gate
+			gateMu.Unlock()
+			select {
+			case <-g:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	// No run data yet: the configured constant is all there is.
+	fillQueue(t, q)
+	_, err = q.Submit(Job{ID: "overflow-1"})
+	if wait, ok := RetryAfter(err); !ok || wait != 7*time.Second {
+		t.Fatalf("pre-data hint = %v (%v), want the configured 7s", wait, err)
+	}
+
+	// Complete the backlog to feed the run histogram, refill, and the
+	// hint must now be the sub-second mean-run estimate.
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	swapGate(make(chan struct{})) // phase-2 jobs park again
+	fillQueue(t, q)
+	_, err = q.Submit(Job{ID: "overflow-2"})
+	wait, ok := RetryAfter(err)
+	if !ok {
+		t.Fatalf("want queue-full rejection, got %v", err)
+	}
+	if wait >= 7*time.Second {
+		t.Fatalf("post-data hint = %v, want an adaptive estimate below the 7s constant", wait)
+	}
+	if wait < time.Millisecond {
+		t.Fatalf("post-data hint = %v, want >= 1ms floor", wait)
+	}
+}
+
+// fillQueue stuffs jobs until the queue rejects as full (worker may be
+// parked on a prior job, so a couple of submits can be absorbed).
+func fillQueue(t *testing.T, q *Queue) {
+	t.Helper()
+	for i := 0; i < 16; i++ {
+		if _, err := q.Submit(Job{}); err != nil {
+			return
+		}
+	}
+	t.Fatal("queue never filled")
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -161,6 +162,11 @@ type Config struct {
 	// JournalPath, when set, persists live jobs as JSON lines; New
 	// replays it and re-enqueues jobs that were queued/running/retrying.
 	JournalPath string
+	// JournalMaxBytes triggers journal compaction: when the file grows
+	// past this size the live jobs are rewritten to a temp file that
+	// atomically replaces it (terminal records are dead weight — only
+	// live jobs matter to recovery). Default 1<<20; negative disables.
+	JournalMaxBytes int64
 	// Seed fixes the jitter PRNG (0 means a time-derived seed).
 	Seed int64
 	// Handler executes jobs whose Run is nil; required for journal
@@ -192,6 +198,7 @@ type item struct {
 	cancelRun context.CancelFunc
 	timer     *time.Timer
 
+	admitSeq  uint64 // seq at first enqueue: stable submit order
 	submitted time.Time
 	enqueued  time.Time // last (re-)enqueue, for wait-latency
 	started   time.Time
@@ -267,6 +274,7 @@ type Queue struct {
 	rng          *rand.Rand
 	met          *qmetrics
 	journal      *journal
+	compactFloor int64 // next compaction trigger (see maybeCompactLocked)
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -303,6 +311,9 @@ func New(cfg Config) (*Queue, error) {
 	}
 	if cfg.RetryAfterHint <= 0 {
 		cfg.RetryAfterHint = time.Second
+	}
+	if cfg.JournalMaxBytes == 0 {
+		cfg.JournalMaxBytes = 1 << 20
 	}
 	if cfg.RatePerSec > 0 && cfg.Burst <= 0 {
 		cfg.Burst = int(math.Ceil(cfg.RatePerSec))
@@ -377,13 +388,15 @@ func (q *Queue) Submit(j Job) (JobView, error) {
 	}
 	if len(q.heap) >= q.cfg.QueueDepth {
 		q.met.rejectedFull.Inc()
+		hint := q.admitHintLocked()
 		q.mu.Unlock()
-		return JobView{}, &admissionError{err: ErrQueueFull, retryAfter: q.cfg.RetryAfterHint}
+		return JobView{}, &admissionError{err: ErrQueueFull, retryAfter: hint}
 	}
 	if q.cfg.PerPrincipalLimit > 0 && q.perPrincipal[j.Principal] >= q.cfg.PerPrincipalLimit {
 		q.met.rejectedQuota.Inc()
+		hint := q.admitHintLocked()
 		q.mu.Unlock()
-		return JobView{}, &admissionError{err: ErrQuotaExceeded, retryAfter: q.cfg.RetryAfterHint}
+		return JobView{}, &admissionError{err: ErrQuotaExceeded, retryAfter: hint}
 	}
 	if q.cfg.RatePerSec > 0 {
 		if wait := q.takeTokenLocked(j.Principal); wait > 0 {
@@ -404,10 +417,62 @@ func (q *Queue) Submit(j Job) (JobView, error) {
 	q.met.submitted.Inc()
 	if q.journal != nil {
 		q.journal.append(submitRecord(j, it.submitted))
+		q.maybeCompactLocked()
 	}
 	view := it.view()
 	q.mu.Unlock()
 	return view, nil
+}
+
+// admitHintLocked estimates when a queue-full or quota rejection is
+// worth retrying: the mean observed run time divided by the worker
+// count approximates the time for one slot to free. With no completed
+// runs yet it falls back to the configured hint.
+func (q *Queue) admitHintLocked() time.Duration {
+	snap := q.met.run.Snapshot()
+	if snap.Count == 0 {
+		return q.cfg.RetryAfterHint
+	}
+	d := time.Duration(snap.Sum / float64(snap.Count) / float64(q.cfg.Workers) * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if max := 10 * q.cfg.RetryAfterHint; d > max {
+		d = max
+	}
+	return d
+}
+
+// maybeCompactLocked rewrites the journal down to the live jobs once it
+// outgrows the configured bound. A journal that is mostly live jobs
+// cannot shrink below the bound, so after each compaction the next
+// trigger is floored at twice the compacted size — a full queue does
+// not recompact on every append.
+func (q *Queue) maybeCompactLocked() {
+	if q.journal == nil || q.cfg.JournalMaxBytes <= 0 {
+		return
+	}
+	threshold := q.cfg.JournalMaxBytes
+	if q.compactFloor > threshold {
+		threshold = q.compactFloor
+	}
+	if q.journal.size() <= threshold {
+		return
+	}
+	live := make([]*item, 0, len(q.items))
+	for _, it := range q.items {
+		live = append(live, it)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].admitSeq < live[j].admitSeq })
+	recs := make([]journalRecord, len(live))
+	for i, it := range live {
+		recs[i] = submitRecord(it.Job, it.submitted)
+	}
+	if err := q.journal.compact(recs); err != nil {
+		return // recorded as journal.lastErr; live traffic keeps going
+	}
+	q.met.journalCompact.Inc()
+	q.compactFloor = 2 * q.journal.size()
 }
 
 // enqueueRecovered re-admits a journaled job, bypassing admission
@@ -430,6 +495,7 @@ func (q *Queue) enqueueLocked(j Job) *item {
 	it := &item{
 		Job:       j,
 		seq:       q.seq,
+		admitSeq:  q.seq,
 		idx:       -1,
 		state:     StateQueued,
 		submitted: now,
@@ -455,11 +521,15 @@ func (q *Queue) takeTokenLocked(principal string) time.Duration {
 	}
 	b.tokens = math.Min(float64(q.cfg.Burst), b.tokens+now.Sub(b.last).Seconds()*q.cfg.RatePerSec)
 	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	// The epsilon admits a client that slept *exactly* the advertised
+	// Retry-After: its refill lands within float rounding of one token.
+	if b.tokens >= 1-1e-9 {
+		b.tokens = math.Max(0, b.tokens-1)
 		return 0
 	}
-	wait := time.Duration((1 - b.tokens) / q.cfg.RatePerSec * float64(time.Second))
+	// The hint is the actual next-token time, not a fixed constant: a
+	// client sleeping exactly this long is admitted on its next try.
+	wait := time.Duration(math.Ceil((1 - b.tokens) / q.cfg.RatePerSec * float64(time.Second)))
 	if wait < time.Millisecond {
 		wait = time.Millisecond
 	}
@@ -502,6 +572,7 @@ func (q *Queue) worker() {
 		q.running++
 		if q.journal != nil {
 			q.journal.append(stateRecord(it.ID, StateRunning, "", now))
+			q.maybeCompactLocked()
 		}
 		q.emitLocked(it.view())
 		q.mu.Unlock()
@@ -553,6 +624,7 @@ func (q *Queue) scheduleRetryLocked(it *item, cause error) {
 	delay := q.backoffLocked(it.attempt)
 	if q.journal != nil {
 		q.journal.append(stateRecord(it.ID, StateRetrying, it.errMsg, q.now()))
+		q.maybeCompactLocked()
 	}
 	q.emitLocked(it.view())
 	it.timer = time.AfterFunc(delay, func() { q.requeue(it) })
@@ -618,6 +690,7 @@ func (q *Queue) finalizeLocked(it *item, state State, cause error) {
 	}
 	if q.journal != nil {
 		q.journal.append(stateRecord(it.ID, state, it.errMsg, it.finished))
+		q.maybeCompactLocked()
 	}
 	q.emitLocked(it.view())
 	q.inflight.Done()

@@ -48,20 +48,101 @@ func stateRecord(id string, s State, errMsg string, at time.Time) journalRecord 
 // not returned: losing journal durability must not fail live traffic.
 type journal struct {
 	mu      sync.Mutex
+	path    string
 	f       *os.File
 	enc     *json.Encoder
+	bytes   int64 // appended since open/compact
 	lastErr error
 }
 
 func (j *journal) append(rec journalRecord) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.appendLocked(rec)
+}
+
+func (j *journal) appendLocked(rec journalRecord) {
 	if j.f == nil {
 		return
 	}
-	if err := j.enc.Encode(rec); err != nil {
+	line, err := json.Marshal(rec)
+	if err != nil {
 		j.lastErr = err
+		return
 	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		j.lastErr = err
+		return
+	}
+	j.bytes += int64(len(line))
+}
+
+// size reports the bytes appended since the file was last opened or
+// compacted (the on-disk size, since open/compact starts from empty).
+func (j *journal) size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+// compact atomically rewrites the journal down to just the given live
+// records: they are written to a temp file in the same directory which
+// then replaces the journal via rename, so a crash at any point leaves
+// either the old complete journal or the new complete one — and the
+// replay path tolerates a torn tail either way.
+func (j *journal) compact(live []journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.lastErr
+	}
+	tmp := j.path + ".compact.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		j.lastErr = err
+		return err
+	}
+	var written int64
+	for _, rec := range live {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			j.lastErr = err
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			j.lastErr = err
+			return err
+		}
+		written += int64(len(line))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		j.lastErr = err
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		j.lastErr = err
+		return err
+	}
+	// The old handle now points at an unlinked inode; switch appends to
+	// the renamed file.
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.lastErr = err
+		return err
+	}
+	old.Close()
+	j.f = nf
+	j.bytes = written
+	return nil
 }
 
 func (j *journal) close() error {
@@ -162,7 +243,7 @@ func resetJournal(path string, pending []Job) (*journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("execq: create journal: %w", err)
 	}
-	j := &journal{f: f, enc: json.NewEncoder(f)}
+	j := &journal{path: path, f: f}
 	now := time.Now()
 	for _, job := range pending {
 		j.append(submitRecord(job, now))

@@ -19,6 +19,7 @@ type qmetrics struct {
 	submitted      *obs.Counter
 	recovered      *obs.Counter
 	journalSkipped *obs.Counter
+	journalCompact *obs.Counter
 	completed      *obs.Counter
 	failed         *obs.Counter
 	canceled       *obs.Counter
@@ -37,6 +38,7 @@ func newQMetrics(reg *obs.Registry) *qmetrics {
 		submitted:      reg.Counter("execq_submitted_total", "Jobs accepted by Submit."),
 		recovered:      reg.Counter("execq_recovered_total", "Jobs re-enqueued from the journal at startup."),
 		journalSkipped: reg.Counter("execq_journal_skipped_total", "Corrupt journal lines skipped during crash recovery."),
+		journalCompact: reg.Counter("execq_journal_compactions_total", "Size-triggered journal compactions."),
 		completed:      reg.Counter("execq_completed_total", "Jobs finished successfully."),
 		failed:         reg.Counter("execq_failed_total", "Jobs failed terminally."),
 		canceled:       reg.Counter("execq_canceled_total", "Jobs canceled."),
@@ -82,30 +84,9 @@ func (q *Queue) registerGauges(reg *obs.Registry) {
 }
 
 // quantileOf approximates the q-th quantile (0..1) of a histogram
-// snapshot by linear interpolation within the containing bucket.
+// snapshot (shared bucket-interpolation logic lives on the snapshot).
 func quantileOf(s obs.HistogramSnapshot, q float64) float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	rank := q * float64(s.Count)
-	var cum float64
-	for i, c := range s.Counts {
-		next := cum + float64(c)
-		if rank <= next && c > 0 {
-			lo := 0.0
-			if i > 0 {
-				lo = s.Bounds[i-1]
-			}
-			hi := lo
-			if i < len(s.Bounds) {
-				hi = s.Bounds[i]
-			}
-			frac := (rank - cum) / float64(c)
-			return lo + frac*(hi-lo)
-		}
-		cum = next
-	}
-	return s.Bounds[len(s.Bounds)-1]
+	return s.Quantile(q)
 }
 
 // HistogramSummary is the JSON-friendly snapshot of one latency
@@ -156,13 +137,15 @@ type Stats struct {
 	// recovery — a non-zero value is the counted warning that some state
 	// transitions were lost to torn or garbled writes.
 	JournalSkipped uint64 `json:"journal_skipped,omitempty"`
-	Completed      uint64 `json:"completed"`
-	Failed         uint64 `json:"failed"`
-	Canceled       uint64 `json:"canceled"`
-	Retried        uint64 `json:"retried"`
-	RejectedFull   uint64 `json:"rejected_full"`
-	RejectedQuota  uint64 `json:"rejected_quota"`
-	RejectedRate   uint64 `json:"rejected_rate"`
+	// JournalCompactions counts size-triggered journal rewrites.
+	JournalCompactions uint64 `json:"journal_compactions,omitempty"`
+	Completed          uint64 `json:"completed"`
+	Failed             uint64 `json:"failed"`
+	Canceled           uint64 `json:"canceled"`
+	Retried            uint64 `json:"retried"`
+	RejectedFull       uint64 `json:"rejected_full"`
+	RejectedQuota      uint64 `json:"rejected_quota"`
+	RejectedRate       uint64 `json:"rejected_rate"`
 
 	Wait HistogramSummary `json:"wait"`
 	Run  HistogramSummary `json:"run"`
@@ -180,24 +163,25 @@ func (q *Queue) Stats() Stats {
 		per[k] = v
 	}
 	return Stats{
-		Workers:        q.cfg.Workers,
-		Capacity:       q.cfg.QueueDepth,
-		Depth:          len(q.heap),
-		Running:        q.running,
-		Retrying:       q.retrying,
-		Draining:       q.draining || q.closed,
-		PerPrincipal:   per,
-		Submitted:      count(q.met.submitted),
-		Recovered:      count(q.met.recovered),
-		JournalSkipped: count(q.met.journalSkipped),
-		Completed:      count(q.met.completed),
-		Failed:         count(q.met.failed),
-		Canceled:       count(q.met.canceled),
-		Retried:        count(q.met.retried),
-		RejectedFull:   count(q.met.rejectedFull),
-		RejectedQuota:  count(q.met.rejectedQuota),
-		RejectedRate:   count(q.met.rejectedRate),
-		Wait:           summarize(q.met.wait),
-		Run:            summarize(q.met.run),
+		Workers:            q.cfg.Workers,
+		Capacity:           q.cfg.QueueDepth,
+		Depth:              len(q.heap),
+		Running:            q.running,
+		Retrying:           q.retrying,
+		Draining:           q.draining || q.closed,
+		PerPrincipal:       per,
+		Submitted:          count(q.met.submitted),
+		Recovered:          count(q.met.recovered),
+		JournalSkipped:     count(q.met.journalSkipped),
+		JournalCompactions: count(q.met.journalCompact),
+		Completed:          count(q.met.completed),
+		Failed:             count(q.met.failed),
+		Canceled:           count(q.met.canceled),
+		Retried:            count(q.met.retried),
+		RejectedFull:       count(q.met.rejectedFull),
+		RejectedQuota:      count(q.met.rejectedQuota),
+		RejectedRate:       count(q.met.rejectedRate),
+		Wait:               summarize(q.met.wait),
+		Run:                summarize(q.met.run),
 	}
 }

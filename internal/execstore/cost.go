@@ -1,0 +1,103 @@
+package execstore
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// costModel estimates a task kind's runtime from the obs histogram of
+// its past runs (execstore_task_run_seconds{kind=...}). The estimate is
+// the observed mean blended with a configurable prior so the first few
+// runs of a new workflow type neither dominate nor vanish:
+//
+//	estimate = (prior*priorWeight + sum(observed)) / (priorWeight + count)
+//
+// Two consumers read it: admission (Submit projects backlog cost onto
+// live replica capacity and sheds over MaxEstimatedWait) and fair-share
+// dispatch (DRR charges each task its cost normalized by the global
+// mean, so one expensive simulation counts as many cheap diagnostics).
+type costModel struct {
+	mu          sync.Mutex
+	prior       float64
+	byKind      map[string]*kindStats
+	runs        *obs.HistogramVec
+	globalSum   float64
+	globalCount float64
+}
+
+// priorWeight is how many synthetic observations the prior is worth.
+const priorWeight = 3.0
+
+type kindStats struct {
+	hist  *obs.Histogram
+	sum   float64
+	count float64
+}
+
+func newCostModel(reg *obs.Registry, prior float64) *costModel {
+	return &costModel{
+		prior:  prior,
+		byKind: make(map[string]*kindStats),
+		runs: reg.HistogramVec("execstore_task_run_seconds",
+			"Task execution latency by workflow kind (feeds the admission cost model).",
+			histBounds, "kind"),
+	}
+}
+
+func (c *costModel) kind(k string) *kindStats {
+	ks, ok := c.byKind[k]
+	if !ok {
+		ks = &kindStats{hist: c.runs.With(k)}
+		c.byKind[k] = ks
+	}
+	return ks
+}
+
+// observe records one finished run of kind k.
+func (c *costModel) observe(k string, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	c.mu.Lock()
+	ks := c.kind(k)
+	ks.hist.Observe(seconds)
+	ks.sum += seconds
+	ks.count++
+	c.globalSum += seconds
+	c.globalCount++
+	c.mu.Unlock()
+}
+
+// estimate returns the prior-blended mean runtime of kind k in seconds.
+func (c *costModel) estimate(k string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ks := c.kind(k)
+	return (c.prior*priorWeight + ks.sum) / (priorWeight + ks.count)
+}
+
+// globalMean is the prior-blended mean runtime across all kinds.
+func (c *costModel) globalMean() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return (c.prior*priorWeight + c.globalSum) / (priorWeight + c.globalCount)
+}
+
+// normalized returns kind k's cost in DRR units: its estimate over the
+// global mean, clamped to [0.1, 100] so a single outlier kind can
+// neither freeze its tenant out of rounds nor ride for free.
+func (c *costModel) normalized(k string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ks := c.kind(k)
+	est := (c.prior*priorWeight + ks.sum) / (priorWeight + ks.count)
+	mean := (c.prior*priorWeight + c.globalSum) / (priorWeight + c.globalCount)
+	u := est / mean
+	if u < 0.1 {
+		u = 0.1
+	} else if u > 100 {
+		u = 100
+	}
+	return u
+}

@@ -209,6 +209,34 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile approximates the q-th quantile (0..1) of the snapshot by
+// linear interpolation within the containing bucket. Observations in
+// the +Inf overflow bucket are reported at the last finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := lo
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // CounterVec is a counter family with labels.
 type CounterVec struct{ fam *family }
 
