@@ -7,6 +7,7 @@
 //	BenchmarkE2EConcurrentVsSequential C1 — overlap vs two-stage baseline
 //	BenchmarkBaselineReuse            C2 — in-memory baseline reuse
 //	BenchmarkCubeScaling              C3 — I/O-server scaling
+//	BenchmarkClusterShardSweep        C3 — sharded cluster scatter/gather scaling
 //	BenchmarkRuntimeThroughput        C4 — task-graph parallelism
 //	BenchmarkSchedulerOverhead        C4 — per-task runtime overhead
 //	BenchmarkCNNInference             C5 — ML localizer inference cost
@@ -33,6 +34,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compss"
 	"repro/internal/core"
+	"repro/internal/cubecluster"
+	"repro/internal/cubeserver"
 	"repro/internal/datacube"
 	"repro/internal/esm"
 	"repro/internal/execq"
@@ -281,6 +284,75 @@ func BenchmarkCubeScaling(b *testing.B) {
 				}
 				_ = out.Delete()
 			}
+		})
+	}
+}
+
+// BenchmarkClusterShardSweep extends C3 across the sharded datacube
+// cluster: the same fused pipeline (apply, reduce, aggrows barrier)
+// dispatched through the coordinator at 1/2/4/8 shards. The global
+// fragment count is held constant — each shard owns 32/shards
+// fragments of the leading dimension — so the per-shard simulated
+// storage latency shrinks as shards are added, while only reduced
+// partials return at the barrier.
+func BenchmarkClusterShardSweep(b *testing.B) {
+	dir := b.TempDir()
+	ds := ncdf.NewDataset()
+	const lat, lon, steps = 512, 8, 64
+	for _, d := range []struct {
+		name string
+		size int
+	}{{"lat", lat}, {"lon", lon}, {"time", steps}} {
+		if err := ds.AddDim(d.name, d.size); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := make([]float32, lat*lon*steps)
+	for i := range data {
+		data[i] = float32((i * 7) % 97)
+	}
+	if _, err := ds.AddVar("T", []string{"lat", "lon", "time"}, data); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "field.nc")
+	if err := ncdf.WriteFile(path, ds); err != nil {
+		b.Fatal(err)
+	}
+	pipe := []cubeserver.PipelineStep{
+		{Op: "apply", Expr: "x>50 ? x : 0"},
+		{Op: "reduce", RowOp: "sum"},
+		{Op: "aggrows", RowOp: "avg"},
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cl, err := cubecluster.NewLocal(cubecluster.Config{
+				Shards: shards,
+				Engine: datacube.Config{
+					Servers: 1, FragmentsPerCube: 32 / shards,
+					FragmentLatency: time.Millisecond,
+				},
+				SpoolDir: b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			imp := cl.Dispatch(&cubeserver.Request{
+				Op: "importfiles", Paths: []string{path}, Var: "T", ImplicitDim: "time",
+			})
+			if err := cubeserver.ResponseError(imp); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp := cl.Dispatch(&cubeserver.Request{Op: "pipeline", CubeID: imp.Shape.CubeID, Pipeline: pipe})
+				if err := cubeserver.ResponseError(resp); err != nil {
+					b.Fatal(err)
+				}
+				cl.Dispatch(&cubeserver.Request{Op: "delete", CubeID: resp.Shape.CubeID})
+			}
+			_, gathered := cl.BytesStats()
+			b.ReportMetric(gathered/float64(b.N), "gathered-B/op")
 		})
 	}
 }

@@ -5,6 +5,10 @@
 // Server:
 //
 //	cubecli serve -addr 127.0.0.1:8761 -servers 4
+//	cubecli serve -addr 127.0.0.1:8761 -cluster -shards 4 -replicas 2
+//
+// With -cluster the same address serves a sharded, replicated
+// coordinator; every client command below works unchanged against it.
 //
 // Client (against a running server):
 //
@@ -26,6 +30,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"repro/internal/cubecluster"
 	"repro/internal/cubeserver"
 	"repro/internal/datacube"
 )
@@ -101,15 +106,38 @@ func serve(args []string) {
 	addr := fs.String("addr", "127.0.0.1:8761", "listen address")
 	servers := fs.Int("servers", 4, "in-memory I/O servers")
 	frags := fs.Int("frags", 0, "fragments per cube (0 = 2×servers)")
+	cluster := fs.Bool("cluster", false, "serve a sharded coordinator instead of one engine")
+	shards := fs.Int("shards", 4, "cluster row-range shards (with -cluster)")
+	replicas := fs.Int("replicas", 1, "replicas per shard (with -cluster)")
 	fs.Parse(args)
 
-	engine := datacube.NewEngine(datacube.Config{Servers: *servers, FragmentsPerCube: *frags})
-	defer engine.Close()
-	srv, err := cubeserver.Serve(*addr, engine)
-	if err != nil {
-		log.Fatal(err)
+	var srv *cubeserver.Server
+	if *cluster {
+		cl, err := cubecluster.NewLocal(cubecluster.Config{
+			Shards:   *shards,
+			Replicas: *replicas,
+			Engine:   datacube.Config{Servers: *servers, FragmentsPerCube: *frags},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		srv, err = cubeserver.ServeDispatcher(*addr, cl, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("datacube cluster on %s (%d shards × %d replicas, %d I/O servers each)\n",
+			srv.Addr(), *shards, *replicas, *servers)
+	} else {
+		engine := datacube.NewEngine(datacube.Config{Servers: *servers, FragmentsPerCube: *frags})
+		defer engine.Close()
+		var err error
+		srv, err = cubeserver.Serve(*addr, engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("datacube server on %s (%d I/O servers)\n", srv.Addr(), *servers)
 	}
-	fmt.Printf("datacube server on %s (%d I/O servers)\n", srv.Addr(), *servers)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -37,18 +37,27 @@ import (
 
 	"repro/internal/compss"
 	"repro/internal/core"
+	"repro/internal/cubecluster"
+	"repro/internal/cubeserver"
 	"repro/internal/datacube"
 	"repro/internal/esm"
 	"repro/internal/grid"
 	"repro/internal/indices"
+	"repro/internal/ncdf"
 	"repro/internal/obs"
 )
+
+// useNet switches the C3 shard sweep from in-process transports to
+// real cubeserver TCP replicas (gob over loopback).
+var useNet bool
 
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|soak|all")
 	tracePath := flag.String("trace", "", "run one traced end-to-end workflow and write its Chrome trace JSON here (skips -exp)")
+	netFlag := flag.Bool("net", false, "run the C3 shard sweep over real TCP cubeserver replicas instead of in-process transports")
 	flag.Parse()
+	useNet = *netFlag
 	if *tracePath != "" {
 		traceRun(*tracePath)
 		return
@@ -380,6 +389,123 @@ func c3() {
 		engine.Close()
 	}
 	fmt.Println()
+	c3Cluster()
+}
+
+// c3Cluster sweeps the same scaling axis across the sharded
+// coordinator: the identical fused pipeline runs at 1/2/4/8 shards
+// over one imported field, and the gather column shows that only
+// reduced partials cross the wire at the aggrows barrier — the
+// resident cube never moves after import.
+func c3Cluster() {
+	fmt.Println("--- C3 (cluster): shard scaling, fused scatter + partials-only gather ---")
+	mode := "in-process transports"
+	if useNet {
+		mode = "TCP cubeserver replicas"
+	}
+	const lat, lon, steps = 1024, 8, 64
+	const totalFrags = 32 // fragment size is fixed, so each shard holds 32/shards fragments
+	cubeMB := float64(lat*lon*steps*4) / (1 << 20)
+	fmt.Printf("(%d×%d×%d field, %.1f MB resident, %d fragments at 2ms storage latency; %s)\n",
+		lat, lon, steps, cubeMB, totalFrags, mode)
+	dir := tmpDir("c3cluster-")
+	defer os.RemoveAll(dir)
+
+	ds := ncdf.NewDataset()
+	for _, d := range []struct {
+		name string
+		size int
+	}{{"lat", lat}, {"lon", lon}, {"time", steps}} {
+		if err := ds.AddDim(d.name, d.size); err != nil {
+			log.Fatal(err)
+		}
+	}
+	data := make([]float32, lat*lon*steps)
+	for i := range data {
+		data[i] = float32((i*7)%97) + float32((i*3)%13)
+	}
+	if _, err := ds.AddVar("T", []string{"lat", "lon", "time"}, data); err != nil {
+		log.Fatal(err)
+	}
+	path := dir + "/field.nc"
+	if err := ncdf.WriteFile(path, ds); err != nil {
+		log.Fatal(err)
+	}
+
+	pipe := []cubeserver.PipelineStep{
+		{Op: "apply", Expr: "x>50 ? x : 0"},
+		{Op: "reduce", RowOp: "sum"},
+		{Op: "aggrows", RowOp: "avg"},
+	}
+	fmt.Printf("%-8s %14s %10s %16s\n", "shards", "pipeline time", "speedup", "gathered/run")
+	var base time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		cl, cleanup := c3NewCluster(shards, totalFrags/shards, dir)
+		imp := cl.Dispatch(&cubeserver.Request{Op: "importfiles", Paths: []string{path}, Var: "T", ImplicitDim: "time"})
+		if err := cubeserver.ResponseError(imp); err != nil {
+			log.Fatal(err)
+		}
+		_, g0 := cl.BytesStats()
+		const iters = 3
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			resp := cl.Dispatch(&cubeserver.Request{Op: "pipeline", CubeID: imp.Shape.CubeID, Pipeline: pipe})
+			if err := cubeserver.ResponseError(resp); err != nil {
+				log.Fatal(err)
+			}
+			cl.Dispatch(&cubeserver.Request{Op: "delete", CubeID: resp.Shape.CubeID})
+		}
+		dt := time.Since(t0)
+		_, g1 := cl.BytesStats()
+		if shards == 1 {
+			base = dt
+		}
+		fmt.Printf("%-8d %14v %9.2fx %13.0f B\n",
+			shards, dt.Round(time.Millisecond), base.Seconds()/dt.Seconds(), (g1-g0)/iters)
+		cleanup()
+	}
+	fmt.Printf("(gathered/run counts barrier partials + shapes; the %.1f MB cube stays sharded)\n\n", cubeMB)
+}
+
+// c3NewCluster builds the sweep's cluster: in-process engines by
+// default, or real TCP cubeserver replicas with -net. fragsPerShard
+// keeps the global fragment count constant across sweep points, so a
+// shard's simulated storage latency is proportional to the data it
+// holds.
+func c3NewCluster(shards, fragsPerShard int, spool string) (*cubecluster.Cluster, func()) {
+	eng := datacube.Config{Servers: 1, FragmentsPerCube: fragsPerShard, FragmentLatency: 2 * time.Millisecond}
+	if !useNet {
+		cl, err := cubecluster.NewLocal(cubecluster.Config{Shards: shards, Engine: eng, SpoolDir: spool})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cl, func() { cl.Close() }
+	}
+	var closers []func()
+	transports := make([][]cubecluster.Transport, shards)
+	for s := 0; s < shards; s++ {
+		engine := datacube.NewEngine(eng)
+		srv, err := cubeserver.Serve("127.0.0.1:0", engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := cubecluster.DialTransport(srv.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		transports[s] = []cubecluster.Transport{tr}
+		closers = append(closers, func() { srv.Close(); engine.Close() })
+	}
+	cl, err := cubecluster.New(cubecluster.Config{SpoolDir: spool}, transports)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		for _, c := range closers {
+			c()
+		}
+	}
 }
 
 // c4: task-runtime parallelism and overhead. Tasks here model remote

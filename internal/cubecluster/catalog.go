@@ -1,0 +1,108 @@
+package cubecluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cubeserver"
+	"repro/internal/datacube"
+)
+
+// part is one shard's slice of a cluster cube: the half-open range
+// [leadLo, leadHi) of the global leading explicit dimension, plus the
+// per-replica cube IDs holding it ("" where a replica missed the
+// write and is stale for this cube).
+type part struct {
+	shard          int
+	leadLo, leadHi int
+	rows           int
+	ids            []string
+}
+
+// entry is the cluster catalog record for one cube: its global shape
+// and where every slice of it lives. explicit is the GLOBAL dimension
+// list (leading size = sum of part ranges); rowless cubes (no explicit
+// dimensions) have a single shard-0 part covering [0,1).
+type entry struct {
+	id       string
+	measure  string
+	explicit []datacube.Dimension
+	implicit datacube.Dimension
+	parts    []part
+	meta     map[string]string
+}
+
+func (e *entry) totalRows() int {
+	n := 0
+	for _, p := range e.parts {
+		n += p.rows
+	}
+	return n
+}
+
+func (e *entry) leadSize() int {
+	if len(e.explicit) == 0 {
+		return 1
+	}
+	return e.explicit[0].Size
+}
+
+// shape renders the entry as the wire Shape a single engine would
+// report, with Fragments standing in for the part count.
+func (e *entry) shape() cubeserver.Shape {
+	return cubeserver.Shape{
+		CubeID:       e.id,
+		Rows:         e.totalRows(),
+		ImplicitLen:  e.implicit.Size,
+		Fragments:    len(e.parts),
+		Measure:      e.measure,
+		ExplicitDims: append([]datacube.Dimension(nil), e.explicit...),
+		ImplicitName: e.implicit.Name,
+	}
+}
+
+// samePlacement reports whether two entries are co-sharded: identical
+// part count, shard assignment and leading ranges, which is what
+// intercube needs to run shard-local.
+func samePlacement(a, b *entry) bool {
+	if len(a.parts) != len(b.parts) {
+		return false
+	}
+	for i := range a.parts {
+		pa, pb := a.parts[i], b.parts[i]
+		if pa.shard != pb.shard || pa.leadLo != pb.leadLo || pa.leadHi != pb.leadHi {
+			return false
+		}
+	}
+	return true
+}
+
+// getEntry resolves a cluster cube ID; unknown IDs wrap
+// datacube.ErrNotFound so the sentinel survives the wire.
+func (cl *Cluster) getEntry(id string) (*entry, error) {
+	e, ok := cl.cat[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: no cluster cube %q", datacube.ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// register assigns the entry a cluster ID and records it.
+func (cl *Cluster) register(e *entry) *entry {
+	e.id = fmt.Sprintf("ccube-%d", cl.nextID)
+	cl.nextID++
+	if e.meta == nil {
+		e.meta = make(map[string]string)
+	}
+	cl.cat[e.id] = e
+	return e
+}
+
+func (cl *Cluster) listIDs() []string {
+	out := make([]string, 0, len(cl.cat))
+	for id := range cl.cat {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

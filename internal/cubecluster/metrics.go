@@ -1,0 +1,55 @@
+package cubecluster
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// clMetrics instruments the coordinator's data plane: how many
+// requests fan out per shard, how many payload bytes cross the wire in
+// each direction, and how often the failure machinery engages. The
+// scatter/gather byte counters are the C3 experiment's headline — they
+// show that barriers move reduced partials, not cubes.
+type clMetrics struct {
+	scatterOps *obs.CounterVec
+	shardSec   *obs.HistogramVec
+	scatterB   *obs.Counter
+	gatherB    *obs.Counter
+	failovers  *obs.Counter
+	mergeFB    *obs.Counter
+	resyncs    *obs.Counter
+	replicaUp  *obs.GaugeVec
+}
+
+func newCLMetrics(reg *obs.Registry) *clMetrics {
+	return &clMetrics{
+		scatterOps: reg.CounterVec("cubecluster_scatter_ops_total",
+			"requests fanned out to shard replicas", "shard"),
+		shardSec: reg.HistogramVec("cubecluster_shard_op_seconds",
+			"per-shard request latency",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}, "shard"),
+		scatterB: reg.Counter("cubecluster_scatter_bytes_total",
+			"estimated request payload bytes sent to shards"),
+		gatherB: reg.Counter("cubecluster_gather_bytes_total",
+			"estimated response payload bytes returned by shards"),
+		failovers: reg.Counter("cubecluster_failovers_total",
+			"reads or writes diverted off a dead replica"),
+		mergeFB: reg.Counter("cubecluster_merge_fallbacks_total",
+			"aggrows barriers that gathered full columns because the row op has no partial merge"),
+		resyncs: reg.Counter("cubecluster_replica_resyncs_total",
+			"replicas re-seeded from a healthy peer by Heal"),
+		replicaUp: reg.GaugeVec("cubecluster_replica_up",
+			"1 while the replica serves traffic, 0 once marked down", "shard", "replica"),
+	}
+}
+
+func (m *clMetrics) observeShard(shard string, start time.Time) {
+	m.shardSec.With(shard).Observe(time.Since(start).Seconds())
+}
+
+// BytesStats reports the coordinator's cumulative estimated wire
+// traffic (request bytes scattered, response bytes gathered).
+func (cl *Cluster) BytesStats() (scattered, gathered float64) {
+	return cl.met.scatterB.Value(), cl.met.gatherB.Value()
+}

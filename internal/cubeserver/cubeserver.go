@@ -18,13 +18,16 @@ import (
 	"sync"
 
 	"repro/internal/datacube"
+	"repro/internal/obs"
 )
 
 // Request is one operation sent by a client.
 type Request struct {
 	// Op selects the operation: importfiles, apply, reduce, reducegroup,
 	// subset, subsetrows, intercube, aggrows, row, values, scalar, list,
-	// delete, export, setmeta, getmeta, stats, shape, ping.
+	// delete, export, setmeta, getmeta, stats, shape, ping — plus the
+	// shard-plane operations importshard, aggpartial and putcube used by
+	// the cubecluster coordinator.
 	Op string
 
 	CubeID  string
@@ -44,6 +47,17 @@ type Request struct {
 	Key, Value string // metadata
 	Path       string // export target (server-side path)
 
+	// Shard/Shards select this server's slice of the leading explicit
+	// dimension for importshard: the server imports the files and keeps
+	// rows [Shard·L/Shards, (Shard+1)·L/Shards) of the leading dim.
+	Shard, Shards int
+
+	// Values and Dims materialize a cube directly (Op "putcube"): Values
+	// is the row-major payload, Dims the explicit dimensions, Var the
+	// measure and ImplicitDim the implicit dimension's name.
+	Values [][]float32
+	Dims   []datacube.Dimension
+
 	// Pipeline holds the steps of a server-side operator chain
 	// (Op "pipeline").
 	Pipeline []PipelineStep
@@ -56,24 +70,58 @@ type Shape struct {
 	ImplicitLen int
 	Fragments   int
 	Measure     string
+	// ExplicitDims and ImplicitName carry the full dimensional identity
+	// so a coordinator can track placement and re-materialize replicas
+	// without guessing.
+	ExplicitDims []datacube.Dimension
+	ImplicitName string
 }
 
 // Response carries the result of one Request.
 type Response struct {
-	Err    string
-	Shape  Shape
-	Values [][]float32
-	Scalar float64
-	IDs    []string
-	Value  string
-	Found  bool
-	Stats  datacube.Stats
+	Err string
+	// ErrCode classifies Err into a stable wire code (see errors.go) so
+	// clients can restore the sentinel with errors.Is; empty for
+	// unclassified failures.
+	ErrCode string
+	Shape   Shape
+	Values  [][]float32
+	// Partials are the float64 shard-local reduction outputs of
+	// aggpartial (full precision; never rounded through a cube).
+	Partials []float64
+	Scalar   float64
+	IDs      []string
+	Value    string
+	Found    bool
+	Stats    datacube.Stats
 }
 
-// Server wraps an engine behind a TCP listener.
+// Dispatcher executes one wire request. EngineDispatcher serves a
+// single engine; cubecluster's coordinator implements the same
+// interface over a fleet of shards, so cubecli pipelines run unchanged
+// against either.
+type Dispatcher interface {
+	Dispatch(req *Request) *Response
+}
+
+// srvMetrics instruments the transport layer itself (the dispatcher
+// reports its own failures inside responses).
+type srvMetrics struct {
+	protoErrs *obs.Counter
+}
+
+func newSrvMetrics(reg *obs.Registry) *srvMetrics {
+	return &srvMetrics{
+		protoErrs: reg.Counter("cubeserver_proto_errors_total",
+			"requests dropped on gob decode failure or replies lost on encode failure"),
+	}
+}
+
+// Server wraps a dispatcher behind a TCP listener.
 type Server struct {
-	engine *datacube.Engine
+	disp   Dispatcher
 	ln     net.Listener
+	met    *srvMetrics
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -83,11 +131,17 @@ type Server struct {
 // Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port)
 // backed by the given engine. The returned server is already accepting.
 func Serve(addr string, engine *datacube.Engine) (*Server, error) {
+	return ServeDispatcher(addr, EngineDispatcher(engine), nil)
+}
+
+// ServeDispatcher starts a server on addr routing every request through
+// d. reg (optional) receives the server's protocol-failure counter.
+func ServeDispatcher(addr string, d Dispatcher, reg *obs.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{disp: d, ln: ln, met: newSrvMetrics(reg), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -147,10 +201,17 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // client gone (EOF) or protocol error
+			// A clean hangup (EOF) is the normal end of a session; anything
+			// else is a protocol failure — garbage bytes, truncated frame —
+			// worth counting, because the request is silently dropped.
+			if !errors.Is(err, io.EOF) {
+				s.met.protoErrs.Inc()
+			}
+			return
 		}
-		resp := s.dispatch(&req)
+		resp := s.disp.Dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
+			s.met.protoErrs.Inc()
 			return
 		}
 	}
@@ -158,18 +219,30 @@ func (s *Server) handle(conn net.Conn) {
 
 func shapeOf(c *datacube.Cube) Shape {
 	return Shape{
-		CubeID:      c.ID(),
-		Rows:        c.Rows(),
-		ImplicitLen: c.ImplicitLen(),
-		Fragments:   c.Fragments(),
-		Measure:     c.Measure(),
+		CubeID:       c.ID(),
+		Rows:         c.Rows(),
+		ImplicitLen:  c.ImplicitLen(),
+		Fragments:    c.Fragments(),
+		Measure:      c.Measure(),
+		ExplicitDims: c.ExplicitDims(),
+		ImplicitName: c.ImplicitDim().Name,
 	}
 }
 
-func (s *Server) dispatch(req *Request) *Response {
+// engineDispatcher maps wire requests onto a single datacube.Engine.
+type engineDispatcher struct {
+	engine *datacube.Engine
+}
+
+// EngineDispatcher exposes an engine as a Dispatcher — the classic
+// one-server deployment, and the per-shard worker of a cubecluster.
+func EngineDispatcher(e *datacube.Engine) Dispatcher { return &engineDispatcher{engine: e} }
+
+func (s *engineDispatcher) Dispatch(req *Request) *Response {
 	resp := &Response{}
 	fail := func(err error) *Response {
 		resp.Err = err.Error()
+		resp.ErrCode = ErrCodeOf(err)
 		return resp
 	}
 	cube := func(id string) (*datacube.Cube, error) { return s.engine.Get(id) }
@@ -334,19 +407,115 @@ func (s *Server) dispatch(req *Request) *Response {
 		resp.Shape = shapeOf(out)
 	case "stats":
 		resp.Stats = s.engine.Stats()
+	case "aggpartial":
+		c, err := cube(req.CubeID)
+		if err != nil {
+			return fail(err)
+		}
+		p, err := c.AggregateRowsPartial(req.RowOp, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Partials = p
+		resp.Shape = shapeOf(c)
+	case "putcube":
+		c, err := putCube(s.engine, req)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Shape = shapeOf(c)
+	case "importshard":
+		c, found, err := importShard(s.engine, req)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Found = found
+		if found {
+			resp.Shape = shapeOf(c)
+		}
 	default:
-		return fail(fmt.Errorf("cubeserver: unknown op %q", req.Op))
+		return fail(fmt.Errorf("%w %q", ErrUnknownOp, req.Op))
 	}
 	return resp
 }
 
+// putCube materializes a cube directly from wire values — how the
+// cluster coordinator re-seeds a healed replica or lands a merged
+// aggregation on its home shard.
+func putCube(engine *datacube.Engine, req *Request) (*datacube.Cube, error) {
+	rows := 1
+	for _, d := range req.Dims {
+		rows *= d.Size
+	}
+	if len(req.Values) != rows {
+		return nil, fmt.Errorf("cubeserver: putcube got %d rows, dims say %d", len(req.Values), rows)
+	}
+	width := 0
+	if len(req.Values) > 0 {
+		width = len(req.Values[0])
+	}
+	for i, r := range req.Values {
+		if len(r) != width {
+			return nil, fmt.Errorf("cubeserver: putcube row %d has %d values, want %d", i, len(r), width)
+		}
+	}
+	implicit := req.ImplicitDim
+	if implicit == "" {
+		implicit = "implicit"
+	}
+	return engine.NewCubeFromFunc(req.Var, req.Dims,
+		datacube.Dimension{Name: implicit, Size: width},
+		func(row, t int) float32 { return req.Values[row][t] })
+}
+
+// importShard imports files and keeps only this shard's contiguous
+// slice of the leading explicit dimension — rows
+// [Shard·L/Shards, (Shard+1)·L/Shards). Rowless cubes (no explicit
+// dims) cannot be split; they land whole on shard 0 and found=false
+// everywhere else. found=false is also returned for an empty slice
+// (more shards than leading-dim entries).
+func importShard(engine *datacube.Engine, req *Request) (*datacube.Cube, bool, error) {
+	if req.Shards <= 0 || req.Shard < 0 || req.Shard >= req.Shards {
+		return nil, false, fmt.Errorf("cubeserver: importshard shard %d of %d out of range", req.Shard, req.Shards)
+	}
+	full, err := engine.ImportFiles(req.Paths, req.Var, req.ImplicitDim)
+	if err != nil {
+		return nil, false, err
+	}
+	dims := full.ExplicitDims()
+	if len(dims) == 0 {
+		if req.Shard == 0 {
+			return full, true, nil
+		}
+		_ = full.Delete()
+		return nil, false, nil
+	}
+	l := dims[0].Size
+	lo, hi := req.Shard*l/req.Shards, (req.Shard+1)*l/req.Shards
+	if lo >= hi {
+		_ = full.Delete()
+		return nil, false, nil
+	}
+	part, err := full.SubsetRows(lo, hi)
+	if err != nil {
+		_ = full.Delete()
+		return nil, false, err
+	}
+	_ = full.Delete()
+	return part, true, nil
+}
+
 // Client is a connection to a Server. It is safe for concurrent use;
-// requests are serialized over the single connection.
+// requests are serialized over the single connection. After any
+// transport failure the client is poisoned: the gob stream may be
+// desynced, so every later call fails fast with ErrClientBroken
+// instead of decoding a stale frame as its own reply.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	err  error // first transport error; latched for the client's lifetime
 }
 
 // Dial connects to a server.
@@ -361,23 +530,39 @@ func Dial(addr string) (*Client, error) {
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) call(req *Request) (*Response, error) {
+// Do performs one request/response exchange and returns the raw
+// response; server-side failures arrive inside it (see ResponseError).
+// A non-nil error is a transport failure and poisons the client.
+func (c *Client) Do(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClientBroken, c.err)
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.err = err
 		return nil, err
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, errors.New("cubeserver: connection closed")
+			err = errors.New("cubeserver: connection closed")
 		}
+		c.err = err
 		return nil, err
 	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
 	return &resp, nil
+}
+
+func (c *Client) call(req *Request) (*Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ResponseError(resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // Ping checks liveness.

@@ -80,7 +80,7 @@ func runPipeline(engine *datacube.Engine, req *PipelineRequest) (*datacube.Cube,
 		case "aggtrailing":
 			plan.AggregateTrailing(st.RowOp, st.Params...)
 		default:
-			return nil, fmt.Errorf("cubeserver: pipeline step %d: unknown pipeline op %q", i, st.Op)
+			return nil, fmt.Errorf("pipeline step %d: %w %q", i, ErrUnknownOp, st.Op)
 		}
 		// The last step's output is the pipeline result and is always
 		// retained, so Keep on it is moot — same as the eager semantics.

@@ -40,6 +40,12 @@ type Config struct {
 // ErrEngineClosed is returned by operators invoked after Engine.Close.
 var ErrEngineClosed = errors.New("datacube: engine closed")
 
+// ErrNotFound is returned by Get/Delete for unknown cube IDs. It is a
+// sentinel so callers — in particular the cubeserver wire layer and the
+// cubecluster failover coordinator — can distinguish "cube does not
+// exist" from transport or engine-lifecycle failures with errors.Is.
+var ErrNotFound = errors.New("datacube: cube not found")
+
 // Stats counts engine activity; its deltas drive the paper's
 // data-reuse experiment (C2).
 type Stats struct {
@@ -135,6 +141,15 @@ func (e *Engine) Close() {
 // Servers reports the configured parallelism.
 func (e *Engine) Servers() int { return e.cfg.Servers }
 
+// Closed reports whether Close has been called. The cubecluster
+// in-process transport uses it to model a killed replica: operations
+// against a closed engine fail like a dead server process would.
+func (e *Engine) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
 // addCells accounts processed array elements in both the Stats counter
 // and the exported throughput metric.
 func (e *Engine) addCells(n int64) {
@@ -170,7 +185,7 @@ func (e *Engine) Get(id string) (*Cube, error) {
 	defer e.mu.Unlock()
 	c, ok := e.cubes[id]
 	if !ok {
-		return nil, fmt.Errorf("datacube: no cube %q", id)
+		return nil, fmt.Errorf("%w: no cube %q", ErrNotFound, id)
 	}
 	return c, nil
 }
@@ -180,7 +195,7 @@ func (e *Engine) Delete(id string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.cubes[id]; !ok {
-		return fmt.Errorf("datacube: no cube %q", id)
+		return fmt.Errorf("%w: no cube %q", ErrNotFound, id)
 	}
 	delete(e.cubes, id)
 	return nil

@@ -214,6 +214,10 @@ func (x *planExec) flush(keep bool) error {
 // branches, the remaining pending segment becomes the shared prefix of
 // one multi-output pass.
 func (p *Plan) run(branches []*Plan) ([]*Cube, error) {
+	if p.executed {
+		return nil, ErrPlanReused
+	}
+	p.executed = true
 	if p.src == nil {
 		return nil, fmt.Errorf("datacube: plan has no source cube (Branch chains only run under ExecuteBranches)")
 	}

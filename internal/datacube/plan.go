@@ -1,6 +1,9 @@
 package datacube
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // This file implements the lazy query-plan layer over the eager
 // operator API. A Plan records the same operator vocabulary the Cube
@@ -36,13 +39,22 @@ type planStep struct {
 	keep   bool
 }
 
+// ErrPlanReused is returned by Execute/ExecuteBranches on a plan that
+// has already run. Plans are single-use: re-running one would re-walk
+// steps whose intermediates were already materialized or deleted and
+// silently share compiled stages and scratch, so reuse is a typed
+// error instead of an undefined re-execution.
+var ErrPlanReused = errors.New("datacube: plan already executed (plans are single-use)")
+
 // Plan is a lazily-recorded operator chain over a source cube. Build
 // one with Cube.Lazy (or Branch for ExecuteBranches sub-chains), append
 // steps with the builder methods, and run it with Execute. Plans are
-// single-use value builders, not thread-safe.
+// single-use value builders, not thread-safe; a second
+// Execute/ExecuteBranches fails with ErrPlanReused.
 type Plan struct {
-	src   *Cube
-	steps []planStep
+	src      *Cube
+	steps    []planStep
+	executed bool
 }
 
 // Lazy starts a plan whose first step consumes the cube. Nothing

@@ -1,0 +1,61 @@
+package datacube
+
+import (
+	"errors"
+	"testing"
+)
+
+// Plans are documented single-use; these tests pin the typed guard so
+// a second run fails fast instead of silently re-walking materialized
+// steps over shared scratch.
+
+func reuseTestCube(t *testing.T, e *Engine) *Cube {
+	t.Helper()
+	c, err := e.NewCubeFromFunc("m",
+		[]Dimension{{Name: "cell", Size: 6}},
+		Dimension{Name: "time", Size: 4},
+		func(row, tt int) float32 { return float32(row*10 + tt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlanExecuteTwiceRejected(t *testing.T) {
+	e := NewEngine(Config{Servers: 2})
+	defer e.Close()
+	c := reuseTestCube(t, e)
+	p := c.Lazy().Apply("x+1").Reduce("sum")
+	if _, err := p.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(); !errors.Is(err, ErrPlanReused) {
+		t.Fatalf("second Execute: want ErrPlanReused, got %v", err)
+	}
+}
+
+func TestPlanExecuteThenExecuteBranchesRejected(t *testing.T) {
+	e := NewEngine(Config{Servers: 2})
+	defer e.Close()
+	c := reuseTestCube(t, e)
+	p := c.Lazy().Apply("x*2")
+	if _, err := p.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExecuteBranches(Branch().Reduce("max")); !errors.Is(err, ErrPlanReused) {
+		t.Fatalf("ExecuteBranches after Execute: want ErrPlanReused, got %v", err)
+	}
+}
+
+func TestPlanFailedExecuteStillSingleUse(t *testing.T) {
+	e := NewEngine(Config{Servers: 2})
+	defer e.Close()
+	c := reuseTestCube(t, e)
+	p := c.Lazy().Reduce("nosuch")
+	if _, err := p.Execute(); err == nil || errors.Is(err, ErrPlanReused) {
+		t.Fatalf("first Execute should fail on the bad op, got %v", err)
+	}
+	if _, err := p.Execute(); !errors.Is(err, ErrPlanReused) {
+		t.Fatalf("retrying a failed plan: want ErrPlanReused, got %v", err)
+	}
+}

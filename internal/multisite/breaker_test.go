@@ -2,8 +2,10 @@ package multisite
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -110,6 +112,70 @@ func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
 	}
 	// Healthy again: immediate next transfer is admitted.
 	if _, err := f.Transfer("y1950-again", a, b, []string{p}); err != nil {
+		t.Fatalf("closed circuit rejected a transfer: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenAdmitsSingleProbe fires a herd of concurrent
+// transfers at a breaker whose cooldown just expired. Exactly one may
+// reach the (still-dead) site as the probe; the rest must be rejected
+// with ErrSiteUnavailable — first because the probe is in flight, then
+// because its failure restarted the cooldown.
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	f, a, b := twoSites(t)
+	p := seedFile(t, a, "y.nc", "x")
+	// Budget of 2 injections: the opening failure and the failed probe.
+	inj := chaos.NewSeeded(4, chaos.Rule{Site: chaos.SiteTransfer, Kind: chaos.PermanentKind, Max: 2})
+	f.SetInjector(inj)
+	now := time.Unix(1_700_000_000, 0)
+	var nowMu sync.Mutex
+	f.nowFn = func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+	advance := func(d time.Duration) { nowMu.Lock(); now = now.Add(d); nowMu.Unlock() }
+	f.sleepFn = func(time.Duration) {}
+	f.SetTransferPolicy(TransferPolicy{Retries: 1, BreakerThreshold: 1, BreakerCooldown: time.Second})
+
+	if _, err := f.Transfer("open", a, b, []string{p}); err == nil {
+		t.Fatal("opening transfer should fail")
+	}
+	advance(2 * time.Second) // cooldown expired: breaker is half-open
+
+	const herd = 8
+	errs := make([]error, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Transfer(fmt.Sprintf("herd-%d", i), a, b, []string{p})
+		}(i)
+	}
+	wg.Wait()
+
+	probes, rejected := 0, 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			t.Fatalf("transfer %d succeeded against a dead site", i)
+		case errors.Is(err, ErrSiteUnavailable):
+			rejected++
+		default:
+			probes++
+		}
+	}
+	if probes != 1 || rejected != herd-1 {
+		t.Fatalf("half-open admitted %d probes (%d rejected), want exactly 1 (%d)", probes, rejected, herd-1)
+	}
+	if got := inj.Injected(); got != 2 {
+		t.Fatalf("site absorbed %d transfer attempts, want 2 (open + single probe)", got)
+	}
+
+	// Second cooldown passes and the injector's budget is spent: the
+	// lone probe succeeds, closes the circuit, and traffic flows again.
+	advance(2 * time.Second)
+	if _, err := f.Transfer("probe-ok", a, b, []string{p}); err != nil {
+		t.Fatalf("successful probe should close the circuit: %v", err)
+	}
+	if _, err := f.Transfer("after", a, b, []string{p}); err != nil {
 		t.Fatalf("closed circuit rejected a transfer: %v", err)
 	}
 }

@@ -101,6 +101,11 @@ func (p TransferPolicy) withDefaults() TransferPolicy {
 type breaker struct {
 	consecutive int
 	openUntil   time.Time
+	// probing marks a half-open breaker with its single probe transfer in
+	// flight. Without it, every caller waiting out the cooldown is
+	// admitted the instant it expires and a still-dead site absorbs a
+	// thundering herd instead of one probe.
+	probing bool
 }
 
 // Federation is a set of sites plus the shared Data Logistics Service.
@@ -314,17 +319,28 @@ func (f *Federation) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
-// breakerAllow rejects transfers to a site whose circuit is open.
+// breakerAllow rejects transfers to a site whose circuit is open. When
+// the cooldown expires the circuit goes half-open: exactly one caller
+// is admitted as the probe, and everyone else keeps getting
+// ErrSiteUnavailable until the probe reports back (success closes the
+// circuit, failure restarts the cooldown).
 func (f *Federation) breakerAllow(site string) error {
 	now := f.now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	b := f.breakers[site]
-	if b == nil || b.openUntil.IsZero() || !now.Before(b.openUntil) {
+	if b == nil || b.openUntil.IsZero() {
 		return nil
 	}
-	return fmt.Errorf("%w: site %s cooling down for %s after %d consecutive failures",
-		ErrSiteUnavailable, site, b.openUntil.Sub(now).Round(time.Millisecond), b.consecutive)
+	if now.Before(b.openUntil) {
+		return fmt.Errorf("%w: site %s cooling down for %s after %d consecutive failures",
+			ErrSiteUnavailable, site, b.openUntil.Sub(now).Round(time.Millisecond), b.consecutive)
+	}
+	if b.probing {
+		return fmt.Errorf("%w: site %s half-open, probe in flight", ErrSiteUnavailable, site)
+	}
+	b.probing = true
+	return nil
 }
 
 func (f *Federation) breakerFailure(site string, pol TransferPolicy) {
@@ -336,6 +352,7 @@ func (f *Federation) breakerFailure(site string, pol TransferPolicy) {
 		b = &breaker{}
 		f.breakers[site] = b
 	}
+	b.probing = false
 	b.consecutive++
 	if b.consecutive >= pol.BreakerThreshold {
 		// Open (or re-open after a failed probe): reject until cooldown.
@@ -351,6 +368,7 @@ func (f *Federation) breakerSuccess(site string) {
 	if b := f.breakers[site]; b != nil {
 		b.consecutive = 0
 		b.openUntil = time.Time{}
+		b.probing = false
 		f.met.breakerOpen.With(site).Set(0)
 		f.met.breakerCons.With(site).Set(0)
 	}
