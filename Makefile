@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check build vet test race race-exchange race-replica race-cluster soak-smoke bench bench-smoke examples experiments chaos fuzz-short clean
+.PHONY: all check fmt-check build vet test race race-exchange race-replica race-cluster race-pyramid soak-smoke bench bench-smoke examples experiments chaos fuzz-short clean
 
 all: build vet test
 
@@ -46,6 +46,14 @@ race-cluster:
 	$(GO) test -race -count=1 -run 'Cluster|Shard|Failover|Heal|WireError|Poison|Broken|ProtocolGarbage|HalfOpen|PlanReuse|Partial' \
 		./internal/cubecluster/ ./internal/cubeserver/ ./internal/datacube/ ./internal/multisite/
 
+# focused race gate over the resolution pyramid and its consumers: lazy
+# tier builds under concurrent readers, tolerance-aware coarse-first
+# plans, byte-budget demotion/re-promotion racing data ops, cluster
+# tolerance equivalence
+race-pyramid:
+	$(GO) test -race -count=1 -run 'Pyramid|Tier|Toleran|Demot|Promot|Resident|Prescreen|Adopt|Interval' \
+		./internal/datacube/ ./internal/cubeserver/ ./internal/cubecluster/ ./internal/indices/ ./internal/tctrack/
+
 # short-mode replica soak in the tier-1 gate: one kill/reclaim cycle,
 # exactly-once and byte-identical outputs still asserted
 soak-smoke:
@@ -81,10 +89,12 @@ chaos:
 	$(GO) run ./cmd/chaosrun
 	$(GO) run ./cmd/chaosrun -mode replica
 
-# opt-in short fuzz pass over the binary-format parsers
+# opt-in short fuzz pass over the binary-format parsers and the
+# tiered-plan equivalence harness
 fuzz-short:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s -run=FuzzRead ./internal/ncdf/
 	$(GO) test -fuzz=FuzzCompile -fuzztime=10s -run=FuzzCompile ./internal/datacube/
+	$(GO) test -fuzz=FuzzPlan -fuzztime=10s -run=FuzzPlan ./internal/datacube/
 
 clean:
 	$(GO) clean ./...

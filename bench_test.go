@@ -17,6 +17,7 @@
 //	BenchmarkCheckpointOverhead       C6 — checkpointing cost
 //	BenchmarkStreamDetectLatency      C7 — year-completion detection
 //	BenchmarkESMHandoff               C8 — file vs tensor-exchange handoff
+//	BenchmarkPyramidFrontier          F6 — coarse-first tolerance frontier
 //	BenchmarkLocalityPlacement        ablation — locality-aware placement
 //
 // Run with: go test -bench=. -benchmem .
@@ -153,6 +154,49 @@ func BenchmarkFusedVsEagerPipeline(b *testing.B) {
 				_ = res.Number.Delete()
 				_ = res.Frequency.Delete()
 			}
+		})
+	}
+}
+
+// BenchmarkPyramidFrontier is experiment F6: the coarse-first tolerance
+// frontier over the resolution pyramid (DESIGN.md §15), on the
+// cloud-cover climatology pipeline — a field smooth enough at tier
+// granularity for coarse blocks to genuinely accept. Each sub-benchmark
+// reports cells/op (array elements touched, the deterministic cost
+// metric) alongside walltime.
+func BenchmarkPyramidFrontier(b *testing.B) {
+	g := grid.Grid{NLat: 32, NLon: 64}
+	const days = 20
+	model := esm.NewModel(esm.Config{Grid: g, Years: 1, DaysPerYear: days, Seed: 7, Events: benchEvents})
+	files, err := model.Run(esm.RunOptions{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := datacube.NewEngine(datacube.Config{Servers: 2})
+	defer engine.Close()
+	cld, err := engine.ImportFiles(files, "CLDTOT", "time")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eps := range []float64{0, 0.02, 0.1, 0.2} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			before := engine.Stats().CellsProcessed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outs, err := cld.Lazy().Tolerance(eps).ExecuteBranches(
+					datacube.Branch().Reduce("avg"),
+					datacube.Branch().Reduce("max"),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					_ = o.Delete()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(engine.Stats().CellsProcessed-before)/float64(b.N), "cells/op")
 		})
 	}
 }

@@ -109,6 +109,7 @@ func serve(args []string) {
 	cluster := fs.Bool("cluster", false, "serve a sharded coordinator instead of one engine")
 	shards := fs.Int("shards", 4, "cluster row-range shards (with -cluster)")
 	replicas := fs.Int("replicas", 1, "replicas per shard (with -cluster)")
+	budget := fs.Int64("budget", 0, "resident-byte budget: demote cold cubes to pyramid stand-ins over this (0 = off; engine mode only)")
 	fs.Parse(args)
 
 	var srv *cubeserver.Server
@@ -132,7 +133,11 @@ func serve(args []string) {
 		engine := datacube.NewEngine(datacube.Config{Servers: *servers, FragmentsPerCube: *frags})
 		defer engine.Close()
 		var err error
-		srv, err = cubeserver.Serve(*addr, engine)
+		if *budget > 0 {
+			srv, err = cubeserver.ServeDispatcher(*addr, cubeserver.ResidentDispatcher(engine, *budget, nil), nil)
+		} else {
+			srv, err = cubeserver.Serve(*addr, engine)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

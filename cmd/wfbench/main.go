@@ -20,8 +20,11 @@
 //	     API replicas while chaos kills/restarts executors; verifies
 //	     exactly-once completion and reports latency quantiles
 //	     (DESIGN.md §13; not part of "all")
+//	pyramid coarse-first tolerance frontier: heat-wave pipeline over
+//	     the resolution pyramid at increasing declared tolerances,
+//	     reporting walltime/cells/observed error (DESIGN.md §15)
 //
-// Usage: wfbench -exp c1|c2|c3|c4|ens|dist|soak|all
+// Usage: wfbench -exp c1|c2|c3|c4|ens|dist|pyramid|soak|all
 //
 // With -trace out.json, wfbench instead runs one full Figure-2
 // workflow with span tracing attached and writes the timeline as a
@@ -53,7 +56,7 @@ var useNet bool
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|soak|all")
+	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|pyramid|soak|all")
 	tracePath := flag.String("trace", "", "run one traced end-to-end workflow and write its Chrome trace JSON here (skips -exp)")
 	netFlag := flag.Bool("net", false, "run the C3 shard sweep over real TCP cubeserver replicas instead of in-process transports")
 	flag.Parse()
@@ -75,6 +78,8 @@ func main() {
 		ens()
 	case "dist":
 		dist()
+	case "pyramid":
+		pyramid()
 	case "soak":
 		soak()
 	case "all":
@@ -84,6 +89,7 @@ func main() {
 		c4()
 		ens()
 		dist()
+		pyramid()
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

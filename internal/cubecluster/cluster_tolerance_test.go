@@ -1,0 +1,101 @@
+package cubecluster
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cubeserver"
+	"repro/internal/ncdf"
+)
+
+// writeSmoothFile creates a GNC1 file whose rows vary slowly along lat,
+// so coarse pyramid tiers genuinely accept blocks under a tolerance
+// (the varying writeClusterFile fixture refines everything, which
+// exercises only the exact path).
+func writeSmoothFile(t *testing.T, dir string, lat, lon, steps int) string {
+	t.Helper()
+	ds := ncdf.NewDataset()
+	ds.AddDim("lat", lat)
+	ds.AddDim("lon", lon)
+	ds.AddDim("time", steps)
+	data := make([]float32, lat*lon*steps)
+	for l := 0; l < lat; l++ {
+		for o := 0; o < lon; o++ {
+			for tt := 0; tt < steps; tt++ {
+				data[(l*lon+o)*steps+tt] = float32(10 + 0.01*float64(l) + float64(tt%4))
+			}
+		}
+	}
+	ds.AddVar("T", []string{"lat", "lon", "time"}, data)
+	path := filepath.Join(dir, "smooth.nc")
+	if err := ncdf.WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestClusterToleranceEquivalence: on shard splits aligned to coarsest-
+// tier block boundaries, a tolerant pipeline must return exactly what
+// the single engine returns at the same tolerance — at eps=0 (byte-
+// identical to exact) and at eps>0 (identical coarse-first decisions).
+func TestClusterToleranceEquivalence(t *testing.T) {
+	// lat=16 over 4 shards → 4 lat rows × lon=4 → 16 rows per part:
+	// every part offset is a multiple of the coarsest factor 8
+	dir := t.TempDir()
+	for name, path := range map[string]string{
+		"varying": writeClusterFile(t, dir, 16, 4, 16),
+		"smooth":  writeSmoothFile(t, dir, 16, 4, 16),
+	} {
+		pipe := func(tol float64) []cubeserver.PipelineStep {
+			return []cubeserver.PipelineStep{
+				{Op: "apply", Expr: "x-10"},
+				{Op: "reducegroup", RowOp: "max", Group: 4, Tolerance: tol},
+			}
+		}
+		exact := engineRef(t, []string{path}, pipe(0))
+		for _, eps := range []float64{0, 0.5} {
+			want := engineRef(t, []string{path}, pipe(eps))
+			for _, shards := range []int{1, 4} {
+				cl := localCluster(t, shards, 1)
+				got := clusterRun(t, cl, []string{path}, pipe(eps))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s eps=%g on %d shards diverged from single engine:\ngot  %v\nwant %v",
+						name, eps, shards, got, want)
+				}
+				// and the end-to-end bound against the exact result holds
+				for r := range exact {
+					for i := range exact[r] {
+						if d := math.Abs(float64(got[r][i]) - float64(exact[r][i])); d > eps+1e-3 {
+							t.Fatalf("%s eps=%g shards=%d row %d: error %g exceeds bound", name, eps, shards, r, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterToleranceMisalignedStripped: when shard row offsets do NOT
+// land on coarsest-tier boundaries, the coordinator must strip the
+// tolerance and run exact — even an absurd eps cannot change the
+// result.
+func TestClusterToleranceMisalignedStripped(t *testing.T) {
+	// lat=6 over 4 shards → part rows 2,4,2,4 (offsets 0,2,6,8): not
+	// multiples of 8, so a forwarded tolerance would refine against
+	// misaligned tier blocks — the coordinator must not forward it
+	path := writeClusterFile(t, t.TempDir(), 6, 2, 12)
+	pipe := func(tol float64) []cubeserver.PipelineStep {
+		return []cubeserver.PipelineStep{
+			{Op: "apply", Expr: "x*2"},
+			{Op: "reduce", RowOp: "avg", Tolerance: tol},
+		}
+	}
+	want := engineRef(t, []string{path}, pipe(0))
+	cl := localCluster(t, 4, 1)
+	got := clusterRun(t, cl, []string{path}, pipe(100))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("misaligned tolerance was not stripped:\ngot  %v\nwant %v", got, want)
+	}
+}

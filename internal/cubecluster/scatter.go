@@ -260,6 +260,18 @@ func (cl *Cluster) runSteps(srcID string, steps []cubeserver.PipelineStep) (*ent
 	if err != nil {
 		return nil, err
 	}
+	// A tolerance on the overall final step may only reach the shards
+	// when that step ends a fused segment: each shard refines coarse
+	// tier blocks relative to ITS cube's row 0, so the cluster result
+	// matches the single-engine result exactly when every part's global
+	// row offset sits on a coarsest-tier block boundary (checked against
+	// the entry the terminal segment runs on, below). Otherwise the
+	// tolerance is stripped and the pipeline runs exact — correct,
+	// merely without the coarse-first savings.
+	finalTol := 0.0
+	if last := steps[len(steps)-1]; forwardable(last.Op) {
+		finalTol = last.Tolerance
+	}
 	var temps []*entry
 	cleanup := func(keep *entry) {
 		for _, t := range temps {
@@ -310,6 +322,7 @@ func (cl *Cluster) runSteps(srcID string, steps []cubeserver.PipelineStep) (*ent
 			}
 			fwd := st
 			fwd.Keep = false
+			fwd.Tolerance = 0 // re-applied on the terminal segment when aligned
 			batch = append(batch, fwd)
 			if keepHere {
 				if err := flush(true); err != nil {
@@ -343,6 +356,9 @@ func (cl *Cluster) runSteps(srcID string, steps []cubeserver.PipelineStep) (*ent
 			cleanup(nil)
 			return nil, fmt.Errorf("pipeline step %d: %w %q", i, cubeserver.ErrUnknownOp, st.Op)
 		}
+	}
+	if finalTol > 0 && len(batch) > 0 && cl.tolerancePartsAligned(cur) {
+		batch[len(batch)-1].Tolerance = finalTol
 	}
 	if err := flush(false); err != nil {
 		cleanup(nil)
@@ -419,6 +435,26 @@ func (cl *Cluster) flushBatch(cur *entry, batch []cubeserver.PipelineStep) (*ent
 		next.explicit[0].Size = cur.leadSize()
 	}
 	return next, nil
+}
+
+// tolerancePartsAligned reports whether every part's global row offset
+// is a multiple of the coarsest pyramid tier's row span, which makes
+// shard-local tier blocks coincide with the single-engine cube's tier
+// blocks (tier means are pure functions of the covered rows, so aligned
+// blocks are bit-identical across deployments).
+func (cl *Cluster) tolerancePartsAligned(e *entry) bool {
+	f := cl.cfg.Engine.PyramidFactor()
+	if f <= 1 {
+		return false
+	}
+	start := 0
+	for i := range e.parts {
+		if start%f != 0 {
+			return false
+		}
+		start += e.parts[i].rows
+	}
+	return true
 }
 
 // partOn returns the entry's part on a shard, nil if absent.

@@ -94,6 +94,11 @@ type Response struct {
 	Value    string
 	Found    bool
 	Stats    datacube.Stats
+	// Resident (list) maps cube ID → resident payload bytes, including
+	// built pyramid tiers; ResidentTotal (list, stats) is their sum —
+	// the figure the server's byte budget is enforced against.
+	Resident      map[string]int64
+	ResidentTotal int64
 }
 
 // Dispatcher executes one wire request. EngineDispatcher serves a
@@ -375,6 +380,14 @@ func (s *engineDispatcher) Dispatch(req *Request) *Response {
 		resp.Shape = shapeOf(c)
 	case "list":
 		resp.IDs = s.engine.List()
+		resp.Resident = make(map[string]int64, len(resp.IDs))
+		for _, id := range resp.IDs {
+			if c, err := s.engine.Get(id); err == nil {
+				b := c.Bytes()
+				resp.Resident[id] = b
+				resp.ResidentTotal += b
+			}
+		}
 	case "delete":
 		if err := s.engine.Delete(req.CubeID); err != nil {
 			return fail(err)
@@ -407,6 +420,7 @@ func (s *engineDispatcher) Dispatch(req *Request) *Response {
 		resp.Shape = shapeOf(out)
 	case "stats":
 		resp.Stats = s.engine.Stats()
+		resp.ResidentTotal = s.engine.MemoryBytes()
 	case "aggpartial":
 		c, err := cube(req.CubeID)
 		if err != nil {
@@ -626,6 +640,17 @@ func (c *Client) Stats() (datacube.Stats, error) {
 		return datacube.Stats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// ResidentBytes reports per-cube resident payload bytes (including
+// built pyramid tiers) and their total, as the server accounts them
+// for byte-budget enforcement.
+func (c *Client) ResidentBytes() (map[string]int64, int64, error) {
+	resp, err := c.call(&Request{Op: "list"})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Resident, resp.ResidentTotal, nil
 }
 
 // Apply runs an elementwise expression server-side.

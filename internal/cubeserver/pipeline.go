@@ -30,6 +30,12 @@ type PipelineStep struct {
 	// are deleted server-side once the pipeline finishes (the Listing 1
 	// Mask.delete() pattern, automated).
 	Keep bool
+	// Tolerance, set on the FINAL step, declares the absolute error the
+	// client accepts on the pipeline result, enabling coarse-first
+	// execution over the source cube's resolution pyramid server-side
+	// (datacube.Plan.Tolerance). Zero keeps execution byte-identical to
+	// the exact path; it is ignored on non-final steps.
+	Tolerance float64
 }
 
 // PipelineRequest executes an operator chain server-side in one round
@@ -87,6 +93,9 @@ func runPipeline(engine *datacube.Engine, req *PipelineRequest) (*datacube.Cube,
 		if st.Keep && i < len(req.Steps)-1 {
 			plan.Keep()
 		}
+	}
+	if tol := req.Steps[len(req.Steps)-1].Tolerance; tol > 0 {
+		plan.Tolerance(tol)
 	}
 	out, err := plan.Execute()
 	if err != nil {

@@ -1,0 +1,277 @@
+package cubeserver
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/datacube"
+	"repro/internal/ncdf"
+	"repro/internal/obs"
+)
+
+// writeGridFile writes a GNC1 file with a (time, lat, lon) variable T
+// where value = t + 2*cell; imported with implicit "time" it yields
+// lat*lon rows of ntime values each.
+func writeGridFile(t *testing.T, dir, name string, nlat, nlon, ntime int) string {
+	t.Helper()
+	ds := ncdf.NewDataset()
+	ds.AddDim("time", ntime)
+	ds.AddDim("lat", nlat)
+	ds.AddDim("lon", nlon)
+	ncells := nlat * nlon
+	data := make([]float32, ntime*ncells)
+	for tt := 0; tt < ntime; tt++ {
+		for cell := 0; cell < ncells; cell++ {
+			data[tt*ncells+cell] = float32(tt + 2*cell)
+		}
+	}
+	ds.AddVar("T", []string{"time", "lat", "lon"}, data)
+	path := filepath.Join(dir, name)
+	if err := ncdf.WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mustDispatch(t *testing.T, d Dispatcher, req *Request) *Response {
+	t.Helper()
+	resp := d.Dispatch(req)
+	if resp.Err != "" {
+		t.Fatalf("%s: %s", req.Op, resp.Err)
+	}
+	return resp
+}
+
+func newResidentHarness(t *testing.T, budget int64) (Dispatcher, *datacube.Engine, *obs.Registry) {
+	t.Helper()
+	engine := datacube.NewEngine(datacube.Config{Servers: 2, FragmentsPerCube: 4})
+	t.Cleanup(engine.Close)
+	reg := obs.NewRegistry()
+	return ResidentDispatcher(engine, budget, reg), engine, reg
+}
+
+func TestResidentBudgetDemotesColdestAndRepromotes(t *testing.T) {
+	// three 4 KiB cubes against a 9000-byte budget: the third import
+	// must push the coldest (first) cube down the ladder
+	disp, engine, reg := newResidentHarness(t, 9000)
+	dir := t.TempDir()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		p := writeGridFile(t, dir, fmt.Sprintf("f%d.nc", i), 8, 8, 16)
+		resp := mustDispatch(t, disp, &Request{Op: "importfiles", Paths: []string{p}, Var: "T", ImplicitDim: "time"})
+		ids = append(ids, resp.Shape.CubeID)
+	}
+	demoted, err := engine.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demoted.Rows() >= 64 {
+		t.Fatalf("coldest cube still has %d rows; budget not enforced", demoted.Rows())
+	}
+	if v := reg.Counter("cubeserver_demotions_total", "").Value(); v < 1 {
+		t.Fatalf("demotions counter = %v", v)
+	}
+	if total := engine.MemoryBytes(); total > 9000 {
+		t.Fatalf("resident bytes %d exceed budget", total)
+	}
+
+	// any data access re-promotes transparently to exact full resolution
+	resp := mustDispatch(t, disp, &Request{Op: "values", CubeID: ids[0]})
+	if len(resp.Values) != 64 {
+		t.Fatalf("re-promoted cube has %d rows, want 64", len(resp.Values))
+	}
+	for cell := 0; cell < 64; cell++ {
+		for tt := 0; tt < 16; tt++ {
+			if want := float32(tt + 2*cell); resp.Values[cell][tt] != want {
+				t.Fatalf("cell %d t %d: %g, want %g after re-promotion", cell, tt, resp.Values[cell][tt], want)
+			}
+		}
+	}
+	if v := reg.Counter("cubeserver_promotions_total", "").Value(); v < 1 {
+		t.Fatalf("promotions counter = %v", v)
+	}
+}
+
+func TestPipelineKeepAfterDemotionRepromotes(t *testing.T) {
+	disp, engine, _ := newResidentHarness(t, 9000)
+	dir := t.TempDir()
+	src := mustDispatch(t, disp, &Request{
+		Op: "importfiles", Paths: []string{writeGridFile(t, dir, "src.nc", 8, 8, 16)},
+		Var: "T", ImplicitDim: "time",
+	}).Shape.CubeID
+	// two hotter imports push the source down the ladder
+	for i := 0; i < 2; i++ {
+		p := writeGridFile(t, dir, fmt.Sprintf("hot%d.nc", i), 8, 8, 16)
+		mustDispatch(t, disp, &Request{Op: "importfiles", Paths: []string{p}, Var: "T", ImplicitDim: "time"})
+	}
+	if c, _ := engine.Get(src); c.Rows() >= 64 {
+		t.Fatalf("source not demoted (rows=%d); test setup is wrong", c.Rows())
+	}
+
+	// a Keep-bearing pipeline on the demoted cube must transparently
+	// re-promote it and compute on full-resolution data
+	resp := mustDispatch(t, disp, &Request{Op: "pipeline", CubeID: src, Pipeline: []PipelineStep{
+		{Op: "apply", Expr: "x*2", Keep: true},
+		{Op: "reduce", RowOp: "max"},
+	}})
+	vals := mustDispatch(t, disp, &Request{Op: "values", CubeID: resp.Shape.CubeID}).Values
+	if len(vals) != 64 {
+		t.Fatalf("pipeline output rows = %d, want 64", len(vals))
+	}
+	for cell := 0; cell < 64; cell++ {
+		// max over t of 2*(t + 2*cell) at t=15
+		if want := float32(2 * (15 + 2*cell)); vals[cell][0] != want {
+			t.Fatalf("cell %d: %g, want %g", cell, vals[cell][0], want)
+		}
+	}
+}
+
+func TestResidentDropLeavesRecipePlaceholder(t *testing.T) {
+	// a budget below two fully-coarsened cubes (2 × 512 bytes at the 8x
+	// rung) forces one off the end of the ladder; the dropped cube must
+	// stay listed and a later data access must rebuild it from its
+	// import recipe
+	disp, engine, reg := newResidentHarness(t, 600)
+	dir := t.TempDir()
+	cold := mustDispatch(t, disp, &Request{
+		Op: "importfiles", Paths: []string{writeGridFile(t, dir, "cold.nc", 8, 8, 16)},
+		Var: "T", ImplicitDim: "time",
+	}).Shape.CubeID
+	hot := mustDispatch(t, disp, &Request{
+		Op: "importfiles", Paths: []string{writeGridFile(t, dir, "hot.nc", 8, 8, 16)},
+		Var: "T", ImplicitDim: "time",
+	}).Shape.CubeID
+	if v := reg.Counter("cubeserver_drops_total", "").Value(); v < 1 {
+		t.Fatalf("drops counter = %v; budget %d should be undershootable only by dropping", v, 600)
+	}
+	if _, err := engine.Get(cold); err != nil {
+		t.Fatalf("dropped cube left the catalog: %v", err)
+	}
+	if _, err := engine.Get(hot); err != nil {
+		t.Fatal(err)
+	}
+
+	vals := mustDispatch(t, disp, &Request{Op: "values", CubeID: cold}).Values
+	if len(vals) != 64 {
+		t.Fatalf("rebuilt cube has %d rows, want 64", len(vals))
+	}
+	for cell := 0; cell < 64; cell++ {
+		for tt := 0; tt < 16; tt++ {
+			if want := float32(tt + 2*cell); vals[cell][tt] != want {
+				t.Fatalf("cell %d t %d: %g, want %g after rebuild from recipe", cell, tt, vals[cell][tt], want)
+			}
+		}
+	}
+}
+
+func TestResidentConcurrentDemotePromote(t *testing.T) {
+	disp, _, _ := newResidentHarness(t, 10000)
+	dir := t.TempDir()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		p := writeGridFile(t, dir, fmt.Sprintf("c%d.nc", i), 8, 8, 16)
+		resp := mustDispatch(t, disp, &Request{Op: "importfiles", Paths: []string{p}, Var: "T", ImplicitDim: "time"})
+		ids = append(ids, resp.Shape.CubeID)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id := ids[(w+i)%len(ids)]
+				switch i % 3 {
+				case 0:
+					resp := disp.Dispatch(&Request{Op: "values", CubeID: id})
+					if resp.Err == "" && len(resp.Values) != 64 {
+						t.Errorf("values on %s returned %d rows", id, len(resp.Values))
+					}
+				case 1:
+					resp := disp.Dispatch(&Request{Op: "pipeline", CubeID: id, Pipeline: []PipelineStep{
+						{Op: "reduce", RowOp: "avg"},
+					}})
+					if resp.Err == "" {
+						_ = disp.Dispatch(&Request{Op: "delete", CubeID: resp.Shape.CubeID})
+					}
+				default:
+					_ = disp.Dispatch(&Request{Op: "list"})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestResidentBytesOverWire(t *testing.T) {
+	client, engine := startServer(t)
+	path := writeTestFile(t, t.TempDir(), "a.nc")
+	cube, err := client.ImportFiles([]string{path}, "T", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, total, err := client.ResidentBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per[cube.ID()] != 4*2*4 { // 4 rows x 2 values x 4 bytes
+		t.Fatalf("resident[%s] = %d, want 32", cube.ID(), per[cube.ID()])
+	}
+	if total != engine.MemoryBytes() {
+		t.Fatalf("total %d != engine %d", total, engine.MemoryBytes())
+	}
+	if err := cube.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	per, total, err = client.ResidentBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 0 || total != 0 {
+		t.Fatalf("after delete: per=%v total=%d", per, total)
+	}
+}
+
+func TestPipelineToleranceOverWire(t *testing.T) {
+	client, _ := startServer(t)
+	dir := t.TempDir()
+	path := writeGridFile(t, dir, "tol.nc", 8, 8, 16)
+	cube, err := client.ImportFiles([]string{path}, "T", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := func(tol float64) []PipelineStep {
+		return []PipelineStep{
+			{Op: "apply", Expr: "x-10"},
+			{Op: "reduce", RowOp: "avg", Tolerance: tol},
+		}
+	}
+	exact, err := cube.Pipeline(steps(0)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := exact.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.5
+	tol, err := cube.Pipeline(steps(eps)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := tol.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tv) != len(ev) {
+		t.Fatalf("rows %d vs %d", len(tv), len(ev))
+	}
+	for r := range ev {
+		if d := math.Abs(float64(tv[r][0]) - float64(ev[r][0])); d > eps+1e-3 {
+			t.Fatalf("row %d: |%g-%g| = %g > eps", r, tv[r][0], ev[r][0], d)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package datacube
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ncdf"
 )
@@ -36,6 +38,13 @@ type Cube struct {
 	// allocated only once a second distinct key arrives.
 	metaK, metaV string
 	meta         map[string]string
+
+	// resolution pyramid (pyramid.go): built lazily on first tolerant
+	// access under tierOnce; tiersOK publishes the result so byte
+	// accounting can read it without forcing a build.
+	tierOnce sync.Once
+	tiersOK  atomic.Bool
+	tiers    []tier
 }
 
 // ID returns the cube's engine-assigned identifier (Ophidia's PID).

@@ -28,6 +28,12 @@ type Config struct {
 	// the server count the way the real multi-node deployment does —
 	// even on hosts without spare cores. Zero disables it.
 	FragmentLatency time.Duration
+	// PyramidLevels is the number of row-downsampled resolution tiers
+	// each cube lazily maintains for tolerance-aware coarse-first
+	// execution: level k halves the rows k times, so 3 levels give the
+	// 2x/4x/8x pyramid. Zero means the default (3); negative disables
+	// the pyramid entirely, making every tolerant plan run exact.
+	PyramidLevels int
 	// Metrics, when set, receives per-operator wall-time histograms and
 	// cell/fragment throughput counters (datacube_* families).
 	Metrics *obs.Registry
@@ -107,6 +113,11 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.FragmentsPerCube <= 0 {
 		cfg.FragmentsPerCube = 2 * cfg.Servers
+	}
+	if cfg.PyramidLevels == 0 {
+		cfg.PyramidLevels = defaultPyramidLevels
+	} else if cfg.PyramidLevels < 0 {
+		cfg.PyramidLevels = 0 // disabled
 	}
 	e := &Engine{cfg: cfg, cubes: make(map[string]*Cube), met: newDCMetrics(cfg.Metrics)}
 	for i := 0; i < cfg.Servers; i++ {
@@ -194,24 +205,64 @@ func (e *Engine) Get(id string) (*Cube, error) {
 func (e *Engine) Delete(id string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.cubes[id]; !ok {
+	c, ok := e.cubes[id]
+	if !ok {
 		return fmt.Errorf("%w: no cube %q", ErrNotFound, id)
 	}
 	delete(e.cubes, id)
+	for _, t := range c.builtTiers() {
+		e.met.tierBytes.Add(-float64(t.bytes()))
+	}
 	return nil
 }
 
-// MemoryBytes reports the resident payload size across all cubes.
+// MemoryBytes reports the resident payload size across all cubes,
+// including built pyramid tiers.
 func (e *Engine) MemoryBytes() int64 {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	var n int64
+	cubes := make([]*Cube, 0, len(e.cubes))
 	for _, c := range e.cubes {
-		for _, fr := range c.frags {
-			n += int64(len(fr.data)) * 4
-		}
+		cubes = append(cubes, c)
+	}
+	e.mu.Unlock()
+	var n int64
+	for _, c := range cubes {
+		n += c.Bytes()
 	}
 	return n
+}
+
+// Adopt re-binds an already registered cube under the public identity
+// of another resident cube, releasing the previous holder of that
+// identity. The cubeserver residency manager uses it to swap a cube's
+// representation (demote to a coarse stand-in, re-promote to full
+// fidelity) without changing the ID clients hold; in-flight operators
+// keep their pointer to the old object, which stays internally valid
+// until garbage collected.
+func (e *Engine) Adopt(id string, c *Cube) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	old, ok := e.cubes[id]
+	if !ok {
+		return fmt.Errorf("%w: no cube %q", ErrNotFound, id)
+	}
+	if got, ok := e.cubes[c.id]; !ok || got != c {
+		return fmt.Errorf("datacube: adopt: cube %q is not registered on this engine", c.id)
+	}
+	if c.id == id {
+		return nil
+	}
+	delete(e.cubes, c.id)
+	c.id = id
+	e.cubes[id] = c
+	// the displaced holder leaves the engine like a Delete would
+	for _, t := range old.builtTiers() {
+		e.met.tierBytes.Add(-float64(t.bytes()))
+	}
+	return nil
 }
 
 // register assigns an ID and stores the cube.
@@ -310,6 +361,51 @@ func (e *Engine) mapFragmentsIdx(op string, c *Cube, fn func(i int, fr *fragment
 			}
 			if err := fn(i, fr); err != nil {
 				errCh <- fmt.Errorf("%s: rows [%d,%d): %w", op, fr.rowStart, fr.rowStart+fr.rowCount, err)
+			}
+			e.met.fragSeconds.Observe(time.Since(t0).Seconds())
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	e.met.opSeconds.With(op).Observe(time.Since(start).Seconds())
+	return errors.Join(errs...)
+}
+
+// scatterTasks runs the given work items on the I/O servers
+// round-robin and waits for completion, with the same lifecycle
+// discipline as fragment fan-outs: operators that passed the closed
+// check register in inflight so Close drains them before shutting the
+// task channels, and all task errors are joined.
+func (e *Engine) scatterTasks(op string, tasks []func() error) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("%s: %w", op, ErrEngineClosed)
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(tasks))
+	for i, task := range tasks {
+		task := task
+		wg.Add(1)
+		e.fragTasks.Add(1)
+		e.met.fragTasks.Inc()
+		e.servers[i%len(e.servers)].tasks <- func() {
+			defer wg.Done()
+			t0 := time.Now()
+			if e.cfg.FragmentLatency > 0 {
+				time.Sleep(e.cfg.FragmentLatency)
+			}
+			if err := task(); err != nil {
+				errCh <- fmt.Errorf("%s: %w", op, err)
 			}
 			e.met.fragSeconds.Observe(time.Since(t0).Seconds())
 		}

@@ -171,7 +171,11 @@ type planExec struct {
 	curTemp bool
 	temps   []*Cube
 	pending []stage
-	inLen   int
+	// pendingSteps mirrors pending with the raw recorded steps so a
+	// terminal flush under Plan.Tolerance can compile interval kernels
+	// (tolerance.go) for the same segment.
+	pendingSteps []planStep
+	inLen        int
 }
 
 // fail deletes every unkept intermediate and returns err.
@@ -198,14 +202,31 @@ func (x *planExec) shift(next *Cube, nextTemp bool) {
 	x.cur, x.curTemp = next, nextTemp
 }
 
-// flush materializes the pending fused segment into a cube.
-func (x *planExec) flush(keep bool) error {
-	outs, err := x.e.fusedPass(x.cur, x.pending, nil)
+// flush materializes the pending fused segment into a cube. eps > 0
+// marks a terminal flush executing under Plan.Tolerance: the segment
+// runs coarse-first over the source's resolution pyramid when every
+// stage has an interval form, and exact otherwise.
+func (x *planExec) flush(keep bool, eps float64) error {
+	var outs []*Cube
+	var err error
+	if eps > 0 {
+		var ran bool
+		outs, ran, err = x.e.tolerantPass(x.cur, x.pendingSteps, x.pending, nil, nil, eps)
+		if err != nil {
+			return err
+		}
+		if !ran {
+			outs, err = x.e.fusedPass(x.cur, x.pending, nil)
+		}
+	} else {
+		outs, err = x.e.fusedPass(x.cur, x.pending, nil)
+	}
 	if err != nil {
 		return err
 	}
 	x.shift(outs[0], !keep)
 	x.pending = x.pending[:0]
+	x.pendingSteps = x.pendingSteps[:0]
 	return nil
 }
 
@@ -238,9 +259,16 @@ func (p *Plan) run(branches []*Plan) ([]*Cube, error) {
 				return x.fail(fmt.Errorf("datacube: plan step %d (%s): %w", i, st.op, err))
 			}
 			x.pending = append(x.pending, sg)
+			x.pendingSteps = append(x.pendingSteps, st)
 			x.inLen = sg.outLen
 			if st.keep {
-				if err := x.flush(true); err != nil {
+				// only a Keep on the very last step is a terminal flush
+				// eligible for coarse-first execution
+				eps := 0.0
+				if i == len(p.steps)-1 && branches == nil {
+					eps = p.tolerance
+				}
+				if err := x.flush(true, eps); err != nil {
 					return x.fail(fmt.Errorf("datacube: plan step %d (%s): %w", i, st.op, err))
 				}
 			}
@@ -248,7 +276,7 @@ func (p *Plan) run(branches []*Plan) ([]*Cube, error) {
 		}
 		// barrier: materialize the pending segment, then run eagerly
 		if len(x.pending) > 0 {
-			if err := x.flush(false); err != nil {
+			if err := x.flush(false, 0); err != nil {
 				return x.fail(fmt.Errorf("datacube: plan step %d (%s): %w", i, st.op, err))
 			}
 		}
@@ -273,7 +301,7 @@ func (p *Plan) run(branches []*Plan) ([]*Cube, error) {
 
 	if branches == nil {
 		if len(x.pending) > 0 {
-			if err := x.flush(true); err != nil {
+			if err := x.flush(true, p.tolerance); err != nil {
 				return x.fail(err)
 			}
 		}
@@ -311,7 +339,20 @@ func (p *Plan) run(branches []*Plan) ([]*Cube, error) {
 			w = sg.outLen
 		}
 	}
-	outs, err := x.e.fusedPass(x.cur, x.pending, branchStages)
+	var outs []*Cube
+	var err error
+	if p.tolerance > 0 {
+		var ran bool
+		outs, ran, err = x.e.tolerantPass(x.cur, x.pendingSteps, x.pending, branches, branchStages, p.tolerance)
+		if err != nil {
+			return x.fail(err)
+		}
+		if !ran {
+			outs, err = x.e.fusedPass(x.cur, x.pending, branchStages)
+		}
+	} else {
+		outs, err = x.e.fusedPass(x.cur, x.pending, branchStages)
+	}
 	if err != nil {
 		return x.fail(err)
 	}

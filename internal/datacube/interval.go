@@ -1,0 +1,202 @@
+package datacube
+
+import "math"
+
+// This file adds interval evaluation to the expression language and a
+// registry of interval forms for named row operations. Both are the
+// foundation of tolerance-aware coarse-first execution (tolerance.go):
+// a coarse pyramid tier stores, per coarse row, a midpoint series and a
+// spread bound, and the plan executor pushes the implied per-position
+// interval [mid-spread, mid+spread] through the fused operator chain.
+// Every interval form must be SOUND (the true full-resolution output
+// always lies inside the propagated interval, up to float32 rounding of
+// the endpoints); it need not be tight — a loose interval only costs
+// extra refinement, never correctness.
+
+// EvalInterval evaluates the expression over the interval [lo, hi] of
+// the variable x and returns an enclosure of the image. The enclosure
+// is conservative: ternaries whose condition is undecided return the
+// hull of both arms, division by an interval containing zero returns
+// an infinite bound, and comparisons return [0,1] when undecided.
+func (e *Expr) EvalInterval(lo, hi float64) (float64, float64) {
+	return ivalNode(e.prog, lo, hi)
+}
+
+func ivalNode(n ast, lo, hi float64) (float64, float64) {
+	switch n := n.(type) {
+	case numNode:
+		return float64(n), float64(n)
+	case varNode:
+		return lo, hi
+	case unaryNode:
+		alo, ahi := ivalNode(n.a, lo, hi)
+		switch n.op {
+		case "-":
+			return -ahi, -alo
+		case "!":
+			// !v is 1 iff v == 0
+			if alo > 0 || ahi < 0 {
+				return 0, 0
+			}
+			if alo == 0 && ahi == 0 {
+				return 1, 1
+			}
+			return 0, 1
+		}
+		return math.NaN(), math.NaN()
+	case binNode:
+		alo, ahi := ivalNode(n.a, lo, hi)
+		blo, bhi := ivalNode(n.b, lo, hi)
+		switch n.op {
+		case "+":
+			return alo + blo, ahi + bhi
+		case "-":
+			return alo - bhi, ahi - blo
+		case "*":
+			return imul(alo, ahi, blo, bhi)
+		case "/":
+			return idiv(alo, ahi, blo, bhi)
+		case "==":
+			if alo == ahi && blo == bhi && alo == blo {
+				return 1, 1
+			}
+			if ahi < blo || alo > bhi {
+				return 0, 0
+			}
+			return 0, 1
+		case "!=":
+			if alo == ahi && blo == bhi && alo == blo {
+				return 0, 0
+			}
+			if ahi < blo || alo > bhi {
+				return 1, 1
+			}
+			return 0, 1
+		case "<":
+			if ahi < blo {
+				return 1, 1
+			}
+			if alo >= bhi {
+				return 0, 0
+			}
+			return 0, 1
+		case "<=":
+			if ahi <= blo {
+				return 1, 1
+			}
+			if alo > bhi {
+				return 0, 0
+			}
+			return 0, 1
+		case ">":
+			if alo > bhi {
+				return 1, 1
+			}
+			if ahi <= blo {
+				return 0, 0
+			}
+			return 0, 1
+		case ">=":
+			if alo >= bhi {
+				return 1, 1
+			}
+			if ahi < blo {
+				return 0, 0
+			}
+			return 0, 1
+		case "&&":
+			ta0, ta1 := truthiness(alo, ahi)
+			tb0, tb1 := truthiness(blo, bhi)
+			return b2f(ta0 && tb0), b2f(ta1 && tb1)
+		case "||":
+			ta0, ta1 := truthiness(alo, ahi)
+			tb0, tb1 := truthiness(blo, bhi)
+			return b2f(ta0 || tb0), b2f(ta1 || tb1)
+		}
+		return math.NaN(), math.NaN()
+	case ternNode:
+		clo, chi := ivalNode(n.cond, lo, hi)
+		if clo > 0 || chi < 0 { // certainly nonzero: then-arm
+			return ivalNode(n.a, lo, hi)
+		}
+		if clo == 0 && chi == 0 { // certainly zero: else-arm
+			return ivalNode(n.b, lo, hi)
+		}
+		tlo, thi := ivalNode(n.a, lo, hi)
+		elo, ehi := ivalNode(n.b, lo, hi)
+		return math.Min(tlo, elo), math.Max(thi, ehi)
+	case callNode:
+		switch n.fn {
+		case "abs":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			switch {
+			case alo >= 0:
+				return alo, ahi
+			case ahi <= 0:
+				return -ahi, -alo
+			default:
+				return 0, math.Max(-alo, ahi)
+			}
+		case "sqrt":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			return math.Sqrt(alo), math.Sqrt(ahi) // NaN below 0 forces refinement
+		case "exp":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			return math.Exp(alo), math.Exp(ahi)
+		case "log":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			return math.Log(alo), math.Log(ahi)
+		case "pow":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			blo, bhi := ivalNode(n.args[1], lo, hi)
+			c := []float64{math.Pow(alo, blo), math.Pow(alo, bhi), math.Pow(ahi, blo), math.Pow(ahi, bhi)}
+			if alo < 0 && ahi > 0 {
+				// a zero-straddling base contributes pow(0, b) interior
+				// extrema (e.g. x^2 over [-1,2] reaches 0)
+				c = append(c, math.Pow(0, blo), math.Pow(0, bhi))
+			}
+			mn, mx := c[0], c[0]
+			for _, v := range c[1:] {
+				mn, mx = math.Min(mn, v), math.Max(mx, v)
+			}
+			return mn, mx
+		case "min":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			blo, bhi := ivalNode(n.args[1], lo, hi)
+			return math.Min(alo, blo), math.Min(ahi, bhi)
+		case "max":
+			alo, ahi := ivalNode(n.args[0], lo, hi)
+			blo, bhi := ivalNode(n.args[1], lo, hi)
+			return math.Max(alo, blo), math.Max(ahi, bhi)
+		}
+		return math.NaN(), math.NaN()
+	}
+	return math.NaN(), math.NaN()
+}
+
+// truthiness maps a value interval to the (lo, hi) of its boolean
+// coercion: lo is true only when the interval certainly excludes zero,
+// hi is false only when the interval is exactly {0}.
+func truthiness(lo, hi float64) (bool, bool) {
+	certain := lo > 0 || hi < 0
+	possible := !(lo == 0 && hi == 0)
+	return certain, possible
+}
+
+// imul returns the hull of the four endpoint products.
+func imul(alo, ahi, blo, bhi float64) (float64, float64) {
+	p1, p2, p3, p4 := alo*blo, alo*bhi, ahi*blo, ahi*bhi
+	return math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		math.Max(math.Max(p1, p2), math.Max(p3, p4))
+}
+
+// idiv divides intervals; a zero-straddling divisor yields an infinite
+// enclosure, which the coarse pass treats as "must refine".
+func idiv(alo, ahi, blo, bhi float64) (float64, float64) {
+	if blo <= 0 && bhi >= 0 {
+		return math.Inf(-1), math.Inf(1)
+	}
+	q1, q2, q3, q4 := alo/blo, alo/bhi, ahi/blo, ahi/bhi
+	return math.Min(math.Min(q1, q2), math.Min(q3, q4)),
+		math.Max(math.Max(q1, q2), math.Max(q3, q4))
+}

@@ -24,6 +24,15 @@ type dcMetrics struct {
 	fusedSeconds  *obs.Histogram // whole fused-pass wall time
 	scratchHits   *obs.Counter   // scratch-pool gets served from the pool
 	scratchMisses *obs.Counter   // scratch-pool gets that had to allocate
+
+	// resolution-pyramid instruments (pyramid.go/tolerance.go)
+	tierBuilds       *obs.Counter   // pyramid builds completed
+	tierBuildSeconds *obs.Histogram // wall time of one pyramid build
+	tierBytes        *obs.Gauge     // resident bytes held by pyramid tiers
+	tolerantPasses   *obs.Counter   // coarse-first passes executed
+	tierHits         *obs.Counter   // coarse rows accepted within tolerance
+	tierRefines      *obs.Counter   // coarse blocks split to a finer tier
+	rowsExact        *obs.Counter   // rows that fell through to exact evaluation
 }
 
 func newDCMetrics(reg *obs.Registry) *dcMetrics {
@@ -48,6 +57,20 @@ func newDCMetrics(reg *obs.Registry) *dcMetrics {
 			"Fused-pass scratch buffers served from the pool."),
 		scratchMisses: reg.Counter("datacube_scratch_pool_misses_total",
 			"Fused-pass scratch buffers that had to be allocated."),
+		tierBuilds: reg.Counter("datacube_tier_builds_total",
+			"Resolution-pyramid builds completed (one per cube, lazy)."),
+		tierBuildSeconds: reg.Histogram("datacube_tier_build_seconds",
+			"Wall-clock duration of one resolution-pyramid build.", opBounds),
+		tierBytes: reg.Gauge("datacube_tier_bytes",
+			"Resident bytes held by resolution-pyramid tiers."),
+		tolerantPasses: reg.Counter("datacube_tier_tolerant_passes_total",
+			"Coarse-first fused passes executed under a plan tolerance."),
+		tierHits: reg.Counter("datacube_tier_coarse_rows_total",
+			"Coarse tier rows whose error bound met the declared tolerance."),
+		tierRefines: reg.Counter("datacube_tier_refines_total",
+			"Coarse blocks re-executed at the next finer tier."),
+		rowsExact: reg.Counter("datacube_tier_exact_rows_total",
+			"Rows a tolerant pass evaluated at full resolution."),
 	}
 }
 

@@ -52,9 +52,10 @@ var ErrPlanReused = errors.New("datacube: plan already executed (plans are singl
 // single-use value builders, not thread-safe; a second
 // Execute/ExecuteBranches fails with ErrPlanReused.
 type Plan struct {
-	src      *Cube
-	steps    []planStep
-	executed bool
+	src       *Cube
+	steps     []planStep
+	tolerance float64
+	executed  bool
 }
 
 // Lazy starts a plan whose first step consumes the cube. Nothing
@@ -134,6 +135,25 @@ func (p *Plan) Keep() *Plan {
 		// recorded as an invalid step so Execute reports it instead of
 		// silently ignoring the call
 		p.steps = append(p.steps, planStep{op: "keep-without-step"})
+	}
+	return p
+}
+
+// Tolerance declares the absolute error the caller accepts on the
+// plan's final result, enabling coarse-first execution over the source
+// cube's resolution pyramid: the terminal run of row-local steps is
+// evaluated on coarse tiers first and re-executed at finer tiers only
+// where the propagated error bound exceeds eps (see tolerance.go).
+// eps=0 (the default) keeps execution byte-identical to the exact
+// path. Steps before the terminal row-local segment — materialized
+// Keep boundaries and barrier operators — always run exact, so the
+// bound applies end-to-end to the returned cube(s). Plans whose steps
+// all lack interval forms silently fall back to exact execution.
+func (p *Plan) Tolerance(eps float64) *Plan {
+	if eps > 0 {
+		p.tolerance = eps
+	} else {
+		p.tolerance = 0
 	}
 	return p
 }

@@ -437,11 +437,13 @@ func TestPlanRandomChainsMatchEager(t *testing.T) {
 		plan := src.Lazy()
 		eagerCur := src
 		var eagerTemps, others []*Cube
+		var chain []randStep
 		keeps, lastKept := 0, false
 		nsteps := 1 + rng.Intn(6)
 		for s := 0; s < nsteps; s++ {
 			preOthers := idSet(e)
 			st := genStep(t, rng, e, eagerCur)
+			chain = append(chain, st)
 			for _, id := range e.List() {
 				if !preOthers[id] { // intercube operand created by genStep
 					oc, _ := e.Get(id)
@@ -487,6 +489,31 @@ func TestPlanRandomChainsMatchEager(t *testing.T) {
 			t.Fatalf("case %d: plan registered %d cubes, want %d (keeps=%d lastKept=%v)",
 				cases, len(fresh), wantNew, keeps, lastKept)
 		}
+
+		// tier-aware replays of the same chain (without Keep marks):
+		// Tolerance(0) must stay bit-identical to the eager reference, and
+		// Tolerance(eps>0) must satisfy the declared bound.
+		replay := func() *Plan {
+			p := src.Lazy()
+			for _, st := range chain {
+				p = st.toPlan(p)
+			}
+			return p
+		}
+		got0, err := replay().Tolerance(0).Execute()
+		if err != nil {
+			t.Fatalf("case %d: Tolerance(0) replay: %v", cases, err)
+		}
+		requireSameCube(t, fmt.Sprintf("case %d tolerance-zero", cases), got0, eagerCur)
+		_ = got0.Delete()
+
+		eps := []float64{0.05, 0.5}[rng.Intn(2)]
+		gotE, err := replay().Tolerance(eps).Execute()
+		if err != nil {
+			t.Fatalf("case %d: Tolerance(%g) replay: %v", cases, eps, err)
+		}
+		requireToleranceBound(t, gotE, eagerCur, eps)
+		_ = gotE.Delete()
 
 		// free everything this case created and verify the engine is back
 		// to its pre-case population

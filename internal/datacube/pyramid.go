@@ -1,0 +1,194 @@
+package datacube
+
+import (
+	"math"
+	"time"
+)
+
+// This file maintains each cube's resolution pyramid: 2x/4x/8x
+// row-downsampled tiers in the spirit of hierarchical multi-resolution
+// climate stores (Panta et al.). A tier holds, per coarse row, the
+// mean-preserving midpoint series over the covered full-resolution rows
+// plus a scalar spread bound, so a coarse pass can evaluate one row per
+// block and know how far the true per-row results can stray
+// (tolerance.go). Tiers are derived data: they are built lazily on
+// first tolerant access (never taxing exact pipelines), fan out over
+// the same I/O servers as fragment work, and live in one backing
+// allocation per tier.
+
+// tier is one pyramid level of a cube.
+type tier struct {
+	factor int       // full rows per coarse row (2^level)
+	rows   int       // ceil(cube rows / factor)
+	mean   []float32 // rows × implicitLen midpoint series, row-major
+	spread []float32 // rows; max |value - mean| over the covered block
+}
+
+// bytes reports the tier's payload size.
+func (t *tier) bytes() int64 { return int64(len(t.mean)+len(t.spread)) * 4 }
+
+// defaultPyramidLevels is the tier count when Config.PyramidLevels is
+// zero: 2x, 4x and 8x row reductions.
+const defaultPyramidLevels = 3
+
+// PyramidFactor returns the row span of the coarsest pyramid tier the
+// config implies (1 when the pyramid is disabled). The cluster
+// coordinator uses it to decide whether shard row offsets align with
+// tier block boundaries before forwarding a tolerance.
+func (cfg Config) PyramidFactor() int {
+	l := cfg.PyramidLevels
+	if l == 0 {
+		l = defaultPyramidLevels
+	}
+	if l < 0 {
+		return 1
+	}
+	return 1 << l
+}
+
+// ensureTiers builds the cube's pyramid on first use and returns it.
+// Concurrent callers share one build (sync.Once); a nil result means
+// the pyramid is disabled or could not be built, and tolerant execution
+// falls back to the exact path.
+func (c *Cube) ensureTiers() []tier {
+	c.tierOnce.Do(func() {
+		c.tiers = c.engine.buildTiers(c)
+		c.tiersOK.Store(true)
+	})
+	return c.tiers
+}
+
+// builtTiers returns the pyramid only if it has already been built,
+// without triggering a build (used by byte accounting).
+func (c *Cube) builtTiers() []tier {
+	if c.tiersOK.Load() {
+		return c.tiers
+	}
+	return nil
+}
+
+// TierLevels reports how many pyramid tiers have been built so far.
+func (c *Cube) TierLevels() int { return len(c.builtTiers()) }
+
+// Bytes reports the cube's resident payload: fragment data plus any
+// built pyramid tiers.
+func (c *Cube) Bytes() int64 {
+	var n int64
+	for _, fr := range c.frags {
+		n += int64(len(fr.data)) * 4
+	}
+	for _, t := range c.builtTiers() {
+		n += t.bytes()
+	}
+	return n
+}
+
+// buildTiers computes every pyramid level from the full-resolution
+// rows. Each level is computed directly from level 0 (not from the
+// previous tier) so means are exact and spreads are tight; blocks are
+// aligned to cube-local row 0, which keeps shard-local tiers
+// bit-identical to the matching slice of a single engine's tiers when
+// shard row offsets are multiples of the top factor.
+func (e *Engine) buildTiers(c *Cube) []tier {
+	levels := e.cfg.PyramidLevels
+	if levels <= 0 || c.rows < 2 || c.implicit.Size == 0 {
+		return nil
+	}
+	n := c.implicit.Size
+	tiers := make([]tier, levels)
+	for l := 1; l <= levels; l++ {
+		f := 1 << l
+		tr := (c.rows + f - 1) / f
+		backing := make([]float32, tr*n+tr) // one allocation: mean, then spread
+		tiers[l-1] = tier{factor: f, rows: tr, mean: backing[:tr*n], spread: backing[tr*n:]}
+	}
+	top := 1 << levels
+	topRows := tiers[levels-1].rows
+	ntasks := 2 * e.cfg.Servers
+	if ntasks > topRows {
+		ntasks = topRows
+	}
+	t0 := time.Now()
+	err := e.runTasks("tier_build", ntasks, func(task int) error {
+		b0 := topRows * task / ntasks
+		b1 := topRows * (task + 1) / ntasks
+		var block [][]float32 // row slices of the current coarse block
+		cells := 0
+		for li := range tiers {
+			t := &tiers[li]
+			// top-level blocks decompose exactly into this level's blocks
+			c0 := b0 * top / t.factor
+			c1 := b1 * top / t.factor
+			if c1 > t.rows {
+				c1 = t.rows
+			}
+			for crow := c0; crow < c1; crow++ {
+				r0 := crow * t.factor
+				r1 := r0 + t.factor
+				if r1 > c.rows {
+					r1 = c.rows
+				}
+				block = block[:0]
+				for r := r0; r < r1; r++ {
+					block = append(block, c.rowSlice(r))
+				}
+				mrow := t.mean[crow*n : (crow+1)*n]
+				cnt := float64(len(block))
+				for tt := 0; tt < n; tt++ {
+					var s float64
+					for _, row := range block {
+						s += float64(row[tt])
+					}
+					mrow[tt] = float32(s / cnt)
+				}
+				var sp float64
+				for _, row := range block {
+					for tt := 0; tt < n; tt++ {
+						if d := math.Abs(float64(row[tt]) - float64(mrow[tt])); d > sp {
+							sp = d
+						}
+					}
+				}
+				// round the spread upward so float32 storage never
+				// understates the true deviation
+				sp32 := float32(sp)
+				if float64(sp32) < sp {
+					sp32 = math.Nextafter32(sp32, float32(math.Inf(1)))
+				}
+				t.spread[crow] = sp32
+				cells += (r1 - r0) * n
+			}
+		}
+		e.addCells(int64(cells))
+		return nil
+	})
+	if err != nil {
+		// only possible when the engine is closing; callers fall back to
+		// the exact path
+		return nil
+	}
+	var tb int64
+	for i := range tiers {
+		tb += tiers[i].bytes()
+	}
+	e.met.tierBuilds.Inc()
+	e.met.tierBuildSeconds.Observe(time.Since(t0).Seconds())
+	e.met.tierBytes.Add(float64(tb))
+	return tiers
+}
+
+// runTasks schedules n independent work items over the I/O servers and
+// waits for completion — the same lifecycle discipline as fragment
+// fan-outs (closed check, inflight registration, joined errors), for
+// work that is not shaped like one task per fragment.
+func (e *Engine) runTasks(op string, n int, fn func(task int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	tasks := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() error { return fn(i) }
+	}
+	return e.scatterTasks(op, tasks)
+}

@@ -22,7 +22,7 @@ import (
 func init() {
 	// days_in_runs_above(threshold, minLen): total days belonging to
 	// qualifying runs — the numerator of the frequency index.
-	mustRegister("days_in_runs_above", func(row []float32, params []float64) float64 {
+	daysAbove := datacube.RowOp(func(row []float32, params []float64) float64 {
 		th := paramAt(params, 0, 0)
 		minLen := int(paramAt(params, 1, 1))
 		total, cur := 0, 0
@@ -42,7 +42,7 @@ func init() {
 		flush()
 		return float64(total)
 	})
-	mustRegister("days_in_runs_below", func(row []float32, params []float64) float64 {
+	daysBelow := datacube.RowOp(func(row []float32, params []float64) float64 {
 		th := paramAt(params, 0, 0)
 		minLen := int(paramAt(params, 1, 1))
 		total, cur := 0, 0
@@ -62,10 +62,24 @@ func init() {
 		flush()
 		return float64(total)
 	})
+	mustRegister("days_in_runs_above", daysAbove)
+	mustRegister("days_in_runs_below", daysBelow)
+	// Interval forms for coarse-first tolerant execution: raising any
+	// sample can only lengthen/merge qualifying runs (and lowering only
+	// shorten/split them), so days_in_runs_above is monotone per
+	// coordinate and days_in_runs_below is its mirror.
+	mustRegisterInterval("days_in_runs_above", datacube.MonotoneInterval(daysAbove))
+	mustRegisterInterval("days_in_runs_below", datacube.AntitoneInterval(daysBelow))
 }
 
 func mustRegister(name string, op datacube.RowOp) {
 	if err := datacube.RegisterRowOp(name, op); err != nil {
+		panic(err)
+	}
+}
+
+func mustRegisterInterval(name string, f datacube.RowIvalFunc) {
+	if err := datacube.RegisterRowOpInterval(name, f); err != nil {
 		panic(err)
 	}
 }
@@ -94,6 +108,12 @@ type Params struct {
 	// byte-for-byte identical cubes and the eager one is kept for
 	// cross-checking and benchmarking the fusion win.
 	Eager bool
+	// Tolerance declares the absolute error accepted on each index
+	// value, enabling coarse-first execution over the input cube's
+	// resolution pyramid (datacube.Plan.Tolerance). Zero (the default)
+	// keeps the fused path byte-identical to exact execution; it is
+	// ignored on the eager path, which is always exact.
+	Tolerance float64
 }
 
 // Defaults fills zero fields with the paper's definitions.
@@ -243,6 +263,7 @@ func wavePipelineFused(temp *datacube.Cube, baseline *datacube.Cube, p Params, h
 	outs, err := temp.Lazy().
 		ReduceGroup(op, p.StepsPerDay).
 		Intercube(baseline, "sub").
+		Tolerance(p.Tolerance).
 		ExecuteBranches(
 			datacube.Branch().Reduce(runOp, th).Apply(fmt.Sprintf("x>=%d ? x : 0", p.MinDays)),
 			datacube.Branch().Reduce(countOp, th, float64(p.MinDays)),

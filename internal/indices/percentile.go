@@ -171,6 +171,7 @@ func etccdiFused(temp *datacube.Cube, b *PercentileBaseline, p Params) (*Percent
 		outs, err := temp.Lazy().
 			ReduceGroup(extremum, p.StepsPerDay).
 			Intercube(pct, "sub").
+			Tolerance(p.Tolerance).
 			ExecuteBranches(
 				datacube.Branch().Reduce(countOp, 0).Apply(fmt.Sprintf("x/%d", p.DaysPerYear)),
 				datacube.Branch().Reduce(runsOp, 0, float64(p.MinDays)),

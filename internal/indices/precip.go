@@ -106,14 +106,21 @@ func (r *PrecipResult) Delete() {
 }
 
 // PrecipIndices computes the precipitation extremes from a daily-mean
-// precipitation cube. p95 may be nil to skip R95pTOT. The three
+// precipitation cube. p95 may be nil to skip R95pTOT. An optional
+// tolerance enables coarse-first execution over the daily cube's
+// resolution pyramid (datacube.Plan.Tolerance); omitted or zero keeps
+// the results byte-identical to exact execution. The three
 // unconditional reductions run as one fused three-output pass over
 // daily, and R95pTOT as one fused linear chain (its mask/wet-day
 // intermediates never materialize); precipIndicesEager is the
 // operator-at-a-time original, kept as the cross-check oracle.
-func PrecipIndices(daily *datacube.Cube, p95 *datacube.Cube) (*PrecipResult, error) {
+func PrecipIndices(daily *datacube.Cube, p95 *datacube.Cube, tolerance ...float64) (*PrecipResult, error) {
+	var tol float64
+	if len(tolerance) > 0 {
+		tol = tolerance[0]
+	}
 	out := &PrecipResult{}
-	outs, err := daily.Lazy().ExecuteBranches(
+	outs, err := daily.Lazy().Tolerance(tol).ExecuteBranches(
 		datacube.Branch().Reduce("sum"),
 		datacube.Branch().Reduce("max"),
 		datacube.Branch().Reduce("longest_run_below", WetDayThresholdMMDay),
@@ -137,6 +144,7 @@ func PrecipIndices(daily *datacube.Cube, p95 *datacube.Cube) (*PrecipResult, err
 			Apply("x>0 ? 1 : 0").
 			Intercube(daily, "mul").
 			Reduce("sum").
+			Tolerance(tol).
 			Execute(); err != nil {
 			out.Delete()
 			return nil, err

@@ -1,0 +1,148 @@
+package indices
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datacube"
+)
+
+// requireWithinTolerance asserts every value of got is within eps (plus
+// a small float32 slack) of want.
+func requireWithinTolerance(t *testing.T, name string, got, want *datacube.Cube, eps float64) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.ImplicitLen() != want.ImplicitLen() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, got.Rows(), got.ImplicitLen(), want.Rows(), want.ImplicitLen())
+	}
+	gv, wv := got.Values(), want.Values()
+	for r := range wv {
+		for i := range wv[r] {
+			if d := math.Abs(float64(gv[r][i]) - float64(wv[r][i])); d > eps+1e-3 {
+				t.Fatalf("%s: row %d elem %d: |%v-%v| = %g exceeds tolerance %g",
+					name, r, i, gv[r][i], wv[r][i], d, eps)
+			}
+		}
+	}
+}
+
+func TestWaveTolerance(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, err := BuildBaseline(e, g, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := syntheticTempCube(t, e, g, days, seededAnomaly(20260807, g.Size(), days))
+	p := Params{ThresholdK: 3, MinDays: 3, DaysPerYear: days}
+
+	exact, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance(0) stays byte-identical to the exact fused path
+	p.Tolerance = 0
+	zero, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "tol0/duration", zero.Duration, exact.Duration)
+	requireBitIdentical(t, "tol0/number", zero.Number, exact.Number)
+	requireBitIdentical(t, "tol0/frequency", zero.Frequency, exact.Frequency)
+
+	// a declared tolerance bounds the error on every index value
+	p.Tolerance = 0.5
+	tol, err := HeatWavesFromCube(temp, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireWithinTolerance(t, "tol/duration", tol.Duration, exact.Duration, p.Tolerance)
+	requireWithinTolerance(t, "tol/number", tol.Number, exact.Number, p.Tolerance)
+	requireWithinTolerance(t, "tol/frequency", tol.Frequency, exact.Frequency, p.Tolerance)
+	if err := Validate(tol, p); err != nil {
+		t.Fatalf("tolerant result failed invariants: %v", err)
+	}
+
+	// cold side as well
+	coldExact, err := ColdWavesFromCube(temp, b, Params{ThresholdK: 3, MinDays: 3, DaysPerYear: days})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTol, err := ColdWavesFromCube(temp, b, Params{ThresholdK: 3, MinDays: 3, DaysPerYear: days, Tolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireWithinTolerance(t, "cold/duration", coldTol.Duration, coldExact.Duration, 0.5)
+	requireWithinTolerance(t, "cold/frequency", coldTol.Frequency, coldExact.Frequency, 0.5)
+}
+
+func TestETCCDITolerance(t *testing.T) {
+	e := testEngine(t)
+	g := smallGrid()
+	const days = 20
+	b, err := BuildPercentileBaseline(e, g, days, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := syntheticTempCube(t, e, g, days, seededAnomaly(7, g.Size(), days))
+
+	exact, err := ETCCDI(temp, b, Params{MinDays: 3, DaysPerYear: days})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := ETCCDI(temp, b, Params{MinDays: 3, DaysPerYear: days, Tolerance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "tol0/TX90p", zero.TX90p, exact.TX90p)
+	requireBitIdentical(t, "tol0/WSDI", zero.WSDI, exact.WSDI)
+
+	const eps = 0.5
+	tol, err := ETCCDI(temp, b, Params{MinDays: 3, DaysPerYear: days, Tolerance: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireWithinTolerance(t, "TX90p", tol.TX90p, exact.TX90p, eps)
+	requireWithinTolerance(t, "TN10p", tol.TN10p, exact.TN10p, eps)
+	requireWithinTolerance(t, "WSDI", tol.WSDI, exact.WSDI, eps)
+	requireWithinTolerance(t, "CSDI", tol.CSDI, exact.CSDI, eps)
+}
+
+func TestPrecipTolerance(t *testing.T) {
+	e := testEngine(t)
+	const days = 24
+	daily, err := e.NewCubeFromFunc("PR_DAILY",
+		[]datacube.Dimension{{Name: "cell", Size: 32}},
+		datacube.Dimension{Name: "time", Size: days},
+		func(row, d int) float32 { return float32(2 + 0.02*float64(row) + float64(d%5)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p95, err := e.NewCubeFromFunc("PR95_CLIM",
+		[]datacube.Dimension{{Name: "cell", Size: 32}},
+		datacube.Dimension{Name: "time", Size: days},
+		func(row, d int) float32 { return 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := PrecipIndices(daily, p95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := PrecipIndices(daily, p95, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "tol0/PRCPTOT", zero.PRCPTOT, exact.PRCPTOT)
+	requireBitIdentical(t, "tol0/R95pTOT", zero.R95pTOT, exact.R95pTOT)
+
+	const eps = 1.0
+	tol, err := PrecipIndices(daily, p95, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireWithinTolerance(t, "PRCPTOT", tol.PRCPTOT, exact.PRCPTOT, eps)
+	requireWithinTolerance(t, "Rx1day", tol.Rx1day, exact.Rx1day, eps)
+	requireWithinTolerance(t, "CDD", tol.CDD, exact.CDD, eps)
+	requireWithinTolerance(t, "R95pTOT", tol.R95pTOT, exact.R95pTOT, eps)
+}

@@ -1,0 +1,67 @@
+package tctrack
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datacube"
+)
+
+func prescreenEngine(t *testing.T) *datacube.Engine {
+	t.Helper()
+	e := datacube.NewEngine(datacube.Config{Servers: 2, FragmentsPerCube: 4})
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// trackPoints strips IDs so runs that open tracks in the same order but
+// number them differently still compare equal.
+func trackPoints(tracks []*Track) [][]Detection {
+	out := make([][]Detection, len(tracks))
+	for i, tr := range tracks {
+		out[i] = tr.Points
+	}
+	return out
+}
+
+func TestPrescreenMatchesRunModel(t *testing.T) {
+	want, err := RunModel(stormModel(23, 2, 25), DefaultCriteria())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tol := range []float64{0, 50} {
+		e := prescreenEngine(t)
+		got, err := Prescreen(e, stormModel(23, 2, 25), Params{Criteria: DefaultCriteria(), Tolerance: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(trackPoints(got.Tracks), trackPoints(want)) {
+			t.Fatalf("tol=%g: prescreen tracks diverge from full scan:\ngot  %d tracks\nwant %d tracks",
+				tol, len(got.Tracks), len(want))
+		}
+		if got.StepsTotal != 25*4 {
+			t.Fatalf("StepsTotal = %d", got.StepsTotal)
+		}
+		if got.StepsScanned >= got.StepsTotal {
+			t.Fatalf("tol=%g: prescreen scanned every step (%d/%d), pruned nothing",
+				tol, got.StepsScanned, got.StepsTotal)
+		}
+		t.Logf("tol=%g: scanned %d/%d steps, %d tracks", tol, got.StepsScanned, got.StepsTotal, len(got.Tracks))
+	}
+}
+
+func TestPrescreenStormFreeScansNothing(t *testing.T) {
+	e := prescreenEngine(t)
+	got, err := Prescreen(e, stormModel(23, 0, 25), Params{Criteria: DefaultCriteria()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tracks) != 0 {
+		t.Fatalf("storm-free run produced %d tracks", len(got.Tracks))
+	}
+	// no stripe ever shows a sustained cyclone-grade contrast, so most
+	// steps must be pruned without the stencil scan
+	if got.StepsScanned > got.StepsTotal/2 {
+		t.Fatalf("storm-free run scanned %d/%d steps", got.StepsScanned, got.StepsTotal)
+	}
+}
