@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt-check build vet test race race-exchange race-replica race-cluster race-pyramid soak-smoke bench bench-smoke examples experiments chaos fuzz-short clean
+.PHONY: all check fmt-check build vet test race race-exchange race-replica race-cluster race-pyramid race-wire soak-smoke bench bench-smoke examples experiments chaos fuzz-short clean
 
 all: build vet test
 
@@ -54,6 +54,14 @@ race-pyramid:
 	$(GO) test -race -count=1 -run 'Pyramid|Tier|Toleran|Demot|Promot|Resident|Prescreen|Adopt|Interval' \
 		./internal/datacube/ ./internal/cubeserver/ ./internal/cubecluster/ ./internal/indices/ ./internal/tctrack/
 
+# focused race gate over the v2 wire layer: codec round-trip/parity,
+# multiplexed concurrent clients, connection pooling and failover,
+# protocol negotiation and mixed-version interop, idle/write deadlines,
+# poisoning semantics under concurrent Close
+race-wire:
+	$(GO) test -race -count=1 -run 'Wire|Mux|Interop|Frame|Pool|Timeout|Idle|Codec|Negotiat|Broken|Poison|CloseConcurrent' \
+		./internal/cubeserver/ ./internal/cubecluster/
+
 # short-mode replica soak in the tier-1 gate: one kill/reclaim cycle,
 # exactly-once and byte-identical outputs still asserted
 soak-smoke:
@@ -95,6 +103,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s -run=FuzzRead ./internal/ncdf/
 	$(GO) test -fuzz=FuzzCompile -fuzztime=10s -run=FuzzCompile ./internal/datacube/
 	$(GO) test -fuzz=FuzzPlan -fuzztime=10s -run=FuzzPlan ./internal/datacube/
+	$(GO) test -fuzz=FuzzWireFrame -fuzztime=10s -run=FuzzWireFrame ./internal/cubeserver/
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,10 @@
 //	cubecli show -addr ... -cube cube-3 -row 0
 //	cubecli list -addr ...
 //	cubecli stats -addr ...
+//
+// Clients negotiate the v2 binary wire protocol and fall back to gob
+// against older servers; -codec gob forces a legacy session. The
+// server closes idle connections after -idle-timeout.
 package main
 
 import (
@@ -73,7 +77,7 @@ func usage() {
 //	  | cubecli pipe -cube cube-4
 func doPipe(args []string) {
 	fs := flag.NewFlagSet("pipe", flag.ExitOnError)
-	fs.String("addr", "127.0.0.1:8761", "server address")
+	addClientFlags(fs)
 	cubeID := fs.String("cube", "", "source cube id (required)")
 	stepsJSON := fs.String("steps", "", "pipeline steps as JSON (default: read stdin)")
 	fs.Parse(args)
@@ -110,8 +114,10 @@ func serve(args []string) {
 	shards := fs.Int("shards", 4, "cluster row-range shards (with -cluster)")
 	replicas := fs.Int("replicas", 1, "replicas per shard (with -cluster)")
 	budget := fs.Int64("budget", 0, "resident-byte budget: demote cold cubes to pyramid stand-ins over this (0 = off; engine mode only)")
+	idle := fs.Duration("idle-timeout", 0, "close client connections idle this long (0 = default 2m, negative = never)")
 	fs.Parse(args)
 
+	opts := cubeserver.Options{IdleTimeout: *idle}
 	var srv *cubeserver.Server
 	if *cluster {
 		cl, err := cubecluster.NewLocal(cubecluster.Config{
@@ -123,7 +129,7 @@ func serve(args []string) {
 			log.Fatal(err)
 		}
 		defer cl.Close()
-		srv, err = cubeserver.ServeDispatcher(*addr, cl, nil)
+		srv, err = cubeserver.ServeOptions(*addr, cl, nil, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -134,9 +140,9 @@ func serve(args []string) {
 		defer engine.Close()
 		var err error
 		if *budget > 0 {
-			srv, err = cubeserver.ServeDispatcher(*addr, cubeserver.ResidentDispatcher(engine, *budget, nil), nil)
+			srv, err = cubeserver.ServeOptions(*addr, cubeserver.ResidentDispatcher(engine, *budget, nil), nil, opts)
 		} else {
-			srv, err = cubeserver.Serve(*addr, engine)
+			srv, err = cubeserver.ServeOptions(*addr, cubeserver.EngineDispatcher(engine), nil, opts)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -149,9 +155,24 @@ func serve(args []string) {
 	srv.Close()
 }
 
+// addClientFlags registers the flags every client command shares.
+func addClientFlags(fs *flag.FlagSet) {
+	fs.String("addr", "127.0.0.1:8761", "server address")
+	fs.String("codec", "auto", "wire codec: auto negotiates v2 with gob fallback; gob forces a legacy session")
+}
+
 func dial(fs *flag.FlagSet) *cubeserver.Client {
 	addr := fs.Lookup("addr").Value.String()
-	c, err := cubeserver.Dial(addr)
+	var c *cubeserver.Client
+	var err error
+	switch codec := fs.Lookup("codec").Value.String(); codec {
+	case "auto":
+		c, err = cubeserver.Dial(addr)
+	case "gob":
+		c, err = cubeserver.DialGob(addr)
+	default:
+		log.Fatalf("unknown -codec %q (want auto or gob)", codec)
+	}
 	if err != nil {
 		log.Fatalf("connect %s: %v", addr, err)
 	}
@@ -160,7 +181,7 @@ func dial(fs *flag.FlagSet) *cubeserver.Client {
 
 func doImport(args []string) {
 	fs := flag.NewFlagSet("import", flag.ExitOnError)
-	fs.String("addr", "127.0.0.1:8761", "server address")
+	addClientFlags(fs)
 	varName := fs.String("var", "TREFHT", "variable to import")
 	implicit := fs.String("implicit", "time", "implicit dimension")
 	fs.Parse(args)
@@ -179,7 +200,7 @@ func doImport(args []string) {
 
 func doOp(args []string) {
 	fs := flag.NewFlagSet("op", flag.ExitOnError)
-	fs.String("addr", "127.0.0.1:8761", "server address")
+	addClientFlags(fs)
 	cubeID := fs.String("cube", "", "cube id (required)")
 	apply := fs.String("apply", "", "elementwise expression over x")
 	reduce := fs.String("reduce", "", "row reduction op")
@@ -260,7 +281,7 @@ func printShape(r *cubeserver.RemoteCube) {
 
 func doShow(args []string) {
 	fs := flag.NewFlagSet("show", flag.ExitOnError)
-	fs.String("addr", "127.0.0.1:8761", "server address")
+	addClientFlags(fs)
 	cubeID := fs.String("cube", "", "cube id")
 	row := fs.Int("row", 0, "row to print")
 	fs.Parse(args)
@@ -275,7 +296,7 @@ func doShow(args []string) {
 
 func doList(args []string) {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
-	fs.String("addr", "127.0.0.1:8761", "server address")
+	addClientFlags(fs)
 	fs.Parse(args)
 	c := dial(fs)
 	defer c.Close()
@@ -290,7 +311,7 @@ func doList(args []string) {
 
 func doStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	fs.String("addr", "127.0.0.1:8761", "server address")
+	addClientFlags(fs)
 	fs.Parse(args)
 	c := dial(fs)
 	defer c.Close()

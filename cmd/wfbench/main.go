@@ -51,16 +51,23 @@ import (
 )
 
 // useNet switches the C3 shard sweep from in-process transports to
-// real cubeserver TCP replicas (gob over loopback).
-var useNet bool
+// real cubeserver TCP replicas, sweeping both wire codecs: legacy gob
+// (one serialized connection per replica) and v2 (multiplexed binary
+// frames over a connection pool). poolSize is the v2 per-replica pool.
+var (
+	useNet   bool
+	poolSize int
+)
 
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all", "experiment: c1|c2|c3|c4|ens|dist|pyramid|soak|all")
 	tracePath := flag.String("trace", "", "run one traced end-to-end workflow and write its Chrome trace JSON here (skips -exp)")
-	netFlag := flag.Bool("net", false, "run the C3 shard sweep over real TCP cubeserver replicas instead of in-process transports")
+	netFlag := flag.Bool("net", false, "run the C3 shard sweep over real TCP cubeserver replicas (both wire codecs) instead of in-process transports")
+	poolFlag := flag.Int("pool", cubecluster.DefaultPoolSize, "with -net: v2 connections pooled per replica")
 	flag.Parse()
 	useNet = *netFlag
+	poolSize = *poolFlag
 	if *tracePath != "" {
 		traceRun(*tracePath)
 		return
@@ -405,13 +412,13 @@ func c3() {
 // resident cube never moves after import.
 func c3Cluster() {
 	fmt.Println("--- C3 (cluster): shard scaling, fused scatter + partials-only gather ---")
+	const lat, lon, steps = 1024, 8, 64
+	const totalFrags = 32 // fragment size is fixed, so each shard holds 32/shards fragments
+	cubeMB := float64(lat*lon*steps*4) / (1 << 20)
 	mode := "in-process transports"
 	if useNet {
 		mode = "TCP cubeserver replicas"
 	}
-	const lat, lon, steps = 1024, 8, 64
-	const totalFrags = 32 // fragment size is fixed, so each shard holds 32/shards fragments
-	cubeMB := float64(lat*lon*steps*4) / (1 << 20)
 	fmt.Printf("(%d×%d×%d field, %.1f MB resident, %d fragments at 2ms storage latency; %s)\n",
 		lat, lon, steps, cubeMB, totalFrags, mode)
 	dir := tmpDir("c3cluster-")
@@ -438,19 +445,48 @@ func c3Cluster() {
 		log.Fatal(err)
 	}
 
+	if !useNet {
+		c3ClusterSweep("", path, dir)
+	} else {
+		fmt.Printf("codec=gob: one legacy connection per replica, exchanges serialized\n")
+		c3ClusterSweep("gob", path, dir)
+		fmt.Printf("codec=v2: multiplexed binary frames, %d pooled connections per replica\n", poolSize)
+		c3ClusterSweep("v2", path, dir)
+	}
+	fmt.Printf("(gathered/run counts barrier partials + shapes; the %.1f MB cube stays sharded)\n\n", cubeMB)
+}
+
+// c3ClusterSweep runs the 1/2/4/8-shard scaling sweep once. codec ""
+// uses in-process transports; "gob" and "v2" build real TCP replicas
+// speaking that wire codec, and add measured wire bytes (from the
+// servers' per-codec counters) and per-shard scatter/gather op latency
+// quantiles to the table.
+func c3ClusterSweep(codec, path, spool string) {
 	pipe := []cubeserver.PipelineStep{
 		{Op: "apply", Expr: "x>50 ? x : 0"},
 		{Op: "reduce", RowOp: "sum"},
 		{Op: "aggrows", RowOp: "avg"},
 	}
-	fmt.Printf("%-8s %14s %10s %16s\n", "shards", "pipeline time", "speedup", "gathered/run")
+	net := codec != ""
+	if net {
+		fmt.Printf("%-8s %13s %9s %14s %13s %11s %11s %13s\n",
+			"shards", "pipeline time", "speedup", "gathered/run", "wire-out/run", "shard-p50", "shard-p99", "bulk gather")
+	} else {
+		fmt.Printf("%-8s %14s %10s %16s\n", "shards", "pipeline time", "speedup", "gathered/run")
+	}
 	var base time.Duration
 	for _, shards := range []int{1, 2, 4, 8} {
-		cl, cleanup := c3NewCluster(shards, totalFrags/shards, dir)
+		cl, reg, cleanup := c3NewCluster(shards, 32/shards, spool, codec)
 		imp := cl.Dispatch(&cubeserver.Request{Op: "importfiles", Paths: []string{path}, Var: "T", ImplicitDim: "time"})
 		if err := cubeserver.ResponseError(imp); err != nil {
 			log.Fatal(err)
 		}
+		// The wire counters live server-side and count actual encoded
+		// bytes; sample after import so the table shows steady-state
+		// pipeline traffic only.
+		wireOut := reg.CounterVec("cubeserver_wire_bytes_out_total", "bytes written to client connections", "codec").With(codec)
+		w0 := wireOut.Value()
+		lat0 := cl.ShardOpSnapshot()
 		_, g0 := cl.BytesStats()
 		const iters = 3
 		t0 := time.Now()
@@ -463,50 +499,101 @@ func c3Cluster() {
 		}
 		dt := time.Since(t0)
 		_, g1 := cl.BytesStats()
+		wireDelta := wireOut.Value() - w0
 		if shards == 1 {
 			base = dt
 		}
-		fmt.Printf("%-8d %14v %9.2fx %13.0f B\n",
-			shards, dt.Round(time.Millisecond), base.Seconds()/dt.Seconds(), (g1-g0)/iters)
+		if net {
+			p50, p99 := quantilesSince(lat0, cl.ShardOpSnapshot())
+			// Bulk gather: pull the whole resident cube through the wire —
+			// the raw-block vs reflected-gob payload path, where the codec
+			// difference lives (pipeline gathers move only tiny partials).
+			tg := time.Now()
+			vals := cl.Dispatch(&cubeserver.Request{Op: "values", CubeID: imp.Shape.CubeID})
+			if err := cubeserver.ResponseError(vals); err != nil {
+				log.Fatal(err)
+			}
+			var cells int
+			for _, row := range vals.Values {
+				cells += len(row)
+			}
+			gatherMBs := float64(cells) * 4 / (1 << 20) / time.Since(tg).Seconds()
+			fmt.Printf("%-8d %13v %8.2fx %11.0f B %10.0f B %11s %11s %8.1f MB/s\n",
+				shards, dt.Round(time.Millisecond), base.Seconds()/dt.Seconds(),
+				(g1-g0)/iters, wireDelta/iters,
+				time.Duration(p50*float64(time.Second)).Round(10*time.Microsecond),
+				time.Duration(p99*float64(time.Second)).Round(10*time.Microsecond),
+				gatherMBs)
+		} else {
+			fmt.Printf("%-8d %14v %9.2fx %13.0f B\n",
+				shards, dt.Round(time.Millisecond), base.Seconds()/dt.Seconds(), (g1-g0)/iters)
+		}
 		cleanup()
 	}
-	fmt.Printf("(gathered/run counts barrier partials + shapes; the %.1f MB cube stays sharded)\n\n", cubeMB)
 }
 
-// c3NewCluster builds the sweep's cluster: in-process engines by
-// default, or real TCP cubeserver replicas with -net. fragsPerShard
-// keeps the global fragment count constant across sweep points, so a
-// shard's simulated storage latency is proportional to the data it
-// holds.
-func c3NewCluster(shards, fragsPerShard int, spool string) (*cubecluster.Cluster, func()) {
+// quantilesSince subtracts an earlier merged shard-op snapshot from a
+// later one and returns the p50/p99 of the ops in between.
+func quantilesSince(before, after obs.HistogramSnapshot) (p50, p99 float64) {
+	for i := range before.Counts {
+		after.Counts[i] -= before.Counts[i]
+	}
+	after.Count -= before.Count
+	after.Sum -= before.Sum
+	return after.Quantile(0.5), after.Quantile(0.99)
+}
+
+// c3NewCluster builds the sweep's cluster: in-process engines when
+// codec is "", or real TCP cubeserver replicas speaking the given wire
+// codec ("gob" dials one legacy connection per replica, "v2" a
+// multiplexed connection pool). The returned registry carries the
+// servers' transport metrics and the coordinator's shard latency
+// histograms. fragsPerShard keeps the global fragment count constant
+// across sweep points, so a shard's simulated storage latency is
+// proportional to the data it holds.
+func c3NewCluster(shards, fragsPerShard int, spool, codec string) (*cubecluster.Cluster, *obs.Registry, func()) {
 	eng := datacube.Config{Servers: 1, FragmentsPerCube: fragsPerShard, FragmentLatency: 2 * time.Millisecond}
-	if !useNet {
-		cl, err := cubecluster.NewLocal(cubecluster.Config{Shards: shards, Engine: eng, SpoolDir: spool})
+	reg := obs.NewRegistry()
+	if codec == "" {
+		cl, err := cubecluster.NewLocal(cubecluster.Config{Shards: shards, Engine: eng, SpoolDir: spool, Metrics: reg})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return cl, func() { cl.Close() }
+		return cl, reg, func() { cl.Close() }
 	}
 	var closers []func()
 	transports := make([][]cubecluster.Transport, shards)
 	for s := 0; s < shards; s++ {
 		engine := datacube.NewEngine(eng)
-		srv, err := cubeserver.Serve("127.0.0.1:0", engine)
+		srv, err := cubeserver.ServeDispatcher("127.0.0.1:0", cubeserver.EngineDispatcher(engine), reg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr, err := cubecluster.DialTransport(srv.Addr())
-		if err != nil {
-			log.Fatal(err)
+		var tr cubecluster.Transport
+		switch codec {
+		case "gob":
+			c, err := cubeserver.DialGob(srv.Addr())
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr = cubecluster.NewClientTransport(c)
+		case "v2":
+			p, err := cubecluster.DialPoolTransport(srv.Addr(), poolSize)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr = p
+		default:
+			log.Fatalf("unknown codec %q", codec)
 		}
 		transports[s] = []cubecluster.Transport{tr}
 		closers = append(closers, func() { srv.Close(); engine.Close() })
 	}
-	cl, err := cubecluster.New(cubecluster.Config{SpoolDir: spool}, transports)
+	cl, err := cubecluster.New(cubecluster.Config{SpoolDir: spool, Metrics: reg}, transports)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return cl, func() {
+	return cl, reg, func() {
 		cl.Close()
 		for _, c := range closers {
 			c()

@@ -1,6 +1,7 @@
 package cubecluster
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -52,4 +53,24 @@ func (m *clMetrics) observeShard(shard string, start time.Time) {
 // traffic (request bytes scattered, response bytes gathered).
 func (cl *Cluster) BytesStats() (scattered, gathered float64) {
 	return cl.met.scatterB.Value(), cl.met.gatherB.Value()
+}
+
+// ShardOpSnapshot merges the per-shard request-latency histograms into
+// one distribution, for offline quantiles (snapshot before and after a
+// workload, subtract counts, then obs.HistogramSnapshot.Quantile).
+func (cl *Cluster) ShardOpSnapshot() obs.HistogramSnapshot {
+	var merged obs.HistogramSnapshot
+	for s := range cl.shards {
+		snap := cl.met.shardSec.With(strconv.Itoa(s)).Snapshot()
+		if merged.Bounds == nil {
+			merged = snap
+			continue
+		}
+		for i, c := range snap.Counts {
+			merged.Counts[i] += c
+		}
+		merged.Count += snap.Count
+		merged.Sum += snap.Sum
+	}
+	return merged
 }

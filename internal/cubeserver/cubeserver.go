@@ -4,18 +4,27 @@
 // on the server-side, deployed near the HPC or Cloud infrastructure",
 // with a front-end server in front of scalable in-memory I/O servers.
 //
-// The wire protocol is a gob-encoded request/response exchange per
-// operation. Cubes live server-side; clients hold lightweight handles,
-// exactly as PyOphidia holds Ophidia PIDs.
+// Two codecs share the port. Legacy sessions speak gob — one
+// request/response exchange at a time over the connection. New clients
+// open with a 4-byte magic and speak the v2 protocol (wire.go):
+// length-prefixed binary frames carrying request IDs, so many requests
+// pipeline over one multiplexed connection (mux.go) and bulk payloads
+// move as raw float blocks instead of reflected gob. The server sniffs
+// the first byte of each connection to pick the codec, so either
+// client generation works against either server generation. Cubes live
+// server-side; clients hold lightweight handles, exactly as PyOphidia
+// holds Ophidia PIDs.
 package cubeserver
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/datacube"
 	"repro/internal/obs"
@@ -112,14 +121,64 @@ type Dispatcher interface {
 // srvMetrics instruments the transport layer itself (the dispatcher
 // reports its own failures inside responses).
 type srvMetrics struct {
-	protoErrs *obs.Counter
+	protoErrs    *obs.Counter
+	connTimeouts *obs.Counter
+	wireIn       *obs.CounterVec // bytes read, by codec
+	wireOut      *obs.CounterVec // bytes written, by codec
+	conns        *obs.CounterVec // connections negotiated, by codec
+	inflight     *obs.Gauge
 }
 
 func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	return &srvMetrics{
 		protoErrs: reg.Counter("cubeserver_proto_errors_total",
-			"requests dropped on gob decode failure or replies lost on encode failure"),
+			"requests dropped on decode failure or replies lost on encode failure"),
+		connTimeouts: reg.Counter("cubeserver_conn_timeouts_total",
+			"connections closed after an idle/read/write deadline expired"),
+		wireIn: reg.CounterVec("cubeserver_wire_bytes_in_total",
+			"bytes read off client connections", "codec"),
+		wireOut: reg.CounterVec("cubeserver_wire_bytes_out_total",
+			"bytes written to client connections", "codec"),
+		conns: reg.CounterVec("cubeserver_conns_total",
+			"client connections accepted, by negotiated codec", "codec"),
+		inflight: reg.Gauge("cubeserver_inflight_requests",
+			"requests currently executing in v2 per-connection workers"),
 	}
+}
+
+// Options tunes a server's connection handling. The zero value asks
+// for defaults everywhere.
+type Options struct {
+	// GobOnly disables v2 negotiation: every connection is treated as a
+	// legacy gob session. A v2 client's magic bytes then fail the gob
+	// decode and the connection drops, which is exactly how a pre-v2
+	// server behaves — the knob exists so mixed-version interop is
+	// testable against a current binary.
+	GobOnly bool
+	// IdleTimeout closes connections with no request activity for this
+	// long (default 2m; negative disables). v2 connections with requests
+	// still executing are not idle and are left alone.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (default 30s; negative
+	// disables). A peer that stops draining its socket is cut off
+	// instead of pinning a handler goroutine forever.
+	WriteTimeout time.Duration
+	// MaxConcurrent caps in-flight requests per v2 connection (default
+	// 64); excess frames queue in the read loop.
+	MaxConcurrent int
+}
+
+func (o Options) withDefaults() Options {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	return o
 }
 
 // Server wraps a dispatcher behind a TCP listener.
@@ -127,6 +186,7 @@ type Server struct {
 	disp   Dispatcher
 	ln     net.Listener
 	met    *srvMetrics
+	opts   Options
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -140,13 +200,20 @@ func Serve(addr string, engine *datacube.Engine) (*Server, error) {
 }
 
 // ServeDispatcher starts a server on addr routing every request through
-// d. reg (optional) receives the server's protocol-failure counter.
+// d with default Options. reg (optional) receives the server's
+// transport instruments.
 func ServeDispatcher(addr string, d Dispatcher, reg *obs.Registry) (*Server, error) {
+	return ServeOptions(addr, d, reg, Options{})
+}
+
+// ServeOptions starts a server with explicit connection-handling
+// options.
+func ServeOptions(addr string, d Dispatcher, reg *obs.Registry, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{disp: d, ln: ln, met: newSrvMetrics(reg), conns: make(map[net.Conn]struct{})}
+	s := &Server{disp: d, ln: ln, met: newSrvMetrics(reg), opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -193,6 +260,32 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// armIdle sets the connection's read deadline to the idle horizon.
+func (s *Server) armIdle(conn net.Conn) {
+	if s.opts.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+}
+
+// armWrite sets the connection's write deadline for one response.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// connDone reports whether a read/write error is a clean end of
+// session (peer hangup, or our own Close tearing the conn down) rather
+// than a protocol failure worth counting.
+func connDone(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -201,22 +294,82 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+
+	mr := &meteredCounter{}
+	mw := &meteredCounter{}
+	br := bufio.NewReaderSize(&meteredReader{r: conn, m: mr}, 64<<10)
+	w := &meteredWriter{w: conn, m: mw}
+
+	codec := "gob"
+	if !s.opts.GobOnly {
+		// Sniff the codec from the first byte: gob's leading uvarint is
+		// never zero, so 0x00 can only be the v2 magic.
+		s.armIdle(conn)
+		first, err := br.Peek(1)
+		if err != nil {
+			switch {
+			case isTimeout(err):
+				s.met.connTimeouts.Inc()
+			case !connDone(err):
+				s.met.protoErrs.Inc()
+			}
+			return
+		}
+		if first[0] == wireMagic[0] {
+			var magic [4]byte
+			if _, err := io.ReadFull(br, magic[:]); err != nil || magic != wireMagic {
+				s.met.protoErrs.Inc()
+				return
+			}
+			codec = "v2"
+		}
+	}
+	mr.attach(s.met.wireIn.With(codec))
+	mw.attach(s.met.wireOut.With(codec))
+	s.met.conns.With(codec).Inc()
+
+	if codec == "v2" {
+		// Ack the magic so the client commits to v2, then hand off to the
+		// multiplexed frame loop (wire_server.go).
+		s.armWrite(conn)
+		if _, err := w.Write(wireMagic[:]); err != nil {
+			return
+		}
+		s.handleV2(conn, br, w)
+		return
+	}
+	s.handleGob(conn, br, w)
+}
+
+// handleGob serves one legacy gob session: strictly serial
+// request/response exchanges.
+func (s *Server) handleGob(conn net.Conn, br *bufio.Reader, w io.Writer) {
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(w)
 	for {
+		s.armIdle(conn)
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			// A clean hangup (EOF) is the normal end of a session; anything
-			// else is a protocol failure — garbage bytes, truncated frame —
-			// worth counting, because the request is silently dropped.
-			if !errors.Is(err, io.EOF) {
+			// A clean hangup (EOF) is the normal end of a session. A
+			// deadline expiry means the peer went quiet — idle, or stalled
+			// mid-frame — and is counted as a timeout. Anything else is a
+			// protocol failure: garbage bytes, truncated frame.
+			switch {
+			case isTimeout(err):
+				s.met.connTimeouts.Inc()
+			case !connDone(err):
 				s.met.protoErrs.Inc()
 			}
 			return
 		}
 		resp := s.disp.Dispatch(&req)
+		s.armWrite(conn)
 		if err := enc.Encode(resp); err != nil {
-			s.met.protoErrs.Inc()
+			if isTimeout(err) {
+				s.met.connTimeouts.Inc()
+			} else {
+				s.met.protoErrs.Inc()
+			}
 			return
 		}
 	}
@@ -519,21 +672,51 @@ func importShard(engine *datacube.Engine, req *Request) (*datacube.Cube, bool, e
 	return part, true, nil
 }
 
-// Client is a connection to a Server. It is safe for concurrent use;
-// requests are serialized over the single connection. After any
-// transport failure the client is poisoned: the gob stream may be
-// desynced, so every later call fails fast with ErrClientBroken
-// instead of decoding a stale frame as its own reply.
+// Client is a connection to a Server. It is safe for concurrent use.
+// Against a v2 server the client multiplexes: concurrent Do calls
+// pipeline over one connection instead of queueing on a mutex. Against
+// a legacy server it falls back to gob, serializing requests. After
+// any transport failure the client is poisoned: the stream may be
+// desynced, so the failing call reports the raw transport error once
+// and every later call fails fast with ErrClientBroken instead of
+// decoding a stale frame as its own reply.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	err  error // first transport error; latched for the client's lifetime
+	mux *muxConn // non-nil when v2 was negotiated
+
+	// Legacy gob session state. mu serializes exchanges; closeMu guards
+	// Close separately so closing never waits behind an in-flight Do (the
+	// conn teardown is what unblocks it).
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	err     error // first transport error; latched for the client's lifetime
+	closeMu sync.Mutex
+	closed  bool
 }
 
-// Dial connects to a server.
+// handshakeTimeout bounds version negotiation; servers answer the
+// magic immediately, so a silent peer this long is not a v2 server.
+const handshakeTimeout = 5 * time.Second
+
+// Dial connects to a server, preferring the v2 protocol. The client
+// probes with the 4-byte magic: a v2 server echoes it, a legacy server
+// chokes on it (gob decode failure) and drops the probe connection, in
+// which case the client re-dials speaking gob — so either server
+// generation is reachable with no configuration.
 func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if mux, ok := negotiateV2(conn); ok {
+		return &Client{mux: mux}, nil
+	}
+	return DialGob(addr)
+}
+
+// DialGob connects speaking the legacy gob protocol unconditionally.
+func DialGob(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -541,13 +724,74 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// negotiateV2 runs the client side of version negotiation on a fresh
+// connection: send the magic, wait for the echo. Any other outcome —
+// hangup, garbage, or silence past the handshake deadline — burns the
+// probe connection and reports v2 unavailable.
+func negotiateV2(conn net.Conn) (*muxConn, bool) {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(wireMagic[:]); err != nil {
+		conn.Close()
+		return nil, false
+	}
+	var ack [4]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack != wireMagic {
+		conn.Close()
+		return nil, false
+	}
+	conn.SetDeadline(time.Time{})
+	return newMuxConn(conn), true
+}
+
+// Codec reports which wire protocol the client negotiated ("v2" or
+// "gob").
+func (c *Client) Codec() string {
+	if c.mux != nil {
+		return "v2"
+	}
+	return "gob"
+}
+
+// Broken reports whether the client has been poisoned by a transport
+// failure (or closed) and needs reconnecting.
+func (c *Client) Broken() bool {
+	if c.mux != nil {
+		return c.mux.broken()
+	}
+	c.closeMu.Lock()
+	closed := c.closed
+	c.closeMu.Unlock()
+	if closed {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// Close terminates the connection. It is idempotent and safe to call
+// concurrently with in-flight Do calls, which fail with a transport
+// error as the connection tears down.
+func (c *Client) Close() error {
+	if c.mux != nil {
+		return c.mux.close()
+	}
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
 
 // Do performs one request/response exchange and returns the raw
 // response; server-side failures arrive inside it (see ResponseError).
 // A non-nil error is a transport failure and poisons the client.
 func (c *Client) Do(req *Request) (*Response, error) {
+	if c.mux != nil {
+		return c.mux.do(req)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
